@@ -1,0 +1,48 @@
+# relser — Relative Serializability in Go
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments fuzz tools clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One testing.B benchmark per experiment plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every experiment report of EXPERIMENTS.md (E1-E14).
+experiments:
+	$(GO) run ./cmd/rsbench
+
+# Short fuzzing pass over the parsers.
+fuzz:
+	$(GO) test -fuzz=FuzzParseOp -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzParseInstance -fuzztime=10s ./internal/core/
+
+tools:
+	$(GO) build -o bin/rscheck ./cmd/rscheck
+	$(GO) build -o bin/rsenum ./cmd/rsenum
+	$(GO) build -o bin/rssim ./cmd/rssim
+	$(GO) build -o bin/rsbench ./cmd/rsbench
+	$(GO) build -o bin/rschop ./cmd/rschop
+	$(GO) build -o bin/rsrecover ./cmd/rsrecover
+
+clean:
+	rm -rf bin
+	$(GO) clean -testcache

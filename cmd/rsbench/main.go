@@ -1,0 +1,64 @@
+// rsbench regenerates the paper's figures and the reproduction's
+// quantitative studies as experiment reports (see DESIGN.md §4 for the
+// experiment index and EXPERIMENTS.md for a recorded run).
+//
+// Usage:
+//
+//	rsbench                 # run every experiment, full size
+//	rsbench -e E3           # one experiment
+//	rsbench -e E6,E7 -quick # quick sizes
+//	rsbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relser/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "all", "comma-separated experiment ids, or 'all'")
+		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed  = flag.Int64("seed", 1, "seed for randomized components")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	ids := experiments.IDs()
+	if *which != "all" {
+		ids = nil
+		for _, id := range strings.Split(*which, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	failed := 0
+	for i, id := range ids {
+		rep, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsbench:", err)
+			os.Exit(1)
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Println(rep)
+		if !rep.Pass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "rsbench: %d experiment(s) with failing claims\n", failed)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// rsrecover rebuilds a store from a write-ahead log produced by rssim
+// (or any storage.WAL user) and reports what survived: only fully
+// committed transactions' effects are applied; aborted, unfinished and
+// torn-tail records leave no trace.
+//
+// Usage:
+//
+//	rssim -workload banking -protocol rsgt -wal run.wal
+//	rsrecover -wal run.wal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"relser/internal/storage"
+)
+
+func main() {
+	var (
+		walPath = flag.String("wal", "", "write-ahead log file to recover from (required)")
+		values  = flag.Bool("values", true, "print the recovered object values")
+	)
+	flag.Parse()
+	if *walPath == "" {
+		fatal(fmt.Errorf("-wal is required"))
+	}
+	f, err := os.Open(*walPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	store, report, err := storage.Recover(f, nil)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(report)
+	if *values {
+		snap := store.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %s = %d\n", name, snap[name])
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsrecover:", err)
+	os.Exit(1)
+}

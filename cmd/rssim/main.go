@@ -1,0 +1,174 @@
+// rssim runs a workload through the transaction runtime under a chosen
+// concurrency-control protocol and reports throughput, aborts, blocks
+// and — via the paper's Theorem 1 — whether the committed schedule is
+// relatively serializable.
+//
+// Usage:
+//
+//	rssim -workload banking -protocol rsgt -seed 1 -mpl 8
+//	rssim -workload longlived -protocol altruistic
+//	rssim -workload synthetic -granularity 2 -protocol rsgt -trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"relser/internal/core"
+	"relser/internal/sched"
+	"relser/internal/storage"
+	"relser/internal/workload"
+)
+
+func main() {
+	var (
+		wname      = flag.String("workload", "banking", "banking | cadcam | longlived | synthetic")
+		pname      = flag.String("protocol", "rsgt", "nocc | s2pl | sgt | rsgt | altruistic | to")
+		seed       = flag.Int64("seed", 1, "deterministic seed")
+		mpl        = flag.Int("mpl", 8, "multiprogramming level")
+		gran       = flag.Int("granularity", 2, "synthetic workload atomic-unit length (0 = absolute)")
+		scale      = flag.Int("scale", 1, "workload size multiplier")
+		trace      = flag.Bool("trace", false, "print the committed schedule")
+		dump       = flag.Bool("dump", false, "emit the committed run as an instance file (consumable by rscheck)")
+		walPath    = flag.String("wal", "", "write a write-ahead log to this file (recover with rsrecover)")
+		concurrent = flag.Bool("concurrent", false, "use the goroutine runtime instead of the deterministic tick driver")
+		timeline   = flag.Bool("timeline", false, "render committed instances' lifetimes as an ASCII chart")
+		recovery   = flag.Bool("recovery", false, "report the classical recoverability hierarchy (recoverable / ACA / strict)")
+		verify     = flag.Bool("verify", true, "certify the committed schedule with the RSG test")
+		crossed    = flag.Bool("crossing", true, "banking: audits scan families in alternating directions")
+	)
+	flag.Parse()
+
+	w, err := buildWorkload(*wname, *seed, *gran, *scale, *crossed)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := buildProtocol(*pname, w)
+	if err != nil {
+		fatal(err)
+	}
+	var wal *storage.WAL
+	if *walPath != "" {
+		var f *os.File
+		wal, f, err = storage.OpenWALFile(*walPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+	}
+	// With -dump, stdout carries only the machine-readable instance
+	// file; status goes to stderr.
+	status := os.Stdout
+	if *dump {
+		status = os.Stderr
+	}
+	fmt.Fprintf(status, "workload=%s programs=%d protocol=%s seed=%d mpl=%d\n",
+		w.Name, len(w.Programs), p.Name(), *seed, *mpl)
+	res, _, err := w.RunWith(p, workload.RunOptions{
+		Seed:       *seed,
+		MPL:        *mpl,
+		WAL:        wal,
+		Concurrent: *concurrent,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(status, res)
+	if w.Invariant != nil {
+		fmt.Fprintln(status, "data invariant: ok")
+	}
+	if *trace {
+		s, _, err := res.CommittedSchedule()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(status, "committed schedule:", s)
+	}
+	if *timeline {
+		fmt.Fprint(status, res.Timeline(64))
+	}
+	if *recovery {
+		props, err := res.RecoveryProperties()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(status, "recovery: recoverable=%v aca=%v strict=%v\n", props.Recoverable, props.ACA, props.Strict)
+		if props.Violation != "" {
+			fmt.Fprintln(status, "  first violation:", props.Violation)
+		}
+	}
+	if *dump {
+		s, sp, err := res.CommittedSchedule()
+		if err != nil {
+			fatal(err)
+		}
+		inst := &core.Instance{
+			Set:       s.Set(),
+			Spec:      sp,
+			Schedules: map[string]*core.Schedule{"committed": s},
+			Names:     []string{"committed"},
+		}
+		fmt.Print(core.FormatInstance(inst))
+	}
+	if *verify {
+		if err := res.Verify(); err != nil {
+			fmt.Fprintln(status, "verification: FAILED:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintln(status, "verification: committed schedule is relatively serializable (Theorem 1)")
+	}
+}
+
+func buildWorkload(name string, seed int64, gran, scale int, crossing bool) (*workload.Workload, error) {
+	switch name {
+	case "banking":
+		cfg := workload.DefaultBankingConfig()
+		cfg.Customers *= scale
+		cfg.CreditAudits *= scale
+		cfg.CrossingAudits = crossing
+		return workload.Banking(cfg, seed)
+	case "cadcam":
+		cfg := workload.DefaultCADCAMConfig()
+		cfg.Designers *= scale
+		cfg.Integrators *= scale
+		return workload.CADCAM(cfg, seed)
+	case "longlived":
+		cfg := workload.DefaultLongLivedConfig()
+		cfg.ShortTxns *= scale
+		return workload.LongLived(cfg, seed)
+	case "synthetic":
+		cfg := workload.DefaultSyntheticConfig()
+		cfg.Programs *= scale
+		cfg.Granularity = gran
+		return workload.Synthetic(cfg, seed)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func buildProtocol(name string, w *workload.Workload) (sched.Protocol, error) {
+	switch name {
+	case "nocc":
+		return sched.NewNoCC(), nil
+	case "s2pl":
+		return sched.NewS2PL(), nil
+	case "sgt":
+		return sched.NewSGT(), nil
+	case "rsgt":
+		return sched.NewRSGT(w.Oracle), nil
+	case "altruistic":
+		return sched.NewAltruistic(w.Oracle), nil
+	case "to":
+		return sched.NewTO(), nil
+	case "ral":
+		return sched.NewRAL(w.Oracle), nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rssim:", err)
+	os.Exit(1)
+}

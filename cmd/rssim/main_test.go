@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestBuildWorkloadNames(t *testing.T) {
+	for _, name := range []string{"banking", "cadcam", "longlived", "synthetic"} {
+		w, err := buildWorkload(name, 1, 2, 1, true)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(w.Programs) == 0 {
+			t.Errorf("%s: empty workload", name)
+		}
+	}
+	if _, err := buildWorkload("nope", 1, 2, 1, false); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestBuildProtocolNames(t *testing.T) {
+	w, err := buildWorkload("banking", 1, 2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"nocc", "s2pl", "sgt", "rsgt", "altruistic", "to", "ral"} {
+		p, err := buildProtocol(name, w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Name() == "" {
+			t.Errorf("%s: protocol has no name", name)
+		}
+	}
+	if _, err := buildProtocol("nope", w); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestScaleMultipliesPrograms(t *testing.T) {
+	w1, err := buildWorkload("synthetic", 1, 2, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := buildWorkload("synthetic", 1, 2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w2.Programs) != 2*len(w1.Programs) {
+		t.Errorf("scale 2 gives %d programs, scale 1 gives %d", len(w2.Programs), len(w1.Programs))
+	}
+}

@@ -1,0 +1,63 @@
+// Advisor: specification repair in action. Two scenarios:
+//
+//  1. the classic lost update — rejected under absolute atomicity; the
+//     advisor names the exact atomicity the user would have to give up
+//     to declare it acceptable;
+//  2. the paper's Srs under absolute atomicity — rejected classically,
+//     and the advisor rediscovers (a subset of) the Figure 1
+//     specification that the paper wrote by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relser"
+	"relser/internal/advisor"
+)
+
+func main() {
+	// Scenario 1: lost update.
+	ts := relser.MustTxnSet(
+		relser.T(1, relser.R("x"), relser.W("x")),
+		relser.T(2, relser.R("x"), relser.W("x")),
+	)
+	s, err := relser.ParseSchedule(ts, "r1[x] r2[x] w1[x] w2[x]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	abs := relser.NewSpec(ts)
+	fmt.Println("schedule:", s)
+	fmt.Println("conflict serializable:       ", relser.IsConflictSerializable(s))
+	fmt.Println("relatively serializable (abs):", relser.IsRelativelySerializable(s, abs))
+	advice := advisor.Advise(s, abs)
+	fmt.Println("\nto admit it, declare:")
+	for _, sug := range advice.Suggestions {
+		fmt.Println("  -", sug)
+	}
+	fmt.Println("repaired spec admits:", relser.IsRelativelySerializable(s, advice.Spec))
+	fmt.Println("  (reading this as a user: you are agreeing that T1 may run between")
+	fmt.Println("   T2's read and write of x — a lost update you deem acceptable)")
+
+	// Scenario 2: the paper's Srs rediscovered.
+	t1 := relser.T(1, relser.R("x"), relser.W("x"), relser.W("z"), relser.R("y"))
+	t2 := relser.T(2, relser.R("y"), relser.W("y"), relser.R("x"))
+	t3 := relser.T(3, relser.W("x"), relser.W("y"), relser.W("z"))
+	ts2 := relser.MustTxnSet(t1, t2, t3)
+	srs, err := relser.ParseSchedule(ts2,
+		"r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n---\nthe paper's Srs under absolute atomicity:")
+	fmt.Println("relatively serializable:", relser.IsRelativelySerializable(srs, relser.NewSpec(ts2)))
+	advice2 := advisor.Advise(srs, relser.NewSpec(ts2))
+	fmt.Println("advisor suggests:")
+	for _, sug := range advice2.Suggestions {
+		fmt.Println("  -", sug)
+	}
+	fmt.Println("repaired spec admits Srs:", relser.IsRelativelySerializable(srs, advice2.Spec))
+	fmt.Println("\nthe hand-written Figure 1 specification declares boundaries at")
+	fmt.Println("exactly such positions — the advisor recovers the needed relaxation")
+	fmt.Println("from the execution itself.")
+}

@@ -1,0 +1,72 @@
+// Banking: the paper's §1 motivating scenario end to end. Families of
+// accounts receive customer transfers while credit audits scan family
+// groups and a bank audit scans everything. The example runs the same
+// mix under strict two-phase locking and under the paper's RSGT
+// protocol, shows the concurrency difference, proves every committed
+// schedule relatively serializable with the offline RSG test, and
+// checks balance conservation on the stored data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relser/internal/sched"
+	"relser/internal/workload"
+)
+
+func main() {
+	cfg := workload.BankingConfig{
+		Families:          4,
+		AccountsPerFamily: 3,
+		Customers:         16,
+		CreditAudits:      4,
+		FamiliesPerAudit:  2,
+		BankAudits:        1,
+		CrossingAudits:    true,
+		InitialBalance:    100,
+	}
+	fmt.Printf("banking: %d families x %d accounts, %d transfers, %d credit audits, %d bank audit(s)\n\n",
+		cfg.Families, cfg.AccountsPerFamily, cfg.Customers, cfg.CreditAudits, cfg.BankAudits)
+
+	const seed = 42
+	for _, proto := range []string{"s2pl", "rsgt"} {
+		w, err := workload.Banking(cfg, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var p sched.Protocol
+		if proto == "s2pl" {
+			p = sched.NewS2PL()
+		} else {
+			p = sched.NewRSGT(w.Oracle)
+		}
+		res, err := w.Run(p, seed, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		if err := res.Verify(); err != nil {
+			log.Fatalf("%s emitted an uncertified schedule: %v", proto, err)
+		}
+		fmt.Printf("  -> committed schedule certified relatively serializable; balances conserved\n\n")
+	}
+
+	// Show what the audit units buy: a credit audit over two families
+	// exposes a unit boundary at the family border, so transfers in the
+	// other family may run in the middle of the audit — an interleaving
+	// absolute atomicity forbids.
+	w, err := workload.Banking(cfg, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, prog := range w.Programs {
+		if prog.Len() == 2*cfg.AccountsPerFamily { // a credit audit
+			other := w.Programs[0] // a customer
+			cuts := w.Oracle.Cuts(prog, other)
+			fmt.Printf("credit audit T%d exposes unit boundaries %v to customer T%d\n",
+				prog.ID, cuts, other.ID)
+			break
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Longlived: the §5 scenario — one long scan-and-update transaction
+// sweeping many objects while short transactions arrive continuously.
+// The long transaction declares a unit boundary after every object it
+// finishes. The example compares four protocols on the same mix:
+// strict 2PL (shorts wait for the whole long transaction), altruistic
+// locking (the long transaction donates finished objects, [SGMA87]),
+// SGT, and the paper's RSGT, which exploits the declared units
+// directly. Every run's committed schedule is certified with the
+// offline RSG test.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relser/internal/metrics"
+	"relser/internal/sched"
+	"relser/internal/workload"
+)
+
+func main() {
+	cfg := workload.LongLivedConfig{Objects: 16, LongTxns: 1, ShortTxns: 30}
+	fmt.Printf("longlived: 1 sweep over %d objects (unit per object), %d short update transactions\n\n",
+		cfg.Objects, cfg.ShortTxns)
+
+	tb := metrics.NewTable("protocol comparison (seed-averaged)",
+		"protocol", "ticks", "blocks", "aborts", "avg concurrency", "verified")
+	seeds := []int64{1, 2, 3, 4, 5}
+	for _, proto := range []string{"s2pl", "altruistic", "sgt", "rsgt"} {
+		var ticks, blocks, aborts int
+		var conc float64
+		verified := true
+		for _, seed := range seeds {
+			w, err := workload.LongLived(cfg, seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var p sched.Protocol
+			switch proto {
+			case "s2pl":
+				p = sched.NewS2PL()
+			case "altruistic":
+				p = sched.NewAltruistic(w.Oracle)
+			case "sgt":
+				p = sched.NewSGT()
+			case "rsgt":
+				p = sched.NewRSGT(w.Oracle)
+			}
+			res, err := w.Run(p, seed, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ticks += res.Ticks
+			blocks += res.Blocks
+			aborts += res.Aborts
+			conc += res.AvgConcurrency
+			if err := res.Verify(); err != nil {
+				verified = false
+			}
+		}
+		n := float64(len(seeds))
+		tb.AddRow(proto, float64(ticks)/n, float64(blocks)/n, float64(aborts)/n, conc/n, verified)
+	}
+	fmt.Print(tb)
+	fmt.Println("\nreading the table: 2PL makes short transactions wait out the sweep (blocks);")
+	fmt.Println("altruistic locking donates finished objects early; RSGT needs no locks at all —")
+	fmt.Println("the relative atomicity units make the interleavings provably correct (Theorem 1).")
+}

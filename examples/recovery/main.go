@@ -1,0 +1,69 @@
+// Recovery: durability end to end. The banking workload runs under the
+// paper's RSGT protocol with a write-ahead log attached; the example
+// then simulates a crash by truncating the log at several points and
+// recovers a store from each prefix, showing that exactly the committed
+// transactions survive and balance conservation holds at every cut.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"relser/internal/sched"
+	"relser/internal/storage"
+	"relser/internal/workload"
+)
+
+func main() {
+	cfg := workload.DefaultBankingConfig()
+	w, err := workload.Banking(cfg, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var logBuf bytes.Buffer
+	res, store, err := w.RunWith(sched.NewRSGT(w.Oracle), workload.RunOptions{
+		Seed: 11,
+		MPL:  8,
+		WAL:  storage.NewWAL(&logBuf),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("run:", res)
+	if err := res.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed schedule certified relatively serializable")
+	fmt.Printf("WAL: %d bytes\n\n", logBuf.Len())
+
+	full := logBuf.Bytes()
+	fmt.Println("crash simulation (recover from log prefixes):")
+	for _, frac := range []int{25, 50, 75, 100} {
+		cut := len(full) * frac / 100
+		recovered, report, err := storage.Recover(bytes.NewReader(full[:cut]), w.Initial)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sumOK := "balances conserved"
+		if w.Invariant != nil {
+			if err := w.Invariant(recovered.Snapshot()); err != nil {
+				sumOK = "INVARIANT BROKEN: " + err.Error()
+			}
+		}
+		fmt.Printf("  %3d%% of log: %s — %s\n", frac, report, sumOK)
+	}
+
+	// Sanity: the full-log recovery matches the live store exactly.
+	recovered, _, err := storage.Recover(bytes.NewReader(full), w.Initial)
+	if err != nil {
+		log.Fatal(err)
+	}
+	live := store.Snapshot()
+	for obj, v := range recovered.Snapshot() {
+		if live[obj] != v {
+			log.Fatalf("mismatch on %s: recovered %d, live %d", obj, v, live[obj])
+		}
+	}
+	fmt.Println("\nfull-log recovery matches the live store object for object")
+}

@@ -1,0 +1,74 @@
+package relser_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end (compile +
+// run via the Go toolchain) and checks for its signature output line,
+// guarding the runnable-examples deliverable against rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile-and-run is slow; skipped with -short")
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"./examples/quickstart", "relatively serial witness:"},
+		{"./examples/banking", "certified relatively serializable"},
+		{"./examples/cadcam", "provably NOT in multilevel atomicity"},
+		{"./examples/longlived", "protocol comparison"},
+		{"./examples/recovery", "full-log recovery matches the live store"},
+		{"./examples/advisor", "repaired spec admits Srs: true"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.path).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", tc.path, err, out)
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output of %s missing %q:\n%s", tc.path, tc.want, out)
+			}
+		})
+	}
+}
+
+// TestToolsRun smoke-tests the CLI binaries on built-in inputs.
+func TestToolsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool compile-and-run is slow; skipped with -short")
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"run", "./cmd/rscheck", "-fig", "1"}, "Classification"},
+		{[]string{"run", "./cmd/rsenum", "-fig", "2", "-rc=false"}, "Class census"},
+		{[]string{"run", "./cmd/rssim", "-workload", "longlived", "-protocol", "rsgt"}, "relatively serializable"},
+		{[]string{"run", "./cmd/rsbench", "-e", "E1"}, "[PASS]"},
+		{[]string{"run", "./cmd/rsbench", "-list"}, "E14"},
+		{[]string{"run", "./cmd/rschop", "-fig", "2", "-piece", "1"}, "verdict"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.Join(tc.args[1:], "_"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", tc.args...).CombinedOutput()
+			if err != nil {
+				// rschop exits 2 on incorrect choppings by design.
+				if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+					t.Fatalf("go %v: %v\n%s", tc.args, err, out)
+				}
+			}
+			if !strings.Contains(string(out), tc.want) {
+				t.Errorf("output missing %q:\n%s", tc.want, out)
+			}
+		})
+	}
+}

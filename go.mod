@@ -1,0 +1,3 @@
+module relser
+
+go 1.22

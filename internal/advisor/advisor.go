@@ -1,0 +1,181 @@
+// Package advisor answers the practitioner's question the paper's
+// model raises: *my execution was rejected — which atomicity do I have
+// to give up to admit it?* Relative atomicity specifications are
+// conservative by nature (§2: they must anticipate every potential
+// conflict), so a rejected schedule often needs only a few extra unit
+// boundaries.
+//
+// Advise inspects the relative serialization graph's cycles. Arcs
+// that are purely push-forward or pull-backward (F/B) exist only
+// because of unit extents and can be weakened by splitting the unit;
+// arcs carrying an I or D component are facts of the execution and
+// survive every specification. The advisor repeatedly finds a cycle,
+// splits the unit behind one removable arc, and stops when the graph
+// is acyclic.
+//
+// A pleasing consequence of the paper's definitions: repair always
+// succeeds. I- and D-arcs follow schedule precedence, so a cycle must
+// contain at least one F- or B-arc — and those are exactly the arcs
+// unit splitting weakens. The fully breakable specification (every
+// operation its own unit) admits every schedule, so Advise converges
+// at the latest when it reaches it; Advice.Possible exists for
+// defensive completeness and is always true in practice.
+package advisor
+
+import (
+	"fmt"
+
+	"relser/internal/core"
+)
+
+// Suggestion proposes one additional unit boundary:
+// Atomicity(Txn, Observer) gains a cut after operation CutAfter.
+type Suggestion struct {
+	Txn      core.TxnID
+	Observer core.TxnID
+	CutAfter int
+}
+
+// String renders "split Atomicity(T1, T2) after op 1".
+func (s Suggestion) String() string {
+	return fmt.Sprintf("split Atomicity(T%d, T%d) after op %d", int(s.Txn), int(s.Observer), s.CutAfter)
+}
+
+// Advice is the outcome of a specification-repair analysis.
+type Advice struct {
+	// AlreadyAdmissible: the schedule is relatively serializable under
+	// the given specification; no suggestions needed.
+	AlreadyAdmissible bool
+	// Possible: some relaxation admits the schedule. When false, the
+	// schedule's dependency structure is circular and no relative
+	// atomicity specification can admit it.
+	Possible bool
+	// Suggestions lists the unit boundaries to add, in application
+	// order.
+	Suggestions []Suggestion
+	// Spec is the repaired specification (the input plus Suggestions)
+	// when Possible; nil otherwise.
+	Spec *core.Spec
+	// Iterations counts repair rounds (cycles examined).
+	Iterations int
+}
+
+// maxRounds bounds the repair loop far above any real need (each round
+// adds at least one cut; cuts are bounded by total operations).
+const maxRounds = 1 << 12
+
+// Advise analyses the schedule under the specification and proposes
+// repairs. The input specification is not modified.
+func Advise(s *core.Schedule, sp *core.Spec) Advice {
+	work := sp.Clone()
+	var advice Advice
+	for round := 0; round < maxRounds; round++ {
+		rsg := core.BuildRSG(s, work)
+		cyc := rsg.Cycle()
+		if cyc == nil {
+			advice.Possible = true
+			advice.AlreadyAdmissible = len(advice.Suggestions) == 0
+			advice.Iterations = round
+			advice.Suggestions, advice.Spec = minimize(s, sp, advice.Suggestions)
+			return advice
+		}
+		sug, ok := removableArc(rsg, cyc, work)
+		if !ok {
+			advice.Possible = false
+			advice.Iterations = round + 1
+			advice.Suggestions = nil
+			advice.Spec = nil
+			return advice
+		}
+		applied := false
+		for _, g := range sug {
+			before := work.NumUnits(g.Txn, g.Observer)
+			if err := work.CutAfter(g.Txn, g.Observer, g.CutAfter); err != nil {
+				continue
+			}
+			if work.NumUnits(g.Txn, g.Observer) > before {
+				advice.Suggestions = append(advice.Suggestions, g)
+				applied = true
+			}
+		}
+		if !applied {
+			// The removable arc's unit was already fully split: the
+			// cycle must be inherent after all (defensive; unreachable
+			// when removableArc reports kinds faithfully).
+			advice.Possible = false
+			advice.Iterations = round + 1
+			advice.Suggestions = nil
+			advice.Spec = nil
+			return advice
+		}
+	}
+	advice.Possible = false
+	return advice
+}
+
+// minimize greedily drops suggestions that are not needed: each is
+// removed in turn and kept out if the remaining set still admits the
+// schedule. The result is a locally minimal repair (removing any single
+// remaining suggestion breaks admissibility).
+func minimize(s *core.Schedule, base *core.Spec, sugs []Suggestion) ([]Suggestion, *core.Spec) {
+	kept := append([]Suggestion(nil), sugs...)
+	for i := len(kept) - 1; i >= 0; i-- {
+		trial := base.Clone()
+		for j, g := range kept {
+			if j == i {
+				continue
+			}
+			if err := trial.CutAfter(g.Txn, g.Observer, g.CutAfter); err != nil {
+				panic(err) // suggestions were validated on creation
+			}
+		}
+		if core.IsRelativelySerializable(s, trial) {
+			kept = append(kept[:i], kept[i+1:]...)
+		}
+	}
+	final := base.Clone()
+	for _, g := range kept {
+		if err := final.CutAfter(g.Txn, g.Observer, g.CutAfter); err != nil {
+			panic(err)
+		}
+	}
+	return kept, final
+}
+
+// removableArc finds an arc in the cycle whose kinds are purely F
+// and/or B and returns the cuts that fully split the unit behind it.
+func removableArc(rsg *core.RSG, cyc []core.Op, sp *core.Spec) ([]Suggestion, bool) {
+	for i := range cyc {
+		u, v := cyc[i], cyc[(i+1)%len(cyc)]
+		kinds := rsg.ArcKinds(u, v)
+		if kinds == 0 || kinds&(core.IArc|core.DArc) != 0 {
+			continue
+		}
+		var sugs []Suggestion
+		if kinds&core.FArc != 0 {
+			// u is PushForward(u', txn(v)) for some dependency source
+			// u' in u's unit relative to txn(v): split that unit.
+			sugs = append(sugs, splitUnit(sp, u.Txn, v.Txn, u.Seq)...)
+		}
+		if kinds&core.BArc != 0 {
+			// v is PullBackward(v', txn(u)): split v's unit relative
+			// to txn(u).
+			sugs = append(sugs, splitUnit(sp, v.Txn, u.Txn, v.Seq)...)
+		}
+		if len(sugs) > 0 {
+			return sugs, true
+		}
+	}
+	return nil, false
+}
+
+// splitUnit proposes cuts at every interior boundary of the unit of
+// Atomicity(i, j) containing seq.
+func splitUnit(sp *core.Spec, i, j core.TxnID, seq int) []Suggestion {
+	start, end := sp.UnitOf(i, seq, j)
+	var out []Suggestion
+	for p := start; p < end; p++ {
+		out = append(out, Suggestion{Txn: i, Observer: j, CutAfter: p})
+	}
+	return out
+}

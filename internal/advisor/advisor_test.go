@@ -1,0 +1,168 @@
+package advisor_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"relser/internal/advisor"
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+func TestAdviseAlreadyAdmissible(t *testing.T) {
+	inst := paperfig.Figure1()
+	for _, name := range inst.Names {
+		a := advisor.Advise(inst.Schedules[name], inst.Spec)
+		if !a.Possible || !a.AlreadyAdmissible || len(a.Suggestions) != 0 {
+			t.Errorf("%s: already relatively serializable; advice = %+v", name, a)
+		}
+	}
+}
+
+func TestAdviseRepairsAbsoluteSpec(t *testing.T) {
+	// Srs under absolute atomicity is rejected; the advisor must find
+	// unit boundaries that admit it, and the repaired spec must indeed
+	// admit it.
+	inst := paperfig.Figure1()
+	srs := inst.Schedules["Srs"]
+	abs := core.NewSpec(inst.Set)
+	a := advisor.Advise(srs, abs)
+	if !a.Possible {
+		t.Fatal("Srs is admissible under the Figure 1 spec, so some relaxation exists")
+	}
+	if a.AlreadyAdmissible || len(a.Suggestions) == 0 {
+		t.Fatalf("expected repairs, got %+v", a)
+	}
+	if !core.IsRelativelySerializable(srs, a.Spec) {
+		t.Fatal("repaired specification does not admit the schedule")
+	}
+	// The input spec must be untouched.
+	if !abs.IsAbsolute() {
+		t.Fatal("Advise mutated its input specification")
+	}
+}
+
+func TestAdviseRepairsLostUpdate(t *testing.T) {
+	// The classic lost-update interleaving is not conflict serializable
+	// — but relative atomicity can *declare* it acceptable: the advisor
+	// finds the exact unit split (T2's read/write pair opened to T1)
+	// that admits it. The repair names the atomicity the user is being
+	// asked to give up.
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.R("x"), core.W("x")),
+	)
+	s, err := core.ParseSchedule(ts, "r1[x] r2[x] w1[x] w2[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := advisor.Advise(s, core.NewSpec(ts))
+	if !a.Possible || a.AlreadyAdmissible {
+		t.Fatalf("advice = %+v", a)
+	}
+	if len(a.Suggestions) == 0 {
+		t.Fatal("expected at least one suggested split")
+	}
+	if !core.IsRelativelySerializable(s, a.Spec) {
+		t.Fatal("repaired spec does not admit the schedule")
+	}
+	if core.IsConflictSerializable(s) {
+		t.Fatal("fixture broken: lost update must not be conflict serializable")
+	}
+}
+
+func TestEveryScheduleAdmissibleUnderFullBreakage(t *testing.T) {
+	// The theorem behind the advisor's always-success: I- and D-arcs
+	// follow schedule order, so the fully breakable specification
+	// (where F/B arcs collapse onto D-arcs) admits everything.
+	inst := paperfig.Figure1()
+	full := core.NewSpec(inst.Set)
+	full.AllowAllPairs()
+	for _, name := range inst.Names {
+		if !core.IsRelativelySerializable(inst.Schedules[name], full) {
+			t.Errorf("%s rejected under full breakage", name)
+		}
+	}
+}
+
+func TestAdviseMatchesFullyBreakableVerdict(t *testing.T) {
+	// Property: Advise reports Possible exactly when the fully
+	// breakable specification admits the schedule (that spec is the
+	// weakest, so it decides feasibility), and repaired specs always
+	// admit.
+	rng := rand.New(rand.NewSource(321))
+	objects := []string{"x", "y", "z"}
+	for trial := 0; trial < 200; trial++ {
+		nTxn := 2 + rng.Intn(3)
+		txns := make([]*core.Transaction, nTxn)
+		for i := range txns {
+			nOps := 1 + rng.Intn(4)
+			ops := make([]core.Op, nOps)
+			for k := range ops {
+				obj := objects[rng.Intn(len(objects))]
+				if rng.Intn(2) == 0 {
+					ops[k] = core.R(obj)
+				} else {
+					ops[k] = core.W(obj)
+				}
+			}
+			txns[i] = core.T(core.TxnID(i+1), ops...)
+		}
+		ts := core.MustTxnSet(txns...)
+		cursors := make([]int, nTxn)
+		ops := make([]core.Op, 0, ts.NumOps())
+		for len(ops) < ts.NumOps() {
+			k := rng.Intn(nTxn)
+			if cursors[k] == txns[k].Len() {
+				continue
+			}
+			ops = append(ops, txns[k].Op(cursors[k]))
+			cursors[k]++
+		}
+		s := core.MustSchedule(ts, ops)
+		full := core.NewSpec(ts)
+		full.AllowAllPairs()
+		feasible := core.IsRelativelySerializable(s, full)
+		a := advisor.Advise(s, core.NewSpec(ts))
+		if a.Possible != feasible {
+			t.Fatalf("trial %d: advisor Possible=%v but fully-breakable verdict=%v\nschedule: %s",
+				trial, a.Possible, feasible, s)
+		}
+		if a.Possible && !core.IsRelativelySerializable(s, a.Spec) {
+			t.Fatalf("trial %d: repaired spec does not admit the schedule", trial)
+		}
+	}
+}
+
+func TestSuggestionString(t *testing.T) {
+	s := advisor.Suggestion{Txn: 1, Observer: 2, CutAfter: 3}
+	if s.String() != "split Atomicity(T1, T2) after op 3" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestAdviceLocallyMinimal(t *testing.T) {
+	// Removing any single remaining suggestion must break
+	// admissibility.
+	inst := paperfig.Figure1()
+	srs := inst.Schedules["Srs"]
+	abs := core.NewSpec(inst.Set)
+	a := advisor.Advise(srs, abs)
+	if !a.Possible || len(a.Suggestions) == 0 {
+		t.Fatalf("advice = %+v", a)
+	}
+	for drop := range a.Suggestions {
+		trial := core.NewSpec(inst.Set)
+		for j, g := range a.Suggestions {
+			if j == drop {
+				continue
+			}
+			if err := trial.CutAfter(g.Txn, g.Observer, g.CutAfter); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if core.IsRelativelySerializable(srs, trial) {
+			t.Errorf("suggestion %v is redundant", a.Suggestions[drop])
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package advisor_test
+
+import (
+	"fmt"
+
+	"relser/internal/advisor"
+	"relser/internal/core"
+)
+
+// ExampleAdvise repairs the classic lost-update rejection: the advisor
+// names the single unit split under which the interleaving becomes
+// relatively serializable — i.e. the precise atomicity the user is
+// being asked to give up.
+func ExampleAdvise() {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.R("x"), core.W("x")),
+	)
+	s, err := core.ParseSchedule(ts, "r1[x] r2[x] w1[x] w2[x]")
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	advice := advisor.Advise(s, core.NewSpec(ts))
+	fmt.Println("admissible now:", advice.AlreadyAdmissible)
+	for _, sug := range advice.Suggestions {
+		fmt.Println("suggest:", sug)
+	}
+	fmt.Println("repaired spec admits:", core.IsRelativelySerializable(s, advice.Spec))
+	// Output:
+	// admissible now: false
+	// suggest: split Atomicity(T2, T1) after op 0
+	// repaired spec admits: true
+}

@@ -1,0 +1,391 @@
+// Package chopping implements transaction chopping [SSV92] ("Simple
+// Rational Guidance for Chopping Up Transactions", Shasha, Simon,
+// Valduriez, SIGMOD 1992), the related-work technique §4 of the paper
+// contrasts with relative atomicity: a transaction is chopped into
+// pieces executed as independent transactions under strict two-phase
+// locking, and the chopping is *correct* when the SC-graph — conflict
+// (C) edges between pieces of different transactions plus sibling (S)
+// edges between pieces of the same transaction — contains no SC-cycle
+// (a cycle with at least one S edge and at least one C edge).
+//
+// The bridge to the paper: a correct chopping corresponds to a relative
+// atomicity specification in which every piece is an atomic unit
+// relative to every other transaction; ToSpec performs that
+// translation, which lets the rest of the module (RSG test, RSGT
+// scheduler) consume choppings directly.
+package chopping
+
+import (
+	"fmt"
+	"sort"
+
+	"relser/internal/core"
+	"relser/internal/graph"
+)
+
+// Piece identifies one piece of a chopped transaction.
+type Piece struct {
+	Txn core.TxnID
+	// Index is the 0-based piece number within the transaction.
+	Index int
+	// Start and End are the inclusive operation bounds of the piece.
+	Start, End int
+}
+
+// String renders "T2/1[2..3]".
+func (p Piece) String() string {
+	return fmt.Sprintf("T%d/%d[%d..%d]", int(p.Txn), p.Index, p.Start, p.End)
+}
+
+// Chopping is a partition of each transaction of a set into
+// consecutive pieces.
+type Chopping struct {
+	set    *core.TxnSet
+	pieces []Piece                // all pieces, grouped by transaction
+	byTxn  map[core.TxnID][]Piece // pieces of each transaction in order
+}
+
+// New builds a chopping from per-transaction piece lengths. A
+// transaction absent from lengths stays whole (one piece).
+func New(ts *core.TxnSet, lengths map[core.TxnID][]int) (*Chopping, error) {
+	c := &Chopping{set: ts, byTxn: make(map[core.TxnID][]Piece)}
+	for _, t := range ts.Txns() {
+		lens, ok := lengths[t.ID]
+		if !ok {
+			lens = []int{t.Len()}
+		}
+		start := 0
+		for idx, l := range lens {
+			if l <= 0 {
+				return nil, fmt.Errorf("chopping: T%d piece %d has non-positive length %d", t.ID, idx, l)
+			}
+			p := Piece{Txn: t.ID, Index: idx, Start: start, End: start + l - 1}
+			if p.End >= t.Len() {
+				return nil, fmt.Errorf("chopping: T%d pieces exceed its %d operations", t.ID, t.Len())
+			}
+			c.pieces = append(c.pieces, p)
+			c.byTxn[t.ID] = append(c.byTxn[t.ID], p)
+			start += l
+		}
+		if start != t.Len() {
+			return nil, fmt.Errorf("chopping: T%d pieces cover %d of %d operations", t.ID, start, t.Len())
+		}
+	}
+	return c, nil
+}
+
+// Uniform chops every transaction into pieces of at most k operations.
+func Uniform(ts *core.TxnSet, k int) (*Chopping, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("chopping: piece size must be positive, got %d", k)
+	}
+	lengths := make(map[core.TxnID][]int)
+	for _, t := range ts.Txns() {
+		var lens []int
+		for remaining := t.Len(); remaining > 0; remaining -= k {
+			l := k
+			if remaining < k {
+				l = remaining
+			}
+			lens = append(lens, l)
+		}
+		lengths[t.ID] = lens
+	}
+	return New(ts, lengths)
+}
+
+// Pieces returns all pieces in (transaction, index) order.
+func (c *Chopping) Pieces() []Piece { return c.pieces }
+
+// PiecesOf returns the pieces of one transaction in order.
+func (c *Chopping) PiecesOf(id core.TxnID) []Piece { return c.byTxn[id] }
+
+// EdgeKind distinguishes SC-graph edges.
+type EdgeKind uint8
+
+const (
+	// SEdge links consecutive pieces of one transaction (sibling).
+	SEdge EdgeKind = 1 << iota
+	// CEdge links pieces of different transactions with conflicting
+	// operations.
+	CEdge
+)
+
+// String renders "S", "C" or "S,C".
+func (k EdgeKind) String() string {
+	switch k {
+	case SEdge:
+		return "S"
+	case CEdge:
+		return "C"
+	case SEdge | CEdge:
+		return "S,C"
+	default:
+		return "none"
+	}
+}
+
+// SCGraph is the undirected chopping graph: vertices are pieces; edges
+// carry S and/or C kinds.
+type SCGraph struct {
+	chopping *Chopping
+	kind     map[[2]int]EdgeKind // key: ordered (min, max) piece indices
+	adj      [][]int
+}
+
+// BuildSCGraph constructs the SC-graph of a chopping.
+func BuildSCGraph(c *Chopping) *SCGraph {
+	g := &SCGraph{chopping: c, kind: make(map[[2]int]EdgeKind), adj: make([][]int, len(c.pieces))}
+	indexOf := make(map[[2]int]int, len(c.pieces)) // (txn, pieceIdx) -> dense index
+	for i, p := range c.pieces {
+		indexOf[[2]int{int(p.Txn), p.Index}] = i
+	}
+	addEdge := func(a, b int, kind EdgeKind) {
+		if a == b {
+			return
+		}
+		key := [2]int{a, b}
+		if a > b {
+			key = [2]int{b, a}
+		}
+		if g.kind[key] == 0 {
+			g.adj[a] = append(g.adj[a], b)
+			g.adj[b] = append(g.adj[b], a)
+		}
+		g.kind[key] |= kind
+	}
+	// S edges between all piece pairs of one transaction ([SSV92]
+	// connects siblings pairwise; consecutive suffices for cycles, but
+	// we keep the definition literal).
+	for _, t := range c.set.Txns() {
+		ps := c.byTxn[t.ID]
+		for i := 0; i < len(ps); i++ {
+			for j := i + 1; j < len(ps); j++ {
+				addEdge(indexOf[[2]int{int(t.ID), i}], indexOf[[2]int{int(t.ID), j}], SEdge)
+			}
+		}
+	}
+	// C edges between conflicting pieces of different transactions.
+	for ai, a := range c.pieces {
+		ta := c.set.Txn(a.Txn)
+		for bi := ai + 1; bi < len(c.pieces); bi++ {
+			b := c.pieces[bi]
+			if b.Txn == a.Txn {
+				continue
+			}
+			tb := c.set.Txn(b.Txn)
+			conflict := false
+			for sa := a.Start; sa <= a.End && !conflict; sa++ {
+				for sb := b.Start; sb <= b.End; sb++ {
+					if ta.Op(sa).ConflictsWith(tb.Op(sb)) {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				addEdge(ai, bi, CEdge)
+			}
+		}
+	}
+	for i := range g.adj {
+		sort.Ints(g.adj[i])
+	}
+	return g
+}
+
+// EdgeKindOf returns the kinds of the edge between two pieces (0 if
+// absent). Order does not matter.
+func (g *SCGraph) EdgeKindOf(a, b Piece) EdgeKind {
+	ai, bi := g.pieceIndex(a), g.pieceIndex(b)
+	key := [2]int{ai, bi}
+	if ai > bi {
+		key = [2]int{bi, ai}
+	}
+	return g.kind[key]
+}
+
+func (g *SCGraph) pieceIndex(p Piece) int {
+	for i, q := range g.chopping.pieces {
+		if q.Txn == p.Txn && q.Index == p.Index {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("chopping: unknown piece %v", p))
+}
+
+// NumEdges returns the number of distinct edges.
+func (g *SCGraph) NumEdges() int { return len(g.kind) }
+
+// OffendingComponent returns the pieces of one biconnected component
+// of the SC-graph that contains both an S edge and a C edge, or nil if
+// none exists — in which case the chopping is correct [SSV92].
+//
+// Two edges lie on a common simple cycle iff they belong to the same
+// biconnected component, so an SC-cycle (a simple cycle with at least
+// one S and at least one C edge) exists exactly when some biconnected
+// component mixes the two kinds.
+func (g *SCGraph) OffendingComponent() []Piece {
+	n := len(g.chopping.pieces)
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	type edge struct{ u, v int }
+	var (
+		stack   []edge
+		counter int
+		found   []Piece
+	)
+	edgeKey := func(u, v int) [2]int {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int{u, v}
+	}
+	// checkComponent inspects the edges of one biconnected component.
+	checkComponent := func(edges []edge) {
+		if found != nil {
+			return
+		}
+		var hasS, hasC bool
+		members := map[int]bool{}
+		for _, e := range edges {
+			kind := g.kind[edgeKey(e.u, e.v)]
+			if kind&SEdge != 0 {
+				hasS = true
+			}
+			if kind&CEdge != 0 {
+				hasC = true
+			}
+			members[e.u] = true
+			members[e.v] = true
+		}
+		if hasS && hasC {
+			idxs := make([]int, 0, len(members))
+			for m := range members {
+				idxs = append(idxs, m)
+			}
+			sort.Ints(idxs)
+			for _, m := range idxs {
+				found = append(found, g.chopping.pieces[m])
+			}
+		}
+	}
+	type frame struct {
+		u, parent, i int
+	}
+	for root := 0; root < n && found == nil; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		callStack := []frame{{u: root, parent: -1}}
+		disc[root], low[root] = counter, counter
+		counter++
+		for len(callStack) > 0 && found == nil {
+			f := &callStack[len(callStack)-1]
+			if f.i < len(g.adj[f.u]) {
+				v := g.adj[f.u][f.i]
+				f.i++
+				if v == f.parent {
+					continue
+				}
+				if disc[v] == -1 {
+					stack = append(stack, edge{f.u, v})
+					disc[v], low[v] = counter, counter
+					counter++
+					callStack = append(callStack, frame{u: v, parent: f.u})
+				} else if disc[v] < disc[f.u] {
+					stack = append(stack, edge{f.u, v})
+					if disc[v] < low[f.u] {
+						low[f.u] = disc[v]
+					}
+				}
+			} else {
+				callStack = callStack[:len(callStack)-1]
+				if len(callStack) == 0 {
+					continue
+				}
+				p := &callStack[len(callStack)-1]
+				if low[f.u] < low[p.u] {
+					low[p.u] = low[f.u]
+				}
+				if low[f.u] >= disc[p.u] {
+					// p.u is an articulation point (or root): pop the
+					// component's edges.
+					var comp []edge
+					for len(stack) > 0 {
+						e := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						comp = append(comp, e)
+						if e.u == p.u && e.v == f.u {
+							break
+						}
+					}
+					checkComponent(comp)
+				}
+			}
+		}
+		stack = stack[:0]
+	}
+	return found
+}
+
+// Correct reports whether the chopping is correct: no SC-cycle, so
+// executing each piece as its own transaction under strict 2PL
+// preserves serializability of the original transactions [SSV92].
+func (g *SCGraph) Correct() bool { return g.OffendingComponent() == nil }
+
+// ToSpec translates the chopping into a relative atomicity
+// specification: each piece of Ti is an atomic unit of Ti relative to
+// every other transaction. For a correct chopping, schedules in which
+// pieces execute indivisibly are relatively atomic under this
+// specification — the §4 bridge between [SSV92] and the paper.
+func (c *Chopping) ToSpec() (*core.Spec, error) {
+	sp := core.NewSpec(c.set)
+	for _, t := range c.set.Txns() {
+		lens := make([]int, 0, len(c.byTxn[t.ID]))
+		for _, p := range c.byTxn[t.ID] {
+			lens = append(lens, p.End-p.Start+1)
+		}
+		for _, other := range c.set.Txns() {
+			if other.ID == t.ID {
+				continue
+			}
+			if err := sp.SetUnits(t.ID, other.ID, lens...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return sp, nil
+}
+
+// Dot renders the SC-graph in Graphviz DOT (S edges dashed, C edges
+// solid).
+func (g *SCGraph) Dot(name string) string {
+	var d graph.DotGraph
+	d.Name = name
+	for i, p := range g.chopping.pieces {
+		d.AddNode(i, p.String(), nil)
+	}
+	keys := make([][2]int, 0, len(g.kind))
+	for key := range g.kind {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		kind := g.kind[key]
+		style := "solid"
+		if kind == SEdge {
+			style = "dashed"
+		}
+		d.AddEdge(key[0], key[1], kind.String(), map[string]string{"style": style, "dir": "none"})
+	}
+	return d.String()
+}

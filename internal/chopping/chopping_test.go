@@ -1,0 +1,264 @@
+package chopping_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/chopping"
+	"relser/internal/core"
+	"relser/internal/enumerate"
+)
+
+// ssv92Correct builds the classic correct-chopping example: T1 updates
+// x then y and is chopped between them; T2 touches only x, T3 only y.
+func ssv92Correct(t *testing.T) (*core.TxnSet, *chopping.Chopping) {
+	t.Helper()
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x"), core.R("y"), core.W("y")),
+		core.T(2, core.R("x"), core.W("x")),
+		core.T(3, core.R("y"), core.W("y")),
+	)
+	c, err := chopping.New(ts, map[core.TxnID][]int{1: {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, c
+}
+
+func TestChoppingConstruction(t *testing.T) {
+	ts, c := ssv92Correct(t)
+	if len(c.Pieces()) != 4 {
+		t.Fatalf("pieces = %v", c.Pieces())
+	}
+	p1 := c.PiecesOf(1)
+	if len(p1) != 2 || p1[0].Start != 0 || p1[0].End != 1 || p1[1].Start != 2 || p1[1].End != 3 {
+		t.Errorf("T1 pieces = %v", p1)
+	}
+	// Unchopped transactions stay whole.
+	if ps := c.PiecesOf(2); len(ps) != 1 || ps[0].End != 1 {
+		t.Errorf("T2 pieces = %v", ps)
+	}
+	if got := p1[0].String(); got != "T1/0[0..1]" {
+		t.Errorf("Piece.String = %q", got)
+	}
+	_ = ts
+}
+
+func TestChoppingValidation(t *testing.T) {
+	ts, _ := ssv92Correct(t)
+	cases := []map[core.TxnID][]int{
+		{1: {2, 3}},    // too long
+		{1: {2}},       // too short
+		{1: {0, 4}},    // non-positive
+		{1: {4, 1}},    // exceeds then covered
+		{2: {1, 1, 1}}, // exceeds T2
+	}
+	for i, lens := range cases {
+		if _, err := chopping.New(ts, lens); err == nil {
+			t.Errorf("case %d: invalid lengths accepted", i)
+		}
+	}
+}
+
+func TestUniformChopping(t *testing.T) {
+	ts, _ := ssv92Correct(t)
+	c, err := chopping.Uniform(ts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := c.PiecesOf(1)
+	if len(p1) != 2 || p1[0].End != 2 || p1[1].End != 3 {
+		t.Errorf("uniform(3) T1 pieces = %v", p1)
+	}
+	if _, err := chopping.Uniform(ts, 0); err == nil {
+		t.Error("piece size 0 accepted")
+	}
+}
+
+func TestSCGraphCorrectChopping(t *testing.T) {
+	_, c := ssv92Correct(t)
+	g := chopping.BuildSCGraph(c)
+	// Edges: S(T1/0, T1/1), C(T1/0, T2), C(T1/1, T3).
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	p1 := c.PiecesOf(1)
+	if k := g.EdgeKindOf(p1[0], p1[1]); k != chopping.SEdge {
+		t.Errorf("sibling edge kind = %v", k)
+	}
+	if k := g.EdgeKindOf(p1[0], c.PiecesOf(2)[0]); k != chopping.CEdge {
+		t.Errorf("conflict edge kind = %v", k)
+	}
+	if !g.Correct() {
+		t.Errorf("SSV92's canonical example must be a correct chopping; offending: %v", g.OffendingComponent())
+	}
+}
+
+func TestSCGraphIncorrectChopping(t *testing.T) {
+	// T2 now reads both x and y: the triangle S(T1/0,T1/1),
+	// C(T1/0,T2), C(T1/1,T2) is an SC-cycle.
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x"), core.R("y"), core.W("y")),
+		core.T(2, core.W("x"), core.W("y")),
+	)
+	c, err := chopping.New(ts, map[core.TxnID][]int{1: {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := chopping.BuildSCGraph(c)
+	if g.Correct() {
+		t.Fatal("chopping must be incorrect (T2 spans both pieces)")
+	}
+	off := g.OffendingComponent()
+	if len(off) < 3 {
+		t.Fatalf("offending component = %v", off)
+	}
+}
+
+func TestSCCycleNeedsBothKinds(t *testing.T) {
+	// Pure C cycles are fine: three unchopped transactions in a
+	// conflict triangle have no S edges at all.
+	ts := core.MustTxnSet(
+		core.T(1, core.W("x"), core.W("y")),
+		core.T(2, core.W("y"), core.W("z")),
+		core.T(3, core.W("z"), core.W("x")),
+	)
+	c, err := chopping.New(ts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chopping.BuildSCGraph(c).Correct() {
+		t.Error("whole transactions are always a correct chopping")
+	}
+}
+
+func TestSCCycleThroughAlternatingEdges(t *testing.T) {
+	// Cycle alternating S and C twice: T1 and T2 both chopped, pieces
+	// conflicting crosswise: S(T1/0,T1/1), C(T1/1,T2/0)? — build
+	// T1 = w(a) w(b), T2 = w(b) w(a), both chopped into singles:
+	// C(T1/0, T2/1) on a, C(T1/1, T2/0) on b, S inside each: a 4-cycle
+	// with two S and two C edges. The contraction-by-C-components test
+	// would miss it; the biconnected-component test must not.
+	ts := core.MustTxnSet(
+		core.T(1, core.W("a"), core.W("b")),
+		core.T(2, core.W("b"), core.W("a")),
+	)
+	c, err := chopping.New(ts, map[core.TxnID][]int{1: {1, 1}, 2: {1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := chopping.BuildSCGraph(c)
+	if g.Correct() {
+		t.Fatal("crosswise chopped writers form an SC-cycle; chopping must be incorrect")
+	}
+}
+
+func TestToSpecBridge(t *testing.T) {
+	// The chopping-to-relative-atomicity bridge: under the generated
+	// spec, a schedule interleaving at piece boundaries is relatively
+	// atomic, and the census respects the hierarchy.
+	ts, c := ssv92Correct(t)
+	sp, err := c.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.NumUnits(1, 2) != 2 || sp.NumUnits(1, 3) != 2 || sp.NumUnits(2, 1) != 1 {
+		t.Fatalf("spec units wrong: %s", sp)
+	}
+	// T2 runs between T1's pieces: relatively atomic under the spec.
+	s, err := core.ParseSchedule(ts,
+		"r1[x] w1[x] r2[x] w2[x] r1[y] w1[y] r3[y] w3[y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, v := core.IsRelativelyAtomic(s, sp); !ok {
+		t.Errorf("piece-boundary interleaving should be relatively atomic: %v", v)
+	}
+	// And for a correct chopping, such a schedule is also conflict
+	// serializable — the [SSV92] guarantee.
+	if !core.IsConflictSerializable(s) {
+		t.Error("correct chopping executions must be conflict serializable")
+	}
+}
+
+func TestCorrectChoppingSchedulesSerializable(t *testing.T) {
+	// Exhaustively: for the correct chopping, every schedule that is
+	// relatively atomic under the chopping spec (pieces indivisible)
+	// must be conflict serializable. This is the [SSV92] theorem
+	// checked through the paper's machinery.
+	ts, c := ssv92Correct(t)
+	sp, err := c.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	enumerate.Schedules(ts, func(s *core.Schedule) bool {
+		if ok, _ := core.IsRelativelyAtomic(s, sp); !ok {
+			return true
+		}
+		checked++
+		if !core.IsConflictSerializable(s) {
+			t.Errorf("piece-atomic schedule not serializable: %s", s)
+			return false
+		}
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no piece-atomic schedules enumerated")
+	}
+	t.Logf("checked %d piece-atomic schedules", checked)
+}
+
+func TestIncorrectChoppingAdmitsNonSerializable(t *testing.T) {
+	// Conversely, the incorrect chopping admits a piece-atomic schedule
+	// that is NOT conflict serializable — the anomaly SC-cycles warn
+	// about.
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x"), core.R("y"), core.W("y")),
+		core.T(2, core.W("x"), core.W("y")),
+	)
+	c, err := chopping.New(ts, map[core.TxnID][]int{1: {2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := c.ToSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	enumerate.Schedules(ts, func(s *core.Schedule) bool {
+		if ok, _ := core.IsRelativelyAtomic(s, sp); !ok {
+			return true
+		}
+		if !core.IsConflictSerializable(s) {
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		t.Error("incorrect chopping should admit a non-serializable piece-atomic schedule")
+	}
+}
+
+func TestSCGraphDot(t *testing.T) {
+	_, c := ssv92Correct(t)
+	dot := chopping.BuildSCGraph(c).Dot("sc")
+	for _, want := range []string{`digraph "sc"`, `label="T1/0[0..1]"`, `label="S"`, `label="C"`, `style="dashed"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	if chopping.SEdge.String() != "S" || chopping.CEdge.String() != "C" {
+		t.Error("kind strings")
+	}
+	if (chopping.SEdge | chopping.CEdge).String() != "S,C" {
+		t.Error("combined kind string")
+	}
+	if chopping.EdgeKind(0).String() != "none" {
+		t.Error("zero kind string")
+	}
+}

@@ -1,0 +1,221 @@
+// Package consistent implements the comparator class of Farrag and
+// Özsu [FÖ89] that the paper improves on: a schedule is *relatively
+// consistent* if it is conflict equivalent to some relatively atomic
+// schedule (the paper's Definition 1 schedules, Farrag and Özsu's
+// "correct" schedules).
+//
+// Recognizing this class is NP-complete [KB92], and the package makes
+// the exponent concrete: the exact decision procedure below searches
+// the linear extensions of the schedule's conflict/program-order
+// partial order for one that is relatively atomic, memoizing failed
+// frontier states. The search is exact; on adversarial instances (many
+// operations without dependencies astride atomic units — precisely the
+// ambiguity §2 of the paper describes) it exhibits the exponential
+// behaviour that motivates the paper's polynomial RSG test, which
+// experiment E7 measures.
+package consistent
+
+import (
+	"errors"
+	"fmt"
+
+	"relser/internal/core"
+)
+
+// ErrBudget is returned when the search exceeds the configured state
+// budget before reaching a decision.
+var ErrBudget = errors.New("consistent: state budget exhausted")
+
+// Options configures the search.
+type Options struct {
+	// MaxStates bounds the number of distinct frontier states explored;
+	// zero means unbounded. When the bound is hit the search returns
+	// ErrBudget rather than an answer.
+	MaxStates int
+}
+
+// Result reports the outcome of a relatively-consistent decision.
+type Result struct {
+	// Consistent reports membership: a conflict-equivalent relatively
+	// atomic schedule exists.
+	Consistent bool
+	// Witness is such a schedule when Consistent, nil otherwise.
+	Witness *core.Schedule
+	// StatesExplored counts distinct frontier states visited; it is the
+	// cost measure experiment E7 reports alongside wall time.
+	StatesExplored int
+}
+
+// IsRelativelyConsistent decides membership with no state budget.
+func IsRelativelyConsistent(s *core.Schedule, sp *core.Spec) Result {
+	res, err := Decide(s, sp, Options{})
+	if err != nil {
+		panic(fmt.Sprintf("consistent: unbounded search returned %v", err)) // unreachable
+	}
+	return res
+}
+
+// Decide searches for a conflict-equivalent relatively atomic schedule
+// under the given options.
+//
+// The schedules conflict equivalent to S are exactly the linear
+// extensions of the partial order P = (program order ∪ the order S
+// imposes on conflicting pairs). The search therefore builds S's
+// constraint digraph once and enumerates its linear extensions
+// depth-first, pruning any placement that would put an operation of Tj
+// strictly inside an open atomic unit of some Ti relative to Tj, and
+// memoizing frontier states (the per-transaction next-operation
+// vector) that cannot be completed.
+func Decide(s *core.Schedule, sp *core.Spec, opts Options) (Result, error) {
+	ts := s.Set()
+	sr := &searcher{
+		ts:     ts,
+		sp:     sp,
+		txns:   ts.Txns(),
+		opts:   opts,
+		failed: make(map[string]bool),
+	}
+	sr.buildConstraints(s)
+	state := make([]int, len(sr.txns))
+	sr.placed = make([]core.Op, 0, ts.NumOps())
+	ok, err := sr.dfs(state, ts.NumOps())
+	res := Result{Consistent: ok, StatesExplored: sr.states}
+	if err != nil {
+		return res, err
+	}
+	if ok {
+		w, werr := core.NewSchedule(ts, sr.placed)
+		if werr != nil {
+			panic(fmt.Sprintf("consistent: invalid witness: %v", werr)) // unreachable
+		}
+		res.Witness = w
+	}
+	return res, nil
+}
+
+type searcher struct {
+	ts   *core.TxnSet
+	sp   *core.Spec
+	txns []*core.Transaction
+	opts Options
+
+	// preds[g] lists the global op indices that must precede global op
+	// g in every conflict-equivalent schedule (conflict predecessors;
+	// program order is implicit in per-transaction placement).
+	preds [][]int
+
+	failed map[string]bool
+	placed []core.Op
+	states int
+}
+
+func (sr *searcher) buildConstraints(s *core.Schedule) {
+	n := sr.ts.NumOps()
+	sr.preds = make([][]int, n)
+	// Conflicts are same-object; scan each object's access history.
+	history := make(map[string][]core.Op)
+	for pos := 0; pos < s.Len(); pos++ {
+		o := s.At(pos)
+		history[o.Object] = append(history[o.Object], o)
+	}
+	for _, ops := range history {
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if ops[i].ConflictsWith(ops[j]) {
+					g := sr.ts.GlobalIndexOf(ops[j])
+					sr.preds[g] = append(sr.preds[g], sr.ts.GlobalIndexOf(ops[i]))
+				}
+			}
+		}
+	}
+}
+
+func (sr *searcher) dfs(state []int, remaining int) (bool, error) {
+	if remaining == 0 {
+		return true, nil
+	}
+	key := stateKey(state)
+	if sr.failed[key] {
+		return false, nil
+	}
+	sr.states++
+	if sr.opts.MaxStates > 0 && sr.states > sr.opts.MaxStates {
+		return false, ErrBudget
+	}
+	for j, tj := range sr.txns {
+		c := state[j]
+		if c == tj.Len() {
+			continue
+		}
+		op := tj.Op(c)
+		if !sr.ready(op, state) || !sr.legal(tj.ID, state, j) {
+			continue
+		}
+		state[j]++
+		sr.placed = append(sr.placed, op)
+		ok, err := sr.dfs(state, remaining-1)
+		if ok || err != nil {
+			return ok, err
+		}
+		sr.placed = sr.placed[:len(sr.placed)-1]
+		state[j]--
+	}
+	sr.failed[key] = true
+	return false, nil
+}
+
+// ready reports whether all conflict predecessors of op are placed.
+func (sr *searcher) ready(op core.Op, state []int) bool {
+	for _, g := range sr.preds[sr.ts.GlobalIndexOf(op)] {
+		p := sr.ts.OpAt(g)
+		// p is placed iff its transaction's cursor has passed its seq.
+		if state[sr.txnIndex(p.Txn)] <= p.Seq {
+			return false
+		}
+	}
+	return true
+}
+
+// legal reports whether placing the next operation of Tj now keeps the
+// prefix relatively atomic: no other transaction Ti may be strictly
+// inside an atomic unit of Atomicity(Ti, Tj).
+func (sr *searcher) legal(j core.TxnID, state []int, jIdx int) bool {
+	for i, ti := range sr.txns {
+		if i == jIdx {
+			continue
+		}
+		c := state[i]
+		if c == 0 || c == ti.Len() {
+			continue
+		}
+		start, _ := sr.sp.UnitOf(ti.ID, c, j)
+		if start < c {
+			// Unit began (operations start..c-1 placed) and has pending
+			// operations (c is inside it): Tj would interleave.
+			return false
+		}
+	}
+	return true
+}
+
+func (sr *searcher) txnIndex(id core.TxnID) int {
+	// Transactions are sorted by ID in TxnSet; binary search is
+	// overkill for the small sets this searcher sees.
+	for i, t := range sr.txns {
+		if t.ID == id {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("consistent: unknown transaction T%d", id))
+}
+
+func stateKey(state []int) string {
+	// Fixed two bytes per cursor keeps keys unambiguous (cursors are
+	// bounded by transaction length, far below 65536).
+	buf := make([]byte, 2*len(state))
+	for i, c := range state {
+		buf[2*i] = byte(c >> 8)
+		buf[2*i+1] = byte(c)
+	}
+	return string(buf)
+}

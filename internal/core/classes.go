@@ -1,0 +1,121 @@
+package core
+
+import "fmt"
+
+// Violation explains why a schedule fails a relative atomicity class
+// test: operation Op of transaction Op.Txn is interleaved with the
+// atomic unit [UnitStart, UnitEnd] (sequence bounds) of transaction
+// Unit relative to Op.Txn. For relatively-serial violations, Dep is the
+// unit operation involved in a depends-on relationship with Op and
+// DepForward reports its direction (true when Dep-depends-on-Op would
+// read "Op's effects flow into the unit", i.e. Dep depends on Op).
+type Violation struct {
+	Op         Op
+	Unit       TxnID
+	UnitStart  int
+	UnitEnd    int
+	Dep        Op
+	HasDep     bool
+	DepForward bool
+}
+
+// Error renders the violation for diagnostics.
+func (v *Violation) Error() string {
+	if !v.HasDep {
+		return fmt.Sprintf("core: %v interleaves AtomicUnit(T%d[%d..%d], relative to T%d)",
+			v.Op, v.Unit, v.UnitStart, v.UnitEnd, v.Op.Txn)
+	}
+	dir := "depends on"
+	subject, object := v.Dep, v.Op
+	if !v.DepForward {
+		subject, object = v.Op, v.Dep
+	}
+	return fmt.Sprintf("core: %v interleaves AtomicUnit(T%d[%d..%d], relative to T%d) and %v %s %v",
+		v.Op, v.Unit, v.UnitStart, v.UnitEnd, v.Op.Txn, subject, dir, object)
+}
+
+// IsRelativelyAtomic implements Definition 1: S is relatively atomic if
+// for all transactions Ti and Tl, no operation of Ti is interleaved
+// with any AtomicUnit(k, Tl, Ti). This is Farrag and Özsu's class of
+// "correct" schedules. The second return value describes the first
+// violation found (in schedule order of the offending operation), or
+// nil.
+func IsRelativelyAtomic(s *Schedule, sp *Spec) (bool, *Violation) {
+	return checkInterleavings(s, sp, nil)
+}
+
+// IsRelativelySerial implements Definition 2: an operation may be
+// interleaved with an atomic unit provided no depends-on relationship
+// exists, in either direction, between the operation and any operation
+// of the unit. The depends-on relation is computed from s.
+func IsRelativelySerial(s *Schedule, sp *Spec) (bool, *Violation) {
+	return checkInterleavings(s, sp, ComputeDepends(s))
+}
+
+// IsRelativelySerialUnder is IsRelativelySerial with a caller-supplied
+// depends-on relation. Passing ComputeDirectDepends(s) yields the
+// Figure 2 ablation (direct conflicts only), which the paper shows is
+// unsound.
+func IsRelativelySerialUnder(s *Schedule, sp *Spec, d *Depends) (bool, *Violation) {
+	if d.Schedule() != s {
+		panic("core: depends-on relation computed from a different schedule")
+	}
+	return checkInterleavings(s, sp, d)
+}
+
+// checkInterleavings scans every (unit, operation) interleaving. With
+// d == nil any interleaving is a violation (Definition 1); otherwise an
+// interleaving violates only if a depends-on relationship exists in
+// either direction between the operation and some unit operation
+// (Definition 2).
+func checkInterleavings(s *Schedule, sp *Spec, d *Depends) (bool, *Violation) {
+	ts := s.Set()
+	var firstViol *Violation
+	record := func(v *Violation) {
+		if firstViol == nil || s.Pos(v.Op) < s.Pos(firstViol.Op) ||
+			(s.Pos(v.Op) == s.Pos(firstViol.Op) && v.Unit < firstViol.Unit) {
+			firstViol = v
+		}
+	}
+	for _, tl := range ts.Txns() {
+		for _, ti := range ts.Txns() {
+			if tl.ID == ti.ID {
+				continue
+			}
+			// Units of Tl relative to Ti; operations of Ti may not
+			// interleave them.
+			for k := 0; k < sp.NumUnits(tl.ID, ti.ID); k++ {
+				us, ue := sp.Unit(tl.ID, ti.ID, k)
+				// Unit operations appear in program order, so the unit's
+				// schedule span is [pos(first), pos(last)].
+				lo := s.Pos(tl.Op(us))
+				hi := s.Pos(tl.Op(ue))
+				if hi-lo <= 1 {
+					continue // nothing can be strictly inside
+				}
+				for _, oij := range ti.Ops {
+					p := s.Pos(oij)
+					if p <= lo || p >= hi {
+						continue
+					}
+					if d == nil {
+						record(&Violation{Op: oij, Unit: tl.ID, UnitStart: us, UnitEnd: ue})
+						continue
+					}
+					for m := us; m <= ue; m++ {
+						olm := tl.Op(m)
+						if d.DependsOn(oij, olm) {
+							record(&Violation{Op: oij, Unit: tl.ID, UnitStart: us, UnitEnd: ue, Dep: olm, HasDep: true, DepForward: false})
+							break
+						}
+						if d.DependsOn(olm, oij) {
+							record(&Violation{Op: oij, Unit: tl.ID, UnitStart: us, UnitEnd: ue, Dep: olm, HasDep: true, DepForward: true})
+							break
+						}
+					}
+				}
+			}
+		}
+	}
+	return firstViol == nil, firstViol
+}

@@ -1,0 +1,183 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+// TestE1Fig1Classes is experiment E1: the classification claims the
+// paper makes about the Figure 1 schedules.
+func TestE1Fig1Classes(t *testing.T) {
+	inst := paperfig.Figure1()
+	sp := inst.Spec
+	sra := inst.Schedules["Sra"]
+	srs := inst.Schedules["Srs"]
+	s2 := inst.Schedules["S2"]
+
+	// "even though Sra is not a serial schedule, it is correct with
+	// respect to the relative atomicity specifications".
+	if sra.IsSerial() {
+		t.Error("Sra should not be serial")
+	}
+	if ok, v := core.IsRelativelyAtomic(sra, sp); !ok {
+		t.Errorf("Sra must be relatively atomic; violation: %v", v)
+	}
+	if ok, v := core.IsRelativelySerial(sra, sp); !ok {
+		t.Errorf("every relatively atomic schedule is relatively serial; violation: %v", v)
+	}
+
+	// "Hence, Srs is relatively serial" — via dependency-free
+	// interleavings (r2[y] inside AtomicUnit(1, T1, T2), etc.).
+	if ok, v := core.IsRelativelySerial(srs, sp); !ok {
+		t.Errorf("Srs must be relatively serial; violation: %v", v)
+	}
+	if ok, _ := core.IsRelativelyAtomic(srs, sp); ok {
+		t.Error("Srs interleaves r2[y] into AtomicUnit(1, T1, T2); not relatively atomic")
+	}
+
+	// "S2 ... is not relatively serial since w1[x] is interleaved with
+	// AtomicUnit(2, T2, T1) and r2[x] depends on w1[x]."
+	ok, v := core.IsRelativelySerial(s2, sp)
+	if ok {
+		t.Fatal("S2 must not be relatively serial")
+	}
+	if v == nil {
+		t.Fatal("expected a violation explanation")
+	}
+	// The violation the paper names: w1[x] inside T2's unit [w2y r2x].
+	if v.Op.String() != "w1[x]" || v.Unit != 2 {
+		t.Errorf("violation = %v; paper names w1[x] interleaving AtomicUnit(2, T2, T1)", v)
+	}
+	if !v.HasDep {
+		t.Error("violation should carry the depends-on witness")
+	}
+
+	// "However, S2 is relatively serializable since it is conflict
+	// equivalent to the relatively serial schedule Srs."
+	if !core.IsRelativelySerializable(s2, sp) {
+		t.Error("S2 must be relatively serializable (Theorem 1)")
+	}
+}
+
+// TestE2Fig2Classes is experiment E2: Figure 2's schedule S1 and the
+// direct-conflicts ablation.
+func TestE2Fig2Classes(t *testing.T) {
+	inst := paperfig.Figure2()
+	sp := inst.Spec
+	s1 := inst.Schedules["S1"]
+
+	// "S1 is not a correct schedule" (not relatively serial): w2[y]
+	// sits inside [w1x r1z] and r1[z] transitively depends on it.
+	ok, v := core.IsRelativelySerial(s1, sp)
+	if ok {
+		t.Fatal("S1 must not be relatively serial under the transitive depends-on relation")
+	}
+	if v.Op.String() != "w2[y]" || v.Unit != 1 {
+		t.Errorf("violation = %v; expected w2[y] interleaving T1's unit", v)
+	}
+
+	// "If the depends on relation is based only on direct conflicts
+	// then the schedule S1 will be considered as a correct schedule."
+	direct := core.ComputeDirectDepends(s1)
+	if ok, v := core.IsRelativelySerialUnder(s1, sp, direct); !ok {
+		t.Errorf("ablation: direct-conflict relation must (unsoundly) accept S1; violation: %v", v)
+	}
+
+	// Not relatively atomic either (the same interleaving).
+	if ok, _ := core.IsRelativelyAtomic(s1, sp); ok {
+		t.Error("S1 interleaves T1's unit; not relatively atomic")
+	}
+
+	// S1 is conflict equivalent to the serial schedule T2 T3 T1, so it
+	// is conflict serializable and relatively serializable; the figure's
+	// point concerns Definition 2, not the graph test.
+	if !core.IsConflictSerializable(s1) {
+		t.Error("S1 is conflict equivalent to T2 T3 T1")
+	}
+	if !core.IsRelativelySerializable(s1, sp) {
+		t.Error("S1 is relatively serializable (conflict equivalent to a serial schedule)")
+	}
+}
+
+func TestSerialSchedulesAreRelativelyAtomic(t *testing.T) {
+	// Every serial schedule trivially satisfies Definition 1 under any
+	// specification: no operation interleaves anything.
+	for _, named := range paperfig.All() {
+		ts := named.Instance.Set
+		s, err := core.SerialSchedule(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, v := core.IsRelativelyAtomic(s, named.Instance.Spec); !ok {
+			t.Errorf("%s: serial schedule not relatively atomic: %v", named.Name, v)
+		}
+		if ok, v := core.IsRelativelySerial(s, named.Instance.Spec); !ok {
+			t.Errorf("%s: serial schedule not relatively serial: %v", named.Name, v)
+		}
+	}
+}
+
+func TestRelativelyAtomicImpliesRelativelySerial(t *testing.T) {
+	// Definition 2 relaxes Definition 1, so RA ⊆ RS must hold on every
+	// fixture schedule.
+	for _, named := range paperfig.All() {
+		for _, name := range named.Instance.Names {
+			s := named.Instance.Schedules[name]
+			ra, _ := core.IsRelativelyAtomic(s, named.Instance.Spec)
+			rs, _ := core.IsRelativelySerial(s, named.Instance.Spec)
+			if ra && !rs {
+				t.Errorf("%s/%s: relatively atomic but not relatively serial", named.Name, name)
+			}
+		}
+	}
+}
+
+func TestViolationErrorText(t *testing.T) {
+	inst := paperfig.Figure2()
+	_, v := core.IsRelativelySerial(inst.Schedules["S1"], inst.Spec)
+	if v == nil {
+		t.Fatal("expected violation")
+	}
+	msg := v.Error()
+	if !strings.Contains(msg, "w2[y]") || !strings.Contains(msg, "depends on") {
+		t.Errorf("violation text uninformative: %s", msg)
+	}
+	_, v2 := core.IsRelativelyAtomic(inst.Schedules["S1"], inst.Spec)
+	if v2 == nil {
+		t.Fatal("expected atomicity violation")
+	}
+	if !strings.Contains(v2.Error(), "interleaves") {
+		t.Errorf("atomicity violation text uninformative: %s", v2.Error())
+	}
+}
+
+func TestIsRelativelySerialUnderPanicsOnForeignDepends(t *testing.T) {
+	inst := paperfig.Figure1()
+	other := core.ComputeDepends(inst.Schedules["Sra"])
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when depends-on comes from a different schedule")
+		}
+	}()
+	core.IsRelativelySerialUnder(inst.Schedules["Srs"], inst.Spec, other)
+}
+
+// TestFigure4RelativelySerial is half of experiment E4 (the other half,
+// non-membership in relatively consistent, lives in the consistent
+// package): the Figure 4 schedule S is relatively serial.
+func TestFigure4RelativelySerial(t *testing.T) {
+	inst := paperfig.Figure4()
+	s := inst.Schedules["S"]
+	if ok, v := core.IsRelativelySerial(s, inst.Spec); !ok {
+		t.Errorf("Figure 4's S must be relatively serial; violation: %v", v)
+	}
+	if ok, _ := core.IsRelativelyAtomic(s, inst.Spec); ok {
+		t.Error("Figure 4's S interleaves T1 into T3's unit; not relatively atomic")
+	}
+	if !core.IsRelativelySerializable(s, inst.Spec) {
+		t.Error("relatively serial implies relatively serializable (Lemma 2)")
+	}
+}

@@ -1,0 +1,25 @@
+package core_test
+
+import (
+	"os"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+// TestGoldenFigure3DOT locks the DOT rendering of Figure 3's RSG to a
+// golden file: the graph is the paper's central illustration and its
+// rendering must stay stable (labels, styles, deterministic order).
+// Regenerate with: go run ./cmd/rscheck -fig 3 -dot S2 > internal/core/testdata/fig3_rsg.dot
+func TestGoldenFigure3DOT(t *testing.T) {
+	inst := paperfig.Figure3()
+	got := core.BuildRSG(inst.Schedules["S2"], inst.Spec).Dot("S2")
+	want, err := os.ReadFile("testdata/fig3_rsg.dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("DOT rendering drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

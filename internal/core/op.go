@@ -1,0 +1,85 @@
+// Package core implements the transaction model and the theory of
+// "Relative Serializability: An Approach for Relaxing the Atomicity of
+// Transactions" (Agrawal, Bruno, El Abbadi, Krishnaswamy; PODS 1994).
+//
+// The package provides:
+//
+//   - the read/write transaction model of §2 (operations, transactions,
+//     schedules, conflicts, conflict equivalence);
+//   - relative atomicity specifications: per ordered transaction pair
+//     (Ti, Tj), a partition of Ti's operations into atomic units
+//     (Atomicity(Ti, Tj));
+//   - the depends-on relation (transitive closure of program order and
+//     conflicts restricted to schedule precedence);
+//   - the schedule classes of the paper: serial, relatively atomic
+//     (Definition 1), relatively serial (Definition 2), conflict
+//     serializable, and relatively serializable;
+//   - the relative serialization graph RSG(S) of Definition 3, whose
+//     acyclicity is a necessary and sufficient condition for relative
+//     serializability (Theorem 1), together with a constructive witness
+//     extraction via topological sorting;
+//   - parsers and formatters for the paper's r1[x]/w2[y] notation.
+package core
+
+import "fmt"
+
+// TxnID identifies a transaction. IDs are positive and follow the
+// paper's subscripts: transaction T3's operations print as r3[x].
+type TxnID int
+
+// OpKind distinguishes read and write operations.
+type OpKind uint8
+
+const (
+	// ReadOp is an atomic read of one object.
+	ReadOp OpKind = iota
+	// WriteOp is an atomic write of one object.
+	WriteOp
+)
+
+// String returns "r" or "w".
+func (k OpKind) String() string {
+	switch k {
+	case ReadOp:
+		return "r"
+	case WriteOp:
+		return "w"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Op is one read or write operation issued by a transaction. Seq is
+// the operation's 0-based position within its transaction's program;
+// together (Txn, Seq) identify an operation instance uniquely within a
+// TxnSet.
+type Op struct {
+	Txn    TxnID
+	Seq    int
+	Kind   OpKind
+	Object string
+}
+
+// String renders the paper's notation, e.g. "r1[x]" or "w3[z]".
+func (o Op) String() string {
+	return fmt.Sprintf("%s%d[%s]", o.Kind, int(o.Txn), o.Object)
+}
+
+// ConflictsWith reports whether o and p conflict: they belong to
+// different transactions, access the same object, and at least one of
+// them is a write (§2).
+func (o Op) ConflictsWith(p Op) bool {
+	return o.Txn != p.Txn && o.Object == p.Object && (o.Kind == WriteOp || p.Kind == WriteOp)
+}
+
+// SameOp reports whether o and p denote the same operation instance.
+func (o Op) SameOp(p Op) bool { return o.Txn == p.Txn && o.Seq == p.Seq }
+
+// R constructs a read operation on object; Txn and Seq are assigned
+// when the operation is placed into a transaction via T or
+// Transaction builders.
+func R(object string) Op { return Op{Kind: ReadOp, Object: object} }
+
+// W constructs a write operation on object, to be placed into a
+// transaction via T.
+func W(object string) Op { return Op{Kind: WriteOp, Object: object} }

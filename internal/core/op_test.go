@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"testing"
+
+	"relser/internal/core"
+)
+
+func TestOpString(t *testing.T) {
+	tests := []struct {
+		op   core.Op
+		want string
+	}{
+		{core.Op{Txn: 1, Kind: core.ReadOp, Object: "x"}, "r1[x]"},
+		{core.Op{Txn: 12, Kind: core.WriteOp, Object: "acct_7"}, "w12[acct_7]"},
+	}
+	for _, tc := range tests {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if core.ReadOp.String() != "r" || core.WriteOp.String() != "w" {
+		t.Error("OpKind rendering wrong")
+	}
+	if got := core.OpKind(9).String(); got != "OpKind(9)" {
+		t.Errorf("invalid kind renders %q", got)
+	}
+}
+
+func TestConflictsWith(t *testing.T) {
+	r1x := core.Op{Txn: 1, Kind: core.ReadOp, Object: "x"}
+	w2x := core.Op{Txn: 2, Kind: core.WriteOp, Object: "x"}
+	r2x := core.Op{Txn: 2, Kind: core.ReadOp, Object: "x"}
+	w2y := core.Op{Txn: 2, Kind: core.WriteOp, Object: "y"}
+	w1x := core.Op{Txn: 1, Kind: core.WriteOp, Object: "x"}
+
+	if !r1x.ConflictsWith(w2x) || !w2x.ConflictsWith(r1x) {
+		t.Error("read-write on same object must conflict (symmetrically)")
+	}
+	if r1x.ConflictsWith(r2x) {
+		t.Error("read-read must not conflict")
+	}
+	if r1x.ConflictsWith(w2y) {
+		t.Error("different objects must not conflict")
+	}
+	if r1x.ConflictsWith(w1x) {
+		t.Error("operations of the same transaction never conflict")
+	}
+	if !w1x.ConflictsWith(w2x) {
+		t.Error("write-write on same object must conflict")
+	}
+}
+
+func TestSameOp(t *testing.T) {
+	a := core.Op{Txn: 1, Seq: 2, Kind: core.ReadOp, Object: "x"}
+	b := core.Op{Txn: 1, Seq: 2, Kind: core.ReadOp, Object: "x"}
+	c := core.Op{Txn: 1, Seq: 3, Kind: core.ReadOp, Object: "x"}
+	if !a.SameOp(b) || a.SameOp(c) {
+		t.Error("SameOp identity wrong")
+	}
+}
+
+func TestTBuilderAssignsIdentity(t *testing.T) {
+	tx := core.T(3, core.R("x"), core.W("y"))
+	if tx.ID != 3 || tx.Len() != 2 {
+		t.Fatalf("T built %v", tx)
+	}
+	if tx.Op(0) != (core.Op{Txn: 3, Seq: 0, Kind: core.ReadOp, Object: "x"}) {
+		t.Errorf("op 0 = %+v", tx.Op(0))
+	}
+	if tx.Op(1) != (core.Op{Txn: 3, Seq: 1, Kind: core.WriteOp, Object: "y"}) {
+		t.Errorf("op 1 = %+v", tx.Op(1))
+	}
+	if got := tx.String(); got != "r3[x] w3[y]" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTBuilderRejectsBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("T(0, ...) should panic")
+		}
+	}()
+	core.T(0, core.R("x"))
+}
+
+func TestReadWriteSets(t *testing.T) {
+	tx := core.T(1, core.R("b"), core.W("a"), core.R("a"), core.W("c"), core.W("a"))
+	rs := tx.ReadSet()
+	if len(rs) != 2 || rs[0] != "a" || rs[1] != "b" {
+		t.Errorf("ReadSet = %v", rs)
+	}
+	ws := tx.WriteSet()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "c" {
+		t.Errorf("WriteSet = %v", ws)
+	}
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParseOps parses a whitespace-separated sequence of operations in the
+// paper's notation, e.g. "r2[y] r1[x] w1[x]". Transaction subscripts
+// may be multi-digit; object names may contain letters, digits,
+// underscores and dots. Sequence numbers are left at zero — they are
+// resolved against a TxnSet when the operations are assembled into a
+// schedule.
+func ParseOps(text string) ([]Op, error) {
+	fields := strings.Fields(text)
+	ops := make([]Op, 0, len(fields))
+	for _, f := range fields {
+		o, err := ParseOp(f)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, o)
+	}
+	return ops, nil
+}
+
+// ParseOp parses a single operation token such as "r12[acct_7]".
+func ParseOp(tok string) (Op, error) {
+	orig := tok
+	if len(tok) < 4 {
+		return Op{}, fmt.Errorf("core: malformed operation %q", orig)
+	}
+	var kind OpKind
+	switch tok[0] {
+	case 'r', 'R':
+		kind = ReadOp
+	case 'w', 'W':
+		kind = WriteOp
+	default:
+		return Op{}, fmt.Errorf("core: operation %q must start with r or w", orig)
+	}
+	tok = tok[1:]
+	bracket := strings.IndexByte(tok, '[')
+	if bracket <= 0 || !strings.HasSuffix(tok, "]") {
+		return Op{}, fmt.Errorf("core: operation %q must have the form r<txn>[<object>]", orig)
+	}
+	id, err := strconv.Atoi(tok[:bracket])
+	if err != nil || id <= 0 {
+		return Op{}, fmt.Errorf("core: operation %q has invalid transaction id %q", orig, tok[:bracket])
+	}
+	obj := tok[bracket+1 : len(tok)-1]
+	if obj == "" {
+		return Op{}, fmt.Errorf("core: operation %q has empty object", orig)
+	}
+	for _, r := range obj {
+		if !isObjectRune(r) {
+			return Op{}, fmt.Errorf("core: operation %q has invalid object character %q", orig, r)
+		}
+	}
+	return Op{Txn: TxnID(id), Kind: kind, Object: obj}, nil
+}
+
+func isObjectRune(r rune) bool {
+	return r == '_' || r == '.' || r == '-' ||
+		(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+// ParseTxn parses a transaction body in anonymous notation, e.g.
+// "r[x] w[x] w[z] r[y]", assigning the given ID.
+func ParseTxn(id TxnID, text string) (*Transaction, error) {
+	fields := strings.Fields(text)
+	ops := make([]Op, 0, len(fields))
+	for _, f := range fields {
+		// Accept both "r[x]" and "r<id>[x]" tokens; in the latter case
+		// the subscript must match.
+		tok := f
+		if len(tok) >= 2 && tok[1] == '[' {
+			tok = tok[:1] + strconv.Itoa(int(id)) + tok[1:]
+		}
+		o, err := ParseOp(tok)
+		if err != nil {
+			return nil, err
+		}
+		if o.Txn != id {
+			return nil, fmt.Errorf("core: transaction T%d body contains operation of T%d: %q", id, o.Txn, f)
+		}
+		o.Txn = 0 // T() reassigns identity
+		ops = append(ops, o)
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("core: transaction T%d has no operations", id)
+	}
+	return T(id, ops...), nil
+}
+
+// ParseSchedule parses a schedule in paper notation against a
+// transaction set, validating completeness and program order.
+func ParseSchedule(ts *TxnSet, text string) (*Schedule, error) {
+	ops, err := ParseOps(text)
+	if err != nil {
+		return nil, err
+	}
+	return NewSchedule(ts, ops)
+}
+
+// Instance bundles a transaction set, a relative atomicity
+// specification and a collection of named schedules — everything one of
+// the paper's figures describes. Instances are parsed from a small
+// text format (see ParseInstance) and used by the rscheck tool and the
+// figure tests.
+type Instance struct {
+	Set       *TxnSet
+	Spec      *Spec
+	Schedules map[string]*Schedule
+	// Names holds schedule names in declaration order.
+	Names []string
+}
+
+// ParseInstance reads the instance text format:
+//
+//	# comment
+//	txn 1: r[x] w[x] w[z] r[y]
+//	txn 2: r[y] w[y] r[x]
+//	atomicity 1 2: [r[x] w[x]] [w[z] r[y]]
+//	allowall 2 1
+//	schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] r1[y]
+//
+// Directives:
+//
+//   - "txn <id>: <ops>" declares a transaction (anonymous op notation).
+//   - "atomicity <i> <j>: [unit] [unit] ..." sets Atomicity(Ti, Tj);
+//     each bracketed group is one atomic unit and the concatenation
+//     must equal Ti's program. Pairs not mentioned default to absolute
+//     atomicity.
+//   - "allowall <i> <j>" makes every operation of Ti its own unit
+//     relative to Tj.
+//   - "schedule <name>: <ops>" declares a named schedule in subscripted
+//     notation.
+//
+// All txn directives must precede atomicity/allowall/schedule
+// directives.
+func ParseInstance(r io.Reader) (*Instance, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var (
+		txns   []*Transaction
+		inst   *Instance
+		lineNo int
+	)
+	ensureSet := func() error {
+		if inst != nil {
+			return nil
+		}
+		ts, err := NewTxnSet(txns...)
+		if err != nil {
+			return err
+		}
+		inst = &Instance{Set: ts, Spec: NewSpec(ts), Schedules: make(map[string]*Schedule)}
+		return nil
+	}
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		directive, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch directive {
+		case "txn":
+			if inst != nil {
+				return nil, fmt.Errorf("core: line %d: txn directive after spec/schedule directives", lineNo)
+			}
+			idText, body, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: txn directive needs 'txn <id>: <ops>'", lineNo)
+			}
+			id, err := strconv.Atoi(strings.TrimSpace(idText))
+			if err != nil || id <= 0 {
+				return nil, fmt.Errorf("core: line %d: invalid transaction id %q", lineNo, idText)
+			}
+			t, err := ParseTxn(TxnID(id), body)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			txns = append(txns, t)
+		case "atomicity":
+			if err := ensureSet(); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			if err := parseAtomicityDirective(inst, rest, lineNo); err != nil {
+				return nil, err
+			}
+		case "allowall":
+			if err := ensureSet(); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("core: line %d: allowall needs 'allowall <i> <j>'", lineNo)
+			}
+			i, err1 := strconv.Atoi(fields[0])
+			j, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("core: line %d: invalid allowall ids", lineNo)
+			}
+			if err := inst.Spec.AllowAll(TxnID(i), TxnID(j)); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+		case "schedule":
+			if err := ensureSet(); err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			name, body, ok := strings.Cut(rest, ":")
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: schedule directive needs 'schedule <name>: <ops>'", lineNo)
+			}
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, fmt.Errorf("core: line %d: schedule needs a name", lineNo)
+			}
+			if _, dup := inst.Schedules[name]; dup {
+				return nil, fmt.Errorf("core: line %d: duplicate schedule %q", lineNo, name)
+			}
+			s, err := ParseSchedule(inst.Set, body)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			inst.Schedules[name] = s
+			inst.Names = append(inst.Names, name)
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", lineNo, directive)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	if err := ensureSet(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}
+
+// parseAtomicityDirective handles "atomicity <i> <j>: [u1] [u2] ...".
+func parseAtomicityDirective(inst *Instance, rest string, lineNo int) error {
+	head, body, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("core: line %d: atomicity directive needs 'atomicity <i> <j>: [units]'", lineNo)
+	}
+	fields := strings.Fields(head)
+	if len(fields) != 2 {
+		return fmt.Errorf("core: line %d: atomicity directive needs two transaction ids", lineNo)
+	}
+	i, err1 := strconv.Atoi(fields[0])
+	j, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil {
+		return fmt.Errorf("core: line %d: invalid atomicity ids", lineNo)
+	}
+	units, err := parseBracketGroups(body)
+	if err != nil {
+		return fmt.Errorf("core: line %d: %v", lineNo, err)
+	}
+	t := inst.Set.Txn(TxnID(i))
+	if t == nil {
+		return fmt.Errorf("core: line %d: unknown transaction T%d", lineNo, i)
+	}
+	lens := make([]int, 0, len(units))
+	seq := 0
+	for u, unit := range units {
+		toks := strings.Fields(unit)
+		if len(toks) == 0 {
+			return fmt.Errorf("core: line %d: empty atomic unit %d", lineNo, u+1)
+		}
+		for _, tok := range toks {
+			if seq >= t.Len() {
+				return fmt.Errorf("core: line %d: atomicity units exceed T%d's %d operations", lineNo, i, t.Len())
+			}
+			want := t.Op(seq)
+			// Tokens may be anonymous ("r[x]") or subscripted ("r1[x]").
+			norm := tok
+			if len(norm) >= 2 && norm[1] == '[' {
+				norm = norm[:1] + strconv.Itoa(i) + norm[1:]
+			}
+			got, err := ParseOp(norm)
+			if err != nil {
+				return fmt.Errorf("core: line %d: %v", lineNo, err)
+			}
+			if got.Txn != TxnID(i) || got.Kind != want.Kind || got.Object != want.Object {
+				return fmt.Errorf("core: line %d: unit operation %q does not match T%d's program (expected %v)", lineNo, tok, i, want)
+			}
+			seq++
+		}
+		lens = append(lens, len(toks))
+	}
+	if seq != t.Len() {
+		return fmt.Errorf("core: line %d: atomicity units cover %d of T%d's %d operations", lineNo, seq, i, t.Len())
+	}
+	return inst.Spec.SetUnits(TxnID(i), TxnID(j), lens...)
+}
+
+// parseBracketGroups splits "[r[x] w[x]] [w[z]]" into
+// {"r[x] w[x]", "w[z]"}. Group brackets may enclose operation tokens
+// that themselves contain bracketed object names, so the split tracks
+// nesting depth rather than scanning for the first ']'.
+func parseBracketGroups(s string) ([]string, error) {
+	var groups []string
+	rest := strings.TrimSpace(s)
+	for rest != "" {
+		if rest[0] != '[' {
+			return nil, fmt.Errorf("core: expected '[' at %q", rest)
+		}
+		depth := 0
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+				if depth == 0 {
+					end = i
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("core: unterminated atomic unit in %q", s)
+		}
+		groups = append(groups, strings.TrimSpace(rest[1:end]))
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("core: no atomic units in %q", s)
+	}
+	return groups, nil
+}
+
+// FormatInstance renders an instance back into the text format that
+// ParseInstance accepts (round-trippable modulo comments and unit
+// brackets for absolute pairs).
+func FormatInstance(inst *Instance) string {
+	var sb strings.Builder
+	for _, t := range inst.Set.Txns() {
+		fmt.Fprintf(&sb, "txn %d:", int(t.ID))
+		for _, o := range t.Ops {
+			fmt.Fprintf(&sb, " %s[%s]", o.Kind, o.Object)
+		}
+		sb.WriteByte('\n')
+	}
+	for _, ti := range inst.Set.Txns() {
+		for _, tj := range inst.Set.Txns() {
+			if ti.ID == tj.ID || inst.Spec.NumUnits(ti.ID, tj.ID) == 1 {
+				continue
+			}
+			fmt.Fprintf(&sb, "atomicity %d %d: %s\n", int(ti.ID), int(tj.ID), inst.Spec.Atomicity(ti.ID, tj.ID))
+		}
+	}
+	names := inst.Names
+	if names == nil {
+		for name := range inst.Schedules {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+	}
+	for _, name := range names {
+		fmt.Fprintf(&sb, "schedule %s: %s\n", name, inst.Schedules[name])
+	}
+	return sb.String()
+}

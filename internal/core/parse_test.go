@@ -1,0 +1,204 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+func TestParseOp(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"r1[x]", "r1[x]", true},
+		{"w12[acct_7]", "w12[acct_7]", true},
+		{"R3[Z]", "r3[Z]", true},
+		{"W2[a.b-c]", "w2[a.b-c]", true},
+		{"x1[x]", "", false},
+		{"r[x]", "", false},
+		{"r0[x]", "", false},
+		{"r1[]", "", false},
+		{"r1[x", "", false},
+		{"r1[a b]", "", false},
+		{"r1", "", false},
+		{"", "", false},
+	}
+	for _, tc := range cases {
+		op, err := core.ParseOp(tc.in)
+		if tc.ok {
+			if err != nil {
+				t.Errorf("ParseOp(%q): %v", tc.in, err)
+			} else if op.String() != tc.want {
+				t.Errorf("ParseOp(%q) = %v, want %s", tc.in, op, tc.want)
+			}
+		} else if err == nil {
+			t.Errorf("ParseOp(%q) accepted, want error", tc.in)
+		}
+	}
+}
+
+func TestParseOpsAndScheduleRoundTrip(t *testing.T) {
+	inst := paperfig.Figure1()
+	for _, name := range inst.Names {
+		s := inst.Schedules[name]
+		parsed, err := core.ParseSchedule(inst.Set, s.String())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if parsed.String() != s.String() {
+			t.Errorf("%s: round trip changed schedule", name)
+		}
+	}
+}
+
+func TestParseTxn(t *testing.T) {
+	tx, err := core.ParseTxn(2, "r[y] w[y] r[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.String() != "r2[y] w2[y] r2[x]" {
+		t.Errorf("ParseTxn = %q", tx)
+	}
+	// Subscripted form accepted when it matches.
+	tx2, err := core.ParseTxn(2, "r2[y] w2[y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx2.Len() != 2 {
+		t.Error("subscripted parse wrong")
+	}
+	if _, err := core.ParseTxn(2, "r3[y]"); err == nil {
+		t.Error("mismatched subscript accepted")
+	}
+	if _, err := core.ParseTxn(2, ""); err == nil {
+		t.Error("empty transaction accepted")
+	}
+}
+
+const fig1Text = `
+# Figure 1 of the paper.
+txn 1: r[x] w[x] w[z] r[y]
+txn 2: r[y] w[y] r[x]
+txn 3: w[x] w[y] w[z]
+atomicity 1 2: [r[x] w[x]] [w[z] r[y]]
+atomicity 1 3: [r[x] w[x]] [w[z]] [r[y]]
+atomicity 2 1: [r[y]] [w[y] r[x]]
+atomicity 2 3: [r[y] w[y]] [r[x]]
+atomicity 3 1: [w[x] w[y]] [w[z]]
+atomicity 3 2: [w[x] w[y]] [w[z]]
+schedule Sra: r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]
+schedule Srs: r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]
+`
+
+func TestParseInstanceFigure1(t *testing.T) {
+	inst, err := core.ParseInstance(strings.NewReader(fig1Text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := paperfig.Figure1()
+	if inst.Set.String() != ref.Set.String() {
+		t.Errorf("parsed set:\n%s\nwant:\n%s", inst.Set, ref.Set)
+	}
+	if inst.Spec.String() != ref.Spec.String() {
+		t.Errorf("parsed spec:\n%s\nwant:\n%s", inst.Spec, ref.Spec)
+	}
+	for _, name := range []string{"Sra", "Srs"} {
+		if inst.Schedules[name].String() != ref.Schedules[name].String() {
+			t.Errorf("schedule %s mismatch", name)
+		}
+	}
+	if len(inst.Names) != 2 || inst.Names[0] != "Sra" {
+		t.Errorf("Names = %v", inst.Names)
+	}
+	// Semantics carried over: Sra is relatively atomic.
+	if ok, v := core.IsRelativelyAtomic(inst.Schedules["Sra"], inst.Spec); !ok {
+		t.Errorf("parsed Sra should be relatively atomic: %v", v)
+	}
+}
+
+func TestParseInstanceAllowAll(t *testing.T) {
+	text := `
+txn 1: r[a] r[b]
+txn 2: w[a]
+allowall 1 2
+schedule S: r1[a] w2[a] r1[b]
+`
+	inst, err := core.ParseInstance(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Spec.NumUnits(1, 2) != 2 {
+		t.Errorf("allowall should split T1 into 2 singleton units")
+	}
+	if ok, v := core.IsRelativelyAtomic(inst.Schedules["S"], inst.Spec); !ok {
+		t.Errorf("S should be relatively atomic under allowall: %v", v)
+	}
+}
+
+func TestParseInstanceErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"unknown directive", "frobnicate 1 2", "unknown directive"},
+		{"txn after schedule", "txn 1: r[x]\nschedule S: r1[x]\ntxn 2: w[y]", "txn directive after"},
+		{"bad txn id", "txn zero: r[x]", "invalid transaction id"},
+		{"missing colon", "txn 1 r[x]", "needs"},
+		{"bad atomicity ids", "txn 1: r[x] w[y]\natomicity one 2: [r[x] w[y]]", "invalid atomicity ids"},
+		{"unit mismatch", "txn 1: r[x] w[y]\ntxn 2: r[z]\natomicity 1 2: [r[x]] [r[y]]", "does not match"},
+		{"units short", "txn 1: r[x] w[y]\ntxn 2: r[z]\natomicity 1 2: [r[x]]", "cover 1"},
+		{"units long", "txn 1: r[x]\ntxn 2: r[z]\natomicity 1 2: [r[x] w[y]]", "exceed"},
+		{"unterminated unit", "txn 1: r[x]\ntxn 2: r[z]\natomicity 1 2: [r[x]", "unterminated"},
+		{"empty unit", "txn 1: r[x]\ntxn 2: r[z]\natomicity 1 2: [] [r[x]]", "empty atomic unit"},
+		{"unknown atomicity txn", "txn 1: r[x]\ntxn 2: r[z]\natomicity 7 1: [r[x]]", "unknown transaction"},
+		{"dup schedule", "txn 1: r[x]\nschedule S: r1[x]\nschedule S: r1[x]", "duplicate schedule"},
+		{"nameless schedule", "txn 1: r[x]\nschedule : r1[x]", "needs a name"},
+		{"bad schedule", "txn 1: r[x]\nschedule S: r1[x] r1[x]", "schedule has 2"},
+		{"allowall arity", "txn 1: r[x]\ntxn 2: r[y]\nallowall 1", "allowall needs"},
+		{"allowall ids", "txn 1: r[x]\ntxn 2: r[y]\nallowall a b", "invalid allowall ids"},
+		{"no transactions", "schedule S: r1[x]", "empty transaction set"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := core.ParseInstance(strings.NewReader(tc.text))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestFormatInstanceRoundTrip(t *testing.T) {
+	for _, named := range paperfig.All() {
+		text := core.FormatInstance(named.Instance)
+		back, err := core.ParseInstance(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", named.Name, err, text)
+		}
+		if back.Set.String() != named.Instance.Set.String() {
+			t.Errorf("%s: set round trip mismatch", named.Name)
+		}
+		if back.Spec.String() != named.Instance.Spec.String() {
+			t.Errorf("%s: spec round trip mismatch", named.Name)
+		}
+		for name, s := range named.Instance.Schedules {
+			if back.Schedules[name] == nil || back.Schedules[name].String() != s.String() {
+				t.Errorf("%s: schedule %s round trip mismatch", named.Name, name)
+			}
+		}
+	}
+}
+
+func TestParseInstanceComments(t *testing.T) {
+	text := "# only comments\n\n   \n# more\ntxn 1: r[x]  # trailing comment\n"
+	inst, err := core.ParseInstance(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Set.NumTxns() != 1 {
+		t.Errorf("NumTxns = %d", inst.Set.NumTxns())
+	}
+}

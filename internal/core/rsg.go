@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relser/internal/graph"
+)
+
+// ArcKind is a bitmask of the arc kinds of Definition 3. One vertex
+// pair may carry several kinds (the paper's Figure 3 labels edges
+// "D,F,B" and similar).
+type ArcKind uint8
+
+const (
+	// IArc connects consecutive operations of one transaction
+	// (internal arcs; program order).
+	IArc ArcKind = 1 << iota
+	// DArc connects oij -> okl (i ≠ k) when okl depends on oij
+	// (dependency arcs; these subsume conflicts).
+	DArc
+	// FArc is a push-forward arc: for each D-arc oij -> okl,
+	// PushForward(oij, Tk) -> okl.
+	FArc
+	// BArc is a pull-backward arc: for each D-arc okl -> oij,
+	// okl -> PullBackward(oij, Tk).
+	BArc
+)
+
+// String renders the kind set in the paper's figure notation, e.g.
+// "D,F,B".
+func (k ArcKind) String() string {
+	var parts []string
+	if k&IArc != 0 {
+		parts = append(parts, "I")
+	}
+	if k&DArc != 0 {
+		parts = append(parts, "D")
+	}
+	if k&FArc != 0 {
+		parts = append(parts, "F")
+	}
+	if k&BArc != 0 {
+		parts = append(parts, "B")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ",")
+}
+
+// RSG is the relative serialization graph of a schedule under a
+// relative atomicity specification (Definition 3). Vertices are the
+// operations of the transaction set, addressed by their TxnSet global
+// index; arcs carry a kind mask. Theorem 1: the schedule is relatively
+// serializable iff the graph is acyclic.
+type RSG struct {
+	s     *Schedule
+	sp    *Spec
+	dep   *Depends
+	g     *graph.Dense
+	kinds map[[2]int]ArcKind
+}
+
+// BuildRSG constructs RSG(S) for the schedule under the specification.
+// The depends-on relation is computed from the schedule (transitive, as
+// the paper requires).
+func BuildRSG(s *Schedule, sp *Spec) *RSG {
+	return buildRSG(s, sp, ComputeDepends(s))
+}
+
+// BuildRSGUnder constructs the graph with a caller-supplied depends-on
+// relation; supplying ComputeDirectDepends(s) gives the Figure 2
+// ablation variant.
+func BuildRSGUnder(s *Schedule, sp *Spec, d *Depends) *RSG {
+	if d.Schedule() != s {
+		panic("core: depends-on relation computed from a different schedule")
+	}
+	return buildRSG(s, sp, d)
+}
+
+func buildRSG(s *Schedule, sp *Spec, dep *Depends) *RSG {
+	ts := s.Set()
+	n := ts.NumOps()
+	r := &RSG{
+		s:     s,
+		sp:    sp,
+		dep:   dep,
+		g:     graph.NewDense(n),
+		kinds: make(map[[2]int]ArcKind),
+	}
+	// I-arcs: consecutive operations of each transaction.
+	for _, t := range ts.Txns() {
+		for seq := 0; seq+1 < t.Len(); seq++ {
+			r.addArc(ts.GlobalIndex(t.ID, seq), ts.GlobalIndex(t.ID, seq+1), IArc)
+		}
+	}
+	// D-arcs with their induced F- and B-arcs. For each D-arc u -> v
+	// with u ∈ Ti, v ∈ Tk (i ≠ k): F-arc PushForward(u, Tk) -> v
+	// (rule 3) and B-arc u -> PullBackward(v, Ti) (rule 4; there the
+	// D-arc is written okl -> oij with okl ∈ Tk, oij ∈ Ti, and the
+	// added arc is okl -> PullBackward(oij, Tk) — i.e. source ->
+	// first operation of the target's unit relative to the source's
+	// transaction).
+	for posV := 0; posV < s.Len(); posV++ {
+		v := s.At(posV)
+		gv := ts.GlobalIndexOf(v)
+		r.dep.Predecessors(posV).ForEach(func(posU int) bool {
+			u := s.At(posU)
+			if u.Txn == v.Txn {
+				return true
+			}
+			gu := ts.GlobalIndexOf(u)
+			r.addArc(gu, gv, DArc)
+			pf := sp.PushForward(u, v.Txn)
+			r.addArc(ts.GlobalIndexOf(pf), gv, FArc)
+			pb := sp.PullBackward(v, u.Txn)
+			r.addArc(gu, ts.GlobalIndexOf(pb), BArc)
+			return true
+		})
+	}
+	return r
+}
+
+func (r *RSG) addArc(u, v int, kind ArcKind) {
+	// Definition 3 never produces self-arcs: every rule connects
+	// operations of two distinct transactions, or consecutive distinct
+	// operations of one transaction.
+	r.g.AddArc(u, v)
+	key := [2]int{u, v}
+	r.kinds[key] |= kind
+}
+
+// Schedule returns the underlying schedule.
+func (r *RSG) Schedule() *Schedule { return r.s }
+
+// Spec returns the relative atomicity specification used.
+func (r *RSG) Spec() *Spec { return r.sp }
+
+// NumVertices returns the number of vertices (operations).
+func (r *RSG) NumVertices() int { return r.g.Len() }
+
+// NumArcs returns the number of distinct arcs.
+func (r *RSG) NumArcs() int { return r.g.ArcCount() }
+
+// ArcKinds returns the kind mask of the arc u -> v, or 0 if absent.
+func (r *RSG) ArcKinds(u, v Op) ArcKind {
+	ts := r.s.Set()
+	return r.kinds[[2]int{ts.GlobalIndexOf(u), ts.GlobalIndexOf(v)}]
+}
+
+// HasArc reports whether any arc u -> v is present.
+func (r *RSG) HasArc(u, v Op) bool { return r.ArcKinds(u, v) != 0 }
+
+// Arcs calls fn for every arc in deterministic order with its kinds.
+func (r *RSG) Arcs(fn func(u, v Op, kind ArcKind) bool) {
+	ts := r.s.Set()
+	r.g.Arcs(func(gu, gv int) bool {
+		return fn(ts.OpAt(gu), ts.OpAt(gv), r.kinds[[2]int{gu, gv}])
+	})
+}
+
+// Acyclic reports whether the graph is acyclic; by Theorem 1 this holds
+// iff the schedule is relatively serializable.
+func (r *RSG) Acyclic() bool { return !r.g.HasCycle() }
+
+// Cycle returns the operations of one directed cycle, or nil if the
+// graph is acyclic.
+func (r *RSG) Cycle() []Op {
+	cyc := r.g.FindCycle()
+	if cyc == nil {
+		return nil
+	}
+	ts := r.s.Set()
+	out := make([]Op, len(cyc))
+	for i, g := range cyc {
+		out[i] = ts.OpAt(g)
+	}
+	return out
+}
+
+// Witness returns a relatively serial schedule that is conflict
+// equivalent to the underlying schedule, obtained by topologically
+// sorting the graph (the constructive direction of Theorem 1). The
+// sort prefers the original schedule order, so a schedule that is
+// already relatively serial is returned unchanged. Returns an error if
+// the graph is cyclic.
+func (r *RSG) Witness() (*Schedule, error) {
+	ts := r.s.Set()
+	rank := make([]int, ts.NumOps())
+	for g := range rank {
+		rank[g] = r.s.PosOfGlobal(g)
+	}
+	order, ok := r.g.TopoOrderPreferring(rank)
+	if !ok {
+		return nil, fmt.Errorf("core: RSG is cyclic; schedule is not relatively serializable")
+	}
+	ops := make([]Op, len(order))
+	for i, g := range order {
+		ops[i] = ts.OpAt(g)
+	}
+	return NewSchedule(ts, ops)
+}
+
+// Dot renders the graph in Graphviz DOT format with arc-kind labels in
+// the style of the paper's Figure 3. I-arcs are drawn bold, D-arcs
+// solid, F-arcs dashed and B-arcs dotted; arcs carrying several kinds
+// list all labels.
+func (r *RSG) Dot(name string) string {
+	ts := r.s.Set()
+	var d graph.DotGraph
+	d.Name = name
+	for g := 0; g < ts.NumOps(); g++ {
+		d.AddNode(g, ts.OpAt(g).String(), nil)
+	}
+	type arc struct{ u, v int }
+	arcs := make([]arc, 0, len(r.kinds))
+	for key := range r.kinds {
+		arcs = append(arcs, arc{key[0], key[1]})
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		return arcs[i].v < arcs[j].v
+	})
+	for _, a := range arcs {
+		kind := r.kinds[[2]int{a.u, a.v}]
+		attrs := map[string]string{}
+		switch {
+		case kind&IArc != 0:
+			attrs["style"] = "bold"
+		case kind&DArc != 0:
+			attrs["style"] = "solid"
+		case kind&FArc != 0:
+			attrs["style"] = "dashed"
+		default:
+			attrs["style"] = "dotted"
+		}
+		d.AddEdge(a.u, a.v, kind.String(), attrs)
+	}
+	return d.String()
+}
+
+// IsRelativelySerializable reports whether the schedule is conflict
+// equivalent to some relatively serial schedule, by Theorem 1 the
+// acyclicity of RSG(S).
+func IsRelativelySerializable(s *Schedule, sp *Spec) bool {
+	return BuildRSG(s, sp).Acyclic()
+}

@@ -1,0 +1,272 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+// TestE3Fig3ExactArcs is experiment E3: RSG(S2) for Figure 3 carries
+// exactly the twelve arcs the figure draws, with exactly the kind
+// labels it shows.
+func TestE3Fig3ExactArcs(t *testing.T) {
+	inst := paperfig.Figure3()
+	s2 := inst.Schedules["S2"]
+	rsg := core.BuildRSG(s2, inst.Spec)
+
+	op := func(txn core.TxnID, seq int) core.Op { return inst.Set.Txn(txn).Op(seq) }
+	w1x, r1z := op(1, 0), op(1, 1)
+	r2x, w2y := op(2, 0), op(2, 1)
+	r3z, r3y := op(3, 0), op(3, 1)
+
+	want := []struct {
+		u, v core.Op
+		kind core.ArcKind
+	}{
+		{w1x, r1z, core.IArc},
+		{r2x, w2y, core.IArc},
+		{r3z, r3y, core.IArc},
+		{w1x, r2x, core.DArc | core.BArc},
+		{w1x, w2y, core.DArc | core.BArc},
+		{w1x, r3y, core.DArc | core.FArc | core.BArc},
+		{r2x, r3y, core.DArc | core.FArc},
+		{w2y, r3y, core.DArc | core.FArc},
+		// The two arcs the text calls out explicitly:
+		// "RSG(S2) contains the F-arc from r1[z] to r2[x]" and
+		// "RSG(S2) contains the B-arc from w2[y] to r3[z]".
+		{r1z, r2x, core.FArc},
+		{r1z, w2y, core.FArc},
+		{r2x, r3z, core.BArc},
+		{w2y, r3z, core.BArc},
+	}
+	for _, a := range want {
+		if got := rsg.ArcKinds(a.u, a.v); got != a.kind {
+			t.Errorf("arc %v -> %v: kinds %v, want %v", a.u, a.v, got, a.kind)
+		}
+	}
+	if rsg.NumArcs() != len(want) {
+		var extra []string
+		rsg.Arcs(func(u, v core.Op, kind core.ArcKind) bool {
+			extra = append(extra, u.String()+" -> "+v.String()+" ("+kind.String()+")")
+			return true
+		})
+		t.Errorf("RSG has %d arcs, figure draws %d:\n%s", rsg.NumArcs(), len(want), strings.Join(extra, "\n"))
+	}
+	if rsg.NumVertices() != 6 {
+		t.Errorf("NumVertices = %d", rsg.NumVertices())
+	}
+	if !rsg.Acyclic() {
+		t.Errorf("Figure 3's RSG is acyclic; got cycle %v", rsg.Cycle())
+	}
+
+	// The constructive direction of Theorem 1: a topological sort gives
+	// a conflict-equivalent relatively serial schedule.
+	w, err := rsg.Witness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !core.ConflictEquivalent(w, s2) {
+		t.Errorf("witness %s not conflict equivalent to S2", w)
+	}
+	if ok, v := core.IsRelativelySerial(w, inst.Spec); !ok {
+		t.Errorf("witness %s not relatively serial: %v", w, v)
+	}
+}
+
+func TestArcKindString(t *testing.T) {
+	cases := []struct {
+		kind core.ArcKind
+		want string
+	}{
+		{core.IArc, "I"},
+		{core.DArc | core.FArc | core.BArc, "D,F,B"},
+		{core.FArc, "F"},
+		{0, "none"},
+	}
+	for _, tc := range cases {
+		if got := tc.kind.String(); got != tc.want {
+			t.Errorf("ArcKind(%d).String() = %q, want %q", tc.kind, got, tc.want)
+		}
+	}
+}
+
+func TestRSGFig1Schedules(t *testing.T) {
+	inst := paperfig.Figure1()
+	sp := inst.Spec
+	for _, name := range []string{"Sra", "Srs", "S2"} {
+		s := inst.Schedules[name]
+		rsg := core.BuildRSG(s, sp)
+		if !rsg.Acyclic() {
+			t.Errorf("%s: RSG must be acyclic (all three are relatively serializable); cycle %v", name, rsg.Cycle())
+			continue
+		}
+		w, err := rsg.Witness()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !core.ConflictEquivalent(w, s) {
+			t.Errorf("%s: witness not conflict equivalent", name)
+		}
+		if ok, v := core.IsRelativelySerial(w, sp); !ok {
+			t.Errorf("%s: witness not relatively serial: %v", name, v)
+		}
+	}
+}
+
+func TestRSGWitnessPrefersOriginalOrder(t *testing.T) {
+	// A schedule that is already relatively serial must be returned
+	// unchanged by Witness (the topological sort prefers schedule
+	// positions).
+	inst := paperfig.Figure1()
+	srs := inst.Schedules["Srs"]
+	w, err := core.BuildRSG(srs, inst.Spec).Witness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.String() != srs.String() {
+		t.Errorf("witness of a relatively serial schedule changed it:\n got %s\nwant %s", w, srs)
+	}
+}
+
+func TestRSGCyclicSchedule(t *testing.T) {
+	// Under absolute atomicity, a non-conflict-serializable schedule
+	// must yield a cyclic RSG (the model collapses to the classical
+	// one; §2 after Lemma 1).
+	inst := paperfig.Figure1()
+	srs := inst.Schedules["Srs"]
+	abs := core.NewSpec(inst.Set)
+	rsg := core.BuildRSG(srs, abs)
+	if rsg.Acyclic() {
+		t.Fatal("Srs is not conflict serializable, so under absolute atomicity its RSG must be cyclic")
+	}
+	cyc := rsg.Cycle()
+	if len(cyc) == 0 {
+		t.Fatal("Cycle() empty for cyclic graph")
+	}
+	// The returned sequence must follow actual arcs.
+	for i := range cyc {
+		if !rsg.HasArc(cyc[i], cyc[(i+1)%len(cyc)]) {
+			t.Errorf("cycle step %v -> %v is not an arc", cyc[i], cyc[(i+1)%len(cyc)])
+		}
+	}
+	if _, err := rsg.Witness(); err == nil {
+		t.Error("Witness must fail on a cyclic RSG")
+	}
+}
+
+func TestRSGLemma2OnRelativelySerialSchedules(t *testing.T) {
+	// Lemma 2: the RSG of a relatively serial schedule is acyclic.
+	for _, named := range paperfig.All() {
+		for _, name := range named.Instance.Names {
+			s := named.Instance.Schedules[name]
+			if ok, _ := core.IsRelativelySerial(s, named.Instance.Spec); !ok {
+				continue
+			}
+			if !core.IsRelativelySerializable(s, named.Instance.Spec) {
+				t.Errorf("%s/%s: relatively serial schedule has cyclic RSG (Lemma 2 violated)", named.Name, name)
+			}
+		}
+	}
+}
+
+func TestRSGDirectAblationGraph(t *testing.T) {
+	// Building the RSG over the direct (non-transitive) relation on
+	// Figure 2's S1 loses the D-arc w2[y] -> r1[z].
+	inst := paperfig.Figure2()
+	s1 := inst.Schedules["S1"]
+	w2y := inst.Set.Txn(2).Op(0)
+	r1z := inst.Set.Txn(1).Op(1)
+
+	full := core.BuildRSG(s1, inst.Spec)
+	if full.ArcKinds(w2y, r1z)&core.DArc == 0 {
+		t.Error("full RSG must have D-arc w2[y] -> r1[z]")
+	}
+	direct := core.BuildRSGUnder(s1, inst.Spec, core.ComputeDirectDepends(s1))
+	if direct.ArcKinds(w2y, r1z) != 0 {
+		t.Error("direct-only RSG must not relate w2[y] and r1[z]")
+	}
+}
+
+func TestRSGDotOutput(t *testing.T) {
+	inst := paperfig.Figure3()
+	dot := core.BuildRSG(inst.Schedules["S2"], inst.Spec).Dot("fig3")
+	for _, want := range []string{
+		`digraph "fig3"`,
+		`label="w1[x]"`,
+		`label="D,F,B"`,
+		`label="I"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestRSGAbsoluteEqualsConflictSerializability(t *testing.T) {
+	// Under absolute atomicity the RSG test must agree with the SG test
+	// on every fixture schedule (the §2 closing claim, checked more
+	// broadly by the E10 property test).
+	for _, named := range paperfig.All() {
+		abs := core.NewSpec(named.Instance.Set)
+		for _, name := range named.Instance.Names {
+			s := named.Instance.Schedules[name]
+			rser := core.IsRelativelySerializable(s, abs)
+			csr := core.IsConflictSerializable(s)
+			if rser != csr {
+				t.Errorf("%s/%s: RSG (absolute) says %v, SG says %v", named.Name, name, rser, csr)
+			}
+		}
+	}
+}
+
+func TestRSGAccessors(t *testing.T) {
+	inst := paperfig.Figure3()
+	s := inst.Schedules["S2"]
+	rsg := core.BuildRSG(s, inst.Spec)
+	if rsg.Schedule() != s || rsg.Spec() != inst.Spec {
+		t.Error("accessors do not return the construction inputs")
+	}
+	count := 0
+	rsg.Arcs(func(u, v core.Op, kind core.ArcKind) bool {
+		if kind == 0 {
+			t.Errorf("arc %v->%v with zero kind", u, v)
+		}
+		count++
+		return true
+	})
+	if count != rsg.NumArcs() {
+		t.Errorf("Arcs visited %d, NumArcs = %d", count, rsg.NumArcs())
+	}
+	// Early stop.
+	count = 0
+	rsg.Arcs(func(core.Op, core.Op, core.ArcKind) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Errorf("early stop visited %d arcs", count)
+	}
+	// GlobalAt round-trips schedule positions.
+	for pos := 0; pos < s.Len(); pos++ {
+		g := s.GlobalAt(pos)
+		if s.PosOfGlobal(g) != pos {
+			t.Errorf("GlobalAt/PosOfGlobal mismatch at %d", pos)
+		}
+	}
+	if inst.Spec.Set() != inst.Set {
+		t.Error("Spec.Set accessor wrong")
+	}
+}
+
+func TestBuildRSGUnderPanicsOnForeignSchedule(t *testing.T) {
+	inst := paperfig.Figure1()
+	other := core.ComputeDepends(inst.Schedules["Sra"])
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched depends-on")
+		}
+	}()
+	core.BuildRSGUnder(inst.Schedules["Srs"], inst.Spec, other)
+}

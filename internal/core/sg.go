@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+
+	"relser/internal/graph"
+)
+
+// SG is the classical serialization graph of a schedule [Pap79, BSW79]:
+// one vertex per transaction and an arc Ti -> Tk whenever an operation
+// of Ti conflicts with and precedes an operation of Tk.
+type SG struct {
+	s     *Schedule
+	g     *graph.Dense
+	ids   []TxnID // dense vertex -> transaction ID
+	vtxOf map[TxnID]int
+}
+
+// BuildSG constructs the serialization graph of the schedule.
+func BuildSG(s *Schedule) *SG {
+	ts := s.Set()
+	sg := &SG{
+		s:     s,
+		g:     graph.NewDense(ts.NumTxns()),
+		ids:   make([]TxnID, ts.NumTxns()),
+		vtxOf: make(map[TxnID]int, ts.NumTxns()),
+	}
+	for i, t := range ts.Txns() {
+		sg.ids[i] = t.ID
+		sg.vtxOf[t.ID] = i
+	}
+	// Conflicts are same-object, so scanning pairs within each object's
+	// access history yields exactly the arcs of the definition without
+	// an all-pairs sweep over the schedule.
+	history := make(map[string][]Op)
+	for pos := 0; pos < s.Len(); pos++ {
+		o := s.At(pos)
+		history[o.Object] = append(history[o.Object], o)
+	}
+	for _, ops := range history {
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				if ops[i].ConflictsWith(ops[j]) {
+					sg.g.AddArc(sg.vtxOf[ops[i].Txn], sg.vtxOf[ops[j].Txn])
+				}
+			}
+		}
+	}
+	return sg
+}
+
+// HasArc reports whether the serialization graph contains Ti -> Tk.
+func (sg *SG) HasArc(i, k TxnID) bool {
+	vi, ok1 := sg.vtxOf[i]
+	vk, ok2 := sg.vtxOf[k]
+	return ok1 && ok2 && sg.g.HasArc(vi, vk)
+}
+
+// Acyclic reports whether the serialization graph is acyclic, i.e.
+// whether the schedule is conflict serializable.
+func (sg *SG) Acyclic() bool { return !sg.g.HasCycle() }
+
+// Cycle returns the transactions of one cycle, or nil if acyclic.
+func (sg *SG) Cycle() []TxnID {
+	cyc := sg.g.FindCycle()
+	if cyc == nil {
+		return nil
+	}
+	out := make([]TxnID, len(cyc))
+	for i, v := range cyc {
+		out[i] = sg.ids[v]
+	}
+	return out
+}
+
+// SerializationOrder returns a serial order of the transactions that is
+// conflict equivalent to the schedule, or (nil, false) if none exists.
+func (sg *SG) SerializationOrder() ([]TxnID, bool) {
+	order, ok := sg.g.TopoOrder()
+	if !ok {
+		return nil, false
+	}
+	out := make([]TxnID, len(order))
+	for i, v := range order {
+		out[i] = sg.ids[v]
+	}
+	return out, true
+}
+
+// Dot renders the serialization graph in Graphviz DOT format.
+func (sg *SG) Dot(name string) string {
+	var d graph.DotGraph
+	d.Name = name
+	for v, id := range sg.ids {
+		d.AddNode(v, fmt.Sprintf("T%d", int(id)), map[string]string{"shape": "circle"})
+	}
+	sg.g.Arcs(func(u, v int) bool {
+		d.AddEdge(u, v, "", nil)
+		return true
+	})
+	return d.String()
+}
+
+// IsConflictSerializable reports whether the schedule is conflict
+// equivalent to some serial schedule (serialization graph acyclic).
+func IsConflictSerializable(s *Schedule) bool { return BuildSG(s).Acyclic() }
+
+// SerialWitness returns a serial schedule conflict equivalent to s, or
+// an error if s is not conflict serializable.
+func SerialWitness(s *Schedule) (*Schedule, error) {
+	order, ok := BuildSG(s).SerializationOrder()
+	if !ok {
+		return nil, fmt.Errorf("core: schedule is not conflict serializable")
+	}
+	return SerialSchedule(s.Set(), order...)
+}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+func TestSGFigure1Srs(t *testing.T) {
+	inst := paperfig.Figure1()
+	srs := inst.Schedules["Srs"]
+	sg := core.BuildSG(srs)
+	// Conflicts in Srs: T1 and T3 on x (w1x before w3x), T2 and T3 on
+	// y (w2y before w3y), T1 and T3 on z (w1z before w3z), T3 and T2 on
+	// x (w3x before r2x), T2 and T1 on y? r1[y] reads y after w2[y] and
+	// w3[y]: arcs T2->T1 and T3->T1. And T1->T2 via w1x before r2x.
+	wantArcs := [][2]core.TxnID{{1, 3}, {2, 3}, {3, 2}, {1, 2}, {2, 1}, {3, 1}}
+	for _, a := range wantArcs {
+		if !sg.HasArc(a[0], a[1]) {
+			t.Errorf("SG missing arc T%d -> T%d", a[0], a[1])
+		}
+	}
+	if sg.Acyclic() {
+		t.Error("Srs has conflicting cycles among T1, T2, T3; SG must be cyclic")
+	}
+	if core.IsConflictSerializable(srs) {
+		t.Error("Srs is not conflict serializable (it is relatively serial instead)")
+	}
+	if cyc := sg.Cycle(); len(cyc) < 2 {
+		t.Errorf("Cycle() = %v", cyc)
+	}
+}
+
+func TestSGSerializableSchedule(t *testing.T) {
+	inst := paperfig.Figure2()
+	s1 := inst.Schedules["S1"]
+	sg := core.BuildSG(s1)
+	if !sg.Acyclic() {
+		t.Fatalf("S1's SG must be acyclic; cycle: %v", sg.Cycle())
+	}
+	order, ok := sg.SerializationOrder()
+	if !ok {
+		t.Fatal("no serialization order for acyclic SG")
+	}
+	// T2 -> T3 -> T1 is forced: w2y < r3y and w3z < r1z.
+	pos := map[core.TxnID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos[2] < pos[3] && pos[3] < pos[1]) {
+		t.Errorf("serialization order %v must put T2 before T3 before T1", order)
+	}
+	if sg.Cycle() != nil {
+		t.Error("Cycle() must be nil on acyclic graph")
+	}
+}
+
+func TestSerialWitness(t *testing.T) {
+	inst := paperfig.Figure2()
+	s1 := inst.Schedules["S1"]
+	w, err := core.SerialWitness(s1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsSerial() {
+		t.Errorf("witness %s is not serial", w)
+	}
+	if !core.ConflictEquivalent(s1, w) {
+		t.Errorf("witness %s is not conflict equivalent to S1", w)
+	}
+	// A non-serializable schedule has no witness.
+	if _, err := core.SerialWitness(paperfig.Figure1().Schedules["Srs"]); err == nil {
+		t.Error("expected error for non-serializable schedule")
+	}
+}
+
+func TestSGNoSelfArcs(t *testing.T) {
+	// Operations of one transaction never conflict, so the SG has no
+	// self-loops even when a transaction reads and writes one object.
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.R("x")),
+	)
+	s := core.MustSchedule(ts, mustParsedSchedule(t, ts, "r1[x] w1[x] r2[x]").Ops())
+	sg := core.BuildSG(s)
+	if sg.HasArc(1, 1) {
+		t.Error("self arc in SG")
+	}
+	if !sg.HasArc(1, 2) {
+		t.Error("missing arc T1 -> T2")
+	}
+}
+
+func TestSGDotOutput(t *testing.T) {
+	inst := paperfig.Figure2()
+	dot := core.BuildSG(inst.Schedules["S1"]).Dot("SG")
+	for _, want := range []string{`digraph "SG"`, `label="T1"`, `label="T2"`, `label="T3"`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func mustParsedSchedule(t *testing.T, ts *core.TxnSet, text string) *core.Schedule {
+	t.Helper()
+	s, err := core.ParseSchedule(ts, text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Spec holds the relative atomicity specifications for a transaction
+// set: for every ordered pair (Ti, Tj) with i ≠ j, Atomicity(Ti, Tj)
+// partitions Ti's operations into an ordered sequence of atomic units.
+// Operations of Tj may not execute inside an atomic unit of Ti relative
+// to Tj (Definition 1), except under the paper's depends-on relaxation
+// (Definition 2).
+//
+// Internally a pair's partition is stored as a sorted slice of cut
+// positions: a cut at p (0 < p < len(Ti)) separates operation p-1 from
+// operation p. No cuts means Ti is a single atomic unit relative to Tj
+// (absolute atomicity), which is the default for every pair.
+type Spec struct {
+	set  *TxnSet
+	cuts map[TxnID]map[TxnID][]int
+}
+
+// NewSpec returns the absolute-atomicity specification for the set:
+// every transaction is a single atomic unit relative to every other.
+func NewSpec(ts *TxnSet) *Spec {
+	return &Spec{set: ts, cuts: make(map[TxnID]map[TxnID][]int)}
+}
+
+// Set returns the transaction set the specification covers.
+func (sp *Spec) Set() *TxnSet { return sp.set }
+
+// Clone returns an independent copy of the specification.
+func (sp *Spec) Clone() *Spec {
+	c := NewSpec(sp.set)
+	for i, m := range sp.cuts {
+		cm := make(map[TxnID][]int, len(m))
+		for j, cs := range m {
+			cm[j] = append([]int(nil), cs...)
+		}
+		c.cuts[i] = cm
+	}
+	return c
+}
+
+// SetUnits declares Atomicity(Ti, Tj) as consecutive units of the given
+// lengths, which must be positive and sum to len(Ti). For the paper's
+// Figure 1, Atomicity(T1, T2) = <r1[x] w1[x] | w1[z] r1[y]> is
+// spec.SetUnits(1, 2, 2, 2).
+func (sp *Spec) SetUnits(i, j TxnID, unitLens ...int) error {
+	t, err := sp.pair(i, j)
+	if err != nil {
+		return err
+	}
+	total := 0
+	cuts := make([]int, 0, len(unitLens))
+	for k, l := range unitLens {
+		if l <= 0 {
+			return fmt.Errorf("core: Atomicity(T%d, T%d): unit %d has non-positive length %d", i, j, k+1, l)
+		}
+		total += l
+		if total < t.Len() {
+			cuts = append(cuts, total)
+		}
+	}
+	if total != t.Len() {
+		return fmt.Errorf("core: Atomicity(T%d, T%d): unit lengths sum to %d, T%d has %d operations", i, j, total, i, t.Len())
+	}
+	sp.storeCuts(i, j, cuts)
+	return nil
+}
+
+// CutAfter adds a unit boundary in Atomicity(Ti, Tj) immediately after
+// operation seq (0-based); the paper calls these breakpoints [FÖ89].
+// Cutting after the final operation is a no-op.
+func (sp *Spec) CutAfter(i, j TxnID, seq int) error {
+	t, err := sp.pair(i, j)
+	if err != nil {
+		return err
+	}
+	if seq < 0 || seq >= t.Len() {
+		return fmt.Errorf("core: Atomicity(T%d, T%d): cut after seq %d out of range [0, %d)", i, j, seq, t.Len())
+	}
+	p := seq + 1
+	if p >= t.Len() {
+		return nil
+	}
+	cuts := sp.cutsFor(i, j)
+	k := sort.SearchInts(cuts, p)
+	if k < len(cuts) && cuts[k] == p {
+		return nil
+	}
+	cuts = append(cuts, 0)
+	copy(cuts[k+1:], cuts[k:])
+	cuts[k] = p
+	sp.storeCuts(i, j, cuts)
+	return nil
+}
+
+// AllowAll makes every operation of Ti its own atomic unit relative to
+// Tj: Tj may interleave anywhere inside Ti.
+func (sp *Spec) AllowAll(i, j TxnID) error {
+	t, err := sp.pair(i, j)
+	if err != nil {
+		return err
+	}
+	cuts := make([]int, 0, t.Len()-1)
+	for p := 1; p < t.Len(); p++ {
+		cuts = append(cuts, p)
+	}
+	sp.storeCuts(i, j, cuts)
+	return nil
+}
+
+// AllowAllPairs applies AllowAll to every ordered pair: the
+// specification imposes no atomicity at all.
+func (sp *Spec) AllowAllPairs() {
+	for _, ti := range sp.set.Txns() {
+		for _, tj := range sp.set.Txns() {
+			if ti.ID != tj.ID {
+				if err := sp.AllowAll(ti.ID, tj.ID); err != nil {
+					panic(err) // unreachable: IDs come from the set
+				}
+			}
+		}
+	}
+}
+
+// IsAbsolute reports whether the specification is the traditional
+// absolute-atomicity model: every transaction is one atomic unit
+// relative to every other transaction.
+func (sp *Spec) IsAbsolute() bool {
+	for _, m := range sp.cuts {
+		for _, cs := range m {
+			if len(cs) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NumUnits returns the number of atomic units in Atomicity(Ti, Tj).
+func (sp *Spec) NumUnits(i, j TxnID) int { return len(sp.cutsFor(i, j)) + 1 }
+
+// Unit returns the half-open sequence bounds [start, end] (inclusive)
+// of the k-th (0-based) atomic unit of Atomicity(Ti, Tj).
+func (sp *Spec) Unit(i, j TxnID, k int) (start, end int) {
+	cuts := sp.cutsFor(i, j)
+	if k < 0 || k > len(cuts) {
+		panic(fmt.Sprintf("core: Atomicity(T%d, T%d) has no unit %d", i, j, k))
+	}
+	start = 0
+	if k > 0 {
+		start = cuts[k-1]
+	}
+	end = sp.set.Txn(i).Len() - 1
+	if k < len(cuts) {
+		end = cuts[k] - 1
+	}
+	return start, end
+}
+
+// UnitOf returns the inclusive sequence bounds of the atomic unit of
+// Atomicity(Ti, Tj) containing Ti's operation seq.
+func (sp *Spec) UnitOf(i TxnID, seq int, j TxnID) (start, end int) {
+	cuts := sp.cutsFor(i, j)
+	// Number of cuts at or before seq = index of the unit containing seq.
+	k := sort.SearchInts(cuts, seq+1)
+	return sp.Unit(i, j, k)
+}
+
+// UnitIndexOf returns the 0-based index of the atomic unit of
+// Atomicity(Ti, Tj) containing Ti's operation seq.
+func (sp *Spec) UnitIndexOf(i TxnID, seq int, j TxnID) int {
+	return sort.SearchInts(sp.cutsFor(i, j), seq+1)
+}
+
+// PushForward returns the last operation of the atomic unit of o's
+// transaction, relative to Tk, that contains o (§3). In Figure 1,
+// PushForward(r1[x], T2) is w1[x].
+func (sp *Spec) PushForward(o Op, k TxnID) Op {
+	_, end := sp.UnitOf(o.Txn, o.Seq, k)
+	return sp.set.Txn(o.Txn).Op(end)
+}
+
+// PullBackward returns the first operation of the atomic unit of o's
+// transaction, relative to Tk, that contains o (§3). In Figure 1,
+// PullBackward(r1[y], T2) is w1[z].
+func (sp *Spec) PullBackward(o Op, k TxnID) Op {
+	start, _ := sp.UnitOf(o.Txn, o.Seq, k)
+	return sp.set.Txn(o.Txn).Op(start)
+}
+
+// Atomicity renders Atomicity(Ti, Tj) in a bracketed form mirroring the
+// paper's boxed figures, e.g. "[r1[x] w1[x]] [w1[z] r1[y]]".
+func (sp *Spec) Atomicity(i, j TxnID) string {
+	t := sp.set.Txn(i)
+	if t == nil {
+		return fmt.Sprintf("Atomicity(T%d, T%d): unknown transaction", i, j)
+	}
+	var sb strings.Builder
+	for k := 0; k < sp.NumUnits(i, j); k++ {
+		if k > 0 {
+			sb.WriteByte(' ')
+		}
+		start, end := sp.Unit(i, j, k)
+		sb.WriteByte('[')
+		for s := start; s <= end; s++ {
+			if s > start {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(t.Op(s).String())
+		}
+		sb.WriteByte(']')
+	}
+	return sb.String()
+}
+
+// String renders the whole specification, one pair per line, in
+// (Ti, Tj) ID order, omitting pairs that are single (absolute) units.
+func (sp *Spec) String() string {
+	var sb strings.Builder
+	first := true
+	for _, ti := range sp.set.Txns() {
+		for _, tj := range sp.set.Txns() {
+			if ti.ID == tj.ID {
+				continue
+			}
+			if sp.NumUnits(ti.ID, tj.ID) == 1 {
+				continue
+			}
+			if !first {
+				sb.WriteByte('\n')
+			}
+			first = false
+			fmt.Fprintf(&sb, "Atomicity(T%d, T%d): %s", int(ti.ID), int(tj.ID), sp.Atomicity(ti.ID, tj.ID))
+		}
+	}
+	if first {
+		return "(absolute atomicity)"
+	}
+	return sb.String()
+}
+
+func (sp *Spec) pair(i, j TxnID) (*Transaction, error) {
+	if i == j {
+		return nil, fmt.Errorf("core: Atomicity(T%d, T%d) is not defined for a transaction relative to itself", i, j)
+	}
+	t := sp.set.Txn(i)
+	if t == nil {
+		return nil, fmt.Errorf("core: unknown transaction T%d", i)
+	}
+	if !sp.set.Has(j) {
+		return nil, fmt.Errorf("core: unknown transaction T%d", j)
+	}
+	return t, nil
+}
+
+func (sp *Spec) cutsFor(i, j TxnID) []int { return sp.cuts[i][j] }
+
+func (sp *Spec) storeCuts(i, j TxnID, cuts []int) {
+	m := sp.cuts[i]
+	if m == nil {
+		m = make(map[TxnID][]int)
+		sp.cuts[i] = m
+	}
+	m[j] = cuts
+}
+
+// Refine returns the specification whose cut sets are the unions of
+// the two inputs': every unit boundary declared by either is declared
+// by the result. Refine is the join of the specification lattice;
+// admission is monotone along it (a finer specification admits at
+// least the schedules a coarser one does).
+func (sp *Spec) Refine(other *Spec) *Spec {
+	out := sp.Clone()
+	for i, m := range other.cuts {
+		for j, cs := range m {
+			for _, p := range cs {
+				if err := out.CutAfter(i, j, p-1); err != nil {
+					panic(fmt.Sprintf("core: Refine over mismatched sets: %v", err))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Coarsen returns the specification whose cut sets are the
+// intersections of the two inputs': a unit boundary survives only if
+// both declare it. Coarsen is the meet of the specification lattice.
+func (sp *Spec) Coarsen(other *Spec) *Spec {
+	out := NewSpec(sp.set)
+	for i, m := range sp.cuts {
+		for j, cs := range m {
+			otherCuts := make(map[int]bool)
+			for _, p := range other.cutsFor(i, j) {
+				otherCuts[p] = true
+			}
+			for _, p := range cs {
+				if otherCuts[p] {
+					if err := out.CutAfter(i, j, p-1); err != nil {
+						panic(fmt.Sprintf("core: Coarsen over mismatched sets: %v", err))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RefinesOrEquals reports whether sp declares every unit boundary
+// other declares (sp is at least as fine as other).
+func (sp *Spec) RefinesOrEquals(other *Spec) bool {
+	for i, m := range other.cuts {
+		for j, cs := range m {
+			mine := make(map[int]bool)
+			for _, p := range sp.cutsFor(i, j) {
+				mine[p] = true
+			}
+			for _, p := range cs {
+				if !mine[p] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+func TestSpecDefaultsAbsolute(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x"), core.W("z")),
+		core.T(2, core.R("y")),
+	)
+	sp := core.NewSpec(ts)
+	if !sp.IsAbsolute() {
+		t.Error("fresh spec should be absolute atomicity")
+	}
+	if n := sp.NumUnits(1, 2); n != 1 {
+		t.Errorf("NumUnits(1,2) = %d, want 1", n)
+	}
+	s, e := sp.UnitOf(1, 1, 2)
+	if s != 0 || e != 2 {
+		t.Errorf("UnitOf = [%d,%d], want [0,2]", s, e)
+	}
+}
+
+func TestSpecSetUnitsFigure1(t *testing.T) {
+	inst := paperfig.Figure1()
+	sp := inst.Spec
+	// Atomicity(T1, T2) = <[r1x w1x], [w1z r1y]>.
+	if n := sp.NumUnits(1, 2); n != 2 {
+		t.Fatalf("NumUnits(1,2) = %d, want 2", n)
+	}
+	s, e := sp.Unit(1, 2, 0)
+	if s != 0 || e != 1 {
+		t.Errorf("unit 0 = [%d,%d], want [0,1]", s, e)
+	}
+	s, e = sp.Unit(1, 2, 1)
+	if s != 2 || e != 3 {
+		t.Errorf("unit 1 = [%d,%d], want [2,3]", s, e)
+	}
+	if sp.IsAbsolute() {
+		t.Error("Figure 1 spec is not absolute")
+	}
+	if got := sp.Atomicity(1, 2); got != "[r1[x] w1[x]] [w1[z] r1[y]]" {
+		t.Errorf("Atomicity(1,2) = %q", got)
+	}
+	if idx := sp.UnitIndexOf(1, 3, 2); idx != 1 {
+		t.Errorf("UnitIndexOf(1, seq 3, rel 2) = %d, want 1", idx)
+	}
+}
+
+func TestSpecPushForwardPullBackwardPaper(t *testing.T) {
+	// §3: "PushForward(r1[x], T2) is w1[x] and PullBackward(r1[y], T2)
+	// is w1[z]" for the Figure 1 specifications.
+	inst := paperfig.Figure1()
+	sp := inst.Spec
+	t1 := inst.Set.Txn(1)
+	r1x, w1x, w1z, r1y := t1.Op(0), t1.Op(1), t1.Op(2), t1.Op(3)
+	if got := sp.PushForward(r1x, 2); got != w1x {
+		t.Errorf("PushForward(r1[x], T2) = %v, want %v", got, w1x)
+	}
+	if got := sp.PullBackward(r1y, 2); got != w1z {
+		t.Errorf("PullBackward(r1[y], T2) = %v, want %v", got, w1z)
+	}
+	// Relative to T3, w1[z] and r1[y] are singleton units.
+	if got := sp.PushForward(w1z, 3); got != w1z {
+		t.Errorf("PushForward(w1[z], T3) = %v, want itself", got)
+	}
+	if got := sp.PullBackward(r1y, 3); got != r1y {
+		t.Errorf("PullBackward(r1[y], T3) = %v, want itself", got)
+	}
+}
+
+func TestSpecSetUnitsValidation(t *testing.T) {
+	ts := core.MustTxnSet(core.T(1, core.R("x"), core.W("x")), core.T(2, core.R("y")))
+	sp := core.NewSpec(ts)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"wrong sum", sp.SetUnits(1, 2, 1, 2)},
+		{"zero unit", sp.SetUnits(1, 2, 0, 2)},
+		{"self pair", sp.SetUnits(1, 1, 2)},
+		{"unknown i", sp.SetUnits(9, 2, 1)},
+		{"unknown j", sp.SetUnits(1, 9, 2)},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestSpecCutAfter(t *testing.T) {
+	ts := core.MustTxnSet(core.T(1, core.R("a"), core.R("b"), core.R("c")), core.T(2, core.W("a")))
+	sp := core.NewSpec(ts)
+	if err := sp.CutAfter(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.NumUnits(1, 2); n != 2 {
+		t.Fatalf("NumUnits = %d after one cut", n)
+	}
+	// Duplicate cut is a no-op.
+	if err := sp.CutAfter(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.NumUnits(1, 2); n != 2 {
+		t.Fatalf("NumUnits = %d after duplicate cut", n)
+	}
+	// Cut after last operation is a no-op.
+	if err := sp.CutAfter(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.NumUnits(1, 2); n != 2 {
+		t.Fatalf("NumUnits = %d after trailing cut", n)
+	}
+	// Out-of-order cuts keep sorted unit boundaries.
+	if err := sp.CutAfter(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	s, e := sp.Unit(1, 2, 1)
+	if s != 1 || e != 1 {
+		t.Errorf("middle unit = [%d,%d], want [1,1]", s, e)
+	}
+	if err := sp.CutAfter(1, 2, 7); err == nil {
+		t.Error("out-of-range cut accepted")
+	}
+}
+
+func TestSpecAllowAll(t *testing.T) {
+	ts := core.MustTxnSet(core.T(1, core.R("a"), core.R("b"), core.R("c")), core.T(2, core.W("a")))
+	sp := core.NewSpec(ts)
+	if err := sp.AllowAll(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := sp.NumUnits(1, 2); n != 3 {
+		t.Fatalf("NumUnits = %d, want 3 singleton units", n)
+	}
+	sp2 := core.NewSpec(ts)
+	sp2.AllowAllPairs()
+	if sp2.NumUnits(1, 2) != 3 || sp2.NumUnits(2, 1) != 1 {
+		t.Error("AllowAllPairs wrong (T2 has one op, so one unit)")
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	inst := paperfig.Figure1()
+	clone := inst.Spec.Clone()
+	if err := clone.AllowAll(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if inst.Spec.NumUnits(1, 2) != 2 {
+		t.Error("mutating clone affected original")
+	}
+	if clone.NumUnits(1, 2) != 4 {
+		t.Error("clone mutation lost")
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	inst := paperfig.Figure2()
+	out := inst.Spec.String()
+	for _, want := range []string{
+		"Atomicity(T1, T3): [w1[x]] [r1[z]]",
+		"Atomicity(T3, T1): [r3[y]] [w3[z]]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Spec.String missing %q:\n%s", want, out)
+		}
+	}
+	// Absolute pairs are omitted.
+	if strings.Contains(out, "Atomicity(T1, T2)") {
+		t.Errorf("absolute pair should be omitted:\n%s", out)
+	}
+	abs := core.NewSpec(inst.Set)
+	if abs.String() != "(absolute atomicity)" {
+		t.Errorf("absolute spec renders %q", abs.String())
+	}
+}
+
+func TestSpecLatticeOps(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("a"), core.R("b"), core.R("c")),
+		core.T(2, core.W("a")),
+	)
+	a := core.NewSpec(ts)
+	if err := a.CutAfter(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	b := core.NewSpec(ts)
+	if err := b.CutAfter(1, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CutAfter(1, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	join := a.Refine(b)
+	if join.NumUnits(1, 2) != 3 {
+		t.Errorf("join units = %d, want 3", join.NumUnits(1, 2))
+	}
+	meet := a.Coarsen(b)
+	if meet.NumUnits(1, 2) != 2 {
+		t.Errorf("meet units = %d, want 2 (shared cut only)", meet.NumUnits(1, 2))
+	}
+	if !join.RefinesOrEquals(a) || !join.RefinesOrEquals(b) {
+		t.Error("join must refine both operands")
+	}
+	if !a.RefinesOrEquals(meet) || !b.RefinesOrEquals(meet) {
+		t.Error("both operands must refine the meet")
+	}
+	if a.RefinesOrEquals(b) {
+		t.Error("a lacks b's second cut")
+	}
+	// Inputs untouched.
+	if a.NumUnits(1, 2) != 2 || b.NumUnits(1, 2) != 3 {
+		t.Error("lattice ops mutated their inputs")
+	}
+}
+
+func TestSpecRefinementMonotoneAdmission(t *testing.T) {
+	// Property: if spec A refines spec B, every schedule B admits, A
+	// admits (the offline face of protocol monotonicity).
+	inst := paperfig.Figure1()
+	coarse := core.NewSpec(inst.Set) // absolute
+	fine := inst.Spec.Refine(coarse) // = inst.Spec
+	if !fine.RefinesOrEquals(coarse) {
+		t.Fatal("any spec refines the absolute one")
+	}
+	for _, name := range inst.Names {
+		s := inst.Schedules[name]
+		if core.IsRelativelySerializable(s, coarse) && !core.IsRelativelySerializable(s, fine) {
+			t.Errorf("%s: coarse admits but fine rejects (monotonicity violated)", name)
+		}
+	}
+}

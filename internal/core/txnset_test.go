@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/core"
+)
+
+func TestTxnSetIndexing(t *testing.T) {
+	t1 := core.T(1, core.R("x"), core.W("x"))
+	t3 := core.T(3, core.W("z"))
+	t2 := core.T(2, core.R("y"), core.W("y"), core.R("x"))
+	ts, err := core.NewTxnSet(t3, t1, t2) // order does not matter
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.NumTxns() != 3 || ts.NumOps() != 6 {
+		t.Fatalf("NumTxns=%d NumOps=%d", ts.NumTxns(), ts.NumOps())
+	}
+	// Transactions are sorted by ID, so global indexing is
+	// T1: 0-1, T2: 2-4, T3: 5.
+	if g := ts.GlobalIndex(1, 0); g != 0 {
+		t.Errorf("GlobalIndex(1,0) = %d", g)
+	}
+	if g := ts.GlobalIndex(2, 2); g != 4 {
+		t.Errorf("GlobalIndex(2,2) = %d", g)
+	}
+	if g := ts.GlobalIndex(3, 0); g != 5 {
+		t.Errorf("GlobalIndex(3,0) = %d", g)
+	}
+	for g := 0; g < ts.NumOps(); g++ {
+		op := ts.OpAt(g)
+		if ts.GlobalIndexOf(op) != g {
+			t.Errorf("round-trip failed for global %d (%v)", g, op)
+		}
+	}
+	if !ts.Has(2) || ts.Has(9) {
+		t.Error("Has wrong")
+	}
+	if ts.Txn(2).Len() != 3 {
+		t.Error("Txn lookup wrong")
+	}
+}
+
+func TestTxnSetValidation(t *testing.T) {
+	valid := core.T(1, core.R("x"))
+	tests := []struct {
+		name string
+		txns []*core.Transaction
+		want string
+	}{
+		{"empty set", nil, "empty transaction set"},
+		{"duplicate ids", []*core.Transaction{valid, core.T(1, core.W("y"))}, "duplicate"},
+		{"empty transaction", []*core.Transaction{{ID: 2, Ops: nil}}, "no operations"},
+		{"bad id", []*core.Transaction{{ID: -1, Ops: []core.Op{{Txn: -1, Object: "x"}}}}, "not positive"},
+		{"nil txn", []*core.Transaction{nil}, "nil transaction"},
+		{"inconsistent identity", []*core.Transaction{{ID: 2, Ops: []core.Op{{Txn: 7, Seq: 0, Object: "x"}}}}, "inconsistent identity"},
+		{"empty object", []*core.Transaction{{ID: 2, Ops: []core.Op{{Txn: 2, Seq: 0, Object: ""}}}}, "empty object"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := core.NewTxnSet(tc.txns...)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTxnSetObjects(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("z")),
+		core.T(2, core.W("a"), core.R("x")),
+	)
+	objs := ts.Objects()
+	want := []string{"a", "x", "z"}
+	if len(objs) != len(want) {
+		t.Fatalf("Objects = %v", objs)
+	}
+	for i := range want {
+		if objs[i] != want[i] {
+			t.Fatalf("Objects = %v, want %v", objs, want)
+		}
+	}
+}
+
+func TestTxnSetString(t *testing.T) {
+	ts := core.MustTxnSet(core.T(2, core.W("y")), core.T(1, core.R("x")))
+	want := "T1 = r1[x]\nT2 = w2[y]"
+	if got := ts.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestTxnSetGlobalIndexPanics(t *testing.T) {
+	ts := core.MustTxnSet(core.T(1, core.R("x")))
+	for _, fn := range []func(){
+		func() { ts.GlobalIndex(9, 0) },
+		func() { ts.GlobalIndex(1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import "fmt"
+
+// This file adds view serializability, the classical criterion §5 of
+// the paper recalls when drawing its historical analogy: view
+// serializability was the intuitive correctness notion whose
+// intractability pushed the field to conflict serializability, just as
+// the NP-complete relatively-consistent class pushes the paper to
+// relatively serializable schedules. Recognition is NP-complete, so
+// IsViewSerializable enumerates serial orders and is intended for the
+// small instances of the analysis tools.
+
+// readsFromKey identifies a read operation's source: the writing
+// operation, or the initial database state.
+type readsFromKey struct {
+	reader  Op
+	writer  Op
+	initial bool
+}
+
+// viewFingerprint captures the view of a schedule: every read's source
+// write and the final write of every object.
+type viewFingerprint struct {
+	readsFrom map[Op]readsFromKey
+	finals    map[string]Op
+}
+
+func viewOf(s *Schedule) viewFingerprint {
+	fp := viewFingerprint{
+		readsFrom: make(map[Op]readsFromKey),
+		finals:    make(map[string]Op),
+	}
+	lastWrite := make(map[string]Op)
+	haveWrite := make(map[string]bool)
+	for pos := 0; pos < s.Len(); pos++ {
+		o := s.At(pos)
+		if o.Kind == ReadOp {
+			if haveWrite[o.Object] {
+				fp.readsFrom[o] = readsFromKey{reader: o, writer: lastWrite[o.Object]}
+			} else {
+				fp.readsFrom[o] = readsFromKey{reader: o, initial: true}
+			}
+		} else {
+			lastWrite[o.Object] = o
+			haveWrite[o.Object] = true
+		}
+	}
+	for obj, w := range lastWrite {
+		fp.finals[obj] = w
+	}
+	return fp
+}
+
+// ViewEquivalent reports whether two schedules over the same
+// transaction set have the same reads-from relation and the same final
+// writes.
+func ViewEquivalent(a, b *Schedule) bool {
+	fa, fb := viewOf(a), viewOf(b)
+	if len(fa.readsFrom) != len(fb.readsFrom) || len(fa.finals) != len(fb.finals) {
+		return false
+	}
+	for op, src := range fa.readsFrom {
+		if fb.readsFrom[op] != src {
+			return false
+		}
+	}
+	for obj, w := range fa.finals {
+		if fb.finals[obj] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// maxViewTxns bounds the factorial serial-order enumeration.
+const maxViewTxns = 9
+
+// IsViewSerializable reports whether the schedule is view equivalent
+// to some serial schedule. Recognition is NP-complete in general; this
+// implementation enumerates the n! serial orders and refuses sets with
+// more than 9 transactions.
+func IsViewSerializable(s *Schedule) (bool, error) {
+	order, err := ViewSerializationOrder(s)
+	return order != nil, err
+}
+
+// ViewSerializationOrder returns a serial order the schedule is view
+// equivalent to, or nil if none exists.
+func ViewSerializationOrder(s *Schedule) ([]TxnID, error) {
+	ts := s.Set()
+	n := ts.NumTxns()
+	if n > maxViewTxns {
+		return nil, fmt.Errorf("core: view serializability test limited to %d transactions, set has %d", maxViewTxns, n)
+	}
+	ids := make([]TxnID, n)
+	for i, t := range ts.Txns() {
+		ids[i] = t.ID
+	}
+	target := viewOf(s)
+	var found []TxnID
+	permute(ids, func(order []TxnID) bool {
+		serial, err := SerialSchedule(ts, order...)
+		if err != nil {
+			panic(err) // unreachable: permutations of valid IDs
+		}
+		fp := viewOf(serial)
+		if fingerprintsEqual(target, fp) {
+			found = append([]TxnID(nil), order...)
+			return false
+		}
+		return true
+	})
+	return found, nil
+}
+
+func fingerprintsEqual(a, b viewFingerprint) bool {
+	if len(a.readsFrom) != len(b.readsFrom) || len(a.finals) != len(b.finals) {
+		return false
+	}
+	for op, src := range a.readsFrom {
+		if b.readsFrom[op] != src {
+			return false
+		}
+	}
+	for obj, w := range a.finals {
+		if b.finals[obj] != w {
+			return false
+		}
+	}
+	return true
+}
+
+// permute calls fn on every permutation of ids (Heap's algorithm,
+// in-place); fn returning false stops the enumeration.
+func permute(ids []TxnID, fn func([]TxnID) bool) {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == 1 {
+			return fn(ids)
+		}
+		for i := 0; i < k; i++ {
+			if !rec(k - 1) {
+				return false
+			}
+			if k%2 == 0 {
+				ids[i], ids[k-1] = ids[k-1], ids[i]
+			} else {
+				ids[0], ids[k-1] = ids[k-1], ids[0]
+			}
+		}
+		return true
+	}
+	rec(len(ids))
+}

@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+// blindWriteSet builds the canonical view-serializable but not
+// conflict-serializable example: blind writes let T2 slip between
+// T1's read and write.
+func blindWriteSet(t *testing.T) (*core.TxnSet, *core.Schedule) {
+	t.Helper()
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.W("x")),
+		core.T(3, core.W("x")),
+	)
+	s, err := core.ParseSchedule(ts, "r1[x] w2[x] w1[x] w3[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts, s
+}
+
+func TestViewSerializableNotConflictSerializable(t *testing.T) {
+	_, s := blindWriteSet(t)
+	if core.IsConflictSerializable(s) {
+		t.Fatal("blind-write example must not be conflict serializable")
+	}
+	ok, err := core.IsViewSerializable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("blind-write example must be view serializable")
+	}
+	order, err := core.ViewSerializationOrder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// T3's write must come last (it is the final write); T1 must read
+	// the initial value, so T1 precedes T2.
+	pos := map[core.TxnID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	if !(pos[1] < pos[2] && pos[3] == 2) {
+		t.Errorf("view serialization order = %v", order)
+	}
+}
+
+func TestViewEquivalentSelf(t *testing.T) {
+	inst := paperfig.Figure1()
+	for _, name := range inst.Names {
+		s := inst.Schedules[name]
+		if !core.ViewEquivalent(s, s) {
+			t.Errorf("%s not view equivalent to itself", name)
+		}
+	}
+}
+
+func TestConflictEquivalenceImpliesViewEquivalence(t *testing.T) {
+	// Classical theorem: conflict equivalent schedules are view
+	// equivalent. Check on the paper's pair (S2, Srs) and on random
+	// pairs produced by RSG witnesses.
+	inst := paperfig.Figure1()
+	s2, srs := inst.Schedules["S2"], inst.Schedules["Srs"]
+	if !core.ViewEquivalent(s2, srs) {
+		t.Error("S2 and Srs are conflict equivalent, so they must be view equivalent")
+	}
+}
+
+func TestConflictSerializableImpliesViewSerializable(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	objects := []string{"x", "y", "z"}
+	for trial := 0; trial < 80; trial++ {
+		nTxn := 2 + rng.Intn(2)
+		txns := make([]*core.Transaction, nTxn)
+		for i := range txns {
+			nOps := 1 + rng.Intn(3)
+			ops := make([]core.Op, nOps)
+			for k := range ops {
+				obj := objects[rng.Intn(len(objects))]
+				if rng.Intn(2) == 0 {
+					ops[k] = core.R(obj)
+				} else {
+					ops[k] = core.W(obj)
+				}
+			}
+			txns[i] = core.T(core.TxnID(i+1), ops...)
+		}
+		ts := core.MustTxnSet(txns...)
+		s := randomSchedule(rng, ts)
+		if core.IsConflictSerializable(s) {
+			ok, err := core.IsViewSerializable(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("trial %d: conflict serializable but not view serializable: %s", trial, s)
+			}
+		}
+	}
+}
+
+func TestViewNotSerializable(t *testing.T) {
+	// Lost update: r1 r2 w1 w2 on one object is neither conflict nor
+	// view serializable.
+	ts := core.MustTxnSet(
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.R("x"), core.W("x")),
+	)
+	s, err := core.ParseSchedule(ts, "r1[x] r2[x] w1[x] w2[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := core.IsViewSerializable(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("lost-update schedule must not be view serializable")
+	}
+}
+
+func TestViewSerializableTooLarge(t *testing.T) {
+	txns := make([]*core.Transaction, 10)
+	for i := range txns {
+		txns[i] = core.T(core.TxnID(i+1), core.R("x"))
+	}
+	ts := core.MustTxnSet(txns...)
+	s, err := core.SerialSchedule(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.IsViewSerializable(s); err == nil {
+		t.Error("oversized set should be refused")
+	}
+}
+
+func TestViewEquivalentDifferentReadsFrom(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.W("x")),
+		core.T(2, core.R("x")),
+	)
+	a, err := core.ParseSchedule(ts, "w1[x] r2[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := core.ParseSchedule(ts, "r2[x] w1[x]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.ViewEquivalent(a, b) {
+		t.Error("reads-from differs (write vs initial); schedules must not be view equivalent")
+	}
+}

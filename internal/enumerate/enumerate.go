@@ -1,0 +1,216 @@
+// Package enumerate walks complete schedule spaces of small
+// transaction sets and classifies every interleaving into the paper's
+// class hierarchy (Figure 5):
+//
+//	serial ⊆ relatively atomic ⊆ relatively consistent ⊆ relatively serializable
+//	serial ⊆ relatively atomic ⊆ relatively serial     ⊆ relatively serializable
+//
+// The census quantifies the containments — how much larger each class
+// is on a given instance — and records witness schedules for every
+// proper gap, regenerating Figure 5 as numbers rather than a picture
+// (experiment E5).
+package enumerate
+
+import (
+	"math/big"
+	"math/rand"
+
+	"relser/internal/consistent"
+	"relser/internal/core"
+)
+
+// Count returns the number of interleavings of the transaction set:
+// the multinomial (Σ len_i)! / Π (len_i!).
+func Count(ts *core.TxnSet) *big.Int {
+	total := 0
+	for _, t := range ts.Txns() {
+		total += t.Len()
+	}
+	n := new(big.Int).MulRange(1, int64(total))
+	for _, t := range ts.Txns() {
+		n.Div(n, new(big.Int).MulRange(1, int64(t.Len())))
+	}
+	return n
+}
+
+// Schedules invokes fn for every interleaving of the set, in the
+// lexicographic order of transaction choices, and returns how many
+// were visited. Iteration stops early if fn returns false.
+func Schedules(ts *core.TxnSet, fn func(*core.Schedule) bool) int {
+	txns := ts.Txns()
+	cursors := make([]int, len(txns))
+	buf := make([]core.Op, 0, ts.NumOps())
+	visited := 0
+	stopped := false
+	var walk func()
+	walk = func() {
+		if stopped {
+			return
+		}
+		if len(buf) == ts.NumOps() {
+			visited++
+			s, err := core.NewSchedule(ts, buf)
+			if err != nil {
+				panic("enumerate: generated invalid schedule: " + err.Error()) // unreachable
+			}
+			if !fn(s) {
+				stopped = true
+			}
+			return
+		}
+		for i, t := range txns {
+			if cursors[i] == t.Len() {
+				continue
+			}
+			buf = append(buf, t.Op(cursors[i]))
+			cursors[i]++
+			walk()
+			cursors[i]--
+			buf = buf[:len(buf)-1]
+			if stopped {
+				return
+			}
+		}
+	}
+	walk()
+	return visited
+}
+
+// Classification holds one schedule's class memberships.
+type Classification struct {
+	Serial                 bool
+	RelativelyAtomic       bool
+	RelativelyConsistent   bool
+	RelativelySerial       bool
+	RelativelySerializable bool
+	ConflictSerializable   bool
+}
+
+// Classify computes all memberships of a schedule. The relatively
+// consistent test is exact (exponential in the worst case); callers
+// enumerating large spaces can disable it with withRC = false.
+func Classify(s *core.Schedule, sp *core.Spec, withRC bool) Classification {
+	var c Classification
+	c.Serial = s.IsSerial()
+	c.RelativelyAtomic, _ = core.IsRelativelyAtomic(s, sp)
+	c.RelativelySerial, _ = core.IsRelativelySerial(s, sp)
+	c.RelativelySerializable = core.IsRelativelySerializable(s, sp)
+	c.ConflictSerializable = core.IsConflictSerializable(s)
+	if withRC {
+		c.RelativelyConsistent = consistent.IsRelativelyConsistent(s, sp).Consistent
+	}
+	return c
+}
+
+// Census aggregates a full schedule-space classification.
+type Census struct {
+	Total                  int
+	Serial                 int
+	RelativelyAtomic       int
+	RelativelyConsistent   int
+	RelativelySerial       int
+	RelativelySerializable int
+	ConflictSerializable   int
+	// WithRC records whether the relatively consistent column was
+	// computed.
+	WithRC bool
+	// Witnesses maps gap names to an example schedule, when the gap is
+	// non-empty:
+	//   "atomic-not-serial"            RA  \ serial
+	//   "consistent-not-atomic"        RC  \ RA
+	//   "serial-not-consistent"        RS  \ RC   (Figure 4's separation)
+	//   "serializable-not-serial"      RSer \ RS
+	//   "serializable-not-consistent"  RSer \ RC
+	//   "serializable-not-csr"         RSer \ CSR (gain over the classical class)
+	Witnesses map[string]*core.Schedule
+	// Violations counts the Figure 5 containments; all must be zero.
+	ContainmentViolations int
+}
+
+// TakeCensus enumerates every interleaving of the instance and counts
+// class memberships, verifying the Figure 5 containments on the way.
+func TakeCensus(ts *core.TxnSet, sp *core.Spec, withRC bool) Census {
+	c := Census{WithRC: withRC, Witnesses: make(map[string]*core.Schedule)}
+	Schedules(ts, func(s *core.Schedule) bool {
+		accumulate(&c, s, Classify(s, sp, withRC))
+		return true
+	})
+	return c
+}
+
+// accumulate folds one classified schedule into a census.
+func accumulate(c *Census, s *core.Schedule, cl Classification) {
+	c.Total++
+	add := func(member bool, n *int) {
+		if member {
+			*n++
+		}
+	}
+	add(cl.Serial, &c.Serial)
+	add(cl.RelativelyAtomic, &c.RelativelyAtomic)
+	add(cl.RelativelyConsistent, &c.RelativelyConsistent)
+	add(cl.RelativelySerial, &c.RelativelySerial)
+	add(cl.RelativelySerializable, &c.RelativelySerializable)
+	add(cl.ConflictSerializable, &c.ConflictSerializable)
+
+	witness := func(name string, member bool) {
+		if member && c.Witnesses[name] == nil {
+			c.Witnesses[name] = s
+		}
+	}
+	witness("atomic-not-serial", cl.RelativelyAtomic && !cl.Serial)
+	witness("serializable-not-serial", cl.RelativelySerializable && !cl.RelativelySerial)
+	witness("serializable-not-csr", cl.RelativelySerializable && !cl.ConflictSerializable)
+	if c.WithRC {
+		witness("consistent-not-atomic", cl.RelativelyConsistent && !cl.RelativelyAtomic)
+		witness("serial-not-consistent", cl.RelativelySerial && !cl.RelativelyConsistent)
+		witness("serializable-not-consistent", cl.RelativelySerializable && !cl.RelativelyConsistent)
+	}
+
+	// Figure 5 containments.
+	if cl.Serial && !cl.RelativelyAtomic {
+		c.ContainmentViolations++
+	}
+	if cl.RelativelyAtomic && !cl.RelativelySerial {
+		c.ContainmentViolations++
+	}
+	if cl.RelativelySerial && !cl.RelativelySerializable {
+		c.ContainmentViolations++
+	}
+	if c.WithRC {
+		if cl.RelativelyAtomic && !cl.RelativelyConsistent {
+			c.ContainmentViolations++
+		}
+		if cl.RelativelyConsistent && !cl.RelativelySerializable {
+			c.ContainmentViolations++
+		}
+	}
+}
+
+// SampleCensus classifies k uniformly random interleavings instead of
+// the full space, for instances whose multinomial is out of reach. The
+// counts estimate class fractions; containments are still verified
+// pointwise on every sample.
+func SampleCensus(ts *core.TxnSet, sp *core.Spec, k int, seed int64, withRC bool) Census {
+	c := Census{WithRC: withRC, Witnesses: make(map[string]*core.Schedule)}
+	rng := rand.New(rand.NewSource(seed))
+	txns := ts.Txns()
+	for i := 0; i < k; i++ {
+		cursors := make([]int, len(txns))
+		ops := make([]core.Op, 0, ts.NumOps())
+		for len(ops) < ts.NumOps() {
+			j := rng.Intn(len(txns))
+			if cursors[j] == txns[j].Len() {
+				continue
+			}
+			ops = append(ops, txns[j].Op(cursors[j]))
+			cursors[j]++
+		}
+		s, err := core.NewSchedule(ts, ops)
+		if err != nil {
+			panic("enumerate: generated invalid sample: " + err.Error()) // unreachable
+		}
+		accumulate(&c, s, Classify(s, sp, withRC))
+	}
+	return c
+}

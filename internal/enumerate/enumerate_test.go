@@ -1,0 +1,194 @@
+package enumerate_test
+
+import (
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/enumerate"
+	"relser/internal/paperfig"
+)
+
+func TestCountMultinomial(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("a"), core.W("a")),
+		core.T(2, core.R("b"), core.W("b")),
+	)
+	// 4!/(2!*2!) = 6.
+	if got := enumerate.Count(ts); got.Int64() != 6 {
+		t.Errorf("Count = %v, want 6", got)
+	}
+	fig1 := paperfig.Figure1().Set
+	// 10!/(4!*3!*3!) = 4200.
+	if got := enumerate.Count(fig1); got.Int64() != 4200 {
+		t.Errorf("Count(fig1) = %v, want 4200", got)
+	}
+}
+
+func TestSchedulesVisitsAll(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("a"), core.W("a")),
+		core.T(2, core.R("b"), core.W("b")),
+	)
+	seen := make(map[string]bool)
+	n := enumerate.Schedules(ts, func(s *core.Schedule) bool {
+		seen[s.String()] = true
+		return true
+	})
+	if n != 6 || len(seen) != 6 {
+		t.Errorf("visited %d schedules, %d distinct; want 6", n, len(seen))
+	}
+	// Program order preserved in every schedule (NewSchedule validated
+	// it, but double-check the generator).
+	for str := range seen {
+		s, err := core.ParseSchedule(ts, str)
+		if err != nil {
+			t.Fatalf("generated schedule invalid: %v", err)
+		}
+		if s.Pos(ts.Txn(1).Op(0)) > s.Pos(ts.Txn(1).Op(1)) {
+			t.Errorf("program order violated in %s", str)
+		}
+	}
+}
+
+func TestSchedulesEarlyStop(t *testing.T) {
+	ts := core.MustTxnSet(
+		core.T(1, core.R("a"), core.W("a")),
+		core.T(2, core.R("b"), core.W("b")),
+	)
+	n := enumerate.Schedules(ts, func(*core.Schedule) bool { return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+// TestE5Fig5CensusFigure1 is experiment E5 on the Figure 1 instance:
+// the census must realize the Figure 5 containments with proper gaps.
+func TestE5Fig5CensusFigure1(t *testing.T) {
+	inst := paperfig.Figure1()
+	c := enumerate.TakeCensus(inst.Set, inst.Spec, true)
+	if c.Total != 4200 {
+		t.Fatalf("Total = %d, want 4200", c.Total)
+	}
+	if c.ContainmentViolations != 0 {
+		t.Fatalf("%d containment violations", c.ContainmentViolations)
+	}
+	if c.Serial != 6 {
+		t.Errorf("Serial = %d, want 3! = 6", c.Serial)
+	}
+	// Gaps the paper's theory predicts on this instance.
+	if !(c.Serial < c.RelativelyAtomic) {
+		t.Errorf("expected serial ⊂ RA: %d vs %d", c.Serial, c.RelativelyAtomic)
+	}
+	if !(c.RelativelyAtomic <= c.RelativelyConsistent && c.RelativelyConsistent <= c.RelativelySerializable) {
+		t.Errorf("chain RA ≤ RC ≤ RSer broken: %d, %d, %d",
+			c.RelativelyAtomic, c.RelativelyConsistent, c.RelativelySerializable)
+	}
+	if !(c.RelativelyAtomic <= c.RelativelySerial && c.RelativelySerial <= c.RelativelySerializable) {
+		t.Errorf("chain RA ≤ RS ≤ RSer broken: %d, %d, %d",
+			c.RelativelyAtomic, c.RelativelySerial, c.RelativelySerializable)
+	}
+	// Relative atomicity buys schedules beyond conflict
+	// serializability (the paper's whole point): Srs itself is
+	// relatively serializable but not CSR.
+	if c.Witnesses["serializable-not-csr"] == nil {
+		t.Error("expected a relatively serializable, non-conflict-serializable witness")
+	}
+	if w := c.Witnesses["atomic-not-serial"]; w == nil {
+		t.Error("expected a relatively atomic non-serial witness (the paper's Sra exists)")
+	} else if ok, _ := core.IsRelativelyAtomic(w, inst.Spec); !ok || w.IsSerial() {
+		t.Errorf("bad witness %s", w)
+	}
+}
+
+// TestE5Fig5CensusFigure4 verifies the Figure 4 separation inside a
+// full census: on that instance the relatively serial class strictly
+// exceeds the relatively consistent class.
+func TestE5Fig5CensusFigure4(t *testing.T) {
+	inst := paperfig.Figure4()
+	c := enumerate.TakeCensus(inst.Set, inst.Spec, true)
+	if c.ContainmentViolations != 0 {
+		t.Fatalf("%d containment violations", c.ContainmentViolations)
+	}
+	if c.Total != 2520 { // 8!/(2!^4)
+		t.Fatalf("Total = %d, want 2520", c.Total)
+	}
+	w := c.Witnesses["serial-not-consistent"]
+	if w == nil {
+		t.Fatal("Figure 4 predicts a relatively serial, non-consistent schedule")
+	}
+	if ok, _ := core.IsRelativelySerial(w, inst.Spec); !ok {
+		t.Errorf("witness %s is not relatively serial", w)
+	}
+}
+
+func TestCensusAbsoluteCollapses(t *testing.T) {
+	// Under absolute atomicity: RA = serial, RC = CSR = RSer (§2 after
+	// Lemma 1); RS may exceed serial (dependency-free interleavings are
+	// allowed by Definition 2) but stays within RSer.
+	inst := paperfig.Figure2()
+	abs := core.NewSpec(inst.Set)
+	c := enumerate.TakeCensus(inst.Set, abs, true)
+	if c.RelativelyAtomic != c.Serial {
+		t.Errorf("absolute: RA (%d) must equal serial (%d)", c.RelativelyAtomic, c.Serial)
+	}
+	if c.RelativelyConsistent != c.ConflictSerializable {
+		t.Errorf("absolute: RC (%d) must equal CSR (%d)", c.RelativelyConsistent, c.ConflictSerializable)
+	}
+	if c.RelativelySerializable != c.ConflictSerializable {
+		t.Errorf("absolute: RSer (%d) must equal CSR (%d) — Lemma 1", c.RelativelySerializable, c.ConflictSerializable)
+	}
+	if c.ContainmentViolations != 0 {
+		t.Errorf("%d containment violations", c.ContainmentViolations)
+	}
+}
+
+func TestCensusWithoutRC(t *testing.T) {
+	inst := paperfig.Figure3()
+	c := enumerate.TakeCensus(inst.Set, inst.Spec, false)
+	if c.WithRC {
+		t.Error("WithRC should be false")
+	}
+	if c.RelativelyConsistent != 0 {
+		t.Error("RC column must stay zero when disabled")
+	}
+	if c.Total == 0 || c.RelativelySerializable == 0 {
+		t.Error("census empty")
+	}
+}
+
+func TestClassifyPaperSchedules(t *testing.T) {
+	inst := paperfig.Figure1()
+	cl := enumerate.Classify(inst.Schedules["Sra"], inst.Spec, true)
+	if !cl.RelativelyAtomic || !cl.RelativelyConsistent || !cl.RelativelySerial || !cl.RelativelySerializable {
+		t.Errorf("Sra classification wrong: %+v", cl)
+	}
+	if cl.Serial {
+		t.Error("Sra is not serial")
+	}
+	cl2 := enumerate.Classify(inst.Schedules["S2"], inst.Spec, true)
+	if cl2.RelativelySerial || !cl2.RelativelySerializable {
+		t.Errorf("S2 classification wrong: %+v", cl2)
+	}
+}
+
+func TestSampleCensus(t *testing.T) {
+	inst := paperfig.Figure1()
+	c := enumerate.SampleCensus(inst.Set, inst.Spec, 200, 5, false)
+	if c.Total != 200 {
+		t.Fatalf("Total = %d", c.Total)
+	}
+	if c.ContainmentViolations != 0 {
+		t.Fatalf("%d containment violations in sample", c.ContainmentViolations)
+	}
+	// Sampled fractions should roughly track the exact census (exact:
+	// 1422/4200 ≈ 0.34 relatively serializable); allow wide tolerance.
+	frac := float64(c.RelativelySerializable) / float64(c.Total)
+	if frac < 0.15 || frac > 0.55 {
+		t.Errorf("sampled RSer fraction %.2f implausible (exact ~0.34)", frac)
+	}
+	// Deterministic for a given seed.
+	c2 := enumerate.SampleCensus(inst.Set, inst.Spec, 200, 5, false)
+	if c2.RelativelySerializable != c.RelativelySerializable {
+		t.Error("SampleCensus not deterministic for a fixed seed")
+	}
+}

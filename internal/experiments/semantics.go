@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"relser/internal/core"
+	"relser/internal/metrics"
+	"relser/internal/paperfig"
+	"relser/internal/replay"
+	"relser/internal/storage"
+)
+
+// orderSensitiveSemantics writes (sum of the transaction's reads so
+// far) + 10·txnID, so final states distinguish execution orders.
+type orderSensitiveSemantics struct{}
+
+// WriteValue implements txn.Semantics.
+func (orderSensitiveSemantics) WriteValue(prog *core.Transaction, _ int, reads map[int]storage.Value) storage.Value {
+	var sum storage.Value
+	for _, v := range reads {
+		sum += v
+	}
+	return sum + storage.Value(10*int(prog.ID))
+}
+
+// runE14 makes the relaxation's semantics tangible: replaying the
+// Figure 1 schedules with order-sensitive write semantics and
+// comparing each transaction's *observations* — the values its reads
+// returned — against every serial execution. Conflict-equivalent
+// schedules observe identically; the relatively atomic / relatively
+// serial schedules the model admits observe value combinations no
+// serial execution can produce. That divergence is the declared trade
+// of the model — the extra concurrency the user buys by asserting the
+// interleavings are semantically acceptable.
+func runE14(Options) (*Report, error) {
+	rep := &Report{}
+	inst := paperfig.Figure1()
+	initial := map[string]storage.Value{"x": 1, "y": 2, "z": 3}
+	sem := orderSensitiveSemantics{}
+
+	// Observation vectors of all 6 serial orders.
+	serialObs := map[string][]core.TxnID{}
+	perms := [][]core.TxnID{
+		{1, 2, 3}, {1, 3, 2}, {2, 1, 3}, {2, 3, 1}, {3, 1, 2}, {3, 2, 1},
+	}
+	for _, order := range perms {
+		key := observationKey(mustSerial(inst.Set, order...), sem, initial)
+		if _, seen := serialObs[key]; !seen {
+			serialObs[key] = order
+		}
+	}
+
+	tb := metrics.NewTable("Read observations under order-sensitive semantics (Figure 1)",
+		"schedule", "class", "observations", "matches a serial execution")
+	type row struct {
+		name, class string
+		s           *core.Schedule
+	}
+	rows := []row{
+		{"serial T1 T2 T3", "serial", mustSerial(inst.Set, 1, 2, 3)},
+		{"Sra", "relatively atomic", inst.Schedules["Sra"]},
+		{"Srs", "relatively serial", inst.Schedules["Srs"]},
+		{"S2", "relatively serializable", inst.Schedules["S2"]},
+	}
+	matches := map[string]bool{}
+	obs := map[string]string{}
+	for _, r := range rows {
+		key := observationKey(r.s, sem, initial)
+		_, isSerial := serialObs[key]
+		matches[r.name] = isSerial
+		obs[r.name] = key
+		tb.AddRow(r.name, r.class, key, boolMark(isSerial))
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	rep.AddClaim(matches["serial T1 T2 T3"], "a serial execution trivially matches a serial observation vector")
+	rep.AddClaim(obs["Srs"] == obs["S2"],
+		"S2 and Srs are conflict equivalent, so every transaction observes identical values in both")
+	rep.AddClaim(!matches["Srs"],
+		"Srs (relatively serial, admitted by the model) yields observations no serial execution produces (T2 sees the pre-T3 y but the post-T3 x)")
+	rep.AddClaim(!matches["Sra"],
+		"even the relatively atomic Sra diverges from every serial execution — Definition 1 correctness is the user's semantic choice, not serializability in disguise")
+	rep.AddNote("distinct serial observation vectors on this instance: %d of 6 orders", len(serialObs))
+	rep.AddNote("conflict-serializable schedules always observe exactly as their serialization order (theorem; randomized check in internal/replay tests)")
+	return rep, nil
+}
+
+// observationKey canonically renders every read's (txn, seq, value),
+// sorted by transaction and program position so vectors from different
+// interleavings compare structurally.
+func observationKey(s *core.Schedule, sem orderSensitiveSemantics, initial map[string]storage.Value) string {
+	_, events := replay.Run(s, sem, initial)
+	var reads []replay.Event
+	for _, ev := range events {
+		if ev.Op.Kind == core.ReadOp {
+			reads = append(reads, ev)
+		}
+	}
+	sort.Slice(reads, func(i, j int) bool {
+		if reads[i].Op.Txn != reads[j].Op.Txn {
+			return reads[i].Op.Txn < reads[j].Op.Txn
+		}
+		return reads[i].Op.Seq < reads[j].Op.Seq
+	})
+	out := ""
+	for _, ev := range reads {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s#%d=%d", ev.Op, ev.Op.Seq, ev.Value)
+	}
+	return out
+}
+
+func mustSerial(ts *core.TxnSet, order ...core.TxnID) *core.Schedule {
+	s, err := core.SerialSchedule(ts, order...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDenseTopoOrderLine(t *testing.T) {
+	g := NewDense(4)
+	g.AddArc(2, 1)
+	g.AddArc(1, 3)
+	g.AddArc(3, 0)
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("line graph should be acyclic")
+	}
+	want := []int{2, 1, 3, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDenseCycleDetection(t *testing.T) {
+	g := NewDense(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	if g.HasCycle() {
+		t.Fatal("acyclic graph reported cyclic")
+	}
+	g.AddArc(2, 0)
+	if !g.HasCycle() {
+		t.Fatal("3-cycle not detected")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 3 {
+		t.Fatalf("FindCycle = %v, want length 3", cyc)
+	}
+	// Verify the returned sequence really is a cycle.
+	for i := range cyc {
+		if !g.HasArc(cyc[i], cyc[(i+1)%len(cyc)]) {
+			t.Fatalf("FindCycle %v is not a cycle: missing arc %d->%d", cyc, cyc[i], cyc[(i+1)%len(cyc)])
+		}
+	}
+}
+
+func TestDenseSelfLoop(t *testing.T) {
+	g := NewDense(2)
+	g.AddArc(1, 1)
+	if !g.HasCycle() {
+		t.Fatal("self-loop not detected as cycle")
+	}
+	cyc := g.FindCycle()
+	if len(cyc) != 1 || cyc[0] != 1 {
+		t.Fatalf("FindCycle = %v, want [1]", cyc)
+	}
+}
+
+func TestDenseEmptyGraph(t *testing.T) {
+	g := NewDense(0)
+	if g.HasCycle() {
+		t.Error("empty graph reported cyclic")
+	}
+	order, ok := g.TopoOrder()
+	if !ok || len(order) != 0 {
+		t.Error("empty graph topological order should be empty")
+	}
+}
+
+func TestDenseTopoOrderDeterministic(t *testing.T) {
+	g := NewDense(5)
+	g.AddArc(4, 0)
+	// Vertices 1, 2, 3 are unconstrained: Kahn with the smallest-first
+	// tie break must order them ascending.
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("unexpected cycle")
+	}
+	want := []int{1, 2, 3, 4, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDenseTopoOrderPreferring(t *testing.T) {
+	g := NewDense(4)
+	g.AddArc(3, 1)
+	// rank reverses the default preference among ready vertices.
+	rank := []int{3, 2, 1, 0}
+	order, ok := g.TopoOrderPreferring(rank)
+	if !ok {
+		t.Fatal("unexpected cycle")
+	}
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	g.AddArc(1, 3) // close a cycle
+	if _, ok := g.TopoOrderPreferring(rank); ok {
+		t.Fatal("cycle not reported by TopoOrderPreferring")
+	}
+}
+
+func TestDenseReachable(t *testing.T) {
+	g := NewDense(6)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	g.AddArc(4, 5)
+	r := g.Reachable(0)
+	for _, v := range []int{1, 2, 3} {
+		if !r.Has(v) {
+			t.Errorf("vertex %d should be reachable from 0", v)
+		}
+	}
+	for _, v := range []int{0, 4, 5} {
+		if r.Has(v) {
+			t.Errorf("vertex %d should not be reachable from 0", v)
+		}
+	}
+}
+
+func TestDenseReachableOnCycle(t *testing.T) {
+	g := NewDense(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	r := g.Reachable(0)
+	if !r.Has(0) {
+		t.Error("a vertex on a cycle through itself should be self-reachable")
+	}
+}
+
+func TestDenseTransitiveClosureDAG(t *testing.T) {
+	g := NewDense(4)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	tc := g.TransitiveClosure()
+	wantArcs := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if tc.ArcCount() != len(wantArcs) {
+		t.Fatalf("closure has %d arcs, want %d", tc.ArcCount(), len(wantArcs))
+	}
+	for _, a := range wantArcs {
+		if !tc.HasArc(a[0], a[1]) {
+			t.Errorf("closure missing arc %v", a)
+		}
+	}
+}
+
+func TestDenseTransitiveClosureCyclic(t *testing.T) {
+	g := NewDense(3)
+	g.AddArc(0, 1)
+	g.AddArc(1, 0)
+	g.AddArc(1, 2)
+	tc := g.TransitiveClosure()
+	for _, a := range [][2]int{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}} {
+		if !tc.HasArc(a[0], a[1]) {
+			t.Errorf("closure missing arc %v", a)
+		}
+	}
+	if tc.HasArc(2, 0) {
+		t.Error("closure has spurious arc 2->0")
+	}
+}
+
+func TestDenseTransitiveClosureMatchesReachable(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(12)
+		g := NewDense(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Float64() < 0.25 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		tc := g.TransitiveClosure()
+		for u := 0; u < n; u++ {
+			r := g.Reachable(u)
+			for v := 0; v < n; v++ {
+				if tc.HasArc(u, v) != r.Has(v) {
+					t.Fatalf("trial %d: closure(%d,%d)=%v but reachable=%v", trial, u, v, tc.HasArc(u, v), r.Has(v))
+				}
+			}
+		}
+	}
+}
+
+func TestDenseArcsIteration(t *testing.T) {
+	g := NewDense(3)
+	g.AddArc(2, 0)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	var got [][2]int
+	g.Arcs(func(u, v int) bool {
+		got = append(got, [2]int{u, v})
+		return true
+	})
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	if len(got) != len(want) {
+		t.Fatalf("arcs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("arcs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDenseTopoOrderIsValid(t *testing.T) {
+	// Property: on random DAGs (arcs only low->high), TopoOrder succeeds
+	// and respects every arc.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(30)
+		g := NewDense(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.3 {
+					g.AddArc(u, v)
+				}
+			}
+		}
+		order, ok := g.TopoOrder()
+		if !ok {
+			t.Fatalf("trial %d: DAG reported cyclic", trial)
+		}
+		posOf := make([]int, n)
+		for i, v := range order {
+			posOf[v] = i
+		}
+		g.Arcs(func(u, v int) bool {
+			if posOf[u] >= posOf[v] {
+				t.Fatalf("trial %d: order violates arc %d->%d", trial, u, v)
+			}
+			return true
+		})
+	}
+}

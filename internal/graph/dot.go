@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// DotNode describes a vertex for DOT rendering.
+type DotNode struct {
+	ID    int
+	Label string
+	Attrs map[string]string // extra Graphviz attributes, e.g. "shape"
+}
+
+// DotEdge describes an arc for DOT rendering.
+type DotEdge struct {
+	From, To int
+	Label    string
+	Attrs    map[string]string // e.g. "style", "color"
+}
+
+// DotGraph accumulates nodes and edges and renders Graphviz DOT text.
+// It exists so serialization graphs, relative serialization graphs and
+// waits-for graphs can all be visualized with one code path.
+type DotGraph struct {
+	Name  string
+	Nodes []DotNode
+	Edges []DotEdge
+}
+
+// AddNode appends a vertex.
+func (d *DotGraph) AddNode(id int, label string, attrs map[string]string) {
+	d.Nodes = append(d.Nodes, DotNode{ID: id, Label: label, Attrs: attrs})
+}
+
+// AddEdge appends an arc.
+func (d *DotGraph) AddEdge(from, to int, label string, attrs map[string]string) {
+	d.Edges = append(d.Edges, DotEdge{From: from, To: to, Label: label, Attrs: attrs})
+}
+
+// WriteTo renders the graph as DOT. Output is deterministic: nodes and
+// edges appear in insertion order and attribute keys are sorted.
+func (d *DotGraph) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	name := d.Name
+	if name == "" {
+		name = "G"
+	}
+	fmt.Fprintf(&sb, "digraph %s {\n", quoteDotID(name))
+	sb.WriteString("  rankdir=LR;\n")
+	sb.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range d.Nodes {
+		fmt.Fprintf(&sb, "  n%d [label=%s%s];\n", n.ID, quoteDotID(n.Label), attrString(n.Attrs))
+	}
+	for _, e := range d.Edges {
+		fmt.Fprintf(&sb, "  n%d -> n%d", e.From, e.To)
+		var parts []string
+		if e.Label != "" {
+			parts = append(parts, "label="+quoteDotID(e.Label))
+		}
+		parts = append(parts, attrList(e.Attrs)...)
+		if len(parts) > 0 {
+			fmt.Fprintf(&sb, " [%s]", strings.Join(parts, ", "))
+		}
+		sb.WriteString(";\n")
+	}
+	sb.WriteString("}\n")
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the graph as DOT text.
+func (d *DotGraph) String() string {
+	var sb strings.Builder
+	d.WriteTo(&sb) //nolint:errcheck // strings.Builder cannot fail
+	return sb.String()
+}
+
+func attrString(attrs map[string]string) string {
+	parts := attrList(attrs)
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
+}
+
+func attrList(attrs map[string]string) []string {
+	if len(attrs) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+quoteDotID(attrs[k]))
+	}
+	return parts
+}
+
+func quoteDotID(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		if r == '"' || r == '\\' {
+			sb.WriteByte('\\')
+		}
+		sb.WriteRune(r)
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

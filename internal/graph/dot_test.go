@@ -1,0 +1,59 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDotGraphRendering(t *testing.T) {
+	var d DotGraph
+	d.Name = "RSG"
+	d.AddNode(0, "w1[x]", nil)
+	d.AddNode(1, "r2[x]", map[string]string{"color": "red"})
+	d.AddEdge(0, 1, "D", map[string]string{"style": "dashed"})
+	out := d.String()
+	for _, want := range []string{
+		`digraph "RSG" {`,
+		`n0 [label="w1[x]"];`,
+		`n1 [label="r2[x]", color="red"];`,
+		`n0 -> n1 [label="D", style="dashed"];`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDotGraphDefaultName(t *testing.T) {
+	var d DotGraph
+	if !strings.HasPrefix(d.String(), `digraph "G" {`) {
+		t.Errorf("default name not applied:\n%s", d.String())
+	}
+}
+
+func TestDotQuoting(t *testing.T) {
+	var d DotGraph
+	d.AddNode(0, `a"b\c`, nil)
+	out := d.String()
+	if !strings.Contains(out, `label="a\"b\\c"`) {
+		t.Errorf("quotes/backslashes not escaped:\n%s", out)
+	}
+}
+
+func TestDotDeterministicAttrOrder(t *testing.T) {
+	var d DotGraph
+	d.AddEdge(0, 1, "", map[string]string{"z": "1", "a": "2", "m": "3"})
+	out := d.String()
+	ia, im, iz := strings.Index(out, `a="2"`), strings.Index(out, `m="3"`), strings.Index(out, `z="1"`)
+	if ia == -1 || im == -1 || iz == -1 || !(ia < im && im < iz) {
+		t.Errorf("attributes not sorted deterministically:\n%s", out)
+	}
+}
+
+func TestDotEdgeWithoutAttrs(t *testing.T) {
+	var d DotGraph
+	d.AddEdge(2, 3, "", nil)
+	if !strings.Contains(d.String(), "n2 -> n3;") {
+		t.Errorf("bare edge rendered incorrectly:\n%s", d.String())
+	}
+}

@@ -1,0 +1,216 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrCycle is returned by Incremental.AddArc when inserting the arc
+// would create a directed cycle; the arc is not inserted.
+var ErrCycle = errors.New("graph: arc would create a cycle")
+
+// Incremental maintains a topological order of a growing DAG under arc
+// insertions (Pearce–Kelly, "A Dynamic Topological Sort Algorithm for
+// Directed Acyclic Graphs", 2006). AddArc rejects — rather than
+// inserts — arcs that would close a cycle, which is exactly the test an
+// online serialization-graph scheduler needs on its hot path.
+type Incremental struct {
+	g    *Sparse
+	ord  []int // ord[v] = position of v in the topological order
+	pos  []int // pos[i] = vertex at position i (inverse of ord)
+	mark Bitset
+}
+
+// NewIncremental returns an incremental DAG with n vertices and no
+// arcs, topologically ordered by vertex number.
+func NewIncremental(n int) *Incremental {
+	inc := &Incremental{g: NewSparse(n)}
+	inc.ord = make([]int, n)
+	inc.pos = make([]int, n)
+	for i := 0; i < n; i++ {
+		inc.ord[i] = i
+		inc.pos[i] = i
+	}
+	inc.mark = NewBitset(n)
+	return inc
+}
+
+// Len returns the number of vertices.
+func (inc *Incremental) Len() int { return inc.g.Len() }
+
+// AddVertex appends a fresh vertex (last in the current order) and
+// returns its index.
+func (inc *Incremental) AddVertex() int {
+	v := inc.g.AddVertex()
+	inc.ord = append(inc.ord, v)
+	inc.pos = append(inc.pos, v)
+	if v >= len(inc.mark)*wordBits {
+		inc.mark = append(inc.mark, 0)
+	}
+	return v
+}
+
+// HasArc reports whether the arc u -> v is present.
+func (inc *Incremental) HasArc(u, v int) bool { return inc.g.HasArc(u, v) }
+
+// ArcCount returns the number of distinct arcs.
+func (inc *Incremental) ArcCount() int { return inc.g.ArcCount() }
+
+// Order returns the current topological position of v; if u precedes v
+// in every linear extension seen so far then Order(u) < Order(v).
+func (inc *Incremental) Order(v int) int { return inc.ord[v] }
+
+// WouldCycle reports whether inserting u -> v would create a cycle,
+// without inserting it.
+func (inc *Incremental) WouldCycle(u, v int) bool {
+	if u == v {
+		return true
+	}
+	if inc.ord[u] < inc.ord[v] || inc.g.HasArc(u, v) {
+		return false
+	}
+	found, _ := inc.forwardSearch(v, inc.ord[u], u)
+	inc.clearMarks()
+	return found
+}
+
+// AddArc inserts u -> v, restoring a valid topological order. If the
+// arc would create a cycle (including u == v) it returns ErrCycle and
+// leaves the structure unchanged. Inserting an arc that is already
+// present just bumps its multiplicity.
+func (inc *Incremental) AddArc(u, v int) error {
+	if u == v {
+		return ErrCycle
+	}
+	if inc.g.HasArc(u, v) || inc.ord[u] < inc.ord[v] {
+		inc.g.AddArc(u, v)
+		return nil
+	}
+	// Affected region: positions (ord[v] .. ord[u]).
+	lb, ub := inc.ord[v], inc.ord[u]
+	found, deltaF := inc.forwardSearch(v, ub, u)
+	if found {
+		inc.clearMarks()
+		return ErrCycle
+	}
+	deltaB := inc.backwardSearch(u, lb)
+	inc.reorder(deltaF, deltaB)
+	inc.clearMarks()
+	inc.g.AddArc(u, v)
+	return nil
+}
+
+// RemoveArc removes one multiplicity of u -> v. The topological order
+// remains valid (removal can only relax constraints).
+func (inc *Incremental) RemoveArc(u, v int) { inc.g.RemoveArc(u, v) }
+
+// IsolateVertex removes all arcs incident to v. The vertex keeps its
+// position; the order remains valid.
+func (inc *Incremental) IsolateVertex(v int) { inc.g.IsolateVertex(v) }
+
+// Successors returns the successors of u in ascending vertex order.
+func (inc *Incremental) Successors(u int) []int { return inc.g.Successors(u) }
+
+// InDegree returns the number of distinct predecessors of u.
+func (inc *Incremental) InDegree(u int) int { return inc.g.InDegree(u) }
+
+// OutDegree returns the number of distinct successors of u.
+func (inc *Incremental) OutDegree(u int) int { return inc.g.OutDegree(u) }
+
+// Predecessors returns the predecessors of u in ascending vertex order.
+func (inc *Incremental) Predecessors(u int) []int { return inc.g.Predecessors(u) }
+
+// forwardSearch explores forward from start over vertices with order
+// <= ub, marking visited vertices. It reports whether target was
+// reached and returns the visited set (excluding target).
+func (inc *Incremental) forwardSearch(start, ub, target int) (bool, []int) {
+	var visited []int
+	stack := []int{start}
+	inc.mark.Set(start)
+	visited = append(visited, start)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range inc.g.Successors(w) {
+			if s == target {
+				return true, visited
+			}
+			if inc.ord[s] <= ub && !inc.mark.Has(s) {
+				inc.mark.Set(s)
+				visited = append(visited, s)
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false, visited
+}
+
+// backwardSearch explores backward from start over vertices with order
+// >= lb, marking and returning visited vertices.
+func (inc *Incremental) backwardSearch(start, lb int) []int {
+	var visited []int
+	stack := []int{start}
+	inc.mark.Set(start)
+	visited = append(visited, start)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range inc.g.Predecessors(w) {
+			if inc.ord[p] >= lb && !inc.mark.Has(p) {
+				inc.mark.Set(p)
+				visited = append(visited, p)
+				stack = append(stack, p)
+			}
+		}
+	}
+	return visited
+}
+
+// reorder reassigns the positions occupied by deltaB ∪ deltaF so that
+// every vertex of deltaB precedes every vertex of deltaF, preserving
+// the relative order within each set.
+func (inc *Incremental) reorder(deltaF, deltaB []int) {
+	sort.Slice(deltaF, func(i, j int) bool { return inc.ord[deltaF[i]] < inc.ord[deltaF[j]] })
+	sort.Slice(deltaB, func(i, j int) bool { return inc.ord[deltaB[i]] < inc.ord[deltaB[j]] })
+	merged := make([]int, 0, len(deltaF)+len(deltaB))
+	merged = append(merged, deltaB...)
+	merged = append(merged, deltaF...)
+	slots := make([]int, 0, len(merged))
+	for _, v := range merged {
+		slots = append(slots, inc.ord[v])
+	}
+	sort.Ints(slots)
+	for i, v := range merged {
+		inc.ord[v] = slots[i]
+		inc.pos[slots[i]] = v
+	}
+}
+
+func (inc *Incremental) clearMarks() { inc.mark.Reset() }
+
+// TopoOrder returns the maintained topological order as a vertex slice.
+func (inc *Incremental) TopoOrder() []int {
+	out := make([]int, len(inc.pos))
+	copy(out, inc.pos)
+	return out
+}
+
+// Verify checks the internal invariants (ord/pos inverse bijection,
+// every arc forward in the order). It is used by tests and is cheap
+// enough to call in debug builds.
+func (inc *Incremental) Verify() error {
+	for v, o := range inc.ord {
+		if inc.pos[o] != v {
+			return errors.New("graph: ord/pos bijection broken")
+		}
+	}
+	n := inc.g.Len()
+	for u := 0; u < n; u++ {
+		for _, v := range inc.g.Successors(u) {
+			if inc.ord[u] >= inc.ord[v] {
+				return errors.New("graph: arc violates maintained topological order")
+			}
+		}
+	}
+	return nil
+}

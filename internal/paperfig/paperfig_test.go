@@ -1,0 +1,73 @@
+package paperfig_test
+
+import (
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/paperfig"
+)
+
+func TestAllFixturesWellFormed(t *testing.T) {
+	named := paperfig.All()
+	if len(named) != 4 {
+		t.Fatalf("expected 4 figures, got %d", len(named))
+	}
+	wantNames := []string{"fig1", "fig2", "fig3", "fig4"}
+	for i, n := range named {
+		if n.Name != wantNames[i] {
+			t.Errorf("figure %d named %q", i, n.Name)
+		}
+		if n.Title == "" {
+			t.Errorf("%s: empty title", n.Name)
+		}
+		inst := n.Instance
+		if inst.Set == nil || inst.Spec == nil || len(inst.Schedules) == 0 {
+			t.Fatalf("%s: incomplete instance", n.Name)
+		}
+		if len(inst.Names) != len(inst.Schedules) {
+			t.Errorf("%s: Names/Schedules mismatch", n.Name)
+		}
+		for _, name := range inst.Names {
+			s := inst.Schedules[name]
+			if s == nil {
+				t.Fatalf("%s: schedule %q missing", n.Name, name)
+			}
+			// Every fixture schedule is a valid complete interleaving
+			// (round-trip through the parser as a sanity check).
+			if _, err := core.ParseSchedule(inst.Set, s.String()); err != nil {
+				t.Errorf("%s/%s: %v", n.Name, name, err)
+			}
+		}
+	}
+}
+
+func TestFixtureIndependence(t *testing.T) {
+	// Each call returns an independent instance: mutating one spec must
+	// not leak into the next.
+	a := paperfig.Figure1()
+	if err := a.Spec.AllowAll(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	b := paperfig.Figure1()
+	if b.Spec.NumUnits(1, 2) != 2 {
+		t.Error("Figure1 instances share specification state")
+	}
+}
+
+func TestFigureSchedulesMatchPaperText(t *testing.T) {
+	fig1 := paperfig.Figure1()
+	want := map[string]string{
+		"Sra": "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]",
+		"Srs": "r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]",
+		"S2":  "r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]",
+	}
+	for name, text := range want {
+		if got := fig1.Schedules[name].String(); got != text {
+			t.Errorf("%s = %q, want the paper's %q", name, got, text)
+		}
+	}
+	fig4 := paperfig.Figure4()
+	if got := fig4.Schedules["S"].String(); got != "w4[x] w3[t] w4[t] w1[x] w1[y] w2[z] w2[y] w3[z]" {
+		t.Errorf("Figure 4 S = %q", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Package replay executes a concrete schedule — in exactly its given
+// interleaving — against a fresh store with caller-supplied write
+// semantics, yielding the final database state and the per-operation
+// values. It is the semantic microscope of the module: where the
+// classes of internal/core say which interleavings are *admissible*,
+// replay shows what an interleaving *does* to the data.
+//
+// Two facts it makes tangible (experiment E14):
+//
+//   - conflict-equivalent schedules produce identical states (conflict
+//     equivalence preserves reads-from, hence every computed write);
+//   - relatively serializable schedules may produce states that no
+//     serial execution produces — the paper's relaxation is semantically
+//     real, and accepting it is exactly the user's declared intent.
+package replay
+
+import (
+	"fmt"
+	"sort"
+
+	"relser/internal/core"
+	"relser/internal/storage"
+	"relser/internal/txn"
+)
+
+// Event records one executed operation and the value it read or wrote.
+type Event struct {
+	Op    core.Op
+	Value storage.Value
+}
+
+// Run executes the schedule in order. Writes compute their values via
+// sem from the values the same transaction has read so far; reads
+// return the current store value.
+func Run(s *core.Schedule, sem txn.Semantics, initial map[string]storage.Value) (*storage.Store, []Event) {
+	if sem == nil {
+		sem = txn.DefaultSemantics{}
+	}
+	store := storage.NewStore()
+	store.Load(initial)
+	reads := make(map[core.TxnID]map[int]storage.Value)
+	events := make([]Event, 0, s.Len())
+	ts := s.Set()
+	for pos := 0; pos < s.Len(); pos++ {
+		op := s.At(pos)
+		if reads[op.Txn] == nil {
+			reads[op.Txn] = make(map[int]storage.Value)
+		}
+		var v storage.Value
+		if op.Kind == core.ReadOp {
+			v = store.Read(op.Object).Value
+			reads[op.Txn][op.Seq] = v
+		} else {
+			v = sem.WriteValue(ts.Txn(op.Txn), op.Seq, reads[op.Txn])
+			store.Write(op.Object, v)
+		}
+		events = append(events, Event{Op: op, Value: v})
+	}
+	return store, events
+}
+
+// FinalState replays the schedule and returns the snapshot.
+func FinalState(s *core.Schedule, sem txn.Semantics, initial map[string]storage.Value) map[string]storage.Value {
+	store, _ := Run(s, sem, initial)
+	return store.Snapshot()
+}
+
+// StateKey renders a snapshot canonically so states can be compared
+// and used as map keys.
+func StateKey(snapshot map[string]storage.Value) string {
+	names := make([]string, 0, len(snapshot))
+	for name := range snapshot {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, name := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", name, snapshot[name])
+	}
+	return out
+}
+
+// SerialStates replays every serial order of the set and returns the
+// distinct final states keyed by StateKey, with one witnessing order
+// each. The enumeration is factorial; intended for paper-sized sets.
+func SerialStates(ts *core.TxnSet, sem txn.Semantics, initial map[string]storage.Value) map[string][]core.TxnID {
+	ids := make([]core.TxnID, 0, ts.NumTxns())
+	for _, t := range ts.Txns() {
+		ids = append(ids, t.ID)
+	}
+	out := make(map[string][]core.TxnID)
+	var rec func(prefix []core.TxnID, remaining []core.TxnID)
+	rec = func(prefix, remaining []core.TxnID) {
+		if len(remaining) == 0 {
+			s, err := core.SerialSchedule(ts, prefix...)
+			if err != nil {
+				panic(err) // unreachable: permutation of valid IDs
+			}
+			key := StateKey(FinalState(s, sem, initial))
+			if _, seen := out[key]; !seen {
+				out[key] = append([]core.TxnID(nil), prefix...)
+			}
+			return
+		}
+		for i := range remaining {
+			next := append(prefix, remaining[i])
+			rest := make([]core.TxnID, 0, len(remaining)-1)
+			rest = append(rest, remaining[:i]...)
+			rest = append(rest, remaining[i+1:]...)
+			rec(next, rest)
+		}
+	}
+	rec(nil, ids)
+	return out
+}

@@ -1,0 +1,321 @@
+package sched
+
+import (
+	"fmt"
+
+	"relser/internal/core"
+	"relser/internal/graph"
+)
+
+// RSGT is relative serialization graph testing — the concurrency
+// control protocol §3 of the paper proposes on top of its graph tool.
+// It maintains the relative serialization graph (Definition 3)
+// incrementally as operations execute:
+//
+//   - at Begin, the instance's operations become vertices connected by
+//     I-arcs (the program, and hence every atomic-unit boundary, is
+//     declared up front);
+//   - at Request, the operation's depends-on predecessors are computed
+//     (same covering-set dynamic program as the offline checker), and
+//     for every cross-transaction dependency u -> v the D-arc plus its
+//     induced F-arc (PushForward(u, txn(v)) -> v) and B-arc
+//     (u -> PullBackward(v, txn(u))) are inserted;
+//   - if any insertion would close a cycle, the request is rejected
+//     with Abort: execution has already fixed the offending dependency
+//     order, so no amount of waiting can remove the cycle (arcs are
+//     only ever removed by pruning committed source transactions, which
+//     by definition are not on cycles).
+//
+// By Theorem 1, the admitted execution is relatively serializable at
+// every prefix.
+//
+// Relative atomicity specifications come from an AtomicityOracle,
+// queried lazily per ordered pair of live instances and memoized.
+type RSGT struct {
+	oracle AtomicityOracle
+	g      *graph.Incremental
+
+	insts map[int64]*rsgtInst
+	// committed retains instances whose vertices are still in the
+	// graph after commit (prune candidates).
+	committedStatus map[int64]bool
+
+	// Execution-order dependency tracking (exec indices are dense over
+	// executed operations).
+	execInfo []execOp
+	deps     []graph.Bitset // deps[e] = exec indices op e depends on
+	objHist  map[string][]int
+
+	// pairCuts memoizes oracle answers per ordered instance pair.
+	pairCuts map[[2]int64][]int
+}
+
+type rsgtInst struct {
+	program  *core.Transaction
+	vertices []int // seq -> graph vertex
+	lastExec int   // exec index of the instance's most recent op, -1 if none
+	executed int   // number of executed ops
+}
+
+type execOp struct {
+	instance int64
+	seq      int
+	op       core.Op
+	vertex   int
+}
+
+// NewRSGT returns the paper's protocol under the given specification
+// oracle.
+func NewRSGT(oracle AtomicityOracle) *RSGT {
+	return &RSGT{
+		oracle:          oracle,
+		g:               graph.NewIncremental(0),
+		insts:           make(map[int64]*rsgtInst),
+		committedStatus: make(map[int64]bool),
+		objHist:         make(map[string][]int),
+		pairCuts:        make(map[[2]int64][]int),
+	}
+}
+
+// Name implements Protocol.
+func (p *RSGT) Name() string { return "rsgt" }
+
+// Begin implements Protocol: materialize the program's vertices and
+// I-arcs.
+func (p *RSGT) Begin(instance int64, program *core.Transaction) {
+	if _, ok := p.insts[instance]; ok {
+		return
+	}
+	inst := &rsgtInst{program: program, lastExec: -1}
+	inst.vertices = make([]int, program.Len())
+	for seq := range inst.vertices {
+		inst.vertices[seq] = p.g.AddVertex()
+	}
+	for seq := 0; seq+1 < program.Len(); seq++ {
+		if err := p.g.AddArc(inst.vertices[seq], inst.vertices[seq+1]); err != nil {
+			panic(fmt.Sprintf("sched: I-arc on fresh vertices cycled: %v", err)) // unreachable
+		}
+	}
+	p.insts[instance] = inst
+}
+
+// Request implements Protocol.
+func (p *RSGT) Request(req OpRequest) Decision {
+	inst := p.insts[req.Instance]
+	if inst == nil {
+		panic(fmt.Sprintf("sched: Request for unknown instance %d", req.Instance))
+	}
+	if req.Seq != inst.executed {
+		panic(fmt.Sprintf("sched: instance %d requested seq %d, expected %d", req.Instance, req.Seq, inst.executed))
+	}
+	// Depends-on set of the new operation: covering predecessors are
+	// the instance's previous op, the last relevant write, and (for
+	// writes) the reads since it.
+	depSet := graph.NewBitset(len(p.execInfo))
+	absorb := func(e int) {
+		// Earlier dependency sets are shorter (capacities grow with the
+		// execution); union into the matching prefix.
+		src := p.deps[e]
+		depSet[:len(src)].UnionWith(src)
+		depSet.Set(e)
+	}
+	if inst.lastExec >= 0 {
+		absorb(inst.lastExec)
+	}
+	hist := p.objHist[req.Op.Object]
+	for i := len(hist) - 1; i >= 0; i-- {
+		e := hist[i]
+		info := p.execInfo[e]
+		if p.insts[info.instance] == nil && !p.committedStatus[info.instance] {
+			continue // aborted
+		}
+		if info.op.Kind == core.WriteOp {
+			absorb(e)
+			break
+		}
+		if req.Op.Kind == core.WriteOp {
+			absorb(e)
+		}
+	}
+
+	// Tentatively add the D/F/B arcs for every cross-transaction
+	// dependency.
+	v := inst.vertices[req.Seq]
+	var added [][2]int
+	rollback := func() {
+		for _, a := range added {
+			p.g.RemoveArc(a[0], a[1])
+		}
+	}
+	ok := true
+	depSet.ForEach(func(e int) bool {
+		info := p.execInfo[e]
+		if info.instance == req.Instance {
+			return true
+		}
+		src := p.insts[info.instance]
+		if src == nil {
+			// Committed-and-pruned source: its vertices are graph
+			// sources, so arcs from them can never close a cycle.
+			// Aborted sources can appear transitively (a live op that
+			// depended on a later-aborted op keeps the dependency —
+			// conservative: may cost an extra abort, never admits an
+			// incorrect schedule). Either way, no arc to add.
+			return true
+		}
+		u := src.vertices[info.seq]
+		// D-arc u -> v.
+		if !p.addArc(u, v, &added) {
+			ok = false
+			return false
+		}
+		// F-arc PushForward(u, txn(v)) -> v.
+		fu := src.vertices[p.pushForward(info.instance, src, req.Instance, info.seq)]
+		if !p.addArc(fu, v, &added) {
+			ok = false
+			return false
+		}
+		// B-arc u -> PullBackward(v, txn(u)).
+		bv := inst.vertices[p.pullBackward(req.Instance, inst, info.instance, req.Seq)]
+		if !p.addArc(u, bv, &added) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		rollback()
+		return Abort
+	}
+
+	// Admission: record execution.
+	e := len(p.execInfo)
+	p.execInfo = append(p.execInfo, execOp{instance: req.Instance, seq: req.Seq, op: req.Op, vertex: v})
+	p.deps = append(p.deps, depSet)
+	p.objHist[req.Op.Object] = append(hist, e)
+	inst.lastExec = e
+	inst.executed++
+	return Grant
+}
+
+// addArc inserts u -> v unless it already is implied (u == v) and
+// records it for rollback; it reports false on a cycle.
+func (p *RSGT) addArc(u, v int, added *[][2]int) bool {
+	if u == v {
+		return true
+	}
+	if err := p.g.AddArc(u, v); err != nil {
+		return false
+	}
+	*added = append(*added, [2]int{u, v})
+	return true
+}
+
+// pushForward returns the sequence of the last operation of the atomic
+// unit of src's program containing seq, relative to the observer
+// instance.
+func (p *RSGT) pushForward(srcInst int64, src *rsgtInst, obsInst int64, seq int) int {
+	cuts := p.cuts(srcInst, src, obsInst)
+	_, end := unitBounds(cuts, src.program.Len(), seq)
+	return end
+}
+
+// pullBackward returns the sequence of the first operation of the
+// atomic unit of dst's program containing seq, relative to the
+// observer instance.
+func (p *RSGT) pullBackward(dstInst int64, dst *rsgtInst, obsInst int64, seq int) int {
+	cuts := p.cuts(dstInst, dst, obsInst)
+	start, _ := unitBounds(cuts, dst.program.Len(), seq)
+	return start
+}
+
+// cuts memoizes oracle lookups. The observer is identified by its
+// program; pruned observers keep their memoized entry harmlessly.
+func (p *RSGT) cuts(aInst int64, a *rsgtInst, bInst int64) []int {
+	key := [2]int64{aInst, bInst}
+	if c, ok := p.pairCuts[key]; ok {
+		return c
+	}
+	b := p.insts[bInst]
+	if b == nil {
+		return nil
+	}
+	c := p.oracle.Cuts(a.program, b.program)
+	p.pairCuts[key] = c
+	return c
+}
+
+// CanCommit implements Protocol.
+func (p *RSGT) CanCommit(int64) bool { return true }
+
+// Commit implements Protocol.
+func (p *RSGT) Commit(instance int64) {
+	if _, ok := p.insts[instance]; !ok {
+		return
+	}
+	p.committedStatus[instance] = true
+	p.prune()
+}
+
+// Abort implements Protocol: drop the instance's vertices from the
+// graph. Its executed operations remain in the dependency tracking as
+// dead entries (skipped during source discovery); the driver undoes
+// their store effects and cascades dependents.
+func (p *RSGT) Abort(instance int64) {
+	inst := p.insts[instance]
+	if inst == nil {
+		return
+	}
+	for _, v := range inst.vertices {
+		p.g.IsolateVertex(v)
+	}
+	delete(p.insts, instance)
+	p.prune()
+}
+
+// prune removes committed instances none of whose vertices has an
+// incoming arc from another instance: new arcs always terminate at
+// live requesters (or their unit boundaries), so a committed source
+// can never rejoin a cycle.
+func (p *RSGT) prune() {
+	for {
+		removed := false
+		for _, instID := range sortedInstances(p.insts) {
+			if !p.committedStatus[instID] {
+				continue
+			}
+			inst := p.insts[instID]
+			clean := true
+			for _, v := range inst.vertices {
+				for _, u := range p.g.Predecessors(v) {
+					if !containsVertex(inst.vertices, u) {
+						clean = false
+						break
+					}
+				}
+				if !clean {
+					break
+				}
+			}
+			if clean {
+				for _, v := range inst.vertices {
+					p.g.IsolateVertex(v)
+				}
+				delete(p.insts, instID)
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func containsVertex(vs []int, v int) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

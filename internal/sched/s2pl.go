@@ -1,0 +1,171 @@
+package sched
+
+import (
+	"relser/internal/core"
+	"relser/internal/graph"
+)
+
+// S2PL is strict two-phase locking: a transaction acquires a shared
+// lock before reading and an exclusive lock before writing, holds all
+// locks until commit or abort, and is aborted when its wait would close
+// a cycle in the waits-for graph (deadlock; the requester is the
+// victim).
+type S2PL struct {
+	locks map[string]*lockState
+	// nodeOf maps instances to waits-for graph vertices.
+	nodeOf map[int64]int
+	insts  []int64 // vertex -> instance
+	waits  *graph.Sparse
+	// waitingOn[instance] lists the instances it currently waits for,
+	// so edges can be withdrawn when the request is granted or the
+	// waiter dies.
+	waitingOn map[int64][]int64
+	held      map[int64][]string // instance -> objects it holds locks on
+}
+
+type lockState struct {
+	// readers holds shared-lock holders; writer is the exclusive
+	// holder (0 when none). An instance may appear in readers and as
+	// the writer during an upgrade.
+	readers map[int64]bool
+	writer  int64
+}
+
+// NewS2PL returns a strict two-phase locking protocol.
+func NewS2PL() *S2PL {
+	return &S2PL{
+		locks:     make(map[string]*lockState),
+		nodeOf:    make(map[int64]int),
+		waits:     graph.NewSparse(0),
+		waitingOn: make(map[int64][]int64),
+		held:      make(map[int64][]string),
+	}
+}
+
+// Name implements Protocol.
+func (p *S2PL) Name() string { return "s2pl" }
+
+// Begin implements Protocol.
+func (p *S2PL) Begin(instance int64, _ *core.Transaction) {
+	if _, ok := p.nodeOf[instance]; !ok {
+		p.nodeOf[instance] = p.waits.AddVertex()
+		p.insts = append(p.insts, instance)
+	}
+}
+
+// Request implements Protocol: grant if the needed lock is compatible
+// with current holders; otherwise install waits-for edges and either
+// block or, if that closes a cycle, abort the requester.
+func (p *S2PL) Request(req OpRequest) Decision {
+	st := p.lock(req.Op.Object)
+	blockers := p.conflictingHolders(st, req)
+	if len(blockers) == 0 {
+		p.clearWaits(req.Instance)
+		p.acquire(st, req)
+		return Grant
+	}
+	p.clearWaits(req.Instance)
+	me := p.nodeOf[req.Instance]
+	for _, b := range blockers {
+		p.waits.AddArc(me, p.nodeOf[b])
+		p.waitingOn[req.Instance] = append(p.waitingOn[req.Instance], b)
+	}
+	if cyc := p.waits.FindCycleFrom(me); cyc != nil {
+		// Deadlock: the requester is the victim. Its waits edges go
+		// away now; locks are released by the driver's Abort call.
+		p.clearWaits(req.Instance)
+		return Abort
+	}
+	return Block
+}
+
+// conflictingHolders returns the instances whose locks block req,
+// sorted for determinism.
+func (p *S2PL) conflictingHolders(st *lockState, req OpRequest) []int64 {
+	var out []int64
+	if req.Op.Kind == core.ReadOp {
+		if st.writer != 0 && st.writer != req.Instance {
+			out = append(out, st.writer)
+		}
+		return out
+	}
+	if st.writer != 0 && st.writer != req.Instance {
+		out = append(out, st.writer)
+	}
+	for r := range st.readers {
+		if r != req.Instance {
+			out = append(out, r)
+		}
+	}
+	sortInt64s(out)
+	return out
+}
+
+func (p *S2PL) acquire(st *lockState, req OpRequest) {
+	if req.Op.Kind == core.ReadOp {
+		if !st.readers[req.Instance] {
+			st.readers[req.Instance] = true
+			p.held[req.Instance] = append(p.held[req.Instance], req.Op.Object)
+		}
+		return
+	}
+	if st.writer != req.Instance {
+		st.writer = req.Instance
+		p.held[req.Instance] = append(p.held[req.Instance], req.Op.Object)
+	}
+}
+
+// CanCommit implements Protocol.
+func (p *S2PL) CanCommit(int64) bool { return true }
+
+// Commit implements Protocol.
+func (p *S2PL) Commit(instance int64) { p.release(instance) }
+
+// Abort implements Protocol.
+func (p *S2PL) Abort(instance int64) { p.release(instance) }
+
+func (p *S2PL) release(instance int64) {
+	for _, obj := range p.held[instance] {
+		st := p.locks[obj]
+		delete(st.readers, instance)
+		if st.writer == instance {
+			st.writer = 0
+		}
+	}
+	delete(p.held, instance)
+	p.clearWaits(instance)
+	if v, ok := p.nodeOf[instance]; ok {
+		p.waits.IsolateVertex(v)
+	}
+	delete(p.nodeOf, instance)
+}
+
+func (p *S2PL) clearWaits(instance int64) {
+	me, ok := p.nodeOf[instance]
+	if !ok {
+		return
+	}
+	for _, b := range p.waitingOn[instance] {
+		if n, alive := p.nodeOf[b]; alive && p.waits.HasArc(me, n) {
+			p.waits.RemoveArc(me, n)
+		}
+	}
+	delete(p.waitingOn, instance)
+}
+
+func (p *S2PL) lock(object string) *lockState {
+	st, ok := p.locks[object]
+	if !ok {
+		st = &lockState{readers: make(map[int64]bool)}
+		p.locks[object] = st
+	}
+	return st
+}
+
+func sortInt64s(s []int64) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"relser/internal/core"
+	"relser/internal/graph"
+)
+
+// SGT is classical serialization graph testing [Bad79, Cas81]: one
+// vertex per transaction instance, an arc Ti -> Tk whenever an
+// operation of Ti conflicts with and precedes an operation of Tk, and
+// an abort whenever admitting an operation would close a cycle.
+// Committed vertices are pruned once they have no predecessors (only
+// then can they never rejoin a cycle).
+type SGT struct {
+	g      *graph.Incremental
+	nodeOf map[int64]int
+	status map[int64]byte // live, committed
+	// objs tracks per-object access history at transaction granularity
+	// for conflict-source discovery; dead (aborted) entries are
+	// skipped lazily.
+	objs map[string]*objHistory
+}
+
+const (
+	instLive byte = iota
+	instCommitted
+)
+
+type objHistory struct {
+	entries []objAccess
+}
+
+type objAccess struct {
+	instance int64
+	kind     core.OpKind
+}
+
+// NewSGT returns a serialization-graph-testing protocol.
+func NewSGT() *SGT {
+	return &SGT{
+		g:      graph.NewIncremental(0),
+		nodeOf: make(map[int64]int),
+		status: make(map[int64]byte),
+		objs:   make(map[string]*objHistory),
+	}
+}
+
+// Name implements Protocol.
+func (p *SGT) Name() string { return "sgt" }
+
+// Begin implements Protocol.
+func (p *SGT) Begin(instance int64, _ *core.Transaction) {
+	if _, ok := p.nodeOf[instance]; !ok {
+		p.nodeOf[instance] = p.g.AddVertex()
+		p.status[instance] = instLive
+	}
+}
+
+// Request implements Protocol: add the conflict arcs the operation
+// induces; on a cycle, abort the requester (its conflict order is
+// fixed by execution, so blocking can never help).
+func (p *SGT) Request(req OpRequest) Decision {
+	sources := p.conflictSources(req)
+	me := p.nodeOf[req.Instance]
+	var added [][2]int
+	for _, src := range sources {
+		n, ok := p.nodeOf[src]
+		if !ok {
+			continue // pruned committed source: cannot be on a cycle
+		}
+		if n == me {
+			continue
+		}
+		if err := p.g.AddArc(n, me); err != nil {
+			for _, a := range added {
+				p.g.RemoveArc(a[0], a[1])
+			}
+			return Abort
+		}
+		added = append(added, [2]int{n, me})
+	}
+	// Record the access only after admission.
+	h := p.history(req.Op.Object)
+	h.entries = append(h.entries, objAccess{instance: req.Instance, kind: req.Op.Kind})
+	return Grant
+}
+
+// conflictSources returns the instances whose prior accesses conflict
+// with req, reduced to a covering set: the most recent live write plus
+// every live read after it (for writes), or just the most recent live
+// write (for reads). Transitivity through write-write chains makes
+// the reduction cycle-equivalent to the full arc set.
+func (p *SGT) conflictSources(req OpRequest) []int64 {
+	h := p.objs[req.Op.Object]
+	if h == nil {
+		return nil
+	}
+	var out []int64
+	seen := make(map[int64]bool)
+	for i := len(h.entries) - 1; i >= 0; i-- {
+		e := h.entries[i]
+		if _, alive := p.nodeOf[e.instance]; !alive && p.status[e.instance] != instCommitted {
+			continue // aborted
+		}
+		if e.kind == core.WriteOp {
+			if !seen[e.instance] {
+				out = append(out, e.instance)
+			}
+			return out // everything earlier is covered transitively
+		}
+		// Reads only matter for an incoming write.
+		if req.Op.Kind == core.WriteOp && !seen[e.instance] {
+			seen[e.instance] = true
+			out = append(out, e.instance)
+		}
+	}
+	return out
+}
+
+// CanCommit implements Protocol.
+func (p *SGT) CanCommit(int64) bool { return true }
+
+// Commit implements Protocol.
+func (p *SGT) Commit(instance int64) {
+	p.status[instance] = instCommitted
+	p.prune()
+}
+
+// Abort implements Protocol.
+func (p *SGT) Abort(instance int64) {
+	if v, ok := p.nodeOf[instance]; ok {
+		p.g.IsolateVertex(v)
+	}
+	delete(p.nodeOf, instance)
+	delete(p.status, instance)
+	p.prune()
+}
+
+// prune removes committed instances with no incoming arcs; such
+// instances can never participate in a future cycle because new arcs
+// only ever terminate at live requesters.
+func (p *SGT) prune() {
+	for {
+		removed := false
+		for _, inst := range sortedInstances(p.nodeOf) {
+			if p.status[inst] != instCommitted {
+				continue
+			}
+			v := p.nodeOf[inst]
+			if p.g.InDegree(v) == 0 {
+				p.g.IsolateVertex(v)
+				delete(p.nodeOf, inst)
+				// Keep the committed status so history entries still
+				// count as valid conflict sources (they are skipped as
+				// "pruned" in Request via the nodeOf check).
+				removed = true
+			}
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+func (p *SGT) history(object string) *objHistory {
+	h, ok := p.objs[object]
+	if !ok {
+		h = &objHistory{}
+		p.objs[object] = h
+	}
+	return h
+}

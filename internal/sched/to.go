@@ -1,0 +1,76 @@
+package sched
+
+import (
+	"relser/internal/core"
+)
+
+// TO is basic timestamp ordering [RSL78], included as an additional
+// classical baseline: every transaction instance carries a timestamp
+// (its monotonically increasing instance number), and an operation is
+// admitted only if it does not arrive "late" with respect to
+// higher-timestamped accesses already executed on its object. All
+// conflicting operation pairs therefore execute in timestamp order, so
+// the serialization graph's arcs ascend timestamps and the emitted
+// executions are conflict serializable.
+//
+// Late operations abort their transaction (restart assigns a fresh,
+// higher timestamp). There is no Thomas write rule: writes are applied
+// in place by the runtime, so silently skipping an outdated write is
+// not available.
+type TO struct {
+	objects map[string]*toState
+}
+
+type toState struct {
+	maxRead  int64
+	maxWrite int64
+}
+
+// NewTO returns a basic timestamp-ordering protocol.
+func NewTO() *TO {
+	return &TO{objects: make(map[string]*toState)}
+}
+
+// Name implements Protocol.
+func (p *TO) Name() string { return "to" }
+
+// Begin implements Protocol. Timestamps are the instance numbers the
+// runtime assigns, which are globally monotonic across restarts.
+func (p *TO) Begin(int64, *core.Transaction) {}
+
+// Request implements Protocol.
+func (p *TO) Request(req OpRequest) Decision {
+	st := p.objects[req.Op.Object]
+	if st == nil {
+		st = &toState{}
+		p.objects[req.Op.Object] = st
+	}
+	ts := req.Instance
+	if req.Op.Kind == core.ReadOp {
+		if st.maxWrite > ts {
+			return Abort // a younger transaction already wrote the object
+		}
+		if ts > st.maxRead {
+			st.maxRead = ts
+		}
+		return Grant
+	}
+	if st.maxRead > ts || st.maxWrite > ts {
+		return Abort // a younger transaction already read or wrote it
+	}
+	st.maxWrite = ts
+	return Grant
+}
+
+// CanCommit implements Protocol.
+func (p *TO) CanCommit(int64) bool { return true }
+
+// Commit implements Protocol. Timestamps are retained conservatively;
+// they only ever tighten admission.
+func (p *TO) Commit(int64) {}
+
+// Abort implements Protocol. The victim's timestamp marks persist —
+// basic T/O does not rewind object timestamps, which is conservative
+// (it may abort a later reader that would have been safe) but never
+// admits an out-of-order conflict.
+func (p *TO) Abort(int64) {}

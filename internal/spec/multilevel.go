@@ -1,0 +1,372 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"relser/internal/core"
+)
+
+// Node is one vertex of a multilevel atomicity hierarchy [Lyn83].
+// Leaves carry a transaction ID; internal nodes group subtrees. The
+// deeper the lowest common ancestor of two transactions, the finer the
+// atomic units they present to each other.
+type Node struct {
+	// Txn is the transaction at this leaf; zero for internal nodes.
+	Txn core.TxnID
+	// Children are the subtrees of an internal node.
+	Children []*Node
+	// Name optionally labels the node for diagnostics ("team-A").
+	Name string
+}
+
+// Leaf returns a leaf node for the transaction.
+func Leaf(id core.TxnID) *Node { return &Node{Txn: id} }
+
+// Group returns an internal node over the given subtrees.
+func Group(name string, children ...*Node) *Node {
+	return &Node{Name: name, Children: children}
+}
+
+// Multilevel is a complete multilevel atomicity specification: a
+// hierarchy over the transaction set plus, for every transaction, its
+// unit boundaries ("breakpoints") at each depth of its root path.
+// Boundaries must be nested: the cut set at depth d+1 contains the cut
+// set at depth d (closer relatives may interleave at least as freely).
+type Multilevel struct {
+	Set  *core.TxnSet
+	Root *Node
+	// Cuts[id][d] lists Ti's unit boundaries exposed to transactions
+	// whose lowest common ancestor with Ti sits at depth d (root = 0).
+	// A missing entry means no boundaries (single atomic unit).
+	Cuts map[core.TxnID][][]int
+}
+
+// Compile checks the hierarchy and nesting constraints and produces
+// the equivalent general relative atomicity specification:
+// Atomicity(Ti, Tj) uses Ti's cuts at depth(LCA(Ti, Tj)).
+func (m *Multilevel) Compile() (*core.Spec, error) {
+	_, leafPath, err := m.validateTree()
+	if err != nil {
+		return nil, err
+	}
+	// Validate nesting per transaction.
+	for id, byDepth := range m.Cuts {
+		if !m.Set.Has(id) {
+			return nil, fmt.Errorf("spec: multilevel cuts name unknown transaction T%d", id)
+		}
+		var prev []int
+		for d := 0; d < len(byDepth); d++ {
+			cur := byDepth[d]
+			if !subsetOf(prev, cur) {
+				return nil, fmt.Errorf("spec: T%d's cuts at depth %d do not contain its cuts at depth %d (multilevel nesting violated)", id, d, d-1)
+			}
+			prev = cur
+		}
+	}
+	sp := core.NewSpec(m.Set)
+	for _, ti := range m.Set.Txns() {
+		for _, tj := range m.Set.Txns() {
+			if ti.ID == tj.ID {
+				continue
+			}
+			d := lcaDepth(leafPath[ti.ID], leafPath[tj.ID])
+			for _, cut := range m.cutsAt(ti.ID, d) {
+				if err := sp.CutAfter(ti.ID, tj.ID, cut-1); err != nil {
+					return nil, fmt.Errorf("spec: T%d cuts at depth %d: %v", ti.ID, d, err)
+				}
+			}
+		}
+	}
+	return sp, nil
+}
+
+// cutsAt returns Ti's cut positions for an LCA at the given depth; a
+// transaction with no entry at that depth inherits its deepest
+// shallower entry (nesting makes the deepest defined prefix correct).
+func (m *Multilevel) cutsAt(id core.TxnID, depth int) []int {
+	byDepth := m.Cuts[id]
+	for d := depth; d >= 0; d-- {
+		if d < len(byDepth) && byDepth[d] != nil {
+			return byDepth[d]
+		}
+	}
+	return nil
+}
+
+// validateTree checks that every transaction appears at exactly one
+// leaf and returns node depths and root paths.
+func (m *Multilevel) validateTree() (map[*Node]int, map[core.TxnID][]*Node, error) {
+	if m.Root == nil {
+		return nil, nil, fmt.Errorf("spec: multilevel hierarchy has no root")
+	}
+	depthOf := make(map[*Node]int)
+	leafPath := make(map[core.TxnID][]*Node)
+	var walk func(n *Node, depth int, path []*Node) error
+	walk = func(n *Node, depth int, path []*Node) error {
+		depthOf[n] = depth
+		path = append(path, n)
+		if len(n.Children) == 0 {
+			if n.Txn == 0 {
+				return fmt.Errorf("spec: leaf without transaction at depth %d", depth)
+			}
+			if !m.Set.Has(n.Txn) {
+				return fmt.Errorf("spec: hierarchy leaf names unknown transaction T%d", n.Txn)
+			}
+			if _, dup := leafPath[n.Txn]; dup {
+				return fmt.Errorf("spec: transaction T%d appears at two leaves", n.Txn)
+			}
+			leafPath[n.Txn] = append([]*Node(nil), path...)
+			return nil
+		}
+		if n.Txn != 0 {
+			return fmt.Errorf("spec: internal node carries transaction T%d", n.Txn)
+		}
+		for _, c := range n.Children {
+			if err := walk(c, depth+1, path); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(m.Root, 0, nil); err != nil {
+		return nil, nil, err
+	}
+	for _, t := range m.Set.Txns() {
+		if _, ok := leafPath[t.ID]; !ok {
+			return nil, nil, fmt.Errorf("spec: transaction T%d missing from hierarchy", t.ID)
+		}
+	}
+	return depthOf, leafPath, nil
+}
+
+func lcaDepth(a, b []*Node) int {
+	d := 0
+	for d < len(a) && d < len(b) && a[d] == b[d] {
+		d++
+	}
+	return d - 1 // depth of last common node
+}
+
+func subsetOf(sub, super []int) bool {
+	set := make(map[int]bool, len(super))
+	for _, c := range super {
+		set[c] = true
+	}
+	for _, c := range sub {
+		if !set[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the hierarchy for diagnostics.
+func (m *Multilevel) String() string {
+	var sb strings.Builder
+	var walk func(n *Node, indent string)
+	walk = func(n *Node, indent string) {
+		if len(n.Children) == 0 {
+			fmt.Fprintf(&sb, "%sT%d\n", indent, int(n.Txn))
+			return
+		}
+		name := n.Name
+		if name == "" {
+			name = "·"
+		}
+		fmt.Fprintf(&sb, "%s%s\n", indent, name)
+		for _, c := range n.Children {
+			walk(c, indent+"  ")
+		}
+	}
+	walk(m.Root, "")
+	return sb.String()
+}
+
+// MultilevelExpressible decides whether a general relative atomicity
+// specification can be realized by some multilevel hierarchy: a rooted
+// tree over the transactions such that (a) for each Ti, all Tj sharing
+// the same lowest common ancestor with Ti see identical atomic units of
+// Ti, and (b) units get finer (cut sets grow) as the LCA gets deeper.
+// The search enumerates hierarchical partitions, so it is intended for
+// the small instances of the paper's examples. On success it returns a
+// realizing hierarchy.
+func MultilevelExpressible(sp *core.Spec) (bool, *Multilevel) {
+	ts := sp.Set()
+	ids := make([]core.TxnID, 0, ts.NumTxns())
+	for _, t := range ts.Txns() {
+		ids = append(ids, t.ID)
+	}
+	if len(ids) == 1 {
+		m := &Multilevel{Set: ts, Root: Leaf(ids[0]), Cuts: map[core.TxnID][][]int{}}
+		return true, m
+	}
+	cutKey := func(i, j core.TxnID) string {
+		n := sp.NumUnits(i, j)
+		parts := make([]string, 0, n)
+		for k := 0; k < n-1; k++ {
+			_, e := sp.Unit(i, j, k)
+			parts = append(parts, fmt.Sprint(e+1))
+		}
+		return strings.Join(parts, ",")
+	}
+	cutsOf := func(i, j core.TxnID) []int {
+		n := sp.NumUnits(i, j)
+		out := make([]int, 0, n-1)
+		for k := 0; k < n-1; k++ {
+			_, e := sp.Unit(i, j, k)
+			out = append(out, e+1)
+		}
+		return out
+	}
+	var found *Node
+	// check validates conditions (a) and (b) for a candidate full tree.
+	check := func(root *Node) bool {
+		m := &Multilevel{Set: ts, Root: root}
+		_, leafPath, err := m.validateTree()
+		if err != nil {
+			return false
+		}
+		for _, ti := range ids {
+			byDepth := make(map[int]string)
+			for _, tj := range ids {
+				if ti == tj {
+					continue
+				}
+				d := lcaDepth(leafPath[ti], leafPath[tj])
+				key := cutKey(ti, tj)
+				if prev, ok := byDepth[d]; ok && prev != key {
+					return false // (a) violated
+				}
+				byDepth[d] = key
+			}
+			// (b): cuts must be nested as depth increases.
+			depths := make([]int, 0, len(byDepth))
+			for d := range byDepth {
+				depths = append(depths, d)
+			}
+			sort.Ints(depths)
+			for k := 1; k < len(depths); k++ {
+				var shallow, deep []int
+				for _, tj := range ids {
+					if tj == ti {
+						continue
+					}
+					d := lcaDepth(leafPath[ti], leafPath[tj])
+					if d == depths[k-1] {
+						shallow = cutsOf(ti, tj)
+					}
+					if d == depths[k] {
+						deep = cutsOf(ti, tj)
+					}
+				}
+				if !subsetOf(shallow, deep) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	// Enumerate hierarchies: a hierarchy over a member set is either a
+	// single leaf, or a partition into >= 2 blocks each carrying a
+	// sub-hierarchy. Enumeration is exponential; instance sizes here
+	// are the paper's (3-5 transactions).
+	var build func(members []core.TxnID, done func(*Node) bool) bool
+	build = func(members []core.TxnID, done func(*Node) bool) bool {
+		if len(members) == 1 {
+			return done(Leaf(members[0]))
+		}
+		blocksList := partitions(members)
+		for _, blocks := range blocksList {
+			if len(blocks) < 2 {
+				continue
+			}
+			node := &Node{}
+			var fill func(k int) bool
+			fill = func(k int) bool {
+				if k == len(blocks) {
+					return done(node)
+				}
+				return build(blocks[k], func(child *Node) bool {
+					node.Children = append(node.Children, child)
+					if fill(k + 1) {
+						return true
+					}
+					node.Children = node.Children[:len(node.Children)-1]
+					return false
+				})
+			}
+			if fill(0) {
+				return true
+			}
+		}
+		return false
+	}
+	ok := build(ids, func(root *Node) bool {
+		if check(root) {
+			found = root
+			return true
+		}
+		return false
+	})
+	if !ok {
+		return false, nil
+	}
+	// Reconstruct the cut tables from the spec for the found tree.
+	m := &Multilevel{Set: ts, Root: found, Cuts: make(map[core.TxnID][][]int)}
+	_, leafPath, err := m.validateTree()
+	if err != nil {
+		return false, nil
+	}
+	for _, ti := range ids {
+		maxDepth := 0
+		for _, tj := range ids {
+			if ti == tj {
+				continue
+			}
+			if d := lcaDepth(leafPath[ti], leafPath[tj]); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		byDepth := make([][]int, maxDepth+1)
+		for _, tj := range ids {
+			if ti == tj {
+				continue
+			}
+			d := lcaDepth(leafPath[ti], leafPath[tj])
+			byDepth[d] = cutsOf(ti, tj)
+		}
+		m.Cuts[ti] = byDepth
+	}
+	return true, m
+}
+
+// partitions enumerates all set partitions of members (including the
+// trivial one-block partition, which callers skip).
+func partitions(members []core.TxnID) [][][]core.TxnID {
+	if len(members) == 0 {
+		return [][][]core.TxnID{{}}
+	}
+	head, rest := members[0], members[1:]
+	var out [][][]core.TxnID
+	for _, sub := range partitions(rest) {
+		// Insert head into each existing block.
+		for i := range sub {
+			blocks := make([][]core.TxnID, len(sub))
+			for k := range sub {
+				blocks[k] = append([]core.TxnID(nil), sub[k]...)
+			}
+			blocks[i] = append(blocks[i], head)
+			out = append(out, blocks)
+		}
+		// Or as its own block.
+		blocks := make([][]core.TxnID, len(sub), len(sub)+1)
+		for k := range sub {
+			blocks[k] = append([]core.TxnID(nil), sub[k]...)
+		}
+		blocks = append(blocks, []core.TxnID{head})
+		out = append(out, blocks)
+	}
+	return out
+}

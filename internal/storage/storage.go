@@ -1,0 +1,249 @@
+// Package storage provides the in-memory object store the transaction
+// runtime executes against: named objects holding integer values, with
+// per-object version counters, transaction-private undo logs for abort,
+// and a committed-history log for invariant auditing.
+//
+// The paper's model (§2) is a set of objects accessed through atomic
+// read and write operations; this store realizes exactly that model.
+// It is safe for concurrent use: individual reads and writes are
+// atomic (guarded by a store latch). Ordering between operations of
+// different transactions is the concurrency-control protocol's job,
+// not the store's.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Value is the content of an object.
+type Value int64
+
+// Versioned pairs a value with the monotonically increasing version of
+// its object (bumped on every write).
+type Versioned struct {
+	Value   Value
+	Version uint64
+}
+
+// Store is an in-memory object store.
+type Store struct {
+	mu      sync.Mutex
+	objects map[string]*Versioned
+	writes  uint64 // total write count (all objects)
+	reads   uint64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string]*Versioned)}
+}
+
+// Ensure creates the object with an initial value if it does not
+// exist; existing objects are left untouched.
+func (st *Store) Ensure(name string, initial Value) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.objects[name]; !ok {
+		st.objects[name] = &Versioned{Value: initial}
+	}
+}
+
+// Load bulk-initializes objects (overwriting existing ones); intended
+// for workload setup.
+func (st *Store) Load(values map[string]Value) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for name, v := range values {
+		st.objects[name] = &Versioned{Value: v}
+	}
+}
+
+// Read returns the current value and version of the object. Reading a
+// missing object implicitly creates it with the zero value, matching
+// the abstract model where every object always exists.
+func (st *Store) Read(name string) Versioned {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.reads++
+	return *st.object(name)
+}
+
+// Write replaces the object's value, bumping its version, and returns
+// the previous state (which undo logs capture).
+func (st *Store) Write(name string, v Value) Versioned {
+	prev, _ := st.writeSeq(name, v)
+	return prev
+}
+
+// writeSeq is Write plus the global write sequence number, which undo
+// logs use to order cross-transaction rollback.
+func (st *Store) writeSeq(name string, v Value) (Versioned, uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.writes++
+	obj := st.object(name)
+	prev := *obj
+	obj.Value = v
+	obj.Version++
+	return prev, st.writes
+}
+
+// restore rewinds an object to a previous state (abort path).
+func (st *Store) restore(name string, prev Versioned) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	obj := st.object(name)
+	obj.Value = prev.Value
+	obj.Version++ // versions never move backward, even on undo
+}
+
+func (st *Store) object(name string) *Versioned {
+	obj, ok := st.objects[name]
+	if !ok {
+		obj = &Versioned{}
+		st.objects[name] = obj
+	}
+	return obj
+}
+
+// Snapshot returns a copy of all object values.
+func (st *Store) Snapshot() map[string]Value {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make(map[string]Value, len(st.objects))
+	for name, obj := range st.objects {
+		out[name] = obj.Value
+	}
+	return out
+}
+
+// Objects returns the object names, sorted.
+func (st *Store) Objects() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, 0, len(st.objects))
+	for name := range st.objects {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports cumulative read and write counts.
+func (st *Store) Stats() (reads, writes uint64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.reads, st.writes
+}
+
+// UndoLog records before-images for one transaction so its effects can
+// be rolled back on abort. Entries are replayed in reverse.
+type UndoLog struct {
+	entries []undoEntry
+}
+
+type undoEntry struct {
+	object string
+	prev   Versioned
+	seq    uint64 // global write sequence, for cross-log ordering
+}
+
+// WriteLogged performs a write through the log, capturing the
+// before-image first.
+func (log *UndoLog) WriteLogged(st *Store, name string, v Value) {
+	prev, seq := st.writeSeq(name, v)
+	log.entries = append(log.entries, undoEntry{object: name, prev: prev, seq: seq})
+}
+
+// Len returns the number of logged writes.
+func (log *UndoLog) Len() int { return len(log.entries) }
+
+// Rollback undoes all logged writes in reverse order and clears the
+// log.
+func (log *UndoLog) Rollback(st *Store) {
+	for i := len(log.entries) - 1; i >= 0; i-- {
+		e := log.entries[i]
+		st.restore(e.object, e.prev)
+	}
+	log.entries = nil
+}
+
+// Discard forgets the log without undoing (commit path).
+func (log *UndoLog) Discard() { log.entries = nil }
+
+// RollbackSet undoes the writes of several transactions together,
+// replaying before-images in descending global write order. This is
+// required when aborts cascade: if transaction B overwrote A's
+// uncommitted write, B's before-image must be restored before A's, or
+// A's rollback would be clobbered. All passed logs are cleared.
+func RollbackSet(st *Store, logs []*UndoLog) {
+	var all []undoEntry
+	for _, log := range logs {
+		all = append(all, log.entries...)
+		log.entries = nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	for _, e := range all {
+		st.restore(e.object, e.prev)
+	}
+}
+
+// History is an append-only record of committed transactions' effects,
+// used by workload invariant auditors (e.g. balance conservation in
+// the banking scenario).
+type History struct {
+	mu      sync.Mutex
+	commits []Commit
+}
+
+// Commit describes one committed transaction's write effects.
+type Commit struct {
+	Instance int64
+	Writes   map[string]Value
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Append records a committed transaction.
+func (h *History) Append(c Commit) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.commits = append(h.commits, c)
+}
+
+// Len returns the number of committed transactions recorded.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.commits)
+}
+
+// Commits returns a copy of the records.
+func (h *History) Commits() []Commit {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Commit, len(h.commits))
+	copy(out, h.commits)
+	return out
+}
+
+// String summarizes the store for debugging.
+func (st *Store) String() string {
+	snap := st.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", n, snap[n])
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWALAppendReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWAL(&buf)
+	records := []WALRecord{
+		{Kind: WALBegin, Instance: 1},
+		{Kind: WALWrite, Instance: 1, Object: "x", Value: 42},
+		{Kind: WALWrite, Instance: 1, Object: "acct_3_1", Value: -7},
+		{Kind: WALCommit, Instance: 1},
+		{Kind: WALBegin, Instance: 2},
+		{Kind: WALAbort, Instance: 2},
+	}
+	for _, rec := range records {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Appended() != len(records) {
+		t.Fatalf("Appended = %d", l.Appended())
+	}
+	got, err := ReadWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("read %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if got[i] != records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], records[i])
+		}
+	}
+}
+
+func TestWALRecoverAppliesOnlyCommitted(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWAL(&buf)
+	seq := []WALRecord{
+		{Kind: WALBegin, Instance: 1},
+		{Kind: WALBegin, Instance: 2},
+		{Kind: WALWrite, Instance: 1, Object: "x", Value: 10},
+		{Kind: WALWrite, Instance: 2, Object: "y", Value: 20},
+		{Kind: WALCommit, Instance: 1},
+		{Kind: WALAbort, Instance: 2},
+		{Kind: WALBegin, Instance: 3},
+		{Kind: WALWrite, Instance: 3, Object: "z", Value: 30},
+		// instance 3 never commits: crash before commit record
+	}
+	for _, rec := range seq {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, report, err := Recover(bytes.NewReader(buf.Bytes()), map[string]Value{"x": 1, "y": 2, "z": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Read("x").Value != 10 {
+		t.Error("committed write lost")
+	}
+	if st.Read("y").Value != 2 {
+		t.Error("aborted write applied")
+	}
+	if st.Read("z").Value != 3 {
+		t.Error("unfinished write applied")
+	}
+	if report.Committed != 1 || report.Aborted != 1 || report.Unfinished != 1 {
+		t.Errorf("report = %s", report)
+	}
+}
+
+func TestWALTornTail(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWAL(&buf)
+	for _, rec := range []WALRecord{
+		{Kind: WALBegin, Instance: 1},
+		{Kind: WALWrite, Instance: 1, Object: "x", Value: 5},
+		{Kind: WALCommit, Instance: 1},
+		{Kind: WALBegin, Instance: 2},
+		{Kind: WALWrite, Instance: 2, Object: "x", Value: 99},
+		{Kind: WALCommit, Instance: 2},
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	full := buf.Bytes()
+	// Truncate mid-way through the last record: recovery must keep the
+	// valid prefix and drop instance 2's commit (or more).
+	for cut := len(full) - 1; cut > len(full)-12; cut-- {
+		st, _, err := Recover(bytes.NewReader(full[:cut]), map[string]Value{"x": 1})
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if got := st.Read("x").Value; got != 5 {
+			t.Errorf("cut %d: x = %d, want instance 1's committed 5", cut, got)
+		}
+	}
+}
+
+func TestWALCorruptRecordEndsPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWAL(&buf)
+	for _, rec := range []WALRecord{
+		{Kind: WALBegin, Instance: 1},
+		{Kind: WALWrite, Instance: 1, Object: "x", Value: 5},
+		{Kind: WALCommit, Instance: 1},
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := buf.Bytes()
+	// Flip a payload byte of the middle record.
+	data[15] ^= 0xff
+	records, err := ReadWAL(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) >= 3 {
+		t.Errorf("corrupt record accepted: %d records", len(records))
+	}
+}
+
+func TestWALOrphanWrites(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewWAL(&buf)
+	for _, rec := range []WALRecord{
+		{Kind: WALWrite, Instance: 9, Object: "x", Value: 1}, // no begin
+		{Kind: WALCommit, Instance: 9},
+	} {
+		if err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, report, err := Recover(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Orphans != 1 {
+		t.Errorf("Orphans = %d", report.Orphans)
+	}
+	if st.Read("x").Value != 0 {
+		t.Error("orphan write applied")
+	}
+}
+
+func TestWALRecordKindString(t *testing.T) {
+	for k, want := range map[WALRecordKind]string{
+		WALBegin: "begin", WALWrite: "write", WALCommit: "commit", WALAbort: "abort",
+		WALRecordKind(9): "WALRecordKind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestOpenWALFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l, f, err := OpenWALFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(WALRecord{Kind: WALBegin, Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(WALRecord{Kind: WALCommit, Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	records, err := ReadWAL(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Errorf("read %d records", len(records))
+	}
+}
+
+func TestWALEmptyLog(t *testing.T) {
+	st, report, err := Recover(bytes.NewReader(nil), map[string]Value{"a": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Read("a").Value != 7 || report.Records != 0 {
+		t.Error("empty log should yield the initial snapshot")
+	}
+}

@@ -1,0 +1,424 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"relser/internal/core"
+	"relser/internal/metrics"
+	"relser/internal/sched"
+	"relser/internal/storage"
+)
+
+// ConcurrentRunner executes transaction programs on real goroutines —
+// one worker per in-flight instance, bounded by the multiprogramming
+// level — against the same protocol and store machinery as the
+// deterministic Runner. Protocol calls and driver bookkeeping are
+// serialized under one mutex (protocols are sequential state machines);
+// blocked workers sleep on a condition variable and are woken by every
+// commit, abort or grant.
+//
+// Concurrent runs are not reproducible (goroutine interleaving is the
+// scheduler's); tests assert outcomes — everything commits, committed
+// schedules verify, invariants hold — rather than traces.
+type ConcurrentRunner struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	nextInstance int64
+	active       map[int64]*instanceState
+	dirtyStack   map[string][]int64
+	dependents   map[int64]map[int64]bool
+	doomed       map[int64]bool
+	blocked      int // workers currently waiting on cond
+	execSeq      int64
+	latencies    metrics.Stats
+
+	res    Result
+	runErr error
+}
+
+// NewConcurrent validates the configuration (same rules as New) and
+// prepares a concurrent runner.
+func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
+	probe, err := New(cfg) // reuse validation and defaulting
+	if err != nil {
+		return nil, err
+	}
+	cfg = probe.cfg
+	r := &ConcurrentRunner{
+		cfg:        cfg,
+		active:     make(map[int64]*instanceState),
+		dirtyStack: make(map[string][]int64),
+		dependents: make(map[int64]map[int64]bool),
+		doomed:     make(map[int64]bool),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.res.Protocol = cfg.Protocol.Name()
+	r.res.oracle = cfg.Oracle
+	return r, nil
+}
+
+// Run executes all programs to commit, running up to MPL transaction
+// workers concurrently, and returns the aggregated result.
+func (r *ConcurrentRunner) Run() (*Result, error) {
+	work := make(chan *pendingProgram, len(r.cfg.Programs))
+	for _, p := range r.cfg.Programs {
+		work <- &pendingProgram{program: p}
+	}
+	var closeOnce sync.Once
+	shutdown := func() { closeOnce.Do(func() { close(work) }) }
+	var wg sync.WaitGroup
+	workers := r.cfg.MPL
+	if workers > len(r.cfg.Programs) {
+		workers = len(r.cfg.Programs)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pp := range work {
+				requeue, err := r.runProgram(pp)
+				if err != nil {
+					r.fail(err)
+					shutdown()
+					return
+				}
+				if requeue {
+					work <- pp
+					continue
+				}
+				r.mu.Lock()
+				done := r.res.Committed == len(r.cfg.Programs) || r.runErr != nil
+				r.mu.Unlock()
+				if done {
+					shutdown()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.runErr != nil {
+		return nil, r.runErr
+	}
+	if r.res.Committed != len(r.cfg.Programs) {
+		return nil, fmt.Errorf("txn: concurrent run finished with %d of %d programs committed", r.res.Committed, len(r.cfg.Programs))
+	}
+	r.res.LatencyMean = r.latencies.Mean()
+	r.res.LatencyP95 = r.latencies.Percentile(95)
+	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
+	return &r.res, nil
+}
+
+// logWALLocked appends a record under the runner mutex, surfacing
+// append errors as run failures.
+func (r *ConcurrentRunner) logWALLocked(rec storage.WALRecord) {
+	if r.cfg.WAL == nil {
+		return
+	}
+	if err := r.cfg.WAL.Append(rec); err != nil && r.runErr == nil {
+		r.runErr = fmt.Errorf("txn: WAL append failed: %v", err)
+	}
+}
+
+func (r *ConcurrentRunner) fail(err error) {
+	r.mu.Lock()
+	if r.runErr == nil {
+		r.runErr = err
+	}
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+// runProgram executes one incarnation of a program. It returns
+// requeue=true when the instance aborted and the program must retry.
+func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
+	r.mu.Lock()
+	if r.runErr != nil {
+		r.mu.Unlock()
+		return false, r.runErr
+	}
+	r.nextInstance++
+	st := &instanceState{
+		id:         r.nextInstance,
+		program:    pp.program,
+		reads:      make(map[int]storage.Value),
+		depsOn:     make(map[int64]bool),
+		writes:     make(map[string]storage.Value),
+		restarts:   pp.restarts,
+		startClock: r.execSeq,
+	}
+	r.active[st.id] = st
+	r.cfg.Protocol.Begin(st.id, st.program)
+	r.logWALLocked(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
+	r.mu.Unlock()
+
+	for {
+		r.mu.Lock()
+		if err := r.runErr; err != nil {
+			r.mu.Unlock()
+			return false, err // another worker already failed the run
+		}
+		if r.doomed[st.id] {
+			// A cascade initiated by another worker aborted us; the
+			// initiator already rolled back our effects and released
+			// protocol state.
+			delete(r.doomed, st.id)
+			r.mu.Unlock()
+			return r.noteRestart(pp, st)
+		}
+		if st.done {
+			if len(st.depsOn) == 0 && r.cfg.Protocol.CanCommit(st.id) {
+				r.commitLocked(st)
+				r.mu.Unlock()
+				r.cond.Broadcast()
+				return false, nil
+			}
+			if aborted := r.waitOrBreak(st); aborted {
+				r.mu.Unlock()
+				return r.noteRestart(pp, st)
+			}
+			r.mu.Unlock()
+			continue
+		}
+		op := st.program.Op(st.next)
+		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
+		switch r.cfg.Protocol.Request(req) {
+		case sched.Grant:
+			if !r.executeLocked(st, op) {
+				r.res.RecoverabilityAborts++
+				r.abortCascadeLocked(st.id)
+				r.mu.Unlock()
+				r.cond.Broadcast()
+				return r.noteRestart(pp, st)
+			}
+			r.mu.Unlock()
+			r.cond.Broadcast()
+		case sched.Block:
+			r.res.Blocks++
+			if aborted := r.waitOrBreak(st); aborted {
+				r.mu.Unlock()
+				return r.noteRestart(pp, st)
+			}
+			r.mu.Unlock()
+		case sched.Abort:
+			r.abortCascadeLocked(st.id)
+			r.mu.Unlock()
+			r.cond.Broadcast()
+			return r.noteRestart(pp, st)
+		}
+	}
+}
+
+// waitOrBreak parks the worker on the condition variable. If parking
+// would leave every active worker blocked (a deadlock the protocol
+// cannot see), the caller instead becomes the stall victim: its own
+// cascade is aborted and true is returned. Must be called with mu
+// held; returns with mu held.
+func (r *ConcurrentRunner) waitOrBreak(st *instanceState) (aborted bool) {
+	if r.blocked+1 >= len(r.active) {
+		// Everyone else is already waiting: break the stall here.
+		r.abortCascadeLocked(st.id)
+		r.cond.Broadcast()
+		return true
+	}
+	r.blocked++
+	r.cond.Wait()
+	r.blocked--
+	if r.doomed[st.id] {
+		delete(r.doomed, st.id)
+		return true
+	}
+	return false
+}
+
+// noteRestart records restart bookkeeping after an abort and tells the
+// worker loop to requeue the program.
+func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pp.restarts = st.restarts + 1
+	if pp.restarts > r.cfg.MaxRestarts {
+		err := fmt.Errorf("txn: program T%d exceeded %d restarts", st.program.ID, r.cfg.MaxRestarts)
+		if r.runErr == nil {
+			r.runErr = err
+		}
+		return false, err
+	}
+	r.res.Restarts++
+	return true, nil
+}
+
+// executeLocked mirrors Runner.execute under the runner mutex.
+func (r *ConcurrentRunner) executeLocked(st *instanceState, op core.Op) bool {
+	if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id && r.depPathLocked(w, st.id) {
+		return false
+	}
+	r.res.OpsExecuted++
+	if op.Kind == core.ReadOp {
+		v := r.cfg.Store.Read(op.Object)
+		st.reads[op.Seq] = v.Value
+		if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id {
+			r.addDepLocked(st, w)
+		}
+	} else {
+		v := r.cfg.Semantics.WriteValue(st.program, op.Seq, st.reads)
+		if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id {
+			r.addDepLocked(st, w)
+		}
+		st.undo.WriteLogged(r.cfg.Store, op.Object, v)
+		st.writes[op.Object] = v
+		r.dirtyStack[op.Object] = append(r.dirtyStack[op.Object], st.id)
+		r.logWALLocked(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
+	}
+	r.execSeq++
+	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: r.execSeq})
+	st.next++
+	if st.next == st.program.Len() {
+		st.done = true
+	}
+	return true
+}
+
+func (r *ConcurrentRunner) commitLocked(st *instanceState) {
+	r.cfg.Protocol.Commit(st.id)
+	r.logWALLocked(storage.WALRecord{Kind: storage.WALCommit, Instance: st.id})
+	st.undo.Discard()
+	for obj := range st.writes {
+		r.removeDirtyLocked(obj, st.id)
+	}
+	for dep := range r.dependents[st.id] {
+		if d, ok := r.active[dep]; ok {
+			delete(d.depsOn, st.id)
+		}
+	}
+	delete(r.dependents, st.id)
+	delete(r.active, st.id)
+	r.res.Committed++
+	r.latencies.Add(float64(r.execSeq - st.startClock))
+	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: r.execSeq, CommitSeq: r.execSeq})
+	r.res.Trace = append(r.res.Trace, st.events...)
+	r.res.Programs = append(r.res.Programs, st.program)
+	if r.cfg.History != nil {
+		r.cfg.History.Append(storage.Commit{Instance: st.id, Writes: st.writes})
+	}
+}
+
+// abortCascadeLocked aborts the instance and every live dependent,
+// rolling all their effects back together; co-victims running on other
+// goroutines are marked doomed and clean themselves up on next wake.
+func (r *ConcurrentRunner) abortCascadeLocked(id int64) {
+	victims := map[int64]bool{}
+	var collect func(v int64)
+	collect = func(v int64) {
+		if victims[v] {
+			return
+		}
+		if _, ok := r.active[v]; !ok {
+			return
+		}
+		victims[v] = true
+		for dep := range r.dependents[v] {
+			collect(dep)
+		}
+	}
+	collect(id)
+	ordered := make([]int64, 0, len(victims))
+	for v := range victims {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	logs := make([]*storage.UndoLog, 0, len(ordered))
+	for _, v := range ordered {
+		logs = append(logs, &r.active[v].undo)
+	}
+	storage.RollbackSet(r.cfg.Store, logs)
+	for _, v := range ordered {
+		st := r.active[v]
+		r.cfg.Protocol.Abort(v)
+		r.logWALLocked(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
+		for obj := range st.writes {
+			r.removeDirtyLocked(obj, v)
+		}
+		for dep := range r.dependents[v] {
+			if d, ok := r.active[dep]; ok {
+				delete(d.depsOn, v)
+			}
+		}
+		delete(r.dependents, v)
+		for on := range st.depsOn {
+			if deps := r.dependents[on]; deps != nil {
+				delete(deps, v)
+			}
+		}
+		delete(r.active, v)
+		r.res.Aborts++
+		if v != id {
+			r.doomed[v] = true
+		}
+	}
+}
+
+func (r *ConcurrentRunner) addDepLocked(st *instanceState, on int64) {
+	if st.depsOn[on] {
+		return
+	}
+	st.depsOn[on] = true
+	deps := r.dependents[on]
+	if deps == nil {
+		deps = make(map[int64]bool)
+		r.dependents[on] = deps
+	}
+	deps[st.id] = true
+}
+
+func (r *ConcurrentRunner) depPathLocked(from, to int64) bool {
+	seen := map[int64]bool{}
+	stack := []int64{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if inst, ok := r.active[v]; ok {
+			for d := range inst.depsOn {
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
+func (r *ConcurrentRunner) dirtyWriterLocked(object string) (int64, bool) {
+	stack := r.dirtyStack[object]
+	if len(stack) == 0 {
+		return 0, false
+	}
+	return stack[len(stack)-1], true
+}
+
+func (r *ConcurrentRunner) removeDirtyLocked(object string, id int64) {
+	stack := r.dirtyStack[object]
+	out := stack[:0]
+	for _, w := range stack {
+		if w != id {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		delete(r.dirtyStack, object)
+	} else {
+		r.dirtyStack[object] = out
+	}
+}

@@ -1,0 +1,94 @@
+package txn
+
+import (
+	"fmt"
+
+	"relser/internal/core"
+)
+
+// RecoveryProperties reports where the run's committed execution sits
+// in the classical recoverability hierarchy (Hadzilacos; Bernstein,
+// Hadzilacos, Goodman):
+//
+//   - Recoverable: every committed reader commits after the writer it
+//     read from. The runtime's commit gating enforces this, so every
+//     run should report it.
+//   - ACA (avoids cascading aborts): every read happens after the
+//     writer's commit — no dirty reads among committed transactions.
+//     Lock-free protocols (SGT, RSGT) legitimately violate it: they
+//     admit reads of uncommitted data and rely on the driver's cascade
+//     machinery.
+//   - Strict: additionally, no write overwrites an uncommitted value.
+//     Strict 2PL runs report it.
+//
+// The analysis sees only committed instances (aborted instances'
+// operations are rolled back and never enter the trace), so it
+// describes the durable execution, which is exactly what recovery
+// cares about.
+type RecoveryProperties struct {
+	Recoverable bool
+	ACA         bool
+	Strict      bool
+	// Violation describes the first property violation found, for
+	// diagnostics.
+	Violation string
+}
+
+// RecoveryProperties analyses the committed trace.
+func (res *Result) RecoveryProperties() (RecoveryProperties, error) {
+	props := RecoveryProperties{Recoverable: true, ACA: true, Strict: true}
+	if len(res.Trace) == 0 {
+		return props, fmt.Errorf("txn: no committed trace to analyse")
+	}
+	commitSeq := make(map[int64]int64, len(res.Spans))
+	for _, sp := range res.Spans {
+		commitSeq[sp.Instance] = sp.CommitSeq
+	}
+	note := func(target *bool, format string, args ...any) {
+		if *target && props.Violation == "" {
+			props.Violation = fmt.Sprintf(format, args...)
+		}
+		*target = false
+	}
+	type version struct {
+		writer int64
+		order  int64
+	}
+	current := make(map[string]version)
+	for _, ev := range res.Trace {
+		cw, hasWriter := current[ev.Op.Object]
+		me := ev.Instance
+		if ev.Op.Kind == core.ReadOp {
+			if hasWriter && cw.writer != me {
+				wCommit, ok := commitSeq[cw.writer]
+				if !ok {
+					continue
+				}
+				myCommit := commitSeq[me]
+				if myCommit < wCommit {
+					note(&props.Recoverable, "instance %d read %s from %d but committed first", me, ev.Op.Object, cw.writer)
+				}
+				if ev.Order < wCommit {
+					note(&props.ACA, "instance %d read %s before writer %d committed", me, ev.Op.Object, cw.writer)
+					props.Strict = false
+				}
+			}
+			continue
+		}
+		if hasWriter && cw.writer != me {
+			if wCommit, ok := commitSeq[cw.writer]; ok && ev.Order < wCommit {
+				note(&props.Strict, "instance %d overwrote %s before writer %d committed", me, ev.Op.Object, cw.writer)
+			}
+		}
+		current[ev.Op.Object] = version{writer: me, order: ev.Order}
+	}
+	// The hierarchy: strict ⇒ ACA ⇒ recoverable.
+	if !props.ACA {
+		props.Strict = false
+	}
+	if !props.Recoverable {
+		props.ACA = false
+		props.Strict = false
+	}
+	return props, nil
+}

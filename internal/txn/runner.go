@@ -1,0 +1,580 @@
+// Package txn is the transaction runtime: it executes declared
+// transaction programs against the storage substrate under a pluggable
+// concurrency-control protocol (internal/sched), handling blocking,
+// deadlock victimization, aborts with cascading rollback, restarts and
+// commit ordering — and it emits the observed committed schedule so
+// the offline theory (internal/core) can certify every run.
+//
+// The runtime is a deterministic discrete-event loop: given the same
+// seed, programs and protocol, a run reproduces exactly. Each tick it
+// offers one operation of every ready instance to the protocol in a
+// seeded random order, modelling concurrent clients with an open set
+// of in-flight transactions bounded by the multiprogramming level.
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"relser/internal/core"
+	"relser/internal/metrics"
+	"relser/internal/sched"
+	"relser/internal/storage"
+)
+
+// Semantics computes the value a write operation stores, given the
+// values the transaction has read so far (keyed by operation sequence).
+// Workloads use it to give programs real data semantics (transfers,
+// audits); the default writes a value derived from the transaction and
+// operation identity.
+type Semantics interface {
+	WriteValue(prog *core.Transaction, seq int, reads map[int]storage.Value) storage.Value
+}
+
+// DefaultSemantics writes txnID*1000 + seq; good enough when only the
+// interleaving matters.
+type DefaultSemantics struct{}
+
+// WriteValue implements Semantics.
+func (DefaultSemantics) WriteValue(prog *core.Transaction, seq int, _ map[int]storage.Value) storage.Value {
+	return storage.Value(int64(prog.ID)*1000 + int64(seq))
+}
+
+// Config describes one run.
+type Config struct {
+	Protocol sched.Protocol
+	// Programs are executed to commit exactly once each; IDs must be
+	// distinct.
+	Programs []*core.Transaction
+	// Oracle supplies relative atomicity specifications, both to
+	// verification and (for protocols that take one) to scheduling. It
+	// defaults to absolute atomicity.
+	Oracle sched.AtomicityOracle
+	// Store defaults to a fresh empty store.
+	Store *storage.Store
+	// Semantics defaults to DefaultSemantics.
+	Semantics Semantics
+	// MPL bounds concurrently active instances (default 8).
+	MPL int
+	// Seed drives the deterministic scheduler interleaving.
+	Seed int64
+	// MaxRestarts bounds restarts per program before the run fails
+	// (default 1000).
+	MaxRestarts int
+	// History, when set, records committed write effects.
+	History *storage.History
+	// WAL, when set, receives begin/write/commit/abort records; a store
+	// recovered from it (storage.Recover) reproduces exactly the
+	// committed effects. WAL append errors fail the run.
+	WAL *storage.WAL
+}
+
+// Event is one executed operation in the global execution order.
+type Event struct {
+	Instance int64
+	Program  *core.Transaction
+	Op       core.Op
+	// Order is the global execution sequence number; the committed
+	// trace is sorted by it.
+	Order int64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Protocol    string
+	Ticks       int
+	OpsExecuted int
+	Committed   int
+	Aborts      int
+	Blocks      int
+	CommitWaits int
+	Restarts    int
+	// RecoverabilityAborts counts aborts issued by the driver (not the
+	// protocol) because an access would have closed a dirty-data
+	// dependency cycle, making commit ordering impossible.
+	RecoverabilityAborts int
+	// AvgConcurrency is the mean number of in-flight instances per
+	// tick.
+	AvgConcurrency float64
+	// LatencyMean and LatencyP95 summarize committed-instance latency
+	// in logical time units (driver ticks for the deterministic
+	// runner, executed operations for the concurrent runner), measured
+	// from admission to commit.
+	LatencyMean float64
+	LatencyP95  float64
+	// Trace is the committed-instance execution trace, in order.
+	Trace []Event
+	// Spans records committed instances' lifetimes for Timeline.
+	Spans []Span
+	// Programs are the committed programs (same pointers as Config).
+	Programs []*core.Transaction
+	oracle   sched.AtomicityOracle
+}
+
+type instanceState struct {
+	id      int64
+	program *core.Transaction
+	next    int
+	undo    storage.UndoLog
+	reads   map[int]storage.Value
+	// depsOn holds live instances whose uncommitted data this instance
+	// read or overwrote; commit waits for them and their abort cascades
+	// here.
+	depsOn   map[int64]bool
+	restarts int
+	events   []Event
+	writes   map[string]storage.Value
+	done     bool // all operations executed, waiting to commit
+	// startClock is the logical time at admission, for latency.
+	startClock int64
+}
+
+// Runner executes a configuration.
+type Runner struct {
+	cfg   Config
+	rng   *rand.Rand
+	store *storage.Store
+
+	nextInstance int64
+	pending      []*pendingProgram
+	active       map[int64]*instanceState
+	// dirtyStack tracks, per object, the live instances that wrote it,
+	// oldest first; the top entry owns the object's current
+	// uncommitted value. Entries are removed on commit and abort, so an
+	// abort re-exposes the previous uncommitted writer (if any).
+	dirtyStack map[string][]int64
+	// dependents inverts depsOn for cascade lookup.
+	dependents map[int64]map[int64]bool
+	execSeq    int64
+	walErr     error
+	latencies  metrics.Stats
+
+	res Result
+}
+
+type pendingProgram struct {
+	program  *core.Transaction
+	restarts int
+	// readyAt delays re-admission after an abort (restart backoff),
+	// in ticks.
+	readyAt int
+}
+
+// New validates the configuration and prepares a runner.
+func New(cfg Config) (*Runner, error) {
+	if cfg.Protocol == nil {
+		return nil, errors.New("txn: Config.Protocol is required")
+	}
+	if len(cfg.Programs) == 0 {
+		return nil, errors.New("txn: no programs to run")
+	}
+	seen := make(map[core.TxnID]bool)
+	for _, p := range cfg.Programs {
+		if p == nil || p.Len() == 0 {
+			return nil, errors.New("txn: nil or empty program")
+		}
+		if seen[p.ID] {
+			return nil, fmt.Errorf("txn: duplicate program ID %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = sched.AbsoluteOracle{}
+	}
+	if cfg.Store == nil {
+		cfg.Store = storage.NewStore()
+	}
+	if cfg.Semantics == nil {
+		cfg.Semantics = DefaultSemantics{}
+	}
+	if cfg.MPL <= 0 {
+		cfg.MPL = 8
+	}
+	if cfg.MaxRestarts <= 0 {
+		cfg.MaxRestarts = 1000
+	}
+	r := &Runner{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		store:      cfg.Store,
+		active:     make(map[int64]*instanceState),
+		dirtyStack: make(map[string][]int64),
+		dependents: make(map[int64]map[int64]bool),
+	}
+	for _, p := range cfg.Programs {
+		r.pending = append(r.pending, &pendingProgram{program: p})
+	}
+	r.res.Protocol = cfg.Protocol.Name()
+	r.res.oracle = cfg.Oracle
+	return r, nil
+}
+
+// Run executes all programs to commit and returns the result.
+func (r *Runner) Run() (*Result, error) {
+	concurrencySum := 0
+	for {
+		r.admit()
+		if len(r.active) == 0 && len(r.pending) == 0 {
+			break
+		}
+		r.res.Ticks++
+		if len(r.active) == 0 {
+			continue // all pending programs are backing off; idle tick
+		}
+		concurrencySum += len(r.active)
+		progress, err := r.tick()
+		if err != nil {
+			return nil, err
+		}
+		if r.walErr != nil {
+			return nil, fmt.Errorf("txn: WAL append failed: %v", r.walErr)
+		}
+		if !progress {
+			// No instance made progress: victimize one active instance
+			// to break the stall (protocol-level blocking deadlock or a
+			// commit-order cycle). The victim is chosen at random so no
+			// single program starves across repeated stalls.
+			victim := r.randomVictim()
+			if victim == nil {
+				return nil, errors.New("txn: stalled with no active instances")
+			}
+			if err := r.abortCascade(victim.id, "stall"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if r.res.Ticks > 0 {
+		r.res.AvgConcurrency = float64(concurrencySum) / float64(r.res.Ticks)
+	}
+	r.res.LatencyMean = r.latencies.Mean()
+	r.res.LatencyP95 = r.latencies.Percentile(95)
+	// Commits append whole per-instance event blocks; restore global
+	// execution order.
+	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
+	return &r.res, nil
+}
+
+// admit starts ready pending programs while multiprogramming slots are
+// free; programs aborted recently stay queued until their backoff
+// expires.
+func (r *Runner) admit() {
+	rest := r.pending[:0]
+	for i, pp := range r.pending {
+		if len(r.active) >= r.cfg.MPL || pp.readyAt > r.res.Ticks {
+			rest = append(rest, r.pending[i])
+			continue
+		}
+		r.nextInstance++
+		st := &instanceState{
+			id:         r.nextInstance,
+			program:    pp.program,
+			reads:      make(map[int]storage.Value),
+			depsOn:     make(map[int64]bool),
+			writes:     make(map[string]storage.Value),
+			restarts:   pp.restarts,
+			startClock: int64(r.res.Ticks),
+		}
+		r.active[st.id] = st
+		r.cfg.Protocol.Begin(st.id, st.program)
+		r.logWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
+	}
+	r.pending = rest
+}
+
+// logWAL appends a record, deferring errors to the main loop (the
+// simulator's WAL sinks are in-memory or local files; an append error
+// is fatal).
+func (r *Runner) logWAL(rec storage.WALRecord) {
+	if r.cfg.WAL == nil {
+		return
+	}
+	if err := r.cfg.WAL.Append(rec); err != nil && r.walErr == nil {
+		r.walErr = err
+	}
+}
+
+// tick offers one step to every active instance in seeded random
+// order; it reports whether anything progressed.
+func (r *Runner) tick() (bool, error) {
+	ids := make([]int64, 0, len(r.active))
+	for id := range r.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	progress := false
+	for _, id := range ids {
+		st, ok := r.active[id]
+		if !ok {
+			continue // aborted by an earlier cascade this tick
+		}
+		if st.done {
+			continue // commits happen in the post-loop commit wave
+		}
+		op := st.program.Op(st.next)
+		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
+		switch r.cfg.Protocol.Request(req) {
+		case sched.Grant:
+			if !r.execute(st, op) {
+				// Recoverability: the access would close a dirty-data
+				// dependency cycle; commit ordering could never
+				// resolve it, so abort now.
+				r.res.RecoverabilityAborts++
+				if err := r.abortCascade(st.id, "recoverability"); err != nil {
+					return false, err
+				}
+			}
+			progress = true
+		case sched.Block:
+			r.res.Blocks++
+		case sched.Abort:
+			if err := r.abortCascade(st.id, "protocol"); err != nil {
+				return false, err
+			}
+			progress = true
+		}
+	}
+	// Commit wave: committing one instance can release another's
+	// dirty-data dependency, so iterate to a fixpoint within the tick.
+	for {
+		committed := false
+		ids = ids[:0]
+		for id := range r.active {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			st, ok := r.active[id]
+			if !ok || !st.done {
+				continue
+			}
+			if r.tryCommit(st) {
+				committed = true
+				progress = true
+			}
+		}
+		if !committed {
+			break
+		}
+	}
+	return progress, nil
+}
+
+// execute applies the granted operation to the store and updates dirty
+// tracking. It reports false — without applying the operation — when
+// touching the object's dirty data would create a commit-dependency
+// cycle (the access is unrecoverable: neither party could ever commit
+// first).
+func (r *Runner) execute(st *instanceState, op core.Op) bool {
+	if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id && r.depPathExists(w, st.id) {
+		return false
+	}
+	r.res.OpsExecuted++
+	if op.Kind == core.ReadOp {
+		v := r.store.Read(op.Object)
+		st.reads[op.Seq] = v.Value
+		if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id {
+			r.addDep(st, w)
+		}
+	} else {
+		v := r.cfg.Semantics.WriteValue(st.program, op.Seq, st.reads)
+		if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id {
+			r.addDep(st, w) // overwrote dirty data
+		}
+		st.undo.WriteLogged(r.store, op.Object, v)
+		st.writes[op.Object] = v
+		r.dirtyStack[op.Object] = append(r.dirtyStack[op.Object], st.id)
+		r.logWAL(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
+	}
+	r.execSeq++
+	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: r.execSeq})
+	st.next++
+	if st.next == st.program.Len() {
+		st.done = true
+	}
+	return true
+}
+
+// depPathExists reports whether from transitively depends on to in the
+// live dirty-dependency graph.
+func (r *Runner) depPathExists(from, to int64) bool {
+	seen := map[int64]bool{}
+	stack := []int64{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if inst, ok := r.active[v]; ok {
+			for d := range inst.depsOn {
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
+func (r *Runner) addDep(st *instanceState, on int64) {
+	if st.depsOn[on] {
+		return
+	}
+	st.depsOn[on] = true
+	deps := r.dependents[on]
+	if deps == nil {
+		deps = make(map[int64]bool)
+		r.dependents[on] = deps
+	}
+	deps[st.id] = true
+}
+
+// tryCommit commits a finished instance if the protocol allows and all
+// dirty-data dependencies have committed.
+func (r *Runner) tryCommit(st *instanceState) bool {
+	if len(st.depsOn) > 0 || !r.cfg.Protocol.CanCommit(st.id) {
+		r.res.CommitWaits++
+		return false
+	}
+	r.cfg.Protocol.Commit(st.id)
+	r.logWAL(storage.WALRecord{Kind: storage.WALCommit, Instance: st.id})
+	st.undo.Discard()
+	for obj := range st.writes {
+		r.removeDirty(obj, st.id)
+	}
+	for dep := range r.dependents[st.id] {
+		if d, ok := r.active[dep]; ok {
+			delete(d.depsOn, st.id)
+		}
+	}
+	delete(r.dependents, st.id)
+	delete(r.active, st.id)
+	r.res.Committed++
+	r.latencies.Add(float64(int64(r.res.Ticks) - st.startClock))
+	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: int64(r.res.Ticks), CommitSeq: r.execSeq})
+	r.res.Trace = append(r.res.Trace, st.events...)
+	r.res.Programs = append(r.res.Programs, st.program)
+	if r.cfg.History != nil {
+		r.cfg.History.Append(storage.Commit{Instance: st.id, Writes: st.writes})
+	}
+	return true
+}
+
+// abortCascade aborts the instance and, transitively, every live
+// instance that read or overwrote its uncommitted data, rolling back
+// all their writes in global reverse order, then requeues the programs
+// for restart.
+func (r *Runner) abortCascade(id int64, reason string) error {
+	victims := map[int64]bool{}
+	var collect func(v int64)
+	collect = func(v int64) {
+		if victims[v] {
+			return
+		}
+		if _, ok := r.active[v]; !ok {
+			return
+		}
+		victims[v] = true
+		for dep := range r.dependents[v] {
+			collect(dep)
+		}
+	}
+	collect(id)
+	if len(victims) == 0 {
+		return nil
+	}
+	ordered := make([]int64, 0, len(victims))
+	for v := range victims {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	logs := make([]*storage.UndoLog, 0, len(ordered))
+	for _, v := range ordered {
+		st := r.active[v]
+		logs = append(logs, &st.undo)
+	}
+	storage.RollbackSet(r.store, logs)
+	for _, v := range ordered {
+		st := r.active[v]
+		r.cfg.Protocol.Abort(v)
+		r.logWAL(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
+		for obj := range st.writes {
+			r.removeDirty(obj, v)
+		}
+		for dep := range r.dependents[v] {
+			if d, ok := r.active[dep]; ok {
+				delete(d.depsOn, v)
+			}
+		}
+		delete(r.dependents, v)
+		for on := range st.depsOn {
+			if deps := r.dependents[on]; deps != nil {
+				delete(deps, v)
+			}
+		}
+		delete(r.active, v)
+		r.res.Aborts++
+		st.restarts++
+		if st.restarts > r.cfg.MaxRestarts {
+			return fmt.Errorf("txn: program T%d exceeded %d restarts (reason %s)", st.program.ID, r.cfg.MaxRestarts, reason)
+		}
+		r.res.Restarts++
+		backoff := st.restarts
+		if backoff > 6 {
+			backoff = 6
+		}
+		// Randomized exponential backoff staggers restarted programs so
+		// identical contenders do not re-collide in lockstep forever.
+		r.pending = append(r.pending, &pendingProgram{
+			program:  st.program,
+			restarts: st.restarts,
+			readyAt:  r.res.Ticks + 1 + r.rng.Intn(1<<backoff),
+		})
+	}
+	return nil
+}
+
+// dirtyWriter returns the live instance owning the object's current
+// uncommitted value, if any.
+func (r *Runner) dirtyWriter(object string) (int64, bool) {
+	stack := r.dirtyStack[object]
+	if len(stack) == 0 {
+		return 0, false
+	}
+	return stack[len(stack)-1], true
+}
+
+// removeDirty drops every stack entry of the instance for the object.
+func (r *Runner) removeDirty(object string, id int64) {
+	stack := r.dirtyStack[object]
+	out := stack[:0]
+	for _, w := range stack {
+		if w != id {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		delete(r.dirtyStack, object)
+	} else {
+		r.dirtyStack[object] = out
+	}
+}
+
+// randomVictim picks a seeded-random active instance for stall
+// breaking.
+func (r *Runner) randomVictim() *instanceState {
+	if len(r.active) == 0 {
+		return nil
+	}
+	ids := make([]int64, 0, len(r.active))
+	for id := range r.active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return r.active[ids[r.rng.Intn(len(ids))]]
+}

@@ -1,0 +1,72 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span records one committed instance's lifetime in the runner's
+// logical clock (ticks for the deterministic driver, executed
+// operations for the concurrent driver).
+type Span struct {
+	Instance int64
+	Program  int // transaction ID of the program
+	Start    int64
+	End      int64
+	// CommitSeq is the commit moment on the execution-order clock of
+	// Event.Order (the op counter), comparable with event orders; the
+	// recovery-property certifier uses it.
+	CommitSeq int64
+}
+
+// Timeline renders the committed instances' lifetimes as an ASCII
+// chart, one row per instance in commit order, scaled to the given
+// width. It makes the concurrency structure of a run visible at a
+// glance: overlapping bars are transactions in flight together.
+func (res *Result) Timeline(width int) string {
+	if len(res.Spans) == 0 {
+		return "(no committed instances)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	spans := append([]Span(nil), res.Spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var maxEnd int64
+	for _, sp := range spans {
+		if sp.End > maxEnd {
+			maxEnd = sp.End
+		}
+	}
+	if maxEnd == 0 {
+		maxEnd = 1
+	}
+	scale := func(t int64) int {
+		p := int(t * int64(width-1) / maxEnd)
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "timeline (logical clock 0..%d, %s runs)\n", maxEnd, res.Protocol)
+	for _, sp := range spans {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		a, b := scale(sp.Start), scale(sp.End)
+		for i := a; i <= b && i < width; i++ {
+			row[i] = '='
+		}
+		if a < width {
+			row[a] = '|'
+		}
+		if b < width {
+			row[b] = '>'
+		}
+		fmt.Fprintf(&sb, "T%-3d %s\n", sp.Program, row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package txn
+
+import (
+	"fmt"
+
+	"relser/internal/core"
+	"relser/internal/sched"
+)
+
+// CommittedSchedule reconstructs the committed execution as a
+// core.Schedule together with the relative atomicity specification the
+// oracle assigned the committed programs. This is the bridge from the
+// online runtime back to the paper's offline theory: Theorem 1's graph
+// test certifies the run.
+func (res *Result) CommittedSchedule() (*core.Schedule, *core.Spec, error) {
+	if res.Committed == 0 {
+		return nil, nil, fmt.Errorf("txn: no committed transactions to reconstruct")
+	}
+	ts, err := core.NewTxnSet(res.Programs...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("txn: committed programs do not form a set: %v", err)
+	}
+	ops := make([]core.Op, 0, len(res.Trace))
+	for _, ev := range res.Trace {
+		ops = append(ops, ev.Op)
+	}
+	s, err := core.NewSchedule(ts, ops)
+	if err != nil {
+		return nil, nil, fmt.Errorf("txn: committed trace is not a schedule: %v", err)
+	}
+	sp := core.NewSpec(ts)
+	oracle := res.oracle
+	if oracle == nil {
+		oracle = sched.AbsoluteOracle{}
+	}
+	for _, a := range res.Programs {
+		for _, b := range res.Programs {
+			if a.ID == b.ID {
+				continue
+			}
+			for _, cut := range oracle.Cuts(a, b) {
+				if err := sp.CutAfter(a.ID, b.ID, cut-1); err != nil {
+					return nil, nil, fmt.Errorf("txn: oracle cut invalid: %v", err)
+				}
+			}
+		}
+	}
+	return s, sp, nil
+}
+
+// Verify certifies the run with the paper's tools: the committed
+// schedule must be relatively serializable under the oracle's
+// specification (RSG acyclic, Theorem 1). Protocols in this module
+// guarantee it; NoCC runs are expected to fail here under contention.
+func (res *Result) Verify() error {
+	s, sp, err := res.CommittedSchedule()
+	if err != nil {
+		return err
+	}
+	rsg := core.BuildRSG(s, sp)
+	if !rsg.Acyclic() {
+		return fmt.Errorf("txn: committed schedule is not relatively serializable; RSG cycle through %v", rsg.Cycle())
+	}
+	return nil
+}
+
+// String summarizes the result.
+func (res *Result) String() string {
+	return fmt.Sprintf("%s: committed=%d aborts=%d restarts=%d blocks=%d ticks=%d ops=%d mpl=%.2f",
+		res.Protocol, res.Committed, res.Aborts, res.Restarts, res.Blocks, res.Ticks, res.OpsExecuted, res.AvgConcurrency)
+}

@@ -1,0 +1,84 @@
+package relser_test
+
+import (
+	"testing"
+
+	"relser"
+)
+
+// TestFacadeQuickstart exercises the public API exactly as the package
+// documentation shows.
+func TestFacadeQuickstart(t *testing.T) {
+	t1 := relser.T(1, relser.R("x"), relser.W("x"), relser.W("z"), relser.R("y"))
+	t2 := relser.T(2, relser.R("y"), relser.W("y"), relser.R("x"))
+	ts, err := relser.NewTxnSet(t1, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := relser.NewSpec(ts)
+	if err := spec.SetUnits(1, 2, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.SetUnits(2, 1, 1, 2); err != nil { // [r2y][w2y r2x], as in Figure 1
+		t.Fatal(err)
+	}
+	s, err := relser.ParseSchedule(ts, "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] r1[y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relser.IsRelativelySerializable(s, spec) {
+		t.Error("quickstart schedule should be relatively serializable")
+	}
+	if ok, _ := relser.IsRelativelyAtomic(s, spec); !ok {
+		t.Error("quickstart schedule respects the declared units")
+	}
+	rsg := relser.BuildRSG(s, spec)
+	if !rsg.Acyclic() {
+		t.Error("RSG should be acyclic")
+	}
+	if rsg.NumVertices() != 7 {
+		t.Errorf("NumVertices = %d", rsg.NumVertices())
+	}
+	w, err := rsg.Witness()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relser.ConflictEquivalent(w, s) {
+		t.Error("witness must be conflict equivalent")
+	}
+}
+
+func TestFacadeConstantsAndKinds(t *testing.T) {
+	if relser.ReadOp.String() != "r" || relser.WriteOp.String() != "w" {
+		t.Error("op kind aliases broken")
+	}
+	kinds := relser.IArc | relser.DArc | relser.FArc | relser.BArc
+	if kinds.String() != "I,D,F,B" {
+		t.Errorf("arc kinds = %s", kinds)
+	}
+}
+
+func TestFacadeSerialAndSG(t *testing.T) {
+	ts := relser.MustTxnSet(
+		relser.T(1, relser.W("a")),
+		relser.T(2, relser.R("a")),
+	)
+	s, err := relser.SerialSchedule(ts, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relser.IsConflictSerializable(s) {
+		t.Error("serial schedule must be conflict serializable")
+	}
+	sg := relser.BuildSG(s)
+	if !sg.HasArc(2, 1) {
+		t.Error("SG should order T2 before T1")
+	}
+	w, err := relser.SerialWitness(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.IsSerial() {
+		t.Error("witness must be serial")
+	}
+}
