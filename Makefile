@@ -2,9 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check
 
 all: build vet test
+
+# Everything CI runs (see .github/workflows/ci.yml).
+ci: fmt-check vet build race
+
+# Fail if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

@@ -12,6 +12,7 @@ package relser_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"relser"
@@ -19,8 +20,10 @@ import (
 	"relser/internal/core"
 	"relser/internal/enumerate"
 	"relser/internal/experiments"
+	"relser/internal/metrics"
 	"relser/internal/paperfig"
 	"relser/internal/sched"
+	"relser/internal/trace"
 	"relser/internal/workload"
 )
 
@@ -257,6 +260,70 @@ func BenchmarkVerifyCommittedSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := res.Verify(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchRSGTRequestPath drives the RSGT Request hot path directly:
+// two concurrent transactions interleaving grants on disjoint objects,
+// re-admitted every iteration. Comparing the TracerOff and TracerOn
+// variants (allocations are reported) shows what tracing costs when
+// enabled — and that the disabled guard adds none.
+func benchRSGTRequestPath(b *testing.B, tr *trace.Tracer) {
+	progs := []*core.Transaction{
+		core.T(1, core.R("a"), core.W("b"), core.R("c"), core.W("d")),
+		core.T(2, core.R("e"), core.W("f"), core.R("g"), core.W("h")),
+	}
+	p := sched.NewRSGT(sched.AbsoluteOracle{})
+	sched.Attach(p, tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := int64(i) * 2
+		for j, prog := range progs {
+			p.Begin(base+int64(j)+1, prog)
+		}
+		for seq := 0; seq < progs[0].Len(); seq++ {
+			for j, prog := range progs {
+				req := sched.OpRequest{Instance: base + int64(j) + 1, Program: prog, Seq: seq, Op: prog.Op(seq)}
+				if d := p.Request(req); d != sched.Grant {
+					b.Fatalf("want grant, got %v", d)
+				}
+			}
+		}
+		for j := range progs {
+			p.Commit(base + int64(j) + 1)
+		}
+	}
+}
+
+func BenchmarkRSGTRequestTracerOff(b *testing.B) { benchRSGTRequestPath(b, nil) }
+
+func BenchmarkRSGTRequestTracerOn(b *testing.B) {
+	benchRSGTRequestPath(b, trace.New(trace.NewJSONLWriter(io.Discard)))
+}
+
+// BenchmarkRuntimeTracedBanking measures whole-run overhead of full
+// tracing plus metrics against BenchmarkProtocolRSGTBanking above.
+func BenchmarkRuntimeTracedBanking(b *testing.B) {
+	w, err := workload.Banking(workload.DefaultBankingConfig(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := w.RunWith(sched.NewRSGT(w.Oracle), workload.RunOptions{
+			Seed:    1,
+			MPL:     8,
+			Tracer:  trace.New(trace.NewJSONLWriter(io.Discard)),
+			Metrics: metrics.NewRegistry(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Committed != len(w.Programs) {
+			b.Fatal("incomplete run")
 		}
 	}
 }

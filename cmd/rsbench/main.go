@@ -7,24 +7,37 @@
 //	rsbench                 # run every experiment, full size
 //	rsbench -e E3           # one experiment
 //	rsbench -e E6,E7 -quick # quick sizes
+//	rsbench -e E8 -json     # also write BENCH_E8.json
 //	rsbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"relser/internal/experiments"
+	"relser/internal/metrics"
+	"relser/internal/trace"
 )
 
 func main() {
 	var (
-		which = flag.String("e", "all", "comma-separated experiment ids, or 'all'")
-		quick = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
-		seed  = flag.Int64("seed", 1, "seed for randomized components")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		which      = flag.String("e", "all", "comma-separated experiment ids, or 'all'")
+		quick      = flag.Bool("quick", false, "shrink sweeps for a fast smoke run")
+		seed       = flag.Int64("seed", 1, "seed for randomized components")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		jsonOut    = flag.Bool("json", false, "write each report as BENCH_<id>.json")
+		outDir     = flag.String("outdir", ".", "directory for -json artifacts")
+		tracePath  = flag.String("trace", "", "capture structured runtime events (JSONL) across all experiments")
+		metricsOn  = flag.Bool("metrics", false, "print the accumulated runtime metrics registry at the end")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -41,24 +54,141 @@ func main() {
 			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
-	failed := 0
-	for i, id := range ids {
-		rep, err := experiments.Run(id, opts)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
 		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	var buf *trace.Buffer
+	if *tracePath != "" {
+		buf = trace.NewBuffer()
+		opts.Tracer = trace.New(buf)
+	}
+	if *metricsOn {
+		opts.Metrics = metrics.NewRegistry()
+	}
+
+	// Every requested experiment runs even if an earlier one errors;
+	// the summary table at the end reports per-experiment outcomes.
+	type outcome struct {
+		id     string
+		wall   time.Duration
+		status string // ok | claims-failed | error
+		err    error
+	}
+	var (
+		outcomes []outcome
+		failed   int
+		errored  int
+	)
+	for i, id := range ids {
+		start := time.Now()
+		rep, err := experiments.Run(id, opts)
+		wall := time.Since(start)
+		o := outcome{id: id, wall: wall, status: "ok", err: err}
+		if err != nil {
+			o.status = "error"
+			errored++
 			fmt.Fprintln(os.Stderr, "rsbench:", err)
-			os.Exit(1)
+			outcomes = append(outcomes, o)
+			continue
 		}
 		if i > 0 {
 			fmt.Println()
 		}
 		fmt.Println(rep)
+		fmt.Printf("(%s wall %s)\n", id, wall.Round(time.Millisecond))
 		if !rep.Pass() {
+			o.status = "claims-failed"
 			failed++
 		}
+		if *jsonOut {
+			if err := writeArtifact(*outDir, rep.Artifact(opts, wall.Milliseconds())); err != nil {
+				fatal(err)
+			}
+		}
+		outcomes = append(outcomes, o)
+	}
+
+	if buf != nil {
+		if err := writeTrace(*tracePath, buf); err != nil {
+			fatal(err)
+		}
+	}
+	if opts.Metrics != nil {
+		fmt.Println()
+		if _, err := opts.Metrics.Snapshot().Table("runtime metrics (all experiments)").WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	if len(ids) > 1 {
+		tb := metrics.NewTable("Summary", "experiment", "status", "wall")
+		for _, o := range outcomes {
+			tb.AddRow(o.id, o.status, o.wall.Round(time.Millisecond).String())
+		}
+		fmt.Println()
+		if _, err := tb.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+	if errored > 0 {
+		fmt.Fprintf(os.Stderr, "rsbench: %d experiment(s) errored\n", errored)
+		os.Exit(1)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "rsbench: %d experiment(s) with failing claims\n", failed)
 		os.Exit(2)
 	}
+}
+
+func writeArtifact(dir string, a experiments.Artifact) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+a.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(%s artifact -> %s)\n", a.ID, path)
+	return nil
+}
+
+func writeTrace(path string, buf *trace.Buffer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events := buf.Events()
+	if err := trace.WriteJSONL(f, events); err != nil {
+		return err
+	}
+	fmt.Printf("(trace: %d events -> %s)\n", len(events), path)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rsbench:", err)
+	os.Exit(1)
 }

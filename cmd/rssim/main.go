@@ -7,29 +7,35 @@
 //
 //	rssim -workload banking -protocol rsgt -seed 1 -mpl 8
 //	rssim -workload longlived -protocol altruistic
-//	rssim -workload synthetic -granularity 2 -protocol rsgt -trace
+//	rssim -workload synthetic -granularity 2 -protocol rsgt -schedule
+//	rssim -workload banking -protocol rsgt -trace run.jsonl -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strings"
 
 	"relser/internal/core"
+	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/storage"
+	"relser/internal/trace"
 	"relser/internal/workload"
 )
 
 func main() {
 	var (
 		wname      = flag.String("workload", "banking", "banking | cadcam | longlived | synthetic")
-		pname      = flag.String("protocol", "rsgt", "nocc | s2pl | sgt | rsgt | altruistic | to")
+		pname      = flag.String("protocol", "rsgt", strings.Join(sched.ProtocolNames(), " | "))
 		seed       = flag.Int64("seed", 1, "deterministic seed")
 		mpl        = flag.Int("mpl", 8, "multiprogramming level")
 		gran       = flag.Int("granularity", 2, "synthetic workload atomic-unit length (0 = absolute)")
 		scale      = flag.Int("scale", 1, "workload size multiplier")
-		trace      = flag.Bool("trace", false, "print the committed schedule")
+		schedule   = flag.Bool("schedule", false, "print the committed schedule")
 		dump       = flag.Bool("dump", false, "emit the committed run as an instance file (consumable by rscheck)")
 		walPath    = flag.String("wal", "", "write a write-ahead log to this file (recover with rsrecover)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine runtime instead of the deterministic tick driver")
@@ -37,8 +43,26 @@ func main() {
 		recovery   = flag.Bool("recovery", false, "report the classical recoverability hierarchy (recoverable / ACA / strict)")
 		verify     = flag.Bool("verify", true, "certify the committed schedule with the RSG test")
 		crossed    = flag.Bool("crossing", true, "banking: audits scan families in alternating directions")
+		tracePath  = flag.String("trace", "", "write structured runtime events (JSONL) to this file")
+		chromePath = flag.String("chrome", "", "write the event trace in Chrome trace_event format to this file")
+		dotDir     = flag.String("dotdir", "", "write RSG DOT snapshots taken at rejection points into this directory")
+		metricsOn  = flag.Bool("metrics", false, "print the runtime metrics registry after the run")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	w, err := buildWorkload(*wname, *seed, *gran, *scale, *crossed)
 	if err != nil {
@@ -63,6 +87,32 @@ func main() {
 	if *dump {
 		status = os.Stderr
 	}
+
+	var (
+		tracer *trace.Tracer
+		buf    *trace.Buffer
+	)
+	if *tracePath != "" || *chromePath != "" || *dotDir != "" {
+		buf = trace.NewBuffer()
+		tracer = trace.New(buf)
+		if *dotDir != "" {
+			if err := os.MkdirAll(*dotDir, 0o755); err != nil {
+				fatal(err)
+			}
+			dir := *dotDir
+			tracer.DotSink = func(name, dot string) {
+				path := filepath.Join(dir, name+".dot")
+				if err := os.WriteFile(path, []byte(dot), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "rssim: dot snapshot:", err)
+				}
+			}
+		}
+	}
+	var registry *metrics.Registry
+	if *metricsOn {
+		registry = metrics.NewRegistry()
+	}
+
 	fmt.Fprintf(status, "workload=%s programs=%d protocol=%s seed=%d mpl=%d\n",
 		w.Name, len(w.Programs), p.Name(), *seed, *mpl)
 	res, _, err := w.RunWith(p, workload.RunOptions{
@@ -70,6 +120,8 @@ func main() {
 		MPL:        *mpl,
 		WAL:        wal,
 		Concurrent: *concurrent,
+		Tracer:     tracer,
+		Metrics:    registry,
 	})
 	if err != nil {
 		fatal(err)
@@ -78,7 +130,7 @@ func main() {
 	if w.Invariant != nil {
 		fmt.Fprintln(status, "data invariant: ok")
 	}
-	if *trace {
+	if *schedule {
 		s, _, err := res.CommittedSchedule()
 		if err != nil {
 			fatal(err)
@@ -98,6 +150,15 @@ func main() {
 			fmt.Fprintln(status, "  first violation:", props.Violation)
 		}
 	}
+	if buf != nil {
+		reportTrace(status, buf, w, *tracePath, *chromePath)
+	}
+	if registry != nil {
+		snap := registry.Snapshot()
+		if _, err := snap.Table("runtime metrics").WriteTo(status); err != nil {
+			fatal(err)
+		}
+	}
 	if *dump {
 		s, sp, err := res.CommittedSchedule()
 		if err != nil {
@@ -111,12 +172,86 @@ func main() {
 		}
 		fmt.Print(core.FormatInstance(inst))
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
 	if *verify {
 		if err := res.Verify(); err != nil {
 			fmt.Fprintln(status, "verification: FAILED:", err)
 			os.Exit(2)
 		}
 		fmt.Fprintln(status, "verification: committed schedule is relatively serializable (Theorem 1)")
+	}
+}
+
+// reportTrace writes the requested trace outputs and summarizes the
+// captured events: kind counts, every scheduler rejection explanation
+// (with its concrete RSG cycle, when the protocol names one), and an
+// offline replay verification of those cycles against the theory.
+func reportTrace(status *os.File, buf *trace.Buffer, w *workload.Workload, tracePath, chromePath string) {
+	events := buf.Events()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteJSONL(f, events); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(status, "trace: %d events -> %s\n", len(events), tracePath)
+	}
+	if chromePath != "" {
+		f, err := os.Create(chromePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChrome(f, events); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Fprintf(status, "trace: chrome trace_event -> %s\n", chromePath)
+	}
+	counts := trace.CountKinds(events)
+	var kinds []string
+	for k, n := range counts {
+		kinds = append(kinds, fmt.Sprintf("%s=%d", k, n))
+	}
+	sortStrings(kinds)
+	fmt.Fprintln(status, "trace events:", strings.Join(kinds, " "))
+	rejects := 0
+	for _, ev := range events {
+		if ev.Kind != trace.KindCycleReject && ev.Kind != trace.KindConflictCycle && ev.Kind != trace.KindDeadlock {
+			continue
+		}
+		rejects++
+		fmt.Fprintf(status, "  [%s] instance %d %s: %s\n", ev.Kind, ev.Instance, ev.Op, ev.Reason)
+		if ev.Cycle != nil {
+			fmt.Fprintf(status, "    cycle: %s\n", ev.Cycle)
+		}
+	}
+	if n := counts[trace.KindCycleReject]; n > 0 {
+		checked, err := trace.VerifyCycles(events, w.Oracle.Cuts)
+		if err != nil {
+			fmt.Fprintf(status, "trace: cycle replay verification FAILED after %d cycle(s): %v\n", checked, err)
+		} else {
+			fmt.Fprintf(status, "trace: all %d rejection cycle(s) replay-verified against the offline RSG\n", checked)
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
 	}
 }
 
@@ -147,25 +282,10 @@ func buildWorkload(name string, seed int64, gran, scale int, crossing bool) (*wo
 	}
 }
 
+// buildProtocol resolves a protocol name against the sched registry,
+// binding the workload's atomicity oracle to protocols that take one.
 func buildProtocol(name string, w *workload.Workload) (sched.Protocol, error) {
-	switch name {
-	case "nocc":
-		return sched.NewNoCC(), nil
-	case "s2pl":
-		return sched.NewS2PL(), nil
-	case "sgt":
-		return sched.NewSGT(), nil
-	case "rsgt":
-		return sched.NewRSGT(w.Oracle), nil
-	case "altruistic":
-		return sched.NewAltruistic(w.Oracle), nil
-	case "to":
-		return sched.NewTO(), nil
-	case "ral":
-		return sched.NewRAL(w.Oracle), nil
-	default:
-		return nil, fmt.Errorf("unknown protocol %q", name)
-	}
+	return sched.NewProtocol(name, w.Oracle)
 }
 
 func fatal(err error) {

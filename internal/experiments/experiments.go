@@ -34,12 +34,13 @@ import (
 	"strings"
 
 	"relser/internal/metrics"
+	"relser/internal/trace"
 )
 
 // Claim is one paper assertion an experiment verifies mechanically.
 type Claim struct {
-	Text string
-	Pass bool
+	Text string `json:"text"`
+	Pass bool   `json:"pass"`
 }
 
 // Report is the outcome of one experiment.
@@ -105,6 +106,52 @@ type Options struct {
 	Quick bool
 	// Seed drives every randomized component.
 	Seed int64
+	// Tracer, when set, receives structured runtime events from every
+	// workload run the experiment performs.
+	Tracer *trace.Tracer
+	// Metrics, when set, accumulates runtime counters and histograms
+	// across the experiment's runs.
+	Metrics *metrics.Registry
+}
+
+// TableData is a metrics.Table flattened for JSON artifacts.
+type TableData struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// Artifact is the machine-readable form of a Report; rsbench -json
+// writes one per experiment as BENCH_<id>.json.
+type Artifact struct {
+	ID     string      `json:"id"`
+	Title  string      `json:"title"`
+	Quick  bool        `json:"quick"`
+	Seed   int64       `json:"seed"`
+	WallMS int64       `json:"wall_ms"`
+	Pass   bool        `json:"pass"`
+	Claims []Claim     `json:"claims"`
+	Tables []TableData `json:"tables"`
+	Notes  []string    `json:"notes,omitempty"`
+}
+
+// Artifact flattens the report for JSON output. Wall time is measured
+// by the caller (the report itself is timing-free and deterministic).
+func (r *Report) Artifact(opts Options, wallMS int64) Artifact {
+	a := Artifact{
+		ID:     r.ID,
+		Title:  r.Title,
+		Quick:  opts.Quick,
+		Seed:   opts.Seed,
+		WallMS: wallMS,
+		Pass:   r.Pass(),
+		Claims: r.Claims,
+		Notes:  r.Notes,
+	}
+	for _, t := range r.Tables {
+		a.Tables = append(a.Tables, TableData{Title: t.Title, Columns: t.Columns, Rows: t.Rows()})
+	}
+	return a
 }
 
 var registry = map[string]struct {

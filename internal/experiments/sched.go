@@ -66,7 +66,9 @@ func runE8(opts Options) (*Report, error) {
 				return nil, err
 			}
 			for _, pf := range protocolFactories(w) {
-				res, err := w.Run(pf.make(), seed, mpl)
+				res, _, err := w.RunWith(pf.make(), workload.RunOptions{
+					Seed: seed, MPL: mpl, Tracer: opts.Tracer, Metrics: opts.Metrics,
+				})
 				if err != nil {
 					return nil, fmt.Errorf("%s mpl=%d seed=%d: %v", pf.name, mpl, seed, err)
 				}
@@ -254,7 +256,9 @@ func runE9(opts Options) (*Report, error) {
 				} else {
 					p = sched.NewAltruistic(w.Oracle)
 				}
-				res, err := w.Run(p, seed, 8)
+				res, _, err := w.RunWith(p, workload.RunOptions{
+					Seed: seed, MPL: 8, Tracer: opts.Tracer, Metrics: opts.Metrics,
+				})
 				if err != nil {
 					return nil, fmt.Errorf("g=%d %s seed=%d: %v", g, proto, seed, err)
 				}

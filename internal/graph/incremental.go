@@ -188,6 +188,52 @@ func (inc *Incremental) reorder(deltaF, deltaB []int) {
 
 func (inc *Incremental) clearMarks() { inc.mark.Reset() }
 
+// FindPath returns a directed path from -> ... -> to as a vertex
+// sequence, or nil if to is unreachable. Schedulers use it to explain
+// rejections: after AddArc(u, v) fails with ErrCycle, FindPath(v, u)
+// plus the refused arc is a concrete cycle witness. The search prunes
+// by the maintained topological order (any path stays within
+// [Order(from), Order(to)]), so it touches only the affected region.
+func (inc *Incremental) FindPath(from, to int) []int {
+	if from == to {
+		return []int{from}
+	}
+	if inc.ord[from] > inc.ord[to] {
+		return nil
+	}
+	parent := make(map[int]int, 16)
+	parent[from] = from
+	stack := []int{from}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range inc.g.Successors(w) {
+			if inc.ord[s] > inc.ord[to] {
+				continue
+			}
+			if _, seen := parent[s]; seen {
+				continue
+			}
+			parent[s] = w
+			if s == to {
+				var rev []int
+				for v := to; ; v = parent[v] {
+					rev = append(rev, v)
+					if v == from {
+						break
+					}
+				}
+				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+					rev[i], rev[j] = rev[j], rev[i]
+				}
+				return rev
+			}
+			stack = append(stack, s)
+		}
+	}
+	return nil
+}
+
 // TopoOrder returns the maintained topological order as a vertex slice.
 func (inc *Incremental) TopoOrder() []int {
 	out := make([]int, len(inc.pos))

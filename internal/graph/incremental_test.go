@@ -170,3 +170,40 @@ func mustAdd(t *testing.T, inc *Incremental, u, v int) {
 		t.Fatalf("AddArc(%d, %d): %v", u, v, err)
 	}
 }
+
+func TestIncrementalFindPath(t *testing.T) {
+	inc := NewIncremental(6)
+	mustAdd(t, inc, 0, 1)
+	mustAdd(t, inc, 1, 2)
+	mustAdd(t, inc, 2, 3)
+	mustAdd(t, inc, 0, 4) // side branch off the path
+	mustAdd(t, inc, 5, 3) // joins the path's end from elsewhere
+
+	path := inc.FindPath(0, 3)
+	if len(path) < 2 || path[0] != 0 || path[len(path)-1] != 3 {
+		t.Fatalf("FindPath(0, 3) = %v, want a 0..3 path", path)
+	}
+	for i := 0; i+1 < len(path); i++ {
+		if !inc.HasArc(path[i], path[i+1]) {
+			t.Fatalf("FindPath(0, 3) = %v: no arc %d->%d", path, path[i], path[i+1])
+		}
+	}
+	if got := inc.FindPath(3, 0); got != nil {
+		t.Fatalf("FindPath(3, 0) = %v, want nil (no backward path)", got)
+	}
+	if got := inc.FindPath(4, 3); got != nil {
+		t.Fatalf("FindPath(4, 3) = %v, want nil (disconnected)", got)
+	}
+	if got := inc.FindPath(2, 2); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("FindPath(2, 2) = %v, want [2]", got)
+	}
+
+	// The cycle-witness use: a refused AddArc(u, v) means FindPath(v, u)
+	// plus the refused arc is a concrete cycle.
+	if err := inc.AddArc(3, 0); !errors.Is(err, ErrCycle) {
+		t.Fatalf("AddArc(3, 0) = %v, want ErrCycle", err)
+	}
+	if path := inc.FindPath(0, 3); path == nil {
+		t.Fatal("cycle witness path missing after refused arc")
+	}
+}

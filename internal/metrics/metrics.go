@@ -45,7 +45,10 @@ func formatFloat(x float64) string {
 	switch {
 	case math.IsNaN(x) || math.IsInf(x, 0):
 		return fmt.Sprint(x)
-	case x != 0 && math.Abs(x) < 0.01:
+	case x == 0:
+		// Covers negative zero too, which %.2f would render "-0.00".
+		return "0.00"
+	case math.Abs(x) < 0.01:
 		return fmt.Sprintf("%.2e", x)
 	default:
 		return fmt.Sprintf("%.2f", x)
@@ -54,6 +57,16 @@ func formatFloat(x float64) string {
 
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// Rows returns a copy of the rendered data rows, for machine-readable
+// exports (rsbench JSON artifacts).
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, row := range t.rows {
+		out[i] = append([]string(nil), row...)
+	}
+	return out
+}
 
 // WriteTo renders the table.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {

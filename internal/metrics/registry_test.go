@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFormatFloatNearZero(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0.00",
+		-0.0042: "-4.20e-03",
+		0.0042:  "4.20e-03",
+		-1.5:    "-1.50",
+		2:       "2.00",
+	}
+	negZero := -1.0 * 0.0
+	cases[negZero] = "0.00"
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTableRowsCopy(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow(1, 2)
+	rows := tab.Rows()
+	if len(rows) != 1 || rows[0][0] != "1" || rows[0][1] != "2" {
+		t.Fatalf("Rows() = %v", rows)
+	}
+	rows[0][0] = "mutated"
+	if tab.Rows()[0][0] != "1" {
+		t.Error("Rows() aliases internal storage")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(2)
+	if r.Counter("ops") != c {
+		t.Error("Counter does not return the same instance")
+	}
+	if got := r.Counter("ops").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("active")
+	g.Set(4)
+	g.Add(-1)
+	if r.Gauge("active").Value() != 3 {
+		t.Errorf("gauge = %v, want 3", r.Gauge("active").Value())
+	}
+	h := r.Histogram("latency")
+	for _, v := range []float64{1, 2, 3, 4, 100} {
+		h.Observe(v)
+	}
+	h.ObserveDuration(2 * time.Second)
+	sum := r.Histogram("latency").Summary()
+	if sum.Count != 6 || sum.Max != 100 {
+		t.Errorf("histogram summary = %+v", sum)
+	}
+	// Sample is {1, 2, 3, 4, 100, 2}; nearest-rank p50 of the sorted
+	// sample {1, 2, 2, 3, 4, 100} is the 3rd value.
+	if sum.P50 != 2 {
+		t.Errorf("p50 = %v, want 2", sum.P50)
+	}
+	if sum.P99 != 100 {
+		t.Errorf("p99 = %v, want 100", sum.P99)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("g").Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("h").Summary().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotDiffAndTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("txn.committed").Add(10)
+	r.Gauge("txn.active").Set(2)
+	r.Histogram("txn.latency").Observe(5)
+	base := r.Snapshot()
+	r.Counter("txn.committed").Add(7)
+	r.Counter("txn.aborts").Add(1)
+	diff := r.Snapshot().Diff(base)
+	if diff.Counters["txn.committed"] != 7 {
+		t.Errorf("diff committed = %d, want 7", diff.Counters["txn.committed"])
+	}
+	if diff.Counters["txn.aborts"] != 1 {
+		t.Errorf("diff aborts = %d, want 1", diff.Counters["txn.aborts"])
+	}
+	out := r.Snapshot().Table("run metrics").String()
+	for _, want := range []string{"run metrics", "txn.committed", "counter", "txn.active", "gauge", "txn.latency", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Rows sort counters, then gauges, then histograms.
+	if !strings.HasPrefix(lines[3], "txn.aborts") {
+		t.Errorf("first data row = %q, want txn.aborts first", lines[3])
+	}
+}

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"fmt"
+
 	"relser/internal/core"
+	"relser/internal/trace"
 )
 
 // Altruistic implements altruistic locking [SGMA87], the long-lived
@@ -23,6 +26,7 @@ import (
 // These rules keep executions serializable with the donor ordered
 // first, exactly the guarantee of [SGMA87].
 type Altruistic struct {
+	traced
 	base   *S2PL
 	oracle AtomicityOracle
 
@@ -59,6 +63,13 @@ func NewAltruistic(oracle AtomicityOracle) *Altruistic {
 
 // Name implements Protocol.
 func (p *Altruistic) Name() string { return "altruistic" }
+
+// SetTracer installs the tracer on the protocol and its embedded lock
+// manager (whose program map feeds explanation events).
+func (p *Altruistic) SetTracer(tr *trace.Tracer) {
+	p.traced.SetTracer(tr)
+	p.base.SetTracer(tr)
+}
 
 // Begin implements Protocol.
 func (p *Altruistic) Begin(instance int64, program *core.Transaction) {
@@ -111,6 +122,14 @@ func (p *Altruistic) Request(req OpRequest) Decision {
 		p.base.clearWaits(req.Instance)
 		p.base.acquire(st, req)
 		for _, d := range donors {
+			if p.tr.Enabled() && !p.wakes[req.Instance][d] {
+				p.tr.Emit(trace.Event{
+					Kind: trace.KindWake, Protocol: p.Name(),
+					Instance: req.Instance, Txn: int(req.Op.Txn),
+					Object: req.Op.Object, Blockers: []int64{d},
+					Reason: fmt.Sprintf("acquired donated %s; entering wake of instance %d", req.Op.Object, d),
+				})
+			}
 			p.wakes[req.Instance][d] = true
 		}
 		p.afterExecute(req)
@@ -123,8 +142,14 @@ func (p *Altruistic) Request(req OpRequest) Decision {
 		p.base.waitingOn[req.Instance] = append(p.base.waitingOn[req.Instance], b)
 	}
 	if cyc := p.base.waits.FindCycleFrom(me); cyc != nil {
+		if p.tr.Enabled() {
+			p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.base.instanceAt, p.base.progs)))
+		}
 		p.base.clearWaits(req.Instance)
 		return Abort
+	}
+	if p.tr.Enabled() {
+		p.tr.Emit(blockEvent(p.Name(), req, effective))
 	}
 	return Block
 }
@@ -151,6 +176,14 @@ func (p *Altruistic) afterExecute(req OpRequest) {
 	// Donate every held object the remaining suffix never touches.
 	for _, obj := range p.base.held[req.Instance] {
 		if p.remaining[req.Instance][obj] == 0 {
+			if p.tr.Enabled() && !p.donated[req.Instance][obj] {
+				p.tr.Emit(trace.Event{
+					Kind: trace.KindDonate, Protocol: p.Name(),
+					Instance: req.Instance, Txn: int(req.Op.Txn),
+					Seq: req.Seq, Object: obj,
+					Reason: fmt.Sprintf("unit boundary after seq %d; lock on %s donated", req.Seq, obj),
+				})
+			}
 			p.donated[req.Instance][obj] = true
 		}
 	}

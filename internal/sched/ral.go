@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"fmt"
+
 	"relser/internal/core"
+	"relser/internal/trace"
 )
 
 // RAL — relative-atomicity locking — is this module's take on the
@@ -29,6 +32,7 @@ import (
 // enters Ti's wake — it may not touch objects Ti still needs, cannot
 // commit before Ti, and is cascaded by the driver if Ti aborts.
 type RAL struct {
+	traced
 	base   *S2PL
 	rsgt   *RSGT
 	oracle AtomicityOracle
@@ -61,6 +65,15 @@ func NewRAL(oracle AtomicityOracle) *RAL {
 
 // Name implements Protocol.
 func (p *RAL) Name() string { return "ral" }
+
+// SetTracer installs the tracer on the protocol, its lock manager, and
+// its embedded certifier. Cycle rejections surface from the certifier
+// under protocol name "rsgt" (the graph makes the decision).
+func (p *RAL) SetTracer(tr *trace.Tracer) {
+	p.traced.SetTracer(tr)
+	p.base.SetTracer(tr)
+	p.rsgt.SetTracer(tr)
+}
 
 // Begin implements Protocol.
 func (p *RAL) Begin(instance int64, program *core.Transaction) {
@@ -139,19 +152,34 @@ func (p *RAL) Request(req OpRequest) Decision {
 			p.base.waitingOn[req.Instance] = append(p.base.waitingOn[req.Instance], b)
 		}
 		if cyc := p.base.waits.FindCycleFrom(me); cyc != nil {
+			if p.tr.Enabled() {
+				p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.base.instanceAt, p.base.progs)))
+			}
 			p.base.clearWaits(req.Instance)
 			return Abort
+		}
+		if p.tr.Enabled() {
+			p.tr.Emit(blockEvent(p.Name(), req, effective))
 		}
 		return Block
 	}
 
-	// Lock discipline satisfied: certify with the paper's graph.
+	// Lock discipline satisfied: certify with the paper's graph (a
+	// rejection there emits its cycle-reject explanation as "rsgt").
 	if d := p.rsgt.Request(req); d != Grant {
 		return d
 	}
 	p.base.clearWaits(req.Instance)
 	p.base.acquire(st, req)
 	for _, d := range donors {
+		if p.tr.Enabled() && !p.wakes[req.Instance][d] {
+			p.tr.Emit(trace.Event{
+				Kind: trace.KindWake, Protocol: p.Name(),
+				Instance: req.Instance, Txn: int(req.Op.Txn),
+				Object: req.Op.Object, Blockers: []int64{d},
+				Reason: fmt.Sprintf("lock on %s released per-observer by instance %d; entering its wake", req.Op.Object, d),
+			})
+		}
 		p.wakes[req.Instance][d] = true
 	}
 	p.executed[req.Instance] = req.Seq + 1

@@ -5,6 +5,7 @@ import (
 
 	"relser/internal/core"
 	"relser/internal/graph"
+	"relser/internal/trace"
 )
 
 // RSGT is relative serialization graph testing — the concurrency
@@ -32,6 +33,7 @@ import (
 // Relative atomicity specifications come from an AtomicityOracle,
 // queried lazily per ordered pair of live instances and memoized.
 type RSGT struct {
+	traced
 	oracle AtomicityOracle
 	g      *graph.Incremental
 
@@ -48,6 +50,12 @@ type RSGT struct {
 
 	// pairCuts memoizes oracle answers per ordered instance pair.
 	pairCuts map[[2]int64][]int
+
+	// arcKinds mirrors the live graph's arc-kind masks, maintained only
+	// while tracing so rejections can name their cycle's I/D/F/B arcs.
+	// Entries for isolated vertices go stale harmlessly (vertices are
+	// never reused, so explanation paths cannot reach them).
+	arcKinds map[[2]int]core.ArcKind
 }
 
 type rsgtInst struct {
@@ -95,8 +103,19 @@ func (p *RSGT) Begin(instance int64, program *core.Transaction) {
 		if err := p.g.AddArc(inst.vertices[seq], inst.vertices[seq+1]); err != nil {
 			panic(fmt.Sprintf("sched: I-arc on fresh vertices cycled: %v", err)) // unreachable
 		}
+		if p.tr.Enabled() {
+			p.noteKind(inst.vertices[seq], inst.vertices[seq+1], core.IArc)
+		}
 	}
 	p.insts[instance] = inst
+}
+
+// noteKind records an arc's kind mask for explanations; tracing only.
+func (p *RSGT) noteKind(u, v int, kind core.ArcKind) {
+	if p.arcKinds == nil {
+		p.arcKinds = make(map[[2]int]core.ArcKind)
+	}
+	p.arcKinds[[2]int{u, v}] |= kind
 }
 
 // Request implements Protocol.
@@ -142,9 +161,36 @@ func (p *RSGT) Request(req OpRequest) Decision {
 	// dependency.
 	v := inst.vertices[req.Seq]
 	var added [][2]int
+	var kindUndo []arcKindUndo
+	var failArc [2]int
+	var failKind core.ArcKind
+	tryArc := func(u, w int, kind core.ArcKind) bool {
+		if u == w {
+			return true
+		}
+		if err := p.g.AddArc(u, w); err != nil {
+			failArc = [2]int{u, w}
+			failKind = kind
+			return false
+		}
+		added = append(added, [2]int{u, w})
+		if p.tr.Enabled() {
+			kindUndo = append(kindUndo, arcKindUndo{key: [2]int{u, w}, prev: p.arcKinds[[2]int{u, w}]})
+			p.noteKind(u, w, kind)
+		}
+		return true
+	}
 	rollback := func() {
 		for _, a := range added {
 			p.g.RemoveArc(a[0], a[1])
+		}
+		for i := len(kindUndo) - 1; i >= 0; i-- {
+			un := kindUndo[i]
+			if un.prev == 0 {
+				delete(p.arcKinds, un.key)
+			} else {
+				p.arcKinds[un.key] = un.prev
+			}
 		}
 	}
 	ok := true
@@ -165,25 +211,28 @@ func (p *RSGT) Request(req OpRequest) Decision {
 		}
 		u := src.vertices[info.seq]
 		// D-arc u -> v.
-		if !p.addArc(u, v, &added) {
+		if !tryArc(u, v, core.DArc) {
 			ok = false
 			return false
 		}
 		// F-arc PushForward(u, txn(v)) -> v.
 		fu := src.vertices[p.pushForward(info.instance, src, req.Instance, info.seq)]
-		if !p.addArc(fu, v, &added) {
+		if !tryArc(fu, v, core.FArc) {
 			ok = false
 			return false
 		}
 		// B-arc u -> PullBackward(v, txn(u)).
 		bv := inst.vertices[p.pullBackward(req.Instance, inst, info.instance, req.Seq)]
-		if !p.addArc(u, bv, &added) {
+		if !tryArc(u, bv, core.BArc) {
 			ok = false
 			return false
 		}
 		return true
 	})
 	if !ok {
+		if p.tr.Enabled() {
+			p.explainReject(req, failArc[0], failArc[1], failKind)
+		}
 		rollback()
 		return Abort
 	}
@@ -198,17 +247,90 @@ func (p *RSGT) Request(req OpRequest) Decision {
 	return Grant
 }
 
-// addArc inserts u -> v unless it already is implied (u == v) and
-// records it for rollback; it reports false on a cycle.
-func (p *RSGT) addArc(u, v int, added *[][2]int) bool {
-	if u == v {
-		return true
+// arcKindUndo restores a traced arc-kind mask on rollback.
+type arcKindUndo struct {
+	key  [2]int
+	prev core.ArcKind
+}
+
+// explainReject emits a cycle-reject event naming the concrete RSG
+// cycle the refused arc u -> v would have closed: the live graph's
+// path v -> ... -> u (which must exist, or AddArc would have accepted)
+// plus the refused arc itself. Called before rollback so the path's
+// arcs — including those added earlier in this same request — are
+// still present. Tracing-only cold path.
+func (p *RSGT) explainReject(req OpRequest, u, v int, kind core.ArcKind) {
+	ev := trace.Event{
+		Kind:     trace.KindCycleReject,
+		Protocol: p.Name(),
+		Instance: req.Instance,
+		Txn:      int(req.Op.Txn),
+		Seq:      req.Seq,
+		Op:       req.Op.String(),
+		Object:   req.Op.Object,
+		Reason:   fmt.Sprintf("admitting %s would add a %s-arc closing an RSG cycle", req.Op, kind),
 	}
-	if err := p.g.AddArc(u, v); err != nil {
-		return false
+	path := p.g.FindPath(v, u)
+	if path != nil {
+		type vertexOwner struct {
+			instance int64
+			txn      int
+			seq      int
+			op       string
+		}
+		owners := make(map[int]vertexOwner)
+		for id, in := range p.insts {
+			for seq, vert := range in.vertices {
+				owners[vert] = vertexOwner{instance: id, txn: int(in.program.ID), seq: seq, op: in.program.Op(seq).String()}
+			}
+		}
+		cyc := &trace.Cycle{}
+		for _, vert := range path {
+			o := owners[vert]
+			cyc.Nodes = append(cyc.Nodes, trace.CycleNode{Instance: o.instance, Txn: o.txn, Seq: o.seq, Op: o.op})
+		}
+		for i := 0; i+1 < len(path); i++ {
+			label := "?"
+			if mask := p.arcKinds[[2]int{path[i], path[i+1]}]; mask != 0 {
+				label = mask.String()
+			}
+			cyc.Arcs = append(cyc.Arcs, trace.CycleArc{From: i, To: i + 1, Kind: label})
+		}
+		cyc.Arcs = append(cyc.Arcs, trace.CycleArc{From: len(path) - 1, To: 0, Kind: kind.String()})
+		ev.Cycle = cyc
 	}
-	*added = append(*added, [2]int{u, v})
-	return true
+	p.tr.Emit(ev)
+	p.tr.EmitDot("cyclereject", p.DotSnapshot())
+}
+
+// DotSnapshot renders the live relative serialization graph in
+// Graphviz DOT: vertices are the live instances' operations, arcs
+// carry their I/D/F/B kind masks (or no label for arcs that predate
+// tracer attachment). This is the on-demand snapshot emitted at every
+// rejection point.
+func (p *RSGT) DotSnapshot() string {
+	var d graph.DotGraph
+	d.Name = "rsgt"
+	ids := sortedInstances(p.insts)
+	for _, id := range ids {
+		in := p.insts[id]
+		for seq, vert := range in.vertices {
+			d.AddNode(vert, fmt.Sprintf("%s #%d", in.program.Op(seq), id), nil)
+		}
+	}
+	for _, id := range ids {
+		in := p.insts[id]
+		for _, vert := range in.vertices {
+			for _, s := range p.g.Successors(vert) {
+				label := ""
+				if mask := p.arcKinds[[2]int{vert, s}]; mask != 0 {
+					label = mask.String()
+				}
+				d.AddEdge(vert, s, label, nil)
+			}
+		}
+	}
+	return d.String()
 }
 
 // pushForward returns the sequence of the last operation of the atomic

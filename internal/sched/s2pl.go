@@ -11,6 +11,7 @@ import (
 // a cycle in the waits-for graph (deadlock; the requester is the
 // victim).
 type S2PL struct {
+	traced
 	locks map[string]*lockState
 	// nodeOf maps instances to waits-for graph vertices.
 	nodeOf map[int64]int
@@ -21,6 +22,9 @@ type S2PL struct {
 	// waiter dies.
 	waitingOn map[int64][]int64
 	held      map[int64][]string // instance -> objects it holds locks on
+	// progs retains programs for explanation events; populated only
+	// while tracing.
+	progs map[int64]*core.Transaction
 }
 
 type lockState struct {
@@ -39,6 +43,7 @@ func NewS2PL() *S2PL {
 		waits:     graph.NewSparse(0),
 		waitingOn: make(map[int64][]int64),
 		held:      make(map[int64][]string),
+		progs:     make(map[int64]*core.Transaction),
 	}
 }
 
@@ -46,10 +51,13 @@ func NewS2PL() *S2PL {
 func (p *S2PL) Name() string { return "s2pl" }
 
 // Begin implements Protocol.
-func (p *S2PL) Begin(instance int64, _ *core.Transaction) {
+func (p *S2PL) Begin(instance int64, program *core.Transaction) {
 	if _, ok := p.nodeOf[instance]; !ok {
 		p.nodeOf[instance] = p.waits.AddVertex()
 		p.insts = append(p.insts, instance)
+		if p.tr.Enabled() {
+			p.progs[instance] = program
+		}
 	}
 }
 
@@ -73,11 +81,20 @@ func (p *S2PL) Request(req OpRequest) Decision {
 	if cyc := p.waits.FindCycleFrom(me); cyc != nil {
 		// Deadlock: the requester is the victim. Its waits edges go
 		// away now; locks are released by the driver's Abort call.
+		if p.tr.Enabled() {
+			p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.instanceAt, p.progs)))
+		}
 		p.clearWaits(req.Instance)
 		return Abort
 	}
+	if p.tr.Enabled() {
+		p.tr.Emit(blockEvent(p.Name(), req, blockers))
+	}
 	return Block
 }
+
+// instanceAt maps a waits-for graph vertex back to its instance.
+func (p *S2PL) instanceAt(v int) int64 { return p.insts[v] }
 
 // conflictingHolders returns the instances whose locks block req,
 // sorted for determinism.
@@ -138,6 +155,7 @@ func (p *S2PL) release(instance int64) {
 		p.waits.IsolateVertex(v)
 	}
 	delete(p.nodeOf, instance)
+	delete(p.progs, instance)
 }
 
 func (p *S2PL) clearWaits(instance int64) {

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"fmt"
+
 	"relser/internal/core"
 	"relser/internal/graph"
+	"relser/internal/trace"
 )
 
 // SGT is classical serialization graph testing [Bad79, Cas81]: one
@@ -12,6 +15,7 @@ import (
 // Committed vertices are pruned once they have no predecessors (only
 // then can they never rejoin a cycle).
 type SGT struct {
+	traced
 	g      *graph.Incremental
 	nodeOf map[int64]int
 	status map[int64]byte // live, committed
@@ -19,6 +23,9 @@ type SGT struct {
 	// for conflict-source discovery; dead (aborted) entries are
 	// skipped lazily.
 	objs map[string]*objHistory
+	// progs retains programs for explanation events; populated only
+	// while tracing.
+	progs map[int64]*core.Transaction
 }
 
 const (
@@ -42,6 +49,7 @@ func NewSGT() *SGT {
 		nodeOf: make(map[int64]int),
 		status: make(map[int64]byte),
 		objs:   make(map[string]*objHistory),
+		progs:  make(map[int64]*core.Transaction),
 	}
 }
 
@@ -49,10 +57,13 @@ func NewSGT() *SGT {
 func (p *SGT) Name() string { return "sgt" }
 
 // Begin implements Protocol.
-func (p *SGT) Begin(instance int64, _ *core.Transaction) {
+func (p *SGT) Begin(instance int64, program *core.Transaction) {
 	if _, ok := p.nodeOf[instance]; !ok {
 		p.nodeOf[instance] = p.g.AddVertex()
 		p.status[instance] = instLive
+		if p.tr.Enabled() {
+			p.progs[instance] = program
+		}
 	}
 }
 
@@ -72,6 +83,9 @@ func (p *SGT) Request(req OpRequest) Decision {
 			continue
 		}
 		if err := p.g.AddArc(n, me); err != nil {
+			if p.tr.Enabled() {
+				p.explainReject(req, n, me)
+			}
 			for _, a := range added {
 				p.g.RemoveArc(a[0], a[1])
 			}
@@ -117,6 +131,43 @@ func (p *SGT) conflictSources(req OpRequest) []int64 {
 	return out
 }
 
+// explainReject emits a conflict-cycle event for the refused arc
+// src -> me: the serialization graph's existing path me -> ... -> src
+// plus the refused conflict arc is a transaction-granularity cycle.
+// Called before rollback; tracing-only cold path.
+func (p *SGT) explainReject(req OpRequest, src, me int) {
+	ev := trace.Event{
+		Kind:     trace.KindConflictCycle,
+		Protocol: p.Name(),
+		Instance: req.Instance,
+		Txn:      int(req.Op.Txn),
+		Seq:      req.Seq,
+		Op:       req.Op.String(),
+		Object:   req.Op.Object,
+		Reason:   fmt.Sprintf("conflict on %s would close a serialization-graph cycle", req.Op.Object),
+	}
+	if path := p.g.FindPath(me, src); path != nil {
+		instAt := make(map[int]int64, len(p.nodeOf))
+		for inst, v := range p.nodeOf {
+			instAt[v] = inst
+		}
+		cyc := &trace.Cycle{}
+		for _, v := range path {
+			inst := instAt[v]
+			txn := 0
+			if prog := p.progs[inst]; prog != nil {
+				txn = int(prog.ID)
+			}
+			cyc.Nodes = append(cyc.Nodes, trace.CycleNode{Instance: inst, Txn: txn, Seq: -1})
+		}
+		for i := range path {
+			cyc.Arcs = append(cyc.Arcs, trace.CycleArc{From: i, To: (i + 1) % len(path), Kind: "C"})
+		}
+		ev.Cycle = cyc
+	}
+	p.tr.Emit(ev)
+}
+
 // CanCommit implements Protocol.
 func (p *SGT) CanCommit(int64) bool { return true }
 
@@ -133,6 +184,7 @@ func (p *SGT) Abort(instance int64) {
 	}
 	delete(p.nodeOf, instance)
 	delete(p.status, instance)
+	delete(p.progs, instance)
 	p.prune()
 }
 
@@ -150,6 +202,7 @@ func (p *SGT) prune() {
 			if p.g.InDegree(v) == 0 {
 				p.g.IsolateVertex(v)
 				delete(p.nodeOf, inst)
+				delete(p.progs, inst)
 				// Keep the committed status so history entries still
 				// count as valid conflict sources (they are skipped as
 				// "pruned" in Request via the nodeOf check).

@@ -1,7 +1,10 @@
 package sched
 
 import (
+	"fmt"
+
 	"relser/internal/core"
+	"relser/internal/trace"
 )
 
 // TO is basic timestamp ordering [RSL78], included as an additional
@@ -18,6 +21,7 @@ import (
 // in place by the runtime, so silently skipping an outdated write is
 // not available.
 type TO struct {
+	traced
 	objects map[string]*toState
 }
 
@@ -48,7 +52,8 @@ func (p *TO) Request(req OpRequest) Decision {
 	ts := req.Instance
 	if req.Op.Kind == core.ReadOp {
 		if st.maxWrite > ts {
-			return Abort // a younger transaction already wrote the object
+			p.explainReject(req, st) // a younger transaction already wrote the object
+			return Abort
 		}
 		if ts > st.maxRead {
 			st.maxRead = ts
@@ -56,10 +61,30 @@ func (p *TO) Request(req OpRequest) Decision {
 		return Grant
 	}
 	if st.maxRead > ts || st.maxWrite > ts {
-		return Abort // a younger transaction already read or wrote it
+		p.explainReject(req, st) // a younger transaction already read or wrote it
+		return Abort
 	}
 	st.maxWrite = ts
 	return Grant
+}
+
+// explainReject emits a ts-reject event naming the object timestamps
+// that make the request late. Tracing-only cold path.
+func (p *TO) explainReject(req OpRequest, st *toState) {
+	if !p.tr.Enabled() {
+		return
+	}
+	p.tr.Emit(trace.Event{
+		Kind:     trace.KindTimestampReject,
+		Protocol: p.Name(),
+		Instance: req.Instance,
+		Txn:      int(req.Op.Txn),
+		Seq:      req.Seq,
+		Op:       req.Op.String(),
+		Object:   req.Op.Object,
+		Reason: fmt.Sprintf("%s with timestamp %d arrives late on %s (maxRead %d, maxWrite %d)",
+			req.Op, req.Instance, req.Op.Object, st.maxRead, st.maxWrite),
+	})
 }
 
 // CanCommit implements Protocol.

@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"relser/internal/core"
+	"relser/internal/trace"
+)
+
+// traced is embedded by protocols to carry an optional tracer. The
+// zero value is a disabled tracer: every emission site is guarded by
+// tr.Enabled(), which is a nil check, so untraced runs pay nothing.
+type traced struct {
+	tr *trace.Tracer
+}
+
+// SetTracer installs the tracer; protocols embedding traced satisfy
+// TracerSetter through it.
+func (t *traced) SetTracer(tr *trace.Tracer) { t.tr = tr }
+
+// TracerSetter is implemented by protocols that can emit decision
+// events and explanations. The Protocol interface itself is unchanged;
+// drivers attach tracers with a type assertion via Attach.
+type TracerSetter interface {
+	SetTracer(*trace.Tracer)
+}
+
+// Attach installs tr on p if the protocol supports tracing; protocols
+// without instrumentation (NoCC) are left alone.
+func Attach(p Protocol, tr *trace.Tracer) {
+	if s, ok := p.(TracerSetter); ok {
+		s.SetTracer(tr)
+	}
+}
+
+// protocolMakers is the registry behind NewProtocol. Oracle-free
+// protocols ignore the oracle argument.
+var protocolMakers = map[string]func(oracle AtomicityOracle) Protocol{
+	"nocc":       func(AtomicityOracle) Protocol { return NewNoCC() },
+	"s2pl":       func(AtomicityOracle) Protocol { return NewS2PL() },
+	"sgt":        func(AtomicityOracle) Protocol { return NewSGT() },
+	"to":         func(AtomicityOracle) Protocol { return NewTO() },
+	"rsgt":       func(o AtomicityOracle) Protocol { return NewRSGT(o) },
+	"altruistic": func(o AtomicityOracle) Protocol { return NewAltruistic(o) },
+	"ral":        func(o AtomicityOracle) Protocol { return NewRAL(o) },
+}
+
+// ProtocolNames returns the registered protocol names, sorted.
+func ProtocolNames() []string {
+	out := make([]string, 0, len(protocolMakers))
+	for name := range protocolMakers {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewProtocol constructs a registered protocol by name. Unknown names
+// produce an error listing the valid choices.
+func NewProtocol(name string, oracle AtomicityOracle) (Protocol, error) {
+	mk, ok := protocolMakers[name]
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown protocol %q (valid: %v)", name, ProtocolNames())
+	}
+	return mk(oracle), nil
+}
+
+// waitCycle renders a waits-for cycle (instance-granularity vertices,
+// "W" arcs) as a trace.Cycle. verts is the cycle as returned by
+// Sparse.FindCycleFrom (v1 -> v2 -> ... -> vk -> v1); instOf maps
+// graph vertices back to instances, progs supplies transaction IDs
+// where known.
+func waitCycle(verts []int, instOf func(v int) int64, progs map[int64]*core.Transaction) *trace.Cycle {
+	c := &trace.Cycle{}
+	for _, v := range verts {
+		inst := instOf(v)
+		txn := 0
+		if p := progs[inst]; p != nil {
+			txn = int(p.ID)
+		}
+		c.Nodes = append(c.Nodes, trace.CycleNode{Instance: inst, Txn: txn, Seq: -1})
+	}
+	for i := range verts {
+		c.Arcs = append(c.Arcs, trace.CycleArc{From: i, To: (i + 1) % len(verts), Kind: "W"})
+	}
+	return c
+}
+
+// blockEvent builds the lock-wait event locking protocols emit when a
+// request blocks behind the given holders.
+func blockEvent(protocol string, req OpRequest, blockers []int64) trace.Event {
+	return trace.Event{
+		Kind:     trace.KindLockWait,
+		Protocol: protocol,
+		Instance: req.Instance,
+		Txn:      int(req.Op.Txn),
+		Seq:      req.Seq,
+		Op:       req.Op.String(),
+		Object:   req.Op.Object,
+		Blockers: append([]int64(nil), blockers...),
+	}
+}
+
+// deadlockEvent builds the explanation locking protocols emit when a
+// request would close a waits-for cycle (the requester is the victim).
+func deadlockEvent(protocol string, req OpRequest, cycle *trace.Cycle) trace.Event {
+	return trace.Event{
+		Kind:     trace.KindDeadlock,
+		Protocol: protocol,
+		Instance: req.Instance,
+		Txn:      int(req.Op.Txn),
+		Seq:      req.Seq,
+		Op:       req.Op.String(),
+		Object:   req.Op.Object,
+		Reason:   "wait would close a waits-for cycle; requester is the victim",
+		Cycle:    cycle,
+	}
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"relser/internal/trace"
 )
 
 // Value is the content of an object.
@@ -33,6 +35,16 @@ type Store struct {
 	objects map[string]*Versioned
 	writes  uint64 // total write count (all objects)
 	reads   uint64
+	tr      *trace.Tracer
+}
+
+// SetTracer installs a structured-event sink: subsequent reads and
+// writes emit store-read / store-write events under the store latch.
+// Pass nil to disable.
+func (st *Store) SetTracer(tr *trace.Tracer) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tr = tr
 }
 
 // NewStore returns an empty store.
@@ -67,7 +79,11 @@ func (st *Store) Read(name string) Versioned {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.reads++
-	return *st.object(name)
+	v := *st.object(name)
+	if st.tr.Enabled() {
+		st.tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
+	}
+	return v
 }
 
 // Write replaces the object's value, bumping its version, and returns
@@ -87,6 +103,9 @@ func (st *Store) writeSeq(name string, v Value) (Versioned, uint64) {
 	prev := *obj
 	obj.Value = v
 	obj.Version++
+	if st.tr.Enabled() {
+		st.tr.Emit(trace.Event{Kind: trace.KindStoreWrite, Object: name, Value: int64(v), Version: obj.Version})
+	}
 	return prev, st.writes
 }
 

@@ -9,6 +9,8 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"relser/internal/trace"
 )
 
 // This file adds durability to the storage substrate: a write-ahead
@@ -76,6 +78,15 @@ type WAL struct {
 	buf []byte
 	// appended counts records written through this handle.
 	appended int
+	tr       *trace.Tracer
+}
+
+// SetTracer installs a structured-event sink: every appended record
+// also emits a wal-append event. Pass nil to disable.
+func (l *WAL) SetTracer(tr *trace.Tracer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tr = tr
 }
 
 // NewWAL returns a log writing to w. Callers owning files should pass
@@ -108,6 +119,12 @@ func (l *WAL) Append(rec WALRecord) error {
 		return err
 	}
 	l.appended++
+	if l.tr.Enabled() {
+		l.tr.Emit(trace.Event{
+			Kind: trace.KindWALAppend, Instance: rec.Instance,
+			Object: rec.Object, Op: rec.Kind.String(), Value: int64(rec.Value),
+		})
+	}
 	return nil
 }
 

@@ -1,0 +1,332 @@
+// Package trace is the structured observability layer of the runtime:
+// every protocol decision, driver transition, WAL append and store
+// latch crossing becomes a typed Event that sinks can persist as JSONL,
+// render as a Chrome trace_event timeline, or replay against the
+// paper's offline theory (VerifyCycles checks that each online
+// CycleReject names an RSG cycle the offline core.RSG confirms).
+//
+// The layer is built to cost nothing when off: a nil *Tracer (the
+// default everywhere) reports Enabled() == false, and every
+// instrumentation site guards event construction behind that check, so
+// the disabled hot path is a single nil comparison with zero
+// allocations (bench_test.go holds the guard).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind names an event type. Decision kinds (grant, block, abort) are
+// emitted by the drivers for every protocol uniformly; explanation
+// kinds (cycle-reject, deadlock, lock-wait, ...) are emitted by the
+// protocol that made the decision and carry its reasoning.
+type Kind string
+
+const (
+	// KindBegin marks the admission of a transaction instance; the
+	// event carries the full program so offline replay can reconstruct
+	// unexecuted suffixes.
+	KindBegin Kind = "begin"
+	// KindGrant records an admitted (and therefore executed) operation.
+	KindGrant Kind = "grant"
+	// KindBlock records a deferred operation request.
+	KindBlock Kind = "block"
+	// KindAbortDecision records a protocol answering Abort to a request.
+	KindAbortDecision Kind = "abort"
+	// KindCycleReject is RSGT's (and RAL's) explanation for an Abort:
+	// the concrete RSG cycle that admitting the operation would close,
+	// with op/unit nodes and I/D/F/B arc kinds.
+	KindCycleReject Kind = "cycle-reject"
+	// KindConflictCycle is SGT's explanation for an Abort: the
+	// transaction-granularity serialization-graph cycle.
+	KindConflictCycle Kind = "conflict-cycle"
+	// KindDeadlock is a locking protocol's explanation for an Abort:
+	// the waits-for cycle the request would close.
+	KindDeadlock Kind = "deadlock"
+	// KindLockWait is a locking protocol's explanation for a Block: the
+	// holders the requester now waits on.
+	KindLockWait Kind = "lock-wait"
+	// KindTimestampReject is TO's explanation for an Abort: the request
+	// arrived late with respect to younger accesses.
+	KindTimestampReject Kind = "ts-reject"
+	// KindDonate records altruistic lock donation at a unit boundary.
+	KindDonate Kind = "donate"
+	// KindWake records a transaction entering a donor's wake.
+	KindWake Kind = "wake"
+	// KindCommit marks a committed instance.
+	KindCommit Kind = "commit"
+	// KindTxnAbort marks an aborted instance (protocol decision, stall
+	// victimization, recoverability or cascade; see Reason).
+	KindTxnAbort Kind = "txn-abort"
+	// KindWALAppend records one write-ahead-log append.
+	KindWALAppend Kind = "wal-append"
+	// KindStoreRead records one read under the store latch.
+	KindStoreRead Kind = "store-read"
+	// KindStoreWrite records one write under the store latch.
+	KindStoreWrite Kind = "store-write"
+)
+
+// Event is one structured trace record. Fields are omitted from the
+// JSONL encoding when empty; (Kind, TS) are always present.
+type Event struct {
+	// TS is nanoseconds since the tracer's epoch (its construction).
+	TS int64 `json:"ts"`
+	// Kind tags the event.
+	Kind Kind `json:"kind"`
+	// Protocol is the emitting protocol's name, when protocol-scoped.
+	Protocol string `json:"protocol,omitempty"`
+	// Instance is the runtime transaction instance number.
+	Instance int64 `json:"instance,omitempty"`
+	// Txn is the program's transaction ID.
+	Txn int `json:"txn,omitempty"`
+	// Seq is the operation's position in its program.
+	Seq int `json:"seq,omitempty"`
+	// Op renders the operation in paper notation, e.g. "r1[x]".
+	Op string `json:"op,omitempty"`
+	// Object names the accessed object for storage events.
+	Object string `json:"object,omitempty"`
+	// Order is the global execution sequence number of granted ops.
+	Order int64 `json:"order,omitempty"`
+	// Tick is the deterministic driver's logical clock.
+	Tick int64 `json:"tick,omitempty"`
+	// Reason qualifies aborts and rejections.
+	Reason string `json:"reason,omitempty"`
+	// Value carries the stored value for storage events.
+	Value int64 `json:"value,omitempty"`
+	// Version carries the object version for storage events.
+	Version uint64 `json:"version,omitempty"`
+	// Blockers lists the instances a lock-wait blocks on.
+	Blockers []int64 `json:"blockers,omitempty"`
+	// Program is the instance's full program in paper notation
+	// ("r1[x] w1[y]"), set on begin events.
+	Program string `json:"program,omitempty"`
+	// Cycle is the rejected cycle for cycle-reject, conflict-cycle and
+	// deadlock events.
+	Cycle *Cycle `json:"cycle,omitempty"`
+}
+
+// Cycle is a directed cycle in a scheduler's graph: RSG operation
+// vertices for RSGT, transaction vertices for SGT and the waits-for
+// graph (there Seq is -1 and Op empty).
+type Cycle struct {
+	Nodes []CycleNode `json:"nodes"`
+	Arcs  []CycleArc  `json:"arcs"`
+}
+
+// CycleNode is one vertex of a rejected cycle.
+type CycleNode struct {
+	Instance int64  `json:"instance"`
+	Txn      int    `json:"txn"`
+	Seq      int    `json:"seq"`
+	Op       string `json:"op,omitempty"`
+}
+
+// CycleArc connects two nodes (by index) with the arc kinds that the
+// scheduler's graph carries for the pair: "I", "D", "F", "B" masks for
+// RSG cycles, "C" for conflict arcs, "W" for waits-for edges.
+type CycleArc struct {
+	From int    `json:"from"`
+	To   int    `json:"to"`
+	Kind string `json:"kind"`
+}
+
+// String renders the cycle as a one-line chain:
+// "T3.1 r3[a] -D,F-> T5.0 r5[b] -I-> ... -B-> T3.1 r3[a]".
+func (c *Cycle) String() string {
+	if c == nil || len(c.Nodes) == 0 {
+		return "(empty cycle)"
+	}
+	label := func(n CycleNode) string {
+		if n.Seq < 0 {
+			return fmt.Sprintf("T%d(i%d)", n.Txn, n.Instance)
+		}
+		return fmt.Sprintf("T%d.%d %s", n.Txn, n.Seq, n.Op)
+	}
+	var sb strings.Builder
+	for i, a := range c.Arcs {
+		if i == 0 {
+			sb.WriteString(label(c.Nodes[a.From]))
+		}
+		fmt.Fprintf(&sb, " -%s-> %s", a.Kind, label(c.Nodes[a.To]))
+	}
+	return sb.String()
+}
+
+// Dot renders the cycle as a Graphviz digraph, the on-demand RSG
+// snapshot shape emitted at rejection points.
+func (c *Cycle) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	sb.WriteString("  rankdir=LR;\n")
+	for i, n := range c.Nodes {
+		label := fmt.Sprintf("T%d.%d\\n%s", n.Txn, n.Seq, n.Op)
+		if n.Seq < 0 {
+			label = fmt.Sprintf("T%d (inst %d)", n.Txn, n.Instance)
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", i, label)
+	}
+	for _, a := range c.Arcs {
+		fmt.Fprintf(&sb, "  n%d -> n%d [label=\"%s\"];\n", a.From, a.To, a.Kind)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Sink consumes events. Implementations need not be safe for
+// concurrent use; the Tracer serializes Emit calls.
+type Sink interface {
+	Emit(Event)
+}
+
+// Tracer stamps and fans events to a sink. A nil Tracer — or one built
+// over a nil sink — is disabled: Enabled() is false and Emit is a
+// no-op, so instrumentation sites can share one unconditional guard.
+type Tracer struct {
+	mu    sync.Mutex
+	sink  Sink
+	epoch time.Time
+	// DotSink, when set before use, receives named Graphviz snapshots
+	// (rejected RSG cycles) as they occur.
+	DotSink func(name, dot string)
+	dotSeq  int
+}
+
+// New returns a tracer over the sink. A nil sink yields a disabled
+// tracer whose instrumentation costs a nil check and nothing else.
+func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now()}
+}
+
+// Enabled reports whether events are being recorded. Safe on nil.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// Emit stamps the event (if TS is zero) and forwards it to the sink.
+// Safe on nil and on disabled tracers.
+func (t *Tracer) Emit(ev Event) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ev.TS == 0 {
+		ev.TS = time.Since(t.epoch).Nanoseconds()
+	}
+	t.sink.Emit(ev)
+}
+
+// EmitDot forwards a named Graphviz snapshot to the DotSink, if one is
+// installed. The name is suffixed with a monotone sequence number.
+func (t *Tracer) EmitDot(name, dot string) {
+	if !t.Enabled() {
+		return
+	}
+	t.mu.Lock()
+	sink := t.DotSink
+	t.dotSeq++
+	n := t.dotSeq
+	t.mu.Unlock()
+	if sink != nil {
+		sink(fmt.Sprintf("%s-%d", name, n), dot)
+	}
+}
+
+// Buffer is an in-memory sink, the default for CLIs that post-process
+// the trace (explanations, verification, export).
+type Buffer struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewBuffer returns an empty buffer sink.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Emit implements Sink.
+func (b *Buffer) Emit(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = append(b.events, ev)
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.events)
+}
+
+// JSONLWriter is a sink encoding one JSON object per line.
+type JSONLWriter struct {
+	enc *json.Encoder
+}
+
+// NewJSONLWriter returns a sink writing JSONL to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink; encoding errors are silently dropped (tracing
+// must never fail the traced run).
+func (j *JSONLWriter) Emit(ev Event) {
+	_ = j.enc.Encode(ev)
+}
+
+// WriteJSONL encodes events as JSONL, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL event stream (the inverse of WriteJSONL
+// and JSONLWriter); blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return out, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// CountKinds tallies events by kind, for run summaries.
+func CountKinds(events []Event) map[Kind]int {
+	out := make(map[Kind]int)
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}

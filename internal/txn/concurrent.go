@@ -36,6 +36,7 @@ type ConcurrentRunner struct {
 	blocked      int // workers currently waiting on cond
 	execSeq      int64
 	latencies    metrics.Stats
+	obs          observer
 
 	res    Result
 	runErr error
@@ -57,6 +58,7 @@ func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
 		doomed:     make(map[int64]bool),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.obs = newObserver(&cfg)
 	r.res.Protocol = cfg.Protocol.Name()
 	r.res.oracle = cfg.Oracle
 	return r, nil
@@ -146,17 +148,19 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 	}
 	r.nextInstance++
 	st := &instanceState{
-		id:         r.nextInstance,
-		program:    pp.program,
-		reads:      make(map[int]storage.Value),
-		depsOn:     make(map[int64]bool),
-		writes:     make(map[string]storage.Value),
-		restarts:   pp.restarts,
-		startClock: r.execSeq,
+		id:           r.nextInstance,
+		program:      pp.program,
+		reads:        make(map[int]storage.Value),
+		depsOn:       make(map[int64]bool),
+		writes:       make(map[string]storage.Value),
+		restarts:     pp.restarts,
+		startClock:   r.execSeq,
+		blockedSince: -1,
 	}
 	r.active[st.id] = st
 	r.cfg.Protocol.Begin(st.id, st.program)
 	r.logWALLocked(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
+	r.obs.begin(st, r.execSeq)
 	r.mu.Unlock()
 
 	for {
@@ -193,22 +197,26 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 		case sched.Grant:
 			if !r.executeLocked(st, op) {
 				r.res.RecoverabilityAborts++
-				r.abortCascadeLocked(st.id)
+				r.obs.recoverabilityAbort()
+				r.abortCascadeLocked(st.id, "recoverability")
 				r.mu.Unlock()
 				r.cond.Broadcast()
 				return r.noteRestart(pp, st)
 			}
+			r.obs.grant(st, op, r.execSeq, r.execSeq)
 			r.mu.Unlock()
 			r.cond.Broadcast()
 		case sched.Block:
 			r.res.Blocks++
+			r.obs.block(st, op, r.execSeq)
 			if aborted := r.waitOrBreak(st); aborted {
 				r.mu.Unlock()
 				return r.noteRestart(pp, st)
 			}
 			r.mu.Unlock()
 		case sched.Abort:
-			r.abortCascadeLocked(st.id)
+			r.obs.abortDecision(st, op, r.execSeq)
+			r.abortCascadeLocked(st.id, "protocol")
 			r.mu.Unlock()
 			r.cond.Broadcast()
 			return r.noteRestart(pp, st)
@@ -224,7 +232,7 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 func (r *ConcurrentRunner) waitOrBreak(st *instanceState) (aborted bool) {
 	if r.blocked+1 >= len(r.active) {
 		// Everyone else is already waiting: break the stall here.
-		r.abortCascadeLocked(st.id)
+		r.abortCascadeLocked(st.id, "stall")
 		r.cond.Broadcast()
 		return true
 	}
@@ -252,6 +260,7 @@ func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (b
 		return false, err
 	}
 	r.res.Restarts++
+	r.obs.restart()
 	return true, nil
 }
 
@@ -301,6 +310,7 @@ func (r *ConcurrentRunner) commitLocked(st *instanceState) {
 	delete(r.dependents, st.id)
 	delete(r.active, st.id)
 	r.res.Committed++
+	r.obs.commit(st, r.execSeq)
 	r.latencies.Add(float64(r.execSeq - st.startClock))
 	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: r.execSeq, CommitSeq: r.execSeq})
 	r.res.Trace = append(r.res.Trace, st.events...)
@@ -313,7 +323,7 @@ func (r *ConcurrentRunner) commitLocked(st *instanceState) {
 // abortCascadeLocked aborts the instance and every live dependent,
 // rolling all their effects back together; co-victims running on other
 // goroutines are marked doomed and clean themselves up on next wake.
-func (r *ConcurrentRunner) abortCascadeLocked(id int64) {
+func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
 	victims := map[int64]bool{}
 	var collect func(v int64)
 	collect = func(v int64) {
@@ -343,6 +353,7 @@ func (r *ConcurrentRunner) abortCascadeLocked(id int64) {
 		st := r.active[v]
 		r.cfg.Protocol.Abort(v)
 		r.logWALLocked(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
+		r.obs.txnAbort(st, reason, r.execSeq)
 		for obj := range st.writes {
 			r.removeDirtyLocked(obj, v)
 		}

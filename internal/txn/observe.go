@@ -1,0 +1,168 @@
+package txn
+
+import (
+	"relser/internal/core"
+	"relser/internal/metrics"
+	"relser/internal/trace"
+)
+
+// observer bundles a run's tracer and metrics instruments so both
+// drivers share one emission discipline. Counters are resolved once at
+// construction; every method is safe — and free of allocations — when
+// tracing and metrics are disabled.
+type observer struct {
+	tr    *trace.Tracer
+	proto string
+
+	ops         *metrics.Counter
+	committed   *metrics.Counter
+	aborts      *metrics.Counter
+	blocks      *metrics.Counter
+	restarts    *metrics.Counter
+	commitWaits *metrics.Counter
+	recovAborts *metrics.Counter
+	active      *metrics.Gauge
+	latency     *metrics.Histogram
+	blockWait   *metrics.Histogram
+}
+
+func newObserver(cfg *Config) observer {
+	o := observer{tr: cfg.Tracer, proto: cfg.Protocol.Name()}
+	if reg := cfg.Metrics; reg != nil {
+		o.ops = reg.Counter("txn.ops_executed")
+		o.committed = reg.Counter("txn.committed")
+		o.aborts = reg.Counter("txn.aborts")
+		o.blocks = reg.Counter("txn.blocks")
+		o.restarts = reg.Counter("txn.restarts")
+		o.commitWaits = reg.Counter("txn.commit_waits")
+		o.recovAborts = reg.Counter("txn.recoverability_aborts")
+		o.active = reg.Gauge("txn.active")
+		o.latency = reg.Histogram("txn.latency")
+		o.blockWait = reg.Histogram("txn.block_latency")
+	}
+	return o
+}
+
+// begin records an instance's admission.
+func (o *observer) begin(st *instanceState, clock int64) {
+	if o.active != nil {
+		o.active.Add(1)
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindBegin, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID),
+			Program: st.program.String(), Tick: clock,
+		})
+	}
+}
+
+// grant records an executed operation; order is its global execution
+// sequence number. Ends any open block interval.
+func (o *observer) grant(st *instanceState, op core.Op, order, clock int64) {
+	if o.ops != nil {
+		o.ops.Inc()
+	}
+	if st.blockedSince >= 0 {
+		if o.blockWait != nil {
+			o.blockWait.Observe(float64(clock - st.blockedSince))
+		}
+		st.blockedSince = -1
+	}
+	if o.tr.Enabled() {
+		ev := trace.Event{
+			Kind: trace.KindGrant, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Op: op.String(), Object: op.Object, Order: order, Tick: clock,
+		}
+		if op.Kind == core.WriteOp {
+			ev.Value = int64(st.writes[op.Object])
+		}
+		o.tr.Emit(ev)
+	}
+}
+
+// block records a protocol Block decision; the block interval closes
+// at the next grant (or disappears with the instance on abort).
+func (o *observer) block(st *instanceState, op core.Op, clock int64) {
+	if o.blocks != nil {
+		o.blocks.Inc()
+	}
+	if st.blockedSince < 0 {
+		st.blockedSince = clock
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindBlock, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Op: op.String(), Object: op.Object, Tick: clock,
+		})
+	}
+}
+
+// abortDecision records a protocol Abort decision for a request (the
+// per-instance txn-abort events follow from the cascade).
+func (o *observer) abortDecision(st *instanceState, op core.Op, clock int64) {
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindAbortDecision, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Op: op.String(), Object: op.Object, Tick: clock,
+		})
+	}
+}
+
+// commit records a committed instance.
+func (o *observer) commit(st *instanceState, clock int64) {
+	if o.committed != nil {
+		o.committed.Inc()
+	}
+	if o.active != nil {
+		o.active.Add(-1)
+	}
+	if o.latency != nil {
+		o.latency.Observe(float64(clock - st.startClock))
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindCommit, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID), Tick: clock,
+		})
+	}
+}
+
+// txnAbort records one aborted instance (direct victim or cascade
+// co-victim) with the driver's reason.
+func (o *observer) txnAbort(st *instanceState, reason string, clock int64) {
+	if o.aborts != nil {
+		o.aborts.Inc()
+	}
+	if o.active != nil {
+		o.active.Add(-1)
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindTxnAbort, Protocol: o.proto,
+			Instance: st.id, Txn: int(st.program.ID),
+			Reason: reason, Tick: clock,
+		})
+	}
+}
+
+func (o *observer) restart() {
+	if o.restarts != nil {
+		o.restarts.Inc()
+	}
+}
+
+func (o *observer) commitWait() {
+	if o.commitWaits != nil {
+		o.commitWaits.Inc()
+	}
+}
+
+func (o *observer) recoverabilityAbort() {
+	if o.recovAborts != nil {
+		o.recovAborts.Inc()
+	}
+}

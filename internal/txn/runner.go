@@ -22,6 +22,7 @@ import (
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/storage"
+	"relser/internal/trace"
 )
 
 // Semantics computes the value a write operation stores, given the
@@ -69,6 +70,14 @@ type Config struct {
 	// recovered from it (storage.Recover) reproduces exactly the
 	// committed effects. WAL append errors fail the run.
 	WAL *storage.WAL
+	// Tracer, when set, receives structured events for every scheduling
+	// decision and instance lifecycle transition; it is also attached to
+	// the protocol, store and WAL so their internal decisions land in
+	// the same stream.
+	Tracer *trace.Tracer
+	// Metrics, when set, receives run counters, the active-instance
+	// gauge and latency histograms under the "txn." prefix.
+	Metrics *metrics.Registry
 }
 
 // Event is one executed operation in the global execution order.
@@ -129,6 +138,10 @@ type instanceState struct {
 	done     bool // all operations executed, waiting to commit
 	// startClock is the logical time at admission, for latency.
 	startClock int64
+	// blockedSince is the logical time the instance entered its current
+	// block interval, or -1 when not blocked; the observer's
+	// block-latency histogram closes intervals at the next grant.
+	blockedSince int64
 }
 
 // Runner executes a configuration.
@@ -150,6 +163,7 @@ type Runner struct {
 	execSeq    int64
 	walErr     error
 	latencies  metrics.Stats
+	obs        observer
 
 	res Result
 }
@@ -195,6 +209,13 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = 1000
 	}
+	if cfg.Tracer != nil {
+		sched.Attach(cfg.Protocol, cfg.Tracer)
+		cfg.Store.SetTracer(cfg.Tracer)
+		if cfg.WAL != nil {
+			cfg.WAL.SetTracer(cfg.Tracer)
+		}
+	}
 	r := &Runner{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
@@ -203,6 +224,7 @@ func New(cfg Config) (*Runner, error) {
 		dirtyStack: make(map[string][]int64),
 		dependents: make(map[int64]map[int64]bool),
 	}
+	r.obs = newObserver(&cfg)
 	for _, p := range cfg.Programs {
 		r.pending = append(r.pending, &pendingProgram{program: p})
 	}
@@ -268,17 +290,19 @@ func (r *Runner) admit() {
 		}
 		r.nextInstance++
 		st := &instanceState{
-			id:         r.nextInstance,
-			program:    pp.program,
-			reads:      make(map[int]storage.Value),
-			depsOn:     make(map[int64]bool),
-			writes:     make(map[string]storage.Value),
-			restarts:   pp.restarts,
-			startClock: int64(r.res.Ticks),
+			id:           r.nextInstance,
+			program:      pp.program,
+			reads:        make(map[int]storage.Value),
+			depsOn:       make(map[int64]bool),
+			writes:       make(map[string]storage.Value),
+			restarts:     pp.restarts,
+			startClock:   int64(r.res.Ticks),
+			blockedSince: -1,
 		}
 		r.active[st.id] = st
 		r.cfg.Protocol.Begin(st.id, st.program)
 		r.logWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
+		r.obs.begin(st, int64(r.res.Ticks))
 	}
 	r.pending = rest
 }
@@ -322,14 +346,19 @@ func (r *Runner) tick() (bool, error) {
 				// dependency cycle; commit ordering could never
 				// resolve it, so abort now.
 				r.res.RecoverabilityAborts++
+				r.obs.recoverabilityAbort()
 				if err := r.abortCascade(st.id, "recoverability"); err != nil {
 					return false, err
 				}
+			} else {
+				r.obs.grant(st, op, r.execSeq, int64(r.res.Ticks))
 			}
 			progress = true
 		case sched.Block:
 			r.res.Blocks++
+			r.obs.block(st, op, int64(r.res.Ticks))
 		case sched.Abort:
+			r.obs.abortDecision(st, op, int64(r.res.Ticks))
 			if err := r.abortCascade(st.id, "protocol"); err != nil {
 				return false, err
 			}
@@ -439,6 +468,7 @@ func (r *Runner) addDep(st *instanceState, on int64) {
 func (r *Runner) tryCommit(st *instanceState) bool {
 	if len(st.depsOn) > 0 || !r.cfg.Protocol.CanCommit(st.id) {
 		r.res.CommitWaits++
+		r.obs.commitWait()
 		return false
 	}
 	r.cfg.Protocol.Commit(st.id)
@@ -455,6 +485,7 @@ func (r *Runner) tryCommit(st *instanceState) bool {
 	delete(r.dependents, st.id)
 	delete(r.active, st.id)
 	r.res.Committed++
+	r.obs.commit(st, int64(r.res.Ticks))
 	r.latencies.Add(float64(int64(r.res.Ticks) - st.startClock))
 	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: int64(r.res.Ticks), CommitSeq: r.execSeq})
 	r.res.Trace = append(r.res.Trace, st.events...)
@@ -503,6 +534,7 @@ func (r *Runner) abortCascade(id int64, reason string) error {
 		st := r.active[v]
 		r.cfg.Protocol.Abort(v)
 		r.logWAL(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
+		r.obs.txnAbort(st, reason, int64(r.res.Ticks))
 		for obj := range st.writes {
 			r.removeDirty(obj, v)
 		}
@@ -524,6 +556,7 @@ func (r *Runner) abortCascade(id int64, reason string) error {
 			return fmt.Errorf("txn: program T%d exceeded %d restarts (reason %s)", st.program.ID, r.cfg.MaxRestarts, reason)
 		}
 		r.res.Restarts++
+		r.obs.restart()
 		backoff := st.restarts
 		if backoff > 6 {
 			backoff = 6

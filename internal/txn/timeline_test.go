@@ -1,0 +1,112 @@
+package txn_test
+
+import (
+	"strings"
+	"testing"
+
+	"relser/internal/txn"
+)
+
+// barColumns returns the chart columns a timeline row's bar occupies
+// (its "T%-3d " prefix is 5 characters wide).
+func barColumns(t *testing.T, line string, width int) (lo, hi int) {
+	t.Helper()
+	const prefix = 5
+	if len(line) != prefix+width {
+		t.Fatalf("row %q has length %d, want %d", line, len(line), prefix+width)
+	}
+	lo, hi = -1, -1
+	for i := prefix; i < len(line); i++ {
+		switch line[i] {
+		case '=', '|', '>':
+			if lo == -1 {
+				lo = i - prefix
+			}
+			hi = i - prefix
+		case '.':
+		default:
+			t.Fatalf("row %q has unexpected byte %q", line, line[i])
+		}
+	}
+	if lo == -1 {
+		t.Fatalf("row %q has no bar", line)
+	}
+	return lo, hi
+}
+
+func TestTimelineTruncatesNarrowWidths(t *testing.T) {
+	res := &txn.Result{
+		Protocol: "test",
+		Spans: []txn.Span{
+			{Instance: 1, Program: 1, Start: 0, End: 1_000_000},
+			{Instance: 2, Program: 2, Start: 999_999, End: 1_000_000},
+		},
+	}
+	// Widths below the floor clamp to 10 columns; huge clocks must
+	// still land inside the chart.
+	for _, width := range []int{-5, 0, 3, 9} {
+		out := res.Timeline(width)
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 3 {
+			t.Fatalf("Timeline(%d) = %d lines, want header + 2 rows:\n%s", width, len(lines), out)
+		}
+		for _, row := range lines[1:] {
+			barColumns(t, row, 10)
+		}
+	}
+	// A requested width above the floor is honored exactly.
+	out := res.Timeline(24)
+	for _, row := range strings.Split(strings.TrimRight(out, "\n"), "\n")[1:] {
+		lo, hi := barColumns(t, row, 24)
+		if lo < 0 || hi > 23 {
+			t.Errorf("bar [%d,%d] escapes width 24:\n%s", lo, hi, out)
+		}
+	}
+}
+
+func TestTimelineInterleaving(t *testing.T) {
+	// Width 41 with maxEnd 40 makes the scale identity: clock t maps
+	// to column t, so overlap in the chart equals overlap in time.
+	res := &txn.Result{
+		Protocol: "test",
+		Spans: []txn.Span{
+			{Instance: 3, Program: 3, Start: 35, End: 40},
+			{Instance: 1, Program: 1, Start: 0, End: 30},
+			{Instance: 2, Program: 2, Start: 10, End: 20},
+		},
+	}
+	out := res.Timeline(41)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), out)
+	}
+	// Rows appear in start order regardless of Spans order.
+	for i, wantPrefix := range []string{"T1", "T2", "T3"} {
+		if !strings.HasPrefix(lines[i+1], wantPrefix) {
+			t.Fatalf("row %d = %q, want prefix %q:\n%s", i, lines[i+1], wantPrefix, out)
+		}
+	}
+	lo1, hi1 := barColumns(t, lines[1], 41)
+	lo2, hi2 := barColumns(t, lines[2], 41)
+	lo3, hi3 := barColumns(t, lines[3], 41)
+	if lo1 != 0 || hi1 != 30 {
+		t.Errorf("T1 bar [%d,%d], want [0,30]", lo1, hi1)
+	}
+	if lo2 != 10 || hi2 != 20 {
+		t.Errorf("T2 bar [%d,%d], want [10,20]", lo2, hi2)
+	}
+	if lo3 != 35 || hi3 != 40 {
+		t.Errorf("T3 bar [%d,%d], want [35,40]", lo3, hi3)
+	}
+	// T2 ran entirely inside T1's lifetime; T3 ran after both.
+	if !(lo2 >= lo1 && hi2 <= hi1) {
+		t.Errorf("T2 [%d,%d] not nested in T1 [%d,%d]", lo2, hi2, lo1, hi1)
+	}
+	if lo3 <= hi1 || lo3 <= hi2 {
+		t.Errorf("T3 [%d,%d] overlaps earlier spans", lo3, hi3)
+	}
+	// Start and end markers frame each bar.
+	if lines[2][5+lo2] != '|' || lines[2][5+hi2] != '>' {
+		t.Errorf("T2 bar not framed by | and >: %q", lines[2])
+	}
+}

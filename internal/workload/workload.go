@@ -23,8 +23,10 @@ import (
 	"fmt"
 
 	"relser/internal/core"
+	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/storage"
+	"relser/internal/trace"
 	"relser/internal/txn"
 )
 
@@ -51,13 +53,19 @@ func (w *Workload) Run(protocol sched.Protocol, seed int64, mpl int) (*txn.Resul
 }
 
 // RunOptions extends Run with a write-ahead log, a caller-supplied
-// store, and the concurrent (goroutine) execution mode.
+// store, observability sinks, and the concurrent (goroutine) execution
+// mode.
 type RunOptions struct {
 	Seed       int64
 	MPL        int
 	WAL        *storage.WAL
 	Store      *storage.Store
 	Concurrent bool
+	// Tracer receives structured events from the runtime, the protocol
+	// and the storage substrate.
+	Tracer *trace.Tracer
+	// Metrics receives run counters and latency histograms.
+	Metrics *metrics.Registry
 }
 
 // RunWith executes the workload with full options and returns the
@@ -77,6 +85,8 @@ func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Resul
 		MPL:       opts.MPL,
 		Seed:      opts.Seed,
 		WAL:       opts.WAL,
+		Tracer:    opts.Tracer,
+		Metrics:   opts.Metrics,
 	}
 	var (
 		res *txn.Result
