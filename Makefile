@@ -2,12 +2,26 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck
 
 all: build vet test
 
 # Everything CI runs (see .github/workflows/ci.yml).
-ci: fmt-check vet build race
+ci: fmt-check lint build race
+
+# Required lint: go vet plus staticcheck. CI installs staticcheck; a
+# local tree without it fails here with instructions rather than
+# silently passing.
+lint: vet staticcheck
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not found; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		echo "(skipping locally; CI runs it as a required check)"; \
+	fi
 
 # Fail if any file is not gofmt-clean.
 fmt-check:
@@ -33,7 +47,12 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Regenerate every experiment report of EXPERIMENTS.md (E1-E14).
+# The scheduler/graph hot-path benchmarks the CI perf gate compares
+# with benchstat (see .github/workflows/ci.yml, job: bench).
+bench-hot:
+	$(GO) test -run 'XXX' -bench . -benchmem -count=5 ./internal/txn ./internal/graph
+
+# Regenerate every experiment report of EXPERIMENTS.md (E1-E15).
 experiments:
 	$(GO) run ./cmd/rsbench
 

@@ -16,7 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime/debug"
 	"runtime/pprof"
 	"strings"
 	"time"
@@ -38,6 +40,7 @@ func main() {
 		metricsOn  = flag.Bool("metrics", false, "print the accumulated runtime metrics registry at the end")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		shards     = flag.Int("shards", 1, "shard count for the concurrent driver's hot path (rounded up to a power of two)")
 	)
 	flag.Parse()
 
@@ -67,7 +70,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards}
 	var buf *trace.Buffer
 	if *tracePath != "" {
 		buf = trace.NewBuffer()
@@ -112,7 +115,9 @@ func main() {
 			failed++
 		}
 		if *jsonOut {
-			if err := writeArtifact(*outDir, rep.Artifact(opts, wall.Milliseconds())); err != nil {
+			a := rep.Artifact(opts, wall.Milliseconds())
+			a.GitSHA = gitSHA()
+			if err := writeArtifact(*outDir, a); err != nil {
 				fatal(err)
 			}
 		}
@@ -172,6 +177,27 @@ func writeArtifact(dir string, a experiments.Artifact) error {
 	}
 	fmt.Printf("(%s artifact -> %s)\n", a.ID, path)
 	return nil
+}
+
+// gitSHA identifies the commit a benchmark artifact was produced from:
+// the build info's vcs.revision when the binary was built from a clean
+// module checkout, the working tree's HEAD under `go run`, and
+// "unknown" when neither is available.
+func gitSHA() string {
+	if info, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range info.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				return s.Value
+			}
+		}
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err == nil {
+		if sha := strings.TrimSpace(string(out)); sha != "" {
+			return sha
+		}
+	}
+	return "unknown"
 }
 
 func writeTrace(path string, buf *trace.Buffer) error {

@@ -39,6 +39,7 @@ func main() {
 		dump       = flag.Bool("dump", false, "emit the committed run as an instance file (consumable by rscheck)")
 		walPath    = flag.String("wal", "", "write a write-ahead log to this file (recover with rsrecover)")
 		concurrent = flag.Bool("concurrent", false, "use the goroutine runtime instead of the deterministic tick driver")
+		shards     = flag.Int("shards", 1, "shard count for the concurrent driver's hot path (rounded up to a power of two; requires -concurrent)")
 		timeline   = flag.Bool("timeline", false, "render committed instances' lifetimes as an ASCII chart")
 		recovery   = flag.Bool("recovery", false, "report the classical recoverability hierarchy (recoverable / ACA / strict)")
 		verify     = flag.Bool("verify", true, "certify the committed schedule with the RSG test")
@@ -120,6 +121,7 @@ func main() {
 		MPL:        *mpl,
 		WAL:        wal,
 		Concurrent: *concurrent,
+		Shards:     *shards,
 		Tracer:     tracer,
 		Metrics:    registry,
 	})

@@ -22,6 +22,8 @@
 //	E14 state semantics: conflict-equivalent schedules share final
 //	    states; admitted non-serializable interleavings do not match any
 //	    serial state — the declared trade of the model
+//	E15 sharded scheduler scaling: concurrent throughput over
+//	    shards x goroutines against the single-lock baseline
 //
 // Each experiment produces a Report of tables and checked claims; the
 // rsbench binary renders them, and EXPERIMENTS.md records one full
@@ -112,6 +114,10 @@ type Options struct {
 	// Metrics, when set, accumulates runtime counters and histograms
 	// across the experiment's runs.
 	Metrics *metrics.Registry
+	// Shards stripes the concurrent driver's hot path in experiments
+	// that run the goroutine runtime (E13); zero means one shard. E15
+	// sweeps its own shard counts and ignores it.
+	Shards int
 }
 
 // TableData is a metrics.Table flattened for JSON artifacts.
@@ -133,6 +139,11 @@ type Artifact struct {
 	Claims []Claim     `json:"claims"`
 	Tables []TableData `json:"tables"`
 	Notes  []string    `json:"notes,omitempty"`
+	// GitSHA and Shards stamp the provenance of a benchmark artifact:
+	// the commit the binary was built from and the -shards setting the
+	// run used. rsbench fills GitSHA; Shards mirrors Options.Shards.
+	GitSHA string `json:"git_sha,omitempty"`
+	Shards int    `json:"shards,omitempty"`
 }
 
 // Artifact flattens the report for JSON output. Wall time is measured
@@ -147,6 +158,7 @@ func (r *Report) Artifact(opts Options, wallMS int64) Artifact {
 		Pass:   r.Pass(),
 		Claims: r.Claims,
 		Notes:  r.Notes,
+		Shards: opts.Shards,
 	}
 	for _, t := range r.Tables {
 		a.Tables = append(a.Tables, TableData{Title: t.Title, Columns: t.Columns, Rows: t.Rows()})
@@ -172,6 +184,7 @@ var registry = map[string]struct {
 	"E12": {"Transaction chopping [SSV92] and its embedding (§4)", runE12},
 	"E13": {"Concurrent runtime certification (goroutine driver)", runE13},
 	"E14": {"State semantics of the relaxation (replay)", runE14},
+	"E15": {"Sharded scheduler scaling (shards x goroutines)", runE15},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -149,7 +149,7 @@ func runE13(opts Options) (*Report, error) {
 				var p sched.Protocol
 				switch proto {
 				case "s2pl":
-					p = sched.NewS2PL()
+					p = sched.NewS2PLSharded(opts.Shards)
 				case "sgt":
 					p = sched.NewSGT()
 				case "rsgt":
@@ -166,6 +166,7 @@ func runE13(opts Options) (*Report, error) {
 					Store:     store,
 					Semantics: w.Semantics,
 					MPL:       6,
+					Shards:    opts.Shards,
 				})
 				if err != nil {
 					return nil, err

@@ -59,6 +59,34 @@ func BenchmarkIncrementalAddArc(b *testing.B) {
 	}
 }
 
+func BenchmarkIncrementalAddArcBatch(b *testing.B) {
+	// Epoch-batched insertion: the same shuffled DAG edge stream as
+	// BenchmarkIncrementalAddArc, but inserted in fixed-size batches
+	// with one cycle sweep per batch — the sharded schedulers' delta
+	// merge path.
+	for _, batch := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			const n = 512
+			rng := rand.New(rand.NewSource(2))
+			arcs := randomDAGArcs(rng, n, 0.05)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inc := NewIncremental(n)
+				for lo := 0; lo < len(arcs); lo += batch {
+					hi := lo + batch
+					if hi > len(arcs) {
+						hi = len(arcs)
+					}
+					if err := inc.AddArcBatch(arcs[lo:hi]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkIncrementalVsBatchRecheck(b *testing.B) {
 	// The alternative to Pearce-Kelly: rebuild-and-recheck the dense
 	// graph on every insertion. The incremental structure's advantage

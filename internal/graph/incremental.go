@@ -188,6 +188,148 @@ func (inc *Incremental) reorder(deltaF, deltaB []int) {
 
 func (inc *Incremental) clearMarks() { inc.mark.Reset() }
 
+// AddArcBatch inserts a set of arcs atomically: either every arc is
+// inserted and a valid topological order restored, or (when the union
+// would close a directed cycle) none is and ErrCycle is returned.
+//
+// This is the epoch-batched cycle check the sharded scheduler hot path
+// uses: per-shard dependency deltas accumulate into one batch and are
+// merged with a single cycle sweep instead of one Pearce–Kelly
+// insertion per arc. Accept/reject agrees exactly with inserting the
+// arcs one at a time via AddArc with rollback-on-failure: if the union
+// is acyclic every sequential prefix is a subgraph of an acyclic graph
+// (so AddArc accepts each), and if the union is cyclic some prefix
+// insertion must close the cycle (so a sequential pass aborts too).
+//
+// The sweep is a single Kahn pass restricted to the affected region of
+// the maintained order. After inserting the arcs, let lb be the
+// minimum order of any violating arc's head and ub the maximum order
+// of any violating arc's tail (a violating arc u -> v has
+// ord[u] > ord[v]). Any directed cycle is confined to positions
+// [lb, ub]: the minimum-order vertex m of a cycle has an incoming
+// cycle arc that is necessarily violating, so ord[m] >= lb, and
+// symmetrically the maximum-order vertex's outgoing cycle arc is
+// violating, bounding it by ub. Re-sorting just that slice of the
+// order against its intra-region arcs therefore either exhibits the
+// cycle or yields a globally valid order (arcs crossing the region
+// boundary were forward before the batch and remain forward, since
+// region vertices keep positions inside [lb, ub]).
+func (inc *Incremental) AddArcBatch(arcs [][2]int) error {
+	for _, a := range arcs {
+		if a[0] == a[1] {
+			return ErrCycle
+		}
+	}
+	lb, ub := -1, -1
+	for _, a := range arcs {
+		inc.g.AddArc(a[0], a[1])
+		ou, ov := inc.ord[a[0]], inc.ord[a[1]]
+		if ou > ov {
+			if lb < 0 || ov < lb {
+				lb = ov
+			}
+			if ou > ub {
+				ub = ou
+			}
+		}
+	}
+	if lb < 0 {
+		return nil // every arc already forward: order untouched
+	}
+	if err := inc.resortRegion(lb, ub); err != nil {
+		for _, a := range arcs {
+			inc.g.RemoveArc(a[0], a[1])
+		}
+		return err
+	}
+	return nil
+}
+
+// resortRegion recomputes the order of the vertices occupying
+// positions [lb, ub] with one Kahn pass over the arcs internal to the
+// region. On success ord/pos are updated in place; on a cycle they are
+// left untouched and ErrCycle is returned. Ties break toward the
+// vertex with the smallest previous position, keeping the result
+// deterministic and close to the old order.
+func (inc *Incremental) resortRegion(lb, ub int) error {
+	n := ub - lb + 1
+	verts := make([]int, n)
+	copy(verts, inc.pos[lb:ub+1])
+	idx := make(map[int]int, n) // vertex -> region index
+	for i, v := range verts {
+		idx[v] = i
+	}
+	indeg := make([]int, n)
+	for _, u := range verts {
+		for _, s := range inc.g.Successors(u) {
+			if j, ok := idx[s]; ok {
+				indeg[j]++
+			}
+		}
+	}
+	// Min-heap of ready vertices keyed by previous position.
+	heap := make([]int, 0, n) // holds region indices
+	less := func(a, b int) bool { return inc.ord[verts[a]] < inc.ord[verts[b]] }
+	push := func(j int) {
+		heap = append(heap, j)
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if !less(heap[c], heap[p]) {
+				break
+			}
+			heap[c], heap[p] = heap[p], heap[c]
+			c = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= len(heap) {
+				break
+			}
+			if c+1 < len(heap) && less(heap[c+1], heap[c]) {
+				c++
+			}
+			if !less(heap[c], heap[p]) {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			p = c
+		}
+		return top
+	}
+	for j := 0; j < n; j++ {
+		if indeg[j] == 0 {
+			push(j)
+		}
+	}
+	order := make([]int, 0, n)
+	for len(heap) > 0 {
+		j := pop()
+		order = append(order, verts[j])
+		for _, s := range inc.g.Successors(verts[j]) {
+			if k, ok := idx[s]; ok {
+				indeg[k]--
+				if indeg[k] == 0 {
+					push(k)
+				}
+			}
+		}
+	}
+	if len(order) < n {
+		return ErrCycle
+	}
+	for i, v := range order {
+		inc.ord[v] = lb + i
+		inc.pos[lb+i] = v
+	}
+	return nil
+}
+
 // FindPath returns a directed path from -> ... -> to as a vertex
 // sequence, or nil if to is unreachable. Schedulers use it to explain
 // rejections: after AddArc(u, v) fails with ErrCycle, FindPath(v, u)

@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAddArcBatchForwardOnly(t *testing.T) {
+	inc := NewIncremental(4)
+	if err := inc.AddArcBatch([][2]int{{0, 1}, {1, 2}, {2, 3}}); err != nil {
+		t.Fatalf("forward batch rejected: %v", err)
+	}
+	if err := inc.Verify(); err != nil {
+		t.Fatalf("Verify after batch: %v", err)
+	}
+	if inc.ArcCount() != 3 {
+		t.Fatalf("ArcCount = %d, want 3", inc.ArcCount())
+	}
+}
+
+func TestAddArcBatchReorders(t *testing.T) {
+	inc := NewIncremental(6)
+	// All backward w.r.t. the initial order but acyclic as a set.
+	if err := inc.AddArcBatch([][2]int{{5, 0}, {4, 1}, {3, 2}, {5, 4}}); err != nil {
+		t.Fatalf("acyclic backward batch rejected: %v", err)
+	}
+	if err := inc.Verify(); err != nil {
+		t.Fatalf("Verify after reordering batch: %v", err)
+	}
+}
+
+func TestAddArcBatchRejectsCycleAtomically(t *testing.T) {
+	inc := NewIncremental(4)
+	batchMustAdd(t, inc, 0, 1)
+	batchMustAdd(t, inc, 1, 2)
+	before := inc.TopoOrder()
+	// 2->3 is fine alone; 3->0 closes a cycle through the batch.
+	if err := inc.AddArcBatch([][2]int{{2, 3}, {3, 0}}); err != ErrCycle {
+		t.Fatalf("cyclic batch: got %v, want ErrCycle", err)
+	}
+	if inc.HasArc(2, 3) || inc.HasArc(3, 0) {
+		t.Fatal("rejected batch left arcs behind")
+	}
+	if inc.ArcCount() != 2 {
+		t.Fatalf("ArcCount after rejection = %d, want 2", inc.ArcCount())
+	}
+	after := inc.TopoOrder()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rejected batch disturbed the order: %v -> %v", before, after)
+		}
+	}
+	if err := inc.Verify(); err != nil {
+		t.Fatalf("Verify after rejection: %v", err)
+	}
+}
+
+func TestAddArcBatchSelfLoop(t *testing.T) {
+	inc := NewIncremental(2)
+	if err := inc.AddArcBatch([][2]int{{0, 1}, {1, 1}}); err != ErrCycle {
+		t.Fatalf("self-loop batch: got %v, want ErrCycle", err)
+	}
+	if inc.ArcCount() != 0 {
+		t.Fatalf("self-loop batch inserted arcs: ArcCount = %d", inc.ArcCount())
+	}
+}
+
+// TestAddArcBatchMatchesSequential drives two graphs with the same
+// random batches: one through AddArcBatch, one through per-arc AddArc
+// with rollback-on-failure (the pre-batch protocol hot path). Both the
+// accept/reject verdicts and the resulting arc sets must agree.
+func TestAddArcBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(10)
+		batched := NewIncremental(n)
+		seq := NewIncremental(n)
+		for round := 0; round < 12; round++ {
+			k := 1 + rng.Intn(4)
+			arcs := make([][2]int, 0, k)
+			for i := 0; i < k; i++ {
+				arcs = append(arcs, [2]int{rng.Intn(n), rng.Intn(n)})
+			}
+			errB := batched.AddArcBatch(arcs)
+			var errS error
+			var added [][2]int
+			for _, a := range arcs {
+				if a[0] == a[1] {
+					errS = ErrCycle
+					break
+				}
+				if err := seq.AddArc(a[0], a[1]); err != nil {
+					errS = err
+					break
+				}
+				added = append(added, a)
+			}
+			if errS != nil {
+				for _, a := range added {
+					seq.RemoveArc(a[0], a[1])
+				}
+			}
+			if (errB == nil) != (errS == nil) {
+				t.Fatalf("trial %d round %d: batch err %v, sequential err %v (arcs %v)", trial, round, errB, errS, arcs)
+			}
+			if err := batched.Verify(); err != nil {
+				t.Fatalf("trial %d round %d: batched Verify: %v", trial, round, err)
+			}
+			if batched.ArcCount() != seq.ArcCount() {
+				t.Fatalf("trial %d round %d: arc counts diverged: %d vs %d", trial, round, batched.ArcCount(), seq.ArcCount())
+			}
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if batched.HasArc(u, v) != seq.HasArc(u, v) {
+						t.Fatalf("trial %d round %d: arc sets diverged at %d->%d", trial, round, u, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func batchMustAdd(t *testing.T, inc *Incremental, u, v int) {
+	t.Helper()
+	if err := inc.AddArc(u, v); err != nil {
+		t.Fatalf("AddArc(%d,%d): %v", u, v, err)
+	}
+}

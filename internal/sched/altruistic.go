@@ -135,17 +135,11 @@ func (p *Altruistic) Request(req OpRequest) Decision {
 		p.afterExecute(req)
 		return Grant
 	}
-	p.base.clearWaits(req.Instance)
-	me := p.base.nodeOf[req.Instance]
-	for _, b := range effective {
-		p.base.waits.AddArc(me, p.base.nodeOf[b])
-		p.base.waitingOn[req.Instance] = append(p.base.waitingOn[req.Instance], b)
-	}
-	if cyc := p.base.waits.FindCycleFrom(me); cyc != nil {
+	cyc, deadlock := p.base.installWaits(req.Instance, effective)
+	if deadlock {
 		if p.tr.Enabled() {
-			p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.base.instanceAt, p.base.progs)))
+			p.tr.Emit(deadlockEvent(p.Name(), req, cyc))
 		}
-		p.base.clearWaits(req.Instance)
 		return Abort
 	}
 	if p.tr.Enabled() {
@@ -174,7 +168,7 @@ func (p *Altruistic) afterExecute(req OpRequest) {
 		return
 	}
 	// Donate every held object the remaining suffix never touches.
-	for _, obj := range p.base.held[req.Instance] {
+	for _, obj := range p.base.heldObjects(req.Instance) {
 		if p.remaining[req.Instance][obj] == 0 {
 			if p.tr.Enabled() && !p.donated[req.Instance][obj] {
 				p.tr.Emit(trace.Event{
@@ -193,7 +187,7 @@ func (p *Altruistic) afterExecute(req OpRequest) {
 // on an object the donor's unexecuted suffix will access.
 func (p *Altruistic) holdsDonorNeeds(requester, donor int64) bool {
 	rem := p.remaining[donor]
-	for _, obj := range p.base.held[requester] {
+	for _, obj := range p.base.heldObjects(requester) {
 		if rem[obj] > 0 && !p.donated[donor][obj] {
 			return true
 		}

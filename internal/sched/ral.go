@@ -145,17 +145,11 @@ func (p *RAL) Request(req OpRequest) Decision {
 		}
 	}
 	if len(effective) > 0 {
-		p.base.clearWaits(req.Instance)
-		me := p.base.nodeOf[req.Instance]
-		for _, b := range effective {
-			p.base.waits.AddArc(me, p.base.nodeOf[b])
-			p.base.waitingOn[req.Instance] = append(p.base.waitingOn[req.Instance], b)
-		}
-		if cyc := p.base.waits.FindCycleFrom(me); cyc != nil {
+		cyc, deadlock := p.base.installWaits(req.Instance, effective)
+		if deadlock {
 			if p.tr.Enabled() {
-				p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.base.instanceAt, p.base.progs)))
+				p.tr.Emit(deadlockEvent(p.Name(), req, cyc))
 			}
-			p.base.clearWaits(req.Instance)
 			return Abort
 		}
 		if p.tr.Enabled() {
@@ -191,7 +185,7 @@ func (p *RAL) Request(req OpRequest) Decision {
 // wake while holding locks the donor's unexecuted suffix needs.
 func (p *RAL) holdsDonorNeeds(requester, donor int64) bool {
 	rem := p.remaining[donor]
-	for _, obj := range p.base.held[requester] {
+	for _, obj := range p.base.heldObjects(requester) {
 		if rem[obj] > 0 {
 			return true
 		}

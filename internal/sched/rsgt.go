@@ -160,6 +160,49 @@ func (p *RSGT) Request(req OpRequest) Decision {
 	// Tentatively add the D/F/B arcs for every cross-transaction
 	// dependency.
 	v := inst.vertices[req.Seq]
+	if !p.tr.Enabled() {
+		// Hot path: collect the request's D/F/B delta as one epoch batch
+		// and merge it with a single cycle sweep. Accept/reject agrees
+		// with the per-arc insertion below (see graph.AddArcBatch); the
+		// batch rolls itself back atomically on a cycle, so rejection
+		// leaves the graph exactly as before the request.
+		var arcs [][2]int
+		depSet.ForEach(func(e int) bool {
+			info := p.execInfo[e]
+			if info.instance == req.Instance {
+				return true
+			}
+			src := p.insts[info.instance]
+			if src == nil {
+				return true
+			}
+			u := src.vertices[info.seq]
+			if u != v {
+				arcs = append(arcs, [2]int{u, v}) // D-arc
+			}
+			fu := src.vertices[p.pushForward(info.instance, src, req.Instance, info.seq)]
+			if fu != v {
+				arcs = append(arcs, [2]int{fu, v}) // F-arc
+			}
+			bv := inst.vertices[p.pullBackward(req.Instance, inst, info.instance, req.Seq)]
+			if u != bv {
+				arcs = append(arcs, [2]int{u, bv}) // B-arc
+			}
+			return true
+		})
+		if len(arcs) > 0 {
+			if err := p.g.AddArcBatch(arcs); err != nil {
+				return Abort
+			}
+		}
+		e := len(p.execInfo)
+		p.execInfo = append(p.execInfo, execOp{instance: req.Instance, seq: req.Seq, op: req.Op, vertex: v})
+		p.deps = append(p.deps, depSet)
+		p.objHist[req.Op.Object] = append(hist, e)
+		inst.lastExec = e
+		inst.executed++
+		return Grant
+	}
 	var added [][2]int
 	var kindUndo []arcKindUndo
 	var failArc [2]int

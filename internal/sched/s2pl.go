@@ -1,8 +1,12 @@
 package sched
 
 import (
+	"sync"
+
 	"relser/internal/core"
 	"relser/internal/graph"
+	"relser/internal/shard"
+	"relser/internal/trace"
 )
 
 // S2PL is strict two-phase locking: a transaction acquires a shared
@@ -10,21 +14,45 @@ import (
 // locks until commit or abort, and is aborted when its wait would close
 // a cycle in the waits-for graph (deadlock; the requester is the
 // victim).
+//
+// The lock table is striped over the shared shard router so the
+// protocol is shard-safe: concurrent Request calls for different
+// objects touch different stripes and only meet on the waits-for
+// graph's mutex, which guards the blocking slow path alone. Per-
+// instance bookkeeping (held locks, pending waits) is mutated only by
+// the instance's own worker or under the driver's exclusive lifecycle
+// lock, so it needs no locking of its own (see ShardSafe).
 type S2PL struct {
 	traced
-	locks map[string]*lockState
-	// nodeOf maps instances to waits-for graph vertices.
-	nodeOf map[int64]int
-	insts  []int64 // vertex -> instance
-	waits  *graph.Sparse
-	// waitingOn[instance] lists the instances it currently waits for,
-	// so edges can be withdrawn when the request is granted or the
-	// waiter dies.
+	router  shard.Router
+	stripes []*s2plStripe
+
+	// wmu guards the waits-for graph and its vertex table; only the
+	// blocking slow path and instance lifecycle take it.
+	wmu       sync.Mutex
+	nodeOf    map[int64]int
+	insts     []int64 // vertex -> instance
+	waits     *graph.Sparse
 	waitingOn map[int64][]int64
-	held      map[int64][]string // instance -> objects it holds locks on
+
+	// entries holds per-instance state: created at Begin, dropped at
+	// release, mutated only by the owning worker in between.
+	entries map[int64]*s2plInst
 	// progs retains programs for explanation events; populated only
 	// while tracing.
 	progs map[int64]*core.Transaction
+}
+
+type s2plStripe struct {
+	mu    sync.Mutex
+	locks map[string]*lockState
+}
+
+type s2plInst struct {
+	held []string
+	// waiting is set while the instance has live waits-for arcs; the
+	// next grant withdraws them lazily.
+	waiting bool
 }
 
 type lockState struct {
@@ -35,29 +63,47 @@ type lockState struct {
 	writer  int64
 }
 
-// NewS2PL returns a strict two-phase locking protocol.
-func NewS2PL() *S2PL {
-	return &S2PL{
-		locks:     make(map[string]*lockState),
+// NewS2PL returns a strict two-phase locking protocol with a single
+// lock-table stripe (the classical global lock manager).
+func NewS2PL() *S2PL { return NewS2PLSharded(1) }
+
+// NewS2PLSharded returns strict two-phase locking with the lock table
+// striped over Normalize(shards) stripes.
+func NewS2PLSharded(shards int) *S2PL {
+	router := shard.NewRouter(shards)
+	p := &S2PL{
+		router:    router,
+		stripes:   make([]*s2plStripe, router.Shards()),
 		nodeOf:    make(map[int64]int),
 		waits:     graph.NewSparse(0),
 		waitingOn: make(map[int64][]int64),
-		held:      make(map[int64][]string),
+		entries:   make(map[int64]*s2plInst),
 		progs:     make(map[int64]*core.Transaction),
 	}
+	for i := range p.stripes {
+		p.stripes[i] = &s2plStripe{locks: make(map[string]*lockState)}
+	}
+	return p
 }
 
 // Name implements Protocol.
 func (p *S2PL) Name() string { return "s2pl" }
 
+// ConcurrentShardSafe implements ShardSafe.
+func (p *S2PL) ConcurrentShardSafe() bool { return true }
+
 // Begin implements Protocol.
 func (p *S2PL) Begin(instance int64, program *core.Transaction) {
-	if _, ok := p.nodeOf[instance]; !ok {
-		p.nodeOf[instance] = p.waits.AddVertex()
-		p.insts = append(p.insts, instance)
-		if p.tr.Enabled() {
-			p.progs[instance] = program
-		}
+	if _, ok := p.entries[instance]; ok {
+		return
+	}
+	p.entries[instance] = &s2plInst{}
+	p.wmu.Lock()
+	p.nodeOf[instance] = p.waits.AddVertex()
+	p.insts = append(p.insts, instance)
+	p.wmu.Unlock()
+	if p.tr.Enabled() {
+		p.progs[instance] = program
 	}
 }
 
@@ -65,27 +111,37 @@ func (p *S2PL) Begin(instance int64, program *core.Transaction) {
 // with current holders; otherwise install waits-for edges and either
 // block or, if that closes a cycle, abort the requester.
 func (p *S2PL) Request(req OpRequest) Decision {
-	st := p.lock(req.Op.Object)
+	e := p.entries[req.Instance]
+	sp := p.stripeFor(req.Op.Object)
+	sp.mu.Lock()
+	st := sp.lockLocked(req.Op.Object)
 	blockers := p.conflictingHolders(st, req)
 	if len(blockers) == 0 {
-		p.clearWaits(req.Instance)
 		p.acquire(st, req)
+		sp.mu.Unlock()
+		if e != nil && e.waiting {
+			p.clearWaits(req.Instance)
+			e.waiting = false
+		}
 		return Grant
 	}
-	p.clearWaits(req.Instance)
-	me := p.nodeOf[req.Instance]
-	for _, b := range blockers {
-		p.waits.AddArc(me, p.nodeOf[b])
-		p.waitingOn[req.Instance] = append(p.waitingOn[req.Instance], b)
-	}
-	if cyc := p.waits.FindCycleFrom(me); cyc != nil {
-		// Deadlock: the requester is the victim. Its waits edges go
-		// away now; locks are released by the driver's Abort call.
+	sp.mu.Unlock()
+	// Under the concurrent driver no holder can release between the
+	// stripe unlock and the waits installation (releases run under the
+	// driver's exclusive lock, which the whole request path excludes),
+	// and the deterministic runner is single-threaded — so blockers
+	// are still live here.
+	cyc, deadlock := p.installWaits(req.Instance, blockers)
+	if deadlock {
+		// Deadlock: the requester is the victim. Its waits edges are
+		// already withdrawn; locks are released by the driver's Abort.
 		if p.tr.Enabled() {
-			p.tr.Emit(deadlockEvent(p.Name(), req, waitCycle(cyc, p.instanceAt, p.progs)))
+			p.tr.Emit(deadlockEvent(p.Name(), req, cyc))
 		}
-		p.clearWaits(req.Instance)
 		return Abort
+	}
+	if e != nil {
+		e.waiting = true
 	}
 	if p.tr.Enabled() {
 		p.tr.Emit(blockEvent(p.Name(), req, blockers))
@@ -93,7 +149,36 @@ func (p *S2PL) Request(req OpRequest) Decision {
 	return Block
 }
 
-// instanceAt maps a waits-for graph vertex back to its instance.
+// installWaits records waits-for arcs from the instance to its
+// blockers under the graph mutex. If the arcs close a cycle they are
+// withdrawn again and deadlock=true is returned, together with the
+// rendered cycle witness when tracing is enabled.
+func (p *S2PL) installWaits(instance int64, blockers []int64) (cyc *trace.Cycle, deadlock bool) {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.clearWaitsLocked(instance)
+	me, ok := p.nodeOf[instance]
+	if !ok {
+		return nil, false
+	}
+	for _, b := range blockers {
+		if n, alive := p.nodeOf[b]; alive {
+			p.waits.AddArc(me, n)
+			p.waitingOn[instance] = append(p.waitingOn[instance], b)
+		}
+	}
+	if verts := p.waits.FindCycleFrom(me); verts != nil {
+		if p.tr.Enabled() {
+			cyc = waitCycle(verts, p.instanceAt, p.progs)
+		}
+		p.clearWaitsLocked(instance)
+		return cyc, true
+	}
+	return nil, false
+}
+
+// instanceAt maps a waits-for graph vertex back to its instance. Must
+// be called with wmu held.
 func (p *S2PL) instanceAt(v int) int64 { return p.insts[v] }
 
 // conflictingHolders returns the instances whose locks block req,
@@ -118,18 +203,35 @@ func (p *S2PL) conflictingHolders(st *lockState, req OpRequest) []int64 {
 	return out
 }
 
+// acquire takes the lock for req. Callers must hold the object's
+// stripe mutex or otherwise serialize access to st (the wrapping
+// protocols run fully serialized).
 func (p *S2PL) acquire(st *lockState, req OpRequest) {
+	e := p.entries[req.Instance]
 	if req.Op.Kind == core.ReadOp {
 		if !st.readers[req.Instance] {
 			st.readers[req.Instance] = true
-			p.held[req.Instance] = append(p.held[req.Instance], req.Op.Object)
+			if e != nil {
+				e.held = append(e.held, req.Op.Object)
+			}
 		}
 		return
 	}
 	if st.writer != req.Instance {
 		st.writer = req.Instance
-		p.held[req.Instance] = append(p.held[req.Instance], req.Op.Object)
+		if e != nil {
+			e.held = append(e.held, req.Op.Object)
+		}
 	}
+}
+
+// heldObjects returns the objects the instance holds locks on (the
+// live slice: callers must not mutate it).
+func (p *S2PL) heldObjects(instance int64) []string {
+	if e := p.entries[instance]; e != nil {
+		return e.held
+	}
+	return nil
 }
 
 // CanCommit implements Protocol.
@@ -141,24 +243,44 @@ func (p *S2PL) Commit(instance int64) { p.release(instance) }
 // Abort implements Protocol.
 func (p *S2PL) Abort(instance int64) { p.release(instance) }
 
+// release drops all locks and waits-for state. Called from lifecycle
+// context (exclusive against every Request under the concurrent
+// driver), so the stripe locks below are uncontended ordering hygiene.
 func (p *S2PL) release(instance int64) {
-	for _, obj := range p.held[instance] {
-		st := p.locks[obj]
-		delete(st.readers, instance)
-		if st.writer == instance {
-			st.writer = 0
+	e := p.entries[instance]
+	if e != nil {
+		for _, obj := range e.held {
+			sp := p.stripeFor(obj)
+			sp.mu.Lock()
+			if st := sp.locks[obj]; st != nil {
+				delete(st.readers, instance)
+				if st.writer == instance {
+					st.writer = 0
+				}
+			}
+			sp.mu.Unlock()
 		}
 	}
-	delete(p.held, instance)
-	p.clearWaits(instance)
+	delete(p.entries, instance)
+	p.wmu.Lock()
+	p.clearWaitsLocked(instance)
 	if v, ok := p.nodeOf[instance]; ok {
 		p.waits.IsolateVertex(v)
 	}
 	delete(p.nodeOf, instance)
+	p.wmu.Unlock()
 	delete(p.progs, instance)
 }
 
+// clearWaits withdraws the instance's waits-for arcs under the graph
+// mutex.
 func (p *S2PL) clearWaits(instance int64) {
+	p.wmu.Lock()
+	p.clearWaitsLocked(instance)
+	p.wmu.Unlock()
+}
+
+func (p *S2PL) clearWaitsLocked(instance int64) {
 	me, ok := p.nodeOf[instance]
 	if !ok {
 		return
@@ -171,11 +293,25 @@ func (p *S2PL) clearWaits(instance int64) {
 	delete(p.waitingOn, instance)
 }
 
+func (p *S2PL) stripeFor(object string) *s2plStripe {
+	return p.stripes[p.router.Shard(object)]
+}
+
+// lock returns the object's lock state, creating it on first use.
 func (p *S2PL) lock(object string) *lockState {
-	st, ok := p.locks[object]
+	sp := p.stripeFor(object)
+	sp.mu.Lock()
+	st := sp.lockLocked(object)
+	sp.mu.Unlock()
+	return st
+}
+
+// lockLocked is lock with the stripe mutex already held.
+func (sp *s2plStripe) lockLocked(object string) *lockState {
+	st, ok := sp.locks[object]
 	if !ok {
 		st = &lockState{readers: make(map[int64]bool)}
-		p.locks[object] = st
+		sp.locks[object] = st
 	}
 	return st
 }

@@ -81,6 +81,37 @@ type Protocol interface {
 	Abort(instance int64)
 }
 
+// ShardSafe marks protocols whose Request path may be invoked
+// concurrently by the sharded driver for operations on different
+// objects, with only per-object (shard) mutual exclusion supplied
+// externally. The contract the concurrent driver guarantees in
+// exchange:
+//
+//   - Request calls for the same object are serialized (the driver's
+//     shard lock), so a protocol's per-object state sees ordered
+//     accesses; cross-object Request calls may race and the protocol
+//     must stripe or atomically guard any state they share;
+//   - Begin, CanCommit, Commit and Abort are called under the driver's
+//     exclusive world lock — never concurrently with any Request — so
+//     instance-table maintenance needs no internal locking.
+//
+// Protocols that keep a single global structure consulted on every
+// request (serialization graphs, wake disciplines) are not shard-safe;
+// the driver serializes them on one mutex exactly as before.
+type ShardSafe interface {
+	// ConcurrentShardSafe reports whether the instance honors the
+	// contract above (a method rather than a bare marker so wrappers
+	// can delegate dynamically).
+	ConcurrentShardSafe() bool
+}
+
+// IsShardSafe reports whether the protocol opts into the sharded
+// driver hot path.
+func IsShardSafe(p Protocol) bool {
+	s, ok := p.(ShardSafe)
+	return ok && s.ConcurrentShardSafe()
+}
+
 // AtomicityOracle supplies relative atomicity specifications to the
 // online protocols: Cuts returns the unit boundaries of transaction a
 // relative to observer b (a boundary p splits ops p-1 and p; an empty
@@ -157,6 +188,9 @@ func NewNoCC() *NoCC { return &NoCC{} }
 
 // Name implements Protocol.
 func (*NoCC) Name() string { return "nocc" }
+
+// ConcurrentShardSafe implements ShardSafe: the protocol is stateless.
+func (*NoCC) ConcurrentShardSafe() bool { return true }
 
 // Begin implements Protocol.
 func (*NoCC) Begin(int64, *core.Transaction) {}

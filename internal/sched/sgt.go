@@ -73,25 +73,45 @@ func (p *SGT) Begin(instance int64, program *core.Transaction) {
 func (p *SGT) Request(req OpRequest) Decision {
 	sources := p.conflictSources(req)
 	me := p.nodeOf[req.Instance]
-	var added [][2]int
-	for _, src := range sources {
-		n, ok := p.nodeOf[src]
-		if !ok {
-			continue // pruned committed source: cannot be on a cycle
-		}
-		if n == me {
-			continue
-		}
-		if err := p.g.AddArc(n, me); err != nil {
-			if p.tr.Enabled() {
+	if p.tr.Enabled() {
+		// Traced cold path: insert arcs one at a time so a rejection can
+		// name the exact refused arc in its explanation.
+		var added [][2]int
+		for _, src := range sources {
+			n, ok := p.nodeOf[src]
+			if !ok {
+				continue // pruned committed source: cannot be on a cycle
+			}
+			if n == me {
+				continue
+			}
+			if err := p.g.AddArc(n, me); err != nil {
 				p.explainReject(req, n, me)
+				for _, a := range added {
+					p.g.RemoveArc(a[0], a[1])
+				}
+				return Abort
 			}
-			for _, a := range added {
-				p.g.RemoveArc(a[0], a[1])
-			}
-			return Abort
+			added = append(added, [2]int{n, me})
 		}
-		added = append(added, [2]int{n, me})
+	} else {
+		// Hot path: the request's conflict arcs form one epoch batch,
+		// merged with a single cycle sweep (and rolled back atomically on
+		// rejection). Accept/reject agrees with the per-arc path; see
+		// graph.AddArcBatch.
+		var arcs [][2]int
+		for _, src := range sources {
+			n, ok := p.nodeOf[src]
+			if !ok || n == me {
+				continue
+			}
+			arcs = append(arcs, [2]int{n, me})
+		}
+		if len(arcs) > 0 {
+			if err := p.g.AddArcBatch(arcs); err != nil {
+				return Abort
+			}
+		}
 	}
 	// Record the access only after admission.
 	h := p.history(req.Op.Object)

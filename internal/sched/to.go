@@ -2,8 +2,10 @@ package sched
 
 import (
 	"fmt"
+	"sync"
 
 	"relser/internal/core"
+	"relser/internal/shard"
 	"relser/internal/trace"
 )
 
@@ -20,8 +22,18 @@ import (
 // higher timestamp). There is no Thomas write rule: writes are applied
 // in place by the runtime, so silently skipping an outdated write is
 // not available.
+//
+// All protocol state is per-object, so TO stripes it over the shared
+// shard router and is shard-safe: requests on different objects only
+// ever touch different stripes.
 type TO struct {
 	traced
+	router  shard.Router
+	stripes []*toStripe
+}
+
+type toStripe struct {
+	mu      sync.Mutex
 	objects map[string]*toState
 }
 
@@ -30,13 +42,26 @@ type toState struct {
 	maxWrite int64
 }
 
-// NewTO returns a basic timestamp-ordering protocol.
-func NewTO() *TO {
-	return &TO{objects: make(map[string]*toState)}
+// NewTO returns a basic timestamp-ordering protocol with a single
+// object-table stripe.
+func NewTO() *TO { return NewTOSharded(1) }
+
+// NewTOSharded returns timestamp ordering with the object table
+// striped over Normalize(shards) stripes.
+func NewTOSharded(shards int) *TO {
+	router := shard.NewRouter(shards)
+	p := &TO{router: router, stripes: make([]*toStripe, router.Shards())}
+	for i := range p.stripes {
+		p.stripes[i] = &toStripe{objects: make(map[string]*toState)}
+	}
+	return p
 }
 
 // Name implements Protocol.
 func (p *TO) Name() string { return "to" }
+
+// ConcurrentShardSafe implements ShardSafe.
+func (p *TO) ConcurrentShardSafe() bool { return true }
 
 // Begin implements Protocol. Timestamps are the instance numbers the
 // runtime assigns, which are globally monotonic across restarts.
@@ -44,10 +69,13 @@ func (p *TO) Begin(int64, *core.Transaction) {}
 
 // Request implements Protocol.
 func (p *TO) Request(req OpRequest) Decision {
-	st := p.objects[req.Op.Object]
+	sp := p.stripes[p.router.Shard(req.Op.Object)]
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	st := sp.objects[req.Op.Object]
 	if st == nil {
 		st = &toState{}
-		p.objects[req.Op.Object] = st
+		sp.objects[req.Op.Object] = st
 	}
 	ts := req.Instance
 	if req.Op.Kind == core.ReadOp {

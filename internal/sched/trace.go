@@ -35,15 +35,16 @@ func Attach(p Protocol, tr *trace.Tracer) {
 }
 
 // protocolMakers is the registry behind NewProtocol. Oracle-free
-// protocols ignore the oracle argument.
-var protocolMakers = map[string]func(oracle AtomicityOracle) Protocol{
-	"nocc":       func(AtomicityOracle) Protocol { return NewNoCC() },
-	"s2pl":       func(AtomicityOracle) Protocol { return NewS2PL() },
-	"sgt":        func(AtomicityOracle) Protocol { return NewSGT() },
-	"to":         func(AtomicityOracle) Protocol { return NewTO() },
-	"rsgt":       func(o AtomicityOracle) Protocol { return NewRSGT(o) },
-	"altruistic": func(o AtomicityOracle) Protocol { return NewAltruistic(o) },
-	"ral":        func(o AtomicityOracle) Protocol { return NewRAL(o) },
+// protocols ignore the oracle argument; protocols without striped
+// state ignore the shard count.
+var protocolMakers = map[string]func(oracle AtomicityOracle, shards int) Protocol{
+	"nocc":       func(AtomicityOracle, int) Protocol { return NewNoCC() },
+	"s2pl":       func(_ AtomicityOracle, n int) Protocol { return NewS2PLSharded(n) },
+	"sgt":        func(AtomicityOracle, int) Protocol { return NewSGT() },
+	"to":         func(_ AtomicityOracle, n int) Protocol { return NewTOSharded(n) },
+	"rsgt":       func(o AtomicityOracle, _ int) Protocol { return NewRSGT(o) },
+	"altruistic": func(o AtomicityOracle, _ int) Protocol { return NewAltruistic(o) },
+	"ral":        func(o AtomicityOracle, _ int) Protocol { return NewRAL(o) },
 }
 
 // ProtocolNames returns the registered protocol names, sorted.
@@ -56,14 +57,23 @@ func ProtocolNames() []string {
 	return out
 }
 
-// NewProtocol constructs a registered protocol by name. Unknown names
-// produce an error listing the valid choices.
+// NewProtocol constructs a registered protocol by name with unstriped
+// (single-shard) state. Unknown names produce an error listing the
+// valid choices.
 func NewProtocol(name string, oracle AtomicityOracle) (Protocol, error) {
+	return NewProtocolSharded(name, oracle, 1)
+}
+
+// NewProtocolSharded constructs a registered protocol with its
+// internal tables striped over the given shard count (protocols
+// without striped state ignore it). Drivers pass their own shard count
+// so lock tables and wait queues partition the key space identically.
+func NewProtocolSharded(name string, oracle AtomicityOracle, shards int) (Protocol, error) {
 	mk, ok := protocolMakers[name]
 	if !ok {
 		return nil, fmt.Errorf("sched: unknown protocol %q (valid: %v)", name, ProtocolNames())
 	}
-	return mk(oracle), nil
+	return mk(oracle, shards), nil
 }
 
 // waitCycle renders a waits-for cycle (instance-granularity vertices,

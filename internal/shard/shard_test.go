@@ -1,0 +1,71 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-3, 1}, {0, 1}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8},
+		{8, 8}, {9, 16}, {255, 256}, {256, 256}, {1 << 20, MaxShards},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHashMatchesFNV1a(t *testing.T) {
+	for _, s := range []string{"", "a", "x1", "account_042", "long-object-name-with-suffix-7"} {
+		h := fnv.New32a()
+		h.Write([]byte(s))
+		if got, want := Hash(s), h.Sum32(); got != want {
+			t.Errorf("Hash(%q) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestRouterStableAndInRange(t *testing.T) {
+	r := NewRouter(8)
+	if r.Shards() != 8 {
+		t.Fatalf("Shards() = %d, want 8", r.Shards())
+	}
+	for i := 0; i < 1000; i++ {
+		obj := fmt.Sprintf("obj%d", i)
+		s := r.Shard(obj)
+		if s < 0 || s >= 8 {
+			t.Fatalf("Shard(%q) = %d out of range", obj, s)
+		}
+		if again := r.Shard(obj); again != s {
+			t.Fatalf("Shard(%q) unstable: %d then %d", obj, s, again)
+		}
+	}
+}
+
+func TestRouterSpreads(t *testing.T) {
+	// Not a statistical test — just that a realistic object population
+	// does not collapse onto one shard.
+	r := NewRouter(8)
+	counts := make([]int, 8)
+	for i := 0; i < 4096; i++ {
+		counts[r.Shard(fmt.Sprintf("x%d", i))]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received no objects", s)
+		}
+	}
+}
+
+func TestZeroRouter(t *testing.T) {
+	var r Router
+	if r.Shards() != 1 {
+		t.Fatalf("zero Router Shards() = %d, want 1", r.Shards())
+	}
+	if s := r.Shard("anything"); s != 0 {
+		t.Fatalf("zero Router Shard() = %d, want 0", s)
+	}
+}

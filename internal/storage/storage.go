@@ -6,8 +6,10 @@
 // The paper's model (§2) is a set of objects accessed through atomic
 // read and write operations; this store realizes exactly that model.
 // It is safe for concurrent use: individual reads and writes are
-// atomic (guarded by a store latch). Ordering between operations of
-// different transactions is the concurrency-control protocol's job,
+// atomic, guarded by per-stripe latches (objects are partitioned over
+// a fixed set of stripes by the shared shard router), so accesses to
+// different objects almost never contend. Ordering between operations
+// of different transactions is the concurrency-control protocol's job,
 // not the store's.
 package storage
 
@@ -15,7 +17,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"relser/internal/shard"
 	"relser/internal/trace"
 )
 
@@ -29,46 +33,68 @@ type Versioned struct {
 	Version uint64
 }
 
+// storeStripes is the fixed internal latch striping. It is independent
+// of the scheduler's shard count: same-object accesses always land on
+// the same stripe regardless of either configuration.
+const storeStripes = 16
+
 // Store is an in-memory object store.
 type Store struct {
+	stripes [storeStripes]storeStripe
+	router  shard.Router
+	writes  atomic.Uint64 // total write count (all objects); also the global write sequence
+	reads   atomic.Uint64
+	tr      atomic.Pointer[trace.Tracer]
+}
+
+type storeStripe struct {
 	mu      sync.Mutex
 	objects map[string]*Versioned
-	writes  uint64 // total write count (all objects)
-	reads   uint64
-	tr      *trace.Tracer
 }
 
 // SetTracer installs a structured-event sink: subsequent reads and
-// writes emit store-read / store-write events under the store latch.
-// Pass nil to disable.
+// writes emit store-read / store-write events under the object's
+// stripe latch. Pass nil to disable.
 func (st *Store) SetTracer(tr *trace.Tracer) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.tr = tr
+	st.tr.Store(tr)
 }
+
+// tracer returns the installed tracer (nil-safe: a nil *Tracer reports
+// Enabled() == false).
+func (st *Store) tracer() *trace.Tracer { return st.tr.Load() }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{objects: make(map[string]*Versioned)}
+	st := &Store{router: shard.NewRouter(storeStripes)}
+	for i := range st.stripes {
+		st.stripes[i].objects = make(map[string]*Versioned)
+	}
+	return st
+}
+
+func (st *Store) stripe(name string) *storeStripe {
+	return &st.stripes[st.router.Shard(name)]
 }
 
 // Ensure creates the object with an initial value if it does not
 // exist; existing objects are left untouched.
 func (st *Store) Ensure(name string, initial Value) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if _, ok := st.objects[name]; !ok {
-		st.objects[name] = &Versioned{Value: initial}
+	sp := st.stripe(name)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if _, ok := sp.objects[name]; !ok {
+		sp.objects[name] = &Versioned{Value: initial}
 	}
 }
 
 // Load bulk-initializes objects (overwriting existing ones); intended
 // for workload setup.
 func (st *Store) Load(values map[string]Value) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
 	for name, v := range values {
-		st.objects[name] = &Versioned{Value: v}
+		sp := st.stripe(name)
+		sp.mu.Lock()
+		sp.objects[name] = &Versioned{Value: v}
+		sp.mu.Unlock()
 	}
 }
 
@@ -76,13 +102,14 @@ func (st *Store) Load(values map[string]Value) {
 // missing object implicitly creates it with the zero value, matching
 // the abstract model where every object always exists.
 func (st *Store) Read(name string) Versioned {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.reads++
-	v := *st.object(name)
-	if st.tr.Enabled() {
-		st.tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
+	st.reads.Add(1)
+	sp := st.stripe(name)
+	sp.mu.Lock()
+	v := *sp.object(name)
+	if tr := st.tracer(); tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
 	}
+	sp.mu.Unlock()
 	return v
 }
 
@@ -94,57 +121,67 @@ func (st *Store) Write(name string, v Value) Versioned {
 }
 
 // writeSeq is Write plus the global write sequence number, which undo
-// logs use to order cross-transaction rollback.
+// logs use to order cross-transaction rollback. The sequence is drawn
+// under the stripe latch, so per-object sequences are monotonic in
+// write order — the property RollbackSet relies on.
 func (st *Store) writeSeq(name string, v Value) (Versioned, uint64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.writes++
-	obj := st.object(name)
+	sp := st.stripe(name)
+	sp.mu.Lock()
+	seq := st.writes.Add(1)
+	obj := sp.object(name)
 	prev := *obj
 	obj.Value = v
 	obj.Version++
-	if st.tr.Enabled() {
-		st.tr.Emit(trace.Event{Kind: trace.KindStoreWrite, Object: name, Value: int64(v), Version: obj.Version})
+	if tr := st.tracer(); tr.Enabled() {
+		tr.Emit(trace.Event{Kind: trace.KindStoreWrite, Object: name, Value: int64(v), Version: obj.Version})
 	}
-	return prev, st.writes
+	sp.mu.Unlock()
+	return prev, seq
 }
 
 // restore rewinds an object to a previous state (abort path).
 func (st *Store) restore(name string, prev Versioned) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	obj := st.object(name)
+	sp := st.stripe(name)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	obj := sp.object(name)
 	obj.Value = prev.Value
 	obj.Version++ // versions never move backward, even on undo
 }
 
-func (st *Store) object(name string) *Versioned {
-	obj, ok := st.objects[name]
+func (sp *storeStripe) object(name string) *Versioned {
+	obj, ok := sp.objects[name]
 	if !ok {
 		obj = &Versioned{}
-		st.objects[name] = obj
+		sp.objects[name] = obj
 	}
 	return obj
 }
 
 // Snapshot returns a copy of all object values.
 func (st *Store) Snapshot() map[string]Value {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make(map[string]Value, len(st.objects))
-	for name, obj := range st.objects {
-		out[name] = obj.Value
+	out := make(map[string]Value)
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		for name, obj := range sp.objects {
+			out[name] = obj.Value
+		}
+		sp.mu.Unlock()
 	}
 	return out
 }
 
 // Objects returns the object names, sorted.
 func (st *Store) Objects() []string {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]string, 0, len(st.objects))
-	for name := range st.objects {
-		out = append(out, name)
+	var out []string
+	for i := range st.stripes {
+		sp := &st.stripes[i]
+		sp.mu.Lock()
+		for name := range sp.objects {
+			out = append(out, name)
+		}
+		sp.mu.Unlock()
 	}
 	sort.Strings(out)
 	return out
@@ -152,9 +189,7 @@ func (st *Store) Objects() []string {
 
 // Stats reports cumulative read and write counts.
 func (st *Store) Stats() (reads, writes uint64) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.reads, st.writes
+	return st.reads.Load(), st.writes.Load()
 }
 
 // UndoLog records before-images for one transaction so its effects can

@@ -1,0 +1,162 @@
+package txn_test
+
+// Contention-aware benchmarks for the concurrent scheduler hot path:
+// shard counts crossed with goroutine counts under low- and
+// high-conflict synthetic workloads, plus the striped lock-table
+// admission path on its own. These are the benchmarks the CI perf gate
+// compares with benchstat across branches.
+
+import (
+	"fmt"
+	"testing"
+
+	"relser/internal/core"
+	"relser/internal/sched"
+	"relser/internal/txn"
+	"relser/internal/workload"
+)
+
+// benchPrograms builds a synthetic program set once per configuration.
+func benchPrograms(b *testing.B, cfg workload.SyntheticConfig) *workload.Workload {
+	b.Helper()
+	w, err := workload.Synthetic(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func benchConcurrent(b *testing.B, w *workload.Workload, shards, mpl int) {
+	b.Helper()
+	ops := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := w.RunWith(sched.NewS2PLSharded(shards), workload.RunOptions{
+			Seed:       1,
+			MPL:        mpl,
+			Shards:     shards,
+			Concurrent: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.OpsExecuted
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func BenchmarkConcurrentLowConflict(b *testing.B) {
+	w := benchPrograms(b, workload.SyntheticConfig{
+		Objects: 512, Programs: 128, OpsPerTxn: 8, WriteRatio: 0.25,
+	})
+	for _, shards := range []int{1, 8} {
+		for _, mpl := range []int{4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/mpl=%d", shards, mpl), func(b *testing.B) {
+				benchConcurrent(b, w, shards, mpl)
+			})
+		}
+	}
+}
+
+func BenchmarkConcurrentHighConflict(b *testing.B) {
+	// One hot object in every program: all conflicts land on a single
+	// shard, stressing the blocking, wakeup and victimization paths.
+	w := benchPrograms(b, workload.SyntheticConfig{
+		Objects: 64, Programs: 128, OpsPerTxn: 8, WriteRatio: 0.5,
+		HotFraction: 0.25, HotObjects: 1,
+	})
+	for _, shards := range []int{1, 8} {
+		for _, mpl := range []int{4, 16} {
+			b.Run(fmt.Sprintf("shards=%d/mpl=%d", shards, mpl), func(b *testing.B) {
+				benchConcurrent(b, w, shards, mpl)
+			})
+		}
+	}
+}
+
+func BenchmarkS2PLAdmission(b *testing.B) {
+	// The protocol-level hot path alone: sequential admission of
+	// non-conflicting requests through the striped lock table, no
+	// driver, no goroutines.
+	for _, shards := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const nTxn = 64
+			progs := make([]*core.Transaction, nTxn)
+			for i := range progs {
+				obj := fmt.Sprintf("o%d", i)
+				progs[i] = core.T(core.TxnID(i+1), core.R(obj), core.W(obj))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := sched.NewS2PLSharded(shards)
+				for k, tx := range progs {
+					id := int64(k + 1)
+					p.Begin(id, tx)
+					for seq := 0; seq < tx.Len(); seq++ {
+						req := sched.OpRequest{Instance: id, Program: tx, Seq: seq, Op: tx.Op(seq)}
+						if d := p.Request(req); d != sched.Grant {
+							b.Fatalf("decision %v", d)
+						}
+					}
+					p.Commit(id)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRSGTAdmission(b *testing.B) {
+	// Batched RSG arc insertion through the scheduler: a stream of
+	// pairwise-conflicting transactions, each granted and committed, so
+	// every request exercises AddArcBatch and commit-time pruning.
+	const nTxn = 64
+	progs := make([]*core.Transaction, nTxn)
+	for i := range progs {
+		progs[i] = core.T(core.TxnID(i+1), core.R("x"), core.W("x"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := sched.NewRSGT(sched.AbsoluteOracle{})
+		for k, tx := range progs {
+			id := int64(k + 1)
+			p.Begin(id, tx)
+			for seq := 0; seq < tx.Len(); seq++ {
+				req := sched.OpRequest{Instance: id, Program: tx, Seq: seq, Op: tx.Op(seq)}
+				if d := p.Request(req); d != sched.Grant {
+					b.Fatalf("decision %v", d)
+				}
+			}
+			p.Commit(id)
+		}
+	}
+}
+
+// BenchmarkDeterministicRunner keeps the tick driver in the perf gate:
+// regressions in the shared runner plumbing show up here even when the
+// concurrent path masks them with goroutine scheduling noise.
+func BenchmarkDeterministicRunner(b *testing.B) {
+	w := benchPrograms(b, workload.SyntheticConfig{
+		Objects: 128, Programs: 64, OpsPerTxn: 8, WriteRatio: 0.25,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := txn.New(txn.Config{
+			Protocol: sched.NewS2PL(),
+			Programs: w.Programs,
+			Oracle:   w.Oracle,
+			MPL:      8,
+			Seed:     1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

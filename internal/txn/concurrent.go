@@ -2,63 +2,174 @@ package txn
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"relser/internal/core"
 	"relser/internal/metrics"
 	"relser/internal/sched"
+	"relser/internal/shard"
 	"relser/internal/storage"
 )
 
 // ConcurrentRunner executes transaction programs on real goroutines —
 // one worker per in-flight instance, bounded by the multiprogramming
 // level — against the same protocol and store machinery as the
-// deterministic Runner. Protocol calls and driver bookkeeping are
-// serialized under one mutex (protocols are sequential state machines);
-// blocked workers sleep on a condition variable and are woken by every
-// commit, abort or grant.
+// deterministic Runner.
+//
+// The hot path is sharded: the key space is partitioned over
+// Config.Shards driver shards (power of two, FNV-routed, shared with
+// the store's stripes and the protocol's lock tables). Each shard owns
+// a wait queue (condition variable) and the dirty-writer stacks for its
+// objects. How much of the path runs concurrently depends on the
+// protocol:
+//
+//   - Shard-safe protocols (sched.ShardSafe — NoCC, S2PL, TO) admit
+//     and execute operations under only the target object's shard lock,
+//     so requests on different shards proceed in parallel. Holding the
+//     shard lock across Request+execute keeps same-object admission and
+//     execution in the same order, which the protocols' correctness
+//     arguments require.
+//   - All other protocols are sequential state machines; their
+//     Request+execute pairs are serialized under pmu. Tracing stays
+//     sound for replay certification (trace.VerifyCycles) because pmu
+//     imposes a total order on admissions and their grant events.
+//
+// Lifecycle transitions — begin, commit, abort cascades, stall
+// victimization — take the state lock exclusively, stopping the world;
+// the operation path holds it shared. That makes every Begin /
+// CanCommit / Commit / Abort protocol call globally serialized (the
+// ShardSafe contract) and lets cascades roll back effects without
+// interference.
+//
+// Waiting and waking are targeted to fix the seed's thundering herd
+// (every state change woke every sleeper):
+//
+//   - A worker blocked by a shard-safe protocol sleeps on its object's
+//     shard cond. Commits broadcast only the shards their program
+//     touched — an S2PL waiter always waits on an object in its
+//     holder's program, so the holder's commit reaches it. Grants wake
+//     nobody (acquiring a lock cannot unblock a different waiter).
+//   - Workers blocked under pmu, and commit-waiters (dirty-read
+//     dependencies, CanCommit), sleep on the global cond; commits and
+//     non-shard-safe grants broadcast it.
+//   - Aborts and cascades are rare and broadcast everything.
+//
+// Stall detection is symmetric flag-and-check on two atomics: a worker
+// about to sleep that would leave every active instance's worker asleep
+// (sleepers >= activeCount) instead victimizes itself, and a committer
+// that leaves the remaining workers all asleep floods every cond so one
+// of them detects the stall. Both counters are seq-cst atomics, so the
+// last transition into an all-asleep state is always observed by its
+// own check.
+//
+// Lock order: state.RLock -> pmu -> shard.mu -> {depMu, walMu};
+// pmu -> commitMu; state.Lock -> {shard.mu, commitMu, walMu}. The
+// leaf mutexes (depMu, walMu, commitMu, shard.mu) are never nested
+// with one another.
 //
 // Concurrent runs are not reproducible (goroutine interleaving is the
 // scheduler's); tests assert outcomes — everything commits, committed
 // schedules verify, invariants hold — rather than traces.
 type ConcurrentRunner struct {
-	cfg Config
+	cfg    Config
+	router shard.Router
+	// shardSafe records whether cfg.Protocol opted into per-shard
+	// admission via sched.ShardSafe.
+	shardSafe bool
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	// state is the world lock: the operation path holds it shared,
+	// lifecycle transitions hold it exclusively. Fields below marked
+	// "state" are written only under the exclusive lock (and may be read
+	// under the shared lock by their owning worker).
+	state sync.RWMutex
+	// pmu serializes Request+execute for protocols that are not
+	// shard-safe.
+	pmu sync.Mutex
 
-	nextInstance int64
-	active       map[int64]*instanceState
-	dirtyStack   map[string][]int64
-	dependents   map[int64]map[int64]bool
-	doomed       map[int64]bool
-	blocked      int // workers currently waiting on cond
-	execSeq      int64
-	latencies    metrics.Stats
-	obs          observer
+	shards []*driverShard
 
-	res    Result
-	runErr error
+	// depMu guards the dirty-read dependency graph (dependents and
+	// every instanceState.depsOn) among concurrent operation-path
+	// holders; exclusive state holders access it directly.
+	depMu      sync.Mutex
+	dependents map[int64]map[int64]bool
+
+	// commitMu guards registration on the global cond, where
+	// commit-waiters and pmu-path blockers sleep.
+	commitMu      sync.Mutex
+	commitCond    *sync.Cond
+	globalWaiters int
+
+	// walMu serializes WAL appends from the operation path; append
+	// errors park in walErr until a lifecycle holder folds them into
+	// runErr.
+	walMu  sync.Mutex
+	walErr error
+
+	nextInstance int64                    // state
+	active       map[int64]*instanceState // state (map identity; entries see field docs)
+
+	execSeq     atomic.Int64 // global execution sequence (logical clock)
+	opsExecuted atomic.Int64
+	blocksTotal atomic.Int64
+	activeCount atomic.Int64 // len(active), readable without the state lock
+	sleepers    atomic.Int64 // workers asleep on any cond (or committed to sleeping)
+
+	latencies metrics.Stats // state
+	obs       observer
+
+	res    Result // state
+	runErr error  // state
+}
+
+// driverShard is one partition of the driver's wait/dirty state. mu
+// guards waiters and (on the operation path) dirty; exclusive state
+// holders access dirty directly.
+type driverShard struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	waiters int
+	// dirty stacks uncommitted writers per object (innermost last),
+	// mirroring the deterministic runner's dirtyStack but partitioned.
+	dirty map[string][]int64
+
+	blocks   *metrics.Counter   // per-shard block decisions (nil without metrics)
+	waitHist *metrics.Histogram // per-shard wall-clock wait seconds (nil without metrics)
 }
 
 // NewConcurrent validates the configuration (same rules as New) and
-// prepares a concurrent runner.
+// prepares a concurrent runner with cfg.Shards driver shards.
 func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
 	probe, err := New(cfg) // reuse validation and defaulting
 	if err != nil {
 		return nil, err
 	}
 	cfg = probe.cfg
+	router := shard.NewRouter(cfg.Shards)
 	r := &ConcurrentRunner{
 		cfg:        cfg,
+		router:     router,
+		shardSafe:  sched.IsShardSafe(cfg.Protocol),
 		active:     make(map[int64]*instanceState),
-		dirtyStack: make(map[string][]int64),
 		dependents: make(map[int64]map[int64]bool),
-		doomed:     make(map[int64]bool),
 	}
-	r.cond = sync.NewCond(&r.mu)
+	r.commitCond = sync.NewCond(&r.commitMu)
 	r.obs = newObserver(&cfg)
+	r.obs.initShardInstruments(cfg.Metrics, router.Shards())
+	r.shards = make([]*driverShard, router.Shards())
+	for i := range r.shards {
+		sh := &driverShard{dirty: make(map[string][]int64)}
+		sh.cond = sync.NewCond(&sh.mu)
+		if r.obs.shardBlocks != nil {
+			sh.blocks = r.obs.shardBlocks[i]
+			sh.waitHist = r.obs.shardWait[i]
+		}
+		r.shards[i] = sh
+	}
 	r.res.Protocol = cfg.Protocol.Name()
 	r.res.oracle = cfg.Oracle
 	return r, nil
@@ -93,9 +204,9 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 					work <- pp
 					continue
 				}
-				r.mu.Lock()
+				r.state.RLock()
 				done := r.res.Committed == len(r.cfg.Programs) || r.runErr != nil
-				r.mu.Unlock()
+				r.state.RUnlock()
 				if done {
 					shutdown()
 					return
@@ -104,47 +215,90 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 		}()
 	}
 	wg.Wait()
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.state.Lock()
+	defer r.state.Unlock()
+	r.foldWALErrLocked()
 	if r.runErr != nil {
 		return nil, r.runErr
 	}
 	if r.res.Committed != len(r.cfg.Programs) {
 		return nil, fmt.Errorf("txn: concurrent run finished with %d of %d programs committed", r.res.Committed, len(r.cfg.Programs))
 	}
+	r.res.OpsExecuted = int(r.opsExecuted.Load())
+	r.res.Blocks = int(r.blocksTotal.Load())
 	r.res.LatencyMean = r.latencies.Mean()
 	r.res.LatencyP95 = r.latencies.Percentile(95)
 	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
 	return &r.res, nil
 }
 
-// logWALLocked appends a record under the runner mutex, surfacing
-// append errors as run failures.
+// logWAL appends a record from the operation path. Errors park in
+// walErr (surfaced by the next lifecycle holder) so the hot path never
+// needs the exclusive state lock.
+func (r *ConcurrentRunner) logWAL(rec storage.WALRecord) {
+	if r.cfg.WAL == nil {
+		return
+	}
+	r.walMu.Lock()
+	if err := r.cfg.WAL.Append(rec); err != nil && r.walErr == nil {
+		r.walErr = fmt.Errorf("txn: WAL append failed: %v", err)
+	}
+	r.walMu.Unlock()
+}
+
+// logWALLocked appends a record while holding the exclusive state lock,
+// surfacing append errors as run failures.
 func (r *ConcurrentRunner) logWALLocked(rec storage.WALRecord) {
 	if r.cfg.WAL == nil {
 		return
 	}
-	if err := r.cfg.WAL.Append(rec); err != nil && r.runErr == nil {
+	r.walMu.Lock()
+	err := r.cfg.WAL.Append(rec)
+	r.walMu.Unlock()
+	if err != nil && r.runErr == nil {
 		r.runErr = fmt.Errorf("txn: WAL append failed: %v", err)
 	}
 }
 
+// foldWALErrLocked promotes a parked operation-path WAL error into
+// runErr. Requires the exclusive state lock.
+func (r *ConcurrentRunner) foldWALErrLocked() {
+	r.walMu.Lock()
+	we := r.walErr
+	r.walMu.Unlock()
+	if we != nil && r.runErr == nil {
+		r.runErr = we
+	}
+}
+
+// pendingErr reports a failure visible from the shared state lock:
+// runErr, or a parked WAL error not yet folded.
+func (r *ConcurrentRunner) pendingErr() error {
+	if r.runErr != nil {
+		return r.runErr
+	}
+	r.walMu.Lock()
+	defer r.walMu.Unlock()
+	return r.walErr
+}
+
 func (r *ConcurrentRunner) fail(err error) {
-	r.mu.Lock()
+	r.state.Lock()
 	if r.runErr == nil {
 		r.runErr = err
 	}
-	r.mu.Unlock()
-	r.cond.Broadcast()
+	r.state.Unlock()
+	r.wakeAll()
 }
 
 // runProgram executes one incarnation of a program. It returns
 // requeue=true when the instance aborted and the program must retry.
 func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
-	r.mu.Lock()
-	if r.runErr != nil {
-		r.mu.Unlock()
-		return false, r.runErr
+	r.state.Lock()
+	r.foldWALErrLocked()
+	if err := r.runErr; err != nil {
+		r.state.Unlock()
+		return false, err
 	}
 	r.nextInstance++
 	st := &instanceState{
@@ -154,145 +308,332 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 		depsOn:       make(map[int64]bool),
 		writes:       make(map[string]storage.Value),
 		restarts:     pp.restarts,
-		startClock:   r.execSeq,
+		startClock:   r.execSeq.Load(),
 		blockedSince: -1,
 	}
 	r.active[st.id] = st
+	r.activeCount.Add(1)
 	r.cfg.Protocol.Begin(st.id, st.program)
 	r.logWALLocked(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
-	r.obs.begin(st, r.execSeq)
-	r.mu.Unlock()
+	r.obs.begin(st, r.execSeq.Load())
+	r.state.Unlock()
 
 	for {
-		r.mu.Lock()
-		if err := r.runErr; err != nil {
-			r.mu.Unlock()
+		r.state.RLock()
+		if err := r.pendingErr(); err != nil {
+			r.state.RUnlock()
 			return false, err // another worker already failed the run
 		}
-		if r.doomed[st.id] {
+		if st.doomed.Load() {
 			// A cascade initiated by another worker aborted us; the
 			// initiator already rolled back our effects and released
 			// protocol state.
-			delete(r.doomed, st.id)
-			r.mu.Unlock()
+			st.doomed.Store(false)
+			r.state.RUnlock()
 			return r.noteRestart(pp, st)
 		}
 		if st.done {
-			if len(st.depsOn) == 0 && r.cfg.Protocol.CanCommit(st.id) {
-				r.commitLocked(st)
-				r.mu.Unlock()
-				r.cond.Broadcast()
+			r.state.RUnlock()
+			committed, aborted, err := r.tryFinish(st)
+			if err != nil {
+				return false, err
+			}
+			if committed {
 				return false, nil
 			}
-			if aborted := r.waitOrBreak(st); aborted {
-				r.mu.Unlock()
+			if aborted {
 				return r.noteRestart(pp, st)
 			}
-			r.mu.Unlock()
 			continue
 		}
 		op := st.program.Op(st.next)
 		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
-		switch r.cfg.Protocol.Request(req) {
+		sh := r.shards[r.router.Shard(op.Object)]
+		var dec sched.Decision
+		if r.shardSafe {
+			sh.mu.Lock()
+			dec = r.cfg.Protocol.Request(req)
+		} else {
+			r.pmu.Lock()
+			dec = r.cfg.Protocol.Request(req)
+			if dec == sched.Grant {
+				sh.mu.Lock() // for the shard's dirty stacks during execute
+			}
+		}
+		switch dec {
 		case sched.Grant:
-			if !r.executeLocked(st, op) {
-				r.res.RecoverabilityAborts++
-				r.obs.recoverabilityAbort()
-				r.abortCascadeLocked(st.id, "recoverability")
-				r.mu.Unlock()
-				r.cond.Broadcast()
+			order, ok := r.executeSharded(st, op, sh)
+			if !ok {
+				sh.mu.Unlock()
+				if !r.shardSafe {
+					r.pmu.Unlock()
+				}
+				r.state.RUnlock()
+				r.victimize(st, "recoverability")
 				return r.noteRestart(pp, st)
 			}
-			r.obs.grant(st, op, r.execSeq, r.execSeq)
-			r.mu.Unlock()
-			r.cond.Broadcast()
+			// Emit the grant before releasing the shard (and pmu) so
+			// trace order matches same-object execution order.
+			r.obs.grant(st, op, order, order)
+			sh.mu.Unlock()
+			if r.shardSafe {
+				r.state.RUnlock()
+				// Shard-safe grants wake nobody: acquiring a lock or
+				// passing a timestamp check cannot unblock a waiter.
+			} else {
+				r.pmu.Unlock()
+				r.state.RUnlock()
+				// Sequential protocols may change wait state on a grant
+				// (altruistic donation); their blockers sleep globally.
+				r.broadcastGlobal()
+			}
 		case sched.Block:
-			r.res.Blocks++
-			r.obs.block(st, op, r.execSeq)
-			if aborted := r.waitOrBreak(st); aborted {
-				r.mu.Unlock()
+			r.blocksTotal.Add(1)
+			if sh.blocks != nil {
+				sh.blocks.Inc()
+			}
+			r.obs.block(st, op, r.execSeq.Load())
+			var slept bool
+			if r.shardSafe {
+				slept = r.sleepShard(sh)
+			} else {
+				slept = r.sleepGlobal()
+			}
+			if !slept {
+				// Parking would leave every active worker asleep (a stall
+				// the protocol cannot see): become the victim. The sleep
+				// helper released its registration locks; we still hold
+				// the shared state lock.
+				r.state.RUnlock()
+				r.victimize(st, "stall")
 				return r.noteRestart(pp, st)
 			}
-			r.mu.Unlock()
+			// Woken (the helper released the shared state lock before
+			// sleeping); re-enter the loop and retry the same operation.
 		case sched.Abort:
-			r.obs.abortDecision(st, op, r.execSeq)
-			r.abortCascadeLocked(st.id, "protocol")
-			r.mu.Unlock()
-			r.cond.Broadcast()
+			r.obs.abortDecision(st, op, r.execSeq.Load())
+			if r.shardSafe {
+				sh.mu.Unlock()
+			} else {
+				r.pmu.Unlock()
+			}
+			r.state.RUnlock()
+			r.victimize(st, "protocol")
 			return r.noteRestart(pp, st)
 		}
 	}
 }
 
-// waitOrBreak parks the worker on the condition variable. If parking
-// would leave every active worker blocked (a deadlock the protocol
-// cannot see), the caller instead becomes the stall victim: its own
-// cascade is aborted and true is returned. Must be called with mu
-// held; returns with mu held.
-func (r *ConcurrentRunner) waitOrBreak(st *instanceState) (aborted bool) {
-	if r.blocked+1 >= len(r.active) {
+// tryFinish attempts to commit a finished instance under the exclusive
+// state lock; if dependencies or the protocol veto, the worker parks on
+// the global cond until a commit or abort changes that state.
+func (r *ConcurrentRunner) tryFinish(st *instanceState) (committed, aborted bool, err error) {
+	r.state.Lock()
+	r.foldWALErrLocked()
+	if r.runErr != nil {
+		err = r.runErr
+		r.state.Unlock()
+		return false, false, err
+	}
+	if st.doomed.Load() {
+		st.doomed.Store(false)
+		r.state.Unlock()
+		return false, true, nil
+	}
+	if len(st.depsOn) == 0 && r.cfg.Protocol.CanCommit(st.id) {
+		r.commitLocked(st)
+		r.state.Unlock()
+		return true, false, nil
+	}
+	r.res.CommitWaits++
+	r.obs.commitWait()
+	r.commitMu.Lock()
+	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
 		// Everyone else is already waiting: break the stall here.
+		r.sleepers.Add(-1)
+		r.commitMu.Unlock()
 		r.abortCascadeLocked(st.id, "stall")
-		r.cond.Broadcast()
-		return true
+		r.state.Unlock()
+		r.wakeAll()
+		return false, true, nil
 	}
-	r.blocked++
-	r.cond.Wait()
-	r.blocked--
-	if r.doomed[st.id] {
-		delete(r.doomed, st.id)
-		return true
+	r.globalWaiters++
+	r.state.Unlock()
+	r.commitCond.Wait()
+	r.globalWaiters--
+	r.sleepers.Add(-1)
+	r.commitMu.Unlock()
+	r.obs.wakeup()
+	return false, false, nil
+}
+
+// sleepShard parks the worker on sh's cond. Called with the shared
+// state lock and sh.mu held. On true the worker slept and was woken;
+// both locks are released. On false parking would have stalled the run;
+// sh.mu is released but the shared state lock is still held and the
+// caller must victimize.
+//
+// No wakeup can be lost: shard conds are only broadcast by exclusive
+// state holders, which cannot run until this worker drops the shared
+// lock — and by then waiters is registered and sh.mu pins the cond
+// until Wait is entered.
+func (r *ConcurrentRunner) sleepShard(sh *driverShard) bool {
+	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
+		r.sleepers.Add(-1)
+		sh.mu.Unlock()
+		return false
 	}
-	return false
+	sh.waiters++
+	start := time.Now()
+	r.state.RUnlock()
+	sh.cond.Wait()
+	sh.waiters--
+	r.sleepers.Add(-1)
+	if sh.waitHist != nil {
+		sh.waitHist.Observe(time.Since(start).Seconds())
+	}
+	sh.mu.Unlock()
+	r.obs.wakeup()
+	return true
+}
+
+// sleepGlobal parks the worker on the global cond. Called with the
+// shared state lock and pmu held. On true the worker slept and was
+// woken; pmu and the state lock are released. On false parking would
+// have stalled the run; pmu is released but the shared state lock is
+// still held and the caller must victimize.
+//
+// Registration (globalWaiters++) happens under commitMu before pmu is
+// released, so a grant that could unblock this worker — which needs pmu
+// for its own Request — always broadcasts after the registration.
+func (r *ConcurrentRunner) sleepGlobal() bool {
+	r.commitMu.Lock()
+	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
+		r.sleepers.Add(-1)
+		r.commitMu.Unlock()
+		r.pmu.Unlock()
+		return false
+	}
+	r.globalWaiters++
+	r.pmu.Unlock()
+	r.state.RUnlock()
+	r.commitCond.Wait()
+	r.globalWaiters--
+	r.sleepers.Add(-1)
+	r.commitMu.Unlock()
+	r.obs.wakeup()
+	return true
+}
+
+// broadcastGlobal wakes the global cond's sleepers if there are any.
+func (r *ConcurrentRunner) broadcastGlobal() {
+	r.commitMu.Lock()
+	if r.globalWaiters > 0 {
+		r.obs.broadcastGlobal()
+		r.commitCond.Broadcast()
+	}
+	r.commitMu.Unlock()
+}
+
+// wakeAll broadcasts every cond (all shards plus global). Used for
+// rare events — aborts, cascades, run failure, flood fallback — where
+// targeting is not worth the complexity.
+func (r *ConcurrentRunner) wakeAll() {
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		if sh.waiters > 0 {
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
+	}
+	r.commitMu.Lock()
+	if r.globalWaiters > 0 {
+		r.commitCond.Broadcast()
+	}
+	r.commitMu.Unlock()
+}
+
+// victimize aborts st's cascade under the exclusive state lock and
+// wakes all sleepers. Handles the race where another worker's cascade
+// doomed st between the caller releasing the shared lock and this
+// acquiring the exclusive one.
+func (r *ConcurrentRunner) victimize(st *instanceState, reason string) {
+	r.state.Lock()
+	if reason == "recoverability" {
+		r.res.RecoverabilityAborts++
+		r.obs.recoverabilityAbort()
+	}
+	if st.doomed.Load() {
+		// Someone else already aborted us (and woke everyone).
+		st.doomed.Store(false)
+		r.state.Unlock()
+		return
+	}
+	r.abortCascadeLocked(st.id, reason)
+	r.state.Unlock()
+	r.wakeAll()
 }
 
 // noteRestart records restart bookkeeping after an abort and tells the
 // worker loop to requeue the program.
 func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (bool, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.state.Lock()
 	pp.restarts = st.restarts + 1
 	if pp.restarts > r.cfg.MaxRestarts {
 		err := fmt.Errorf("txn: program T%d exceeded %d restarts", st.program.ID, r.cfg.MaxRestarts)
 		if r.runErr == nil {
 			r.runErr = err
 		}
+		r.state.Unlock()
 		return false, err
 	}
 	r.res.Restarts++
 	r.obs.restart()
+	r.state.Unlock()
+	// Yield before the retry. Without this, a single-CPU scheduler can
+	// livelock an abort: the victim's worker keeps the processor,
+	// reincarnates the program, re-acquires the locks its abort just
+	// freed before the woken waiters ever get scheduled, and recreates
+	// the same deadlock — repeatedly, until MaxRestarts trips. Yielding
+	// lets the waiters this abort unblocked run first.
+	runtime.Gosched()
 	return true, nil
 }
 
-// executeLocked mirrors Runner.execute under the runner mutex.
-func (r *ConcurrentRunner) executeLocked(st *instanceState, op core.Op) bool {
-	if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id && r.depPathLocked(w, st.id) {
-		return false
+// executeSharded mirrors Runner.execute on the sharded hot path.
+// Called with the shared state lock and sh.mu held (sh is the target
+// object's shard, so its dirty stacks are stable); non-shard-safe
+// callers additionally hold pmu. Returns the operation's execution
+// order and false if executing would create an unrecoverable
+// read-from cycle.
+func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *driverShard) (int64, bool) {
+	if w, dirty := topDirty(sh, op.Object); dirty && w != st.id && r.depPath(w, st.id) {
+		return 0, false
 	}
-	r.res.OpsExecuted++
+	r.opsExecuted.Add(1)
 	if op.Kind == core.ReadOp {
 		v := r.cfg.Store.Read(op.Object)
 		st.reads[op.Seq] = v.Value
-		if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id {
-			r.addDepLocked(st, w)
+		if w, dirty := topDirty(sh, op.Object); dirty && w != st.id {
+			r.addDep(st, w)
 		}
 	} else {
 		v := r.cfg.Semantics.WriteValue(st.program, op.Seq, st.reads)
-		if w, dirty := r.dirtyWriterLocked(op.Object); dirty && w != st.id {
-			r.addDepLocked(st, w)
+		if w, dirty := topDirty(sh, op.Object); dirty && w != st.id {
+			r.addDep(st, w)
 		}
 		st.undo.WriteLogged(r.cfg.Store, op.Object, v)
 		st.writes[op.Object] = v
-		r.dirtyStack[op.Object] = append(r.dirtyStack[op.Object], st.id)
-		r.logWALLocked(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
+		sh.dirty[op.Object] = append(sh.dirty[op.Object], st.id)
+		r.logWAL(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
 	}
-	r.execSeq++
-	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: r.execSeq})
+	order := r.execSeq.Add(1)
+	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: order})
 	st.next++
 	if st.next == st.program.Len() {
 		st.done = true
 	}
-	return true
+	return order, true
 }
 
 func (r *ConcurrentRunner) commitLocked(st *instanceState) {
@@ -309,20 +650,62 @@ func (r *ConcurrentRunner) commitLocked(st *instanceState) {
 	}
 	delete(r.dependents, st.id)
 	delete(r.active, st.id)
+	r.activeCount.Add(-1)
 	r.res.Committed++
-	r.obs.commit(st, r.execSeq)
-	r.latencies.Add(float64(r.execSeq - st.startClock))
-	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: r.execSeq, CommitSeq: r.execSeq})
+	now := r.execSeq.Load()
+	r.obs.commit(st, now)
+	r.latencies.Add(float64(now - st.startClock))
+	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: now, CommitSeq: now})
 	r.res.Trace = append(r.res.Trace, st.events...)
 	r.res.Programs = append(r.res.Programs, st.program)
 	if r.cfg.History != nil {
 		r.cfg.History.Append(storage.Commit{Instance: st.id, Writes: st.writes})
+	}
+	r.wakeAfterCommitLocked(st)
+}
+
+// wakeAfterCommitLocked wakes exactly the sleepers a commit can
+// unblock: the shards of the committed program's objects (lock waiters
+// there may now acquire) and the global cond (commit-waiters and
+// pmu-path blockers). An S2PL-style waiter always sleeps on the shard
+// of an object its blocker holds, and every held object is in the
+// holder's program, so the targeted broadcast reaches it.
+//
+// Safety net: if the remaining active workers are all asleep after the
+// targeted wakeups were chosen, flood everything so one of them runs
+// the stall check. Requires the exclusive state lock.
+func (r *ConcurrentRunner) wakeAfterCommitLocked(st *instanceState) {
+	var woken [shard.MaxShards]bool
+	for i := 0; i < st.program.Len(); i++ {
+		s := r.router.Shard(st.program.Op(i).Object)
+		if woken[s] {
+			continue
+		}
+		woken[s] = true
+		sh := r.shards[s]
+		sh.mu.Lock()
+		if sh.waiters > 0 {
+			r.obs.broadcastShard()
+			sh.cond.Broadcast()
+		}
+		sh.mu.Unlock()
+	}
+	r.commitMu.Lock()
+	if r.globalWaiters > 0 {
+		r.obs.broadcastGlobal()
+		r.commitCond.Broadcast()
+	}
+	r.commitMu.Unlock()
+	if ac := r.activeCount.Load(); ac > 0 && r.sleepers.Load() >= ac {
+		r.obs.broadcastFlood()
+		r.wakeAll()
 	}
 }
 
 // abortCascadeLocked aborts the instance and every live dependent,
 // rolling all their effects back together; co-victims running on other
 // goroutines are marked doomed and clean themselves up on next wake.
+// Requires the exclusive state lock; the caller broadcasts afterwards.
 func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
 	victims := map[int64]bool{}
 	var collect func(v int64)
@@ -349,11 +732,12 @@ func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
 		logs = append(logs, &r.active[v].undo)
 	}
 	storage.RollbackSet(r.cfg.Store, logs)
+	now := r.execSeq.Load()
 	for _, v := range ordered {
 		st := r.active[v]
 		r.cfg.Protocol.Abort(v)
 		r.logWALLocked(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
-		r.obs.txnAbort(st, reason, r.execSeq)
+		r.obs.txnAbort(st, reason, now)
 		for obj := range st.writes {
 			r.removeDirtyLocked(obj, v)
 		}
@@ -369,14 +753,18 @@ func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
 			}
 		}
 		delete(r.active, v)
+		r.activeCount.Add(-1)
 		r.res.Aborts++
 		if v != id {
-			r.doomed[v] = true
+			st.doomed.Store(true)
 		}
 	}
 }
 
-func (r *ConcurrentRunner) addDepLocked(st *instanceState, on int64) {
+// addDep records a dirty-read dependency from the operation path.
+func (r *ConcurrentRunner) addDep(st *instanceState, on int64) {
+	r.depMu.Lock()
+	defer r.depMu.Unlock()
 	if st.depsOn[on] {
 		return
 	}
@@ -389,7 +777,12 @@ func (r *ConcurrentRunner) addDepLocked(st *instanceState, on int64) {
 	deps[st.id] = true
 }
 
-func (r *ConcurrentRunner) depPathLocked(from, to int64) bool {
+// depPath reports whether the dependency graph has a path from -> to.
+// Takes depMu; the active map itself is stable under the caller's
+// shared state lock.
+func (r *ConcurrentRunner) depPath(from, to int64) bool {
+	r.depMu.Lock()
+	defer r.depMu.Unlock()
 	seen := map[int64]bool{}
 	stack := []int64{from}
 	for len(stack) > 0 {
@@ -411,16 +804,21 @@ func (r *ConcurrentRunner) depPathLocked(from, to int64) bool {
 	return false
 }
 
-func (r *ConcurrentRunner) dirtyWriterLocked(object string) (int64, bool) {
-	stack := r.dirtyStack[object]
+// topDirty returns the innermost uncommitted writer of object on sh.
+// Caller holds sh.mu (operation path) or the exclusive state lock.
+func topDirty(sh *driverShard, object string) (int64, bool) {
+	stack := sh.dirty[object]
 	if len(stack) == 0 {
 		return 0, false
 	}
 	return stack[len(stack)-1], true
 }
 
+// removeDirtyLocked drops id from object's dirty stack. Requires the
+// exclusive state lock (commit and cascade paths only).
 func (r *ConcurrentRunner) removeDirtyLocked(object string, id int64) {
-	stack := r.dirtyStack[object]
+	sh := r.shards[r.router.Shard(object)]
+	stack := sh.dirty[object]
 	out := stack[:0]
 	for _, w := range stack {
 		if w != id {
@@ -428,8 +826,8 @@ func (r *ConcurrentRunner) removeDirtyLocked(object string, id int64) {
 		}
 	}
 	if len(out) == 0 {
-		delete(r.dirtyStack, object)
+		delete(sh.dirty, object)
 	} else {
-		r.dirtyStack[object] = out
+		sh.dirty[object] = out
 	}
 }

@@ -1,6 +1,8 @@
 package txn
 
 import (
+	"fmt"
+
 	"relser/internal/core"
 	"relser/internal/metrics"
 	"relser/internal/trace"
@@ -24,6 +26,17 @@ type observer struct {
 	active      *metrics.Gauge
 	latency     *metrics.Histogram
 	blockWait   *metrics.Histogram
+
+	// Contention instruments for the sharded concurrent driver
+	// (initShardInstruments). Counters are atomic and histograms are
+	// internally locked, so the hot path updates them without driver
+	// locks.
+	wakeups     *metrics.Counter
+	bcastShard  *metrics.Counter
+	bcastGlobal *metrics.Counter
+	bcastFlood  *metrics.Counter
+	shardBlocks []*metrics.Counter
+	shardWait   []*metrics.Histogram
 }
 
 func newObserver(cfg *Config) observer {
@@ -146,6 +159,51 @@ func (o *observer) txnAbort(st *instanceState, reason string, clock int64) {
 			Instance: st.id, Txn: int(st.program.ID),
 			Reason: reason, Tick: clock,
 		})
+	}
+}
+
+// initShardInstruments resolves the concurrent driver's contention
+// counters: per-shard block counts and wall-clock wait histograms
+// (seconds), plus broadcast counters that distinguish targeted
+// per-shard wakeups from global and flood broadcasts. No-op without a
+// metrics registry.
+func (o *observer) initShardInstruments(reg *metrics.Registry, shards int) {
+	if reg == nil {
+		return
+	}
+	o.wakeups = reg.Counter("txn.wakeups")
+	o.bcastShard = reg.Counter("txn.cond.broadcast_shard")
+	o.bcastGlobal = reg.Counter("txn.cond.broadcast_global")
+	o.bcastFlood = reg.Counter("txn.cond.broadcast_flood")
+	o.shardBlocks = make([]*metrics.Counter, shards)
+	o.shardWait = make([]*metrics.Histogram, shards)
+	for i := 0; i < shards; i++ {
+		o.shardBlocks[i] = reg.Counter(fmt.Sprintf("txn.shard%02d.blocks", i))
+		o.shardWait[i] = reg.Histogram(fmt.Sprintf("txn.shard%02d.wait_seconds", i))
+	}
+}
+
+func (o *observer) wakeup() {
+	if o.wakeups != nil {
+		o.wakeups.Inc()
+	}
+}
+
+func (o *observer) broadcastShard() {
+	if o.bcastShard != nil {
+		o.bcastShard.Inc()
+	}
+}
+
+func (o *observer) broadcastGlobal() {
+	if o.bcastGlobal != nil {
+		o.bcastGlobal.Inc()
+	}
+}
+
+func (o *observer) broadcastFlood() {
+	if o.bcastFlood != nil {
+		o.bcastFlood.Inc()
 	}
 }
 

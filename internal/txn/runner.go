@@ -17,10 +17,12 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"relser/internal/core"
 	"relser/internal/metrics"
 	"relser/internal/sched"
+	"relser/internal/shard"
 	"relser/internal/storage"
 	"relser/internal/trace"
 )
@@ -59,6 +61,12 @@ type Config struct {
 	Semantics Semantics
 	// MPL bounds concurrently active instances (default 8).
 	MPL int
+	// Shards is the key-space partition width for the concurrent
+	// driver: per-shard wait queues and dirty tracking, with shard-safe
+	// protocols admitted concurrently under per-shard locks. Normalized
+	// to a power of two (default 1 — the classical single-lock driver).
+	// The deterministic Runner is single-threaded and ignores it.
+	Shards int
 	// Seed drives the deterministic scheduler interleaving.
 	Seed int64
 	// MaxRestarts bounds restarts per program before the run fails
@@ -142,6 +150,10 @@ type instanceState struct {
 	// block interval, or -1 when not blocked; the observer's
 	// block-latency histogram closes intervals at the next grant.
 	blockedSince int64
+	// doomed is set when a cascade initiated by another worker aborted
+	// this instance; its worker observes the flag on next wake and
+	// restarts the program (concurrent driver only).
+	doomed atomic.Bool
 }
 
 // Runner executes a configuration.
@@ -206,6 +218,7 @@ func New(cfg Config) (*Runner, error) {
 	if cfg.MPL <= 0 {
 		cfg.MPL = 8
 	}
+	cfg.Shards = shard.Normalize(cfg.Shards)
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = 1000
 	}

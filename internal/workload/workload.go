@@ -61,6 +61,9 @@ type RunOptions struct {
 	WAL        *storage.WAL
 	Store      *storage.Store
 	Concurrent bool
+	// Shards stripes the concurrent driver's hot path (power of two;
+	// zero means one shard). Ignored by the deterministic runner.
+	Shards int
 	// Tracer receives structured events from the runtime, the protocol
 	// and the storage substrate.
 	Tracer *trace.Tracer
@@ -83,6 +86,7 @@ func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Resul
 		Store:     store,
 		Semantics: w.Semantics,
 		MPL:       opts.MPL,
+		Shards:    opts.Shards,
 		Seed:      opts.Seed,
 		WAL:       opts.WAL,
 		Tracer:    opts.Tracer,
