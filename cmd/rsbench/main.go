@@ -41,6 +41,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 		shards     = flag.Int("shards", 1, "shard count for the concurrent driver's hot path (rounded up to a power of two)")
+		faultSpec  = flag.String("faults", "", "E16: replace the built-in chaos specs with this fault spec (point:rate[:duration],...)")
 	)
 	flag.Parse()
 
@@ -70,7 +71,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards, FaultSpec: *faultSpec}
 	var buf *trace.Buffer
 	if *tracePath != "" {
 		buf = trace.NewBuffer()

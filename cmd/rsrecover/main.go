@@ -3,15 +3,27 @@
 // committed transactions' effects are applied; aborted, unfinished and
 // torn-tail records leave no trace.
 //
+// A log that ends mid-record (torn tail — the shape of a crash during
+// an append) is recovered up to the tear but reported as a structured
+// JSON error on stderr with exit status 3, never silently truncated.
+// With -strict any damaged tail — including a checksum mismatch on a
+// complete record — fails with exit status 4.
+//
 // Usage:
 //
 //	rssim -workload banking -protocol rsgt -wal run.wal
 //	rsrecover -wal run.wal
+//	rsrecover -wal run.wal -strict
+//
+// Exit status: 0 clean (or corrupt tail without -strict, after a
+// warning), 1 usage or I/O error, 3 torn tail, 4 -strict violation.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
@@ -19,24 +31,45 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// tailError is the structured form of a damaged-tail diagnosis,
+// emitted as a single JSON line on stderr for machine consumption.
+type tailError struct {
+	Error   string `json:"error"` // "torn-tail" | "corrupt-tail"
+	Offset  int64  `json:"offset"`
+	Detail  string `json:"detail"`
+	Records int    `json:"records"` // valid records recovered before the damage
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsrecover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		walPath = flag.String("wal", "", "write-ahead log file to recover from (required)")
-		values  = flag.Bool("values", true, "print the recovered object values")
+		walPath = fs.String("wal", "", "write-ahead log file to recover from (required)")
+		values  = fs.Bool("values", true, "print the recovered object values")
+		strict  = fs.Bool("strict", false, "fail (exit 4) on any damaged tail, including checksum mismatches")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
 	if *walPath == "" {
-		fatal(fmt.Errorf("-wal is required"))
+		fmt.Fprintln(stderr, "rsrecover: -wal is required")
+		return 1
 	}
 	f, err := os.Open(*walPath)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rsrecover:", err)
+		return 1
 	}
 	defer f.Close()
 	store, report, err := storage.Recover(f, nil)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "rsrecover:", err)
+		return 1
 	}
-	fmt.Println(report)
+	fmt.Fprintln(stdout, report)
 	if *values {
 		snap := store.Snapshot()
 		names := make([]string, 0, len(snap))
@@ -45,12 +78,30 @@ func main() {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			fmt.Printf("  %s = %d\n", name, snap[name])
+			fmt.Fprintf(stdout, "  %s = %d\n", name, snap[name])
 		}
 	}
+	switch report.Tail.Tail {
+	case storage.TailTorn:
+		emitTailError(stderr, "torn-tail", report)
+		return 3
+	case storage.TailCorrupt:
+		if *strict {
+			emitTailError(stderr, "corrupt-tail", report)
+			return 4
+		}
+		fmt.Fprintf(stderr, "rsrecover: warning: corrupt tail at offset %d: %s (recovery kept the valid prefix; rerun with -strict to fail on this)\n",
+			report.Tail.Offset, report.Tail.Detail)
+	}
+	return 0
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rsrecover:", err)
-	os.Exit(1)
+func emitTailError(stderr io.Writer, kind string, report *storage.RecoveryReport) {
+	line, _ := json.Marshal(tailError{
+		Error:   kind,
+		Offset:  report.Tail.Offset,
+		Detail:  report.Tail.Detail,
+		Records: report.Records,
+	})
+	fmt.Fprintln(stderr, string(line))
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relser/internal/storage"
+)
+
+// writeLog builds a committed-transfer WAL and returns its raw bytes.
+func writeLog(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	wal := storage.NewWAL(&buf)
+	recs := []storage.WALRecord{
+		{Kind: storage.WALBegin, Instance: 1},
+		{Kind: storage.WALWrite, Instance: 1, Object: "x", Value: 41},
+		{Kind: storage.WALWrite, Instance: 1, Object: "y", Value: 59},
+		{Kind: storage.WALCommit, Instance: 1},
+		{Kind: storage.WALBegin, Instance: 2},
+		{Kind: storage.WALWrite, Instance: 2, Object: "x", Value: 7},
+	}
+	for _, rec := range recs {
+		if err := wal.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func walFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.wal")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runRecover(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	code = run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCleanLogExitsZero(t *testing.T) {
+	path := walFile(t, writeLog(t))
+	code, stdout, stderr := runRecover(t, "-wal", path)
+	if code != 0 {
+		t.Fatalf("clean log: exit %d, stderr %q", code, stderr)
+	}
+	if !strings.Contains(stdout, "x = 41") || !strings.Contains(stdout, "y = 59") {
+		t.Fatalf("committed values missing from output:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "x = 7") {
+		t.Fatalf("unfinished instance's write leaked into recovery:\n%s", stdout)
+	}
+}
+
+func TestTornTailExitsThreeWithStructuredError(t *testing.T) {
+	data := writeLog(t)
+	path := walFile(t, data[:len(data)-3]) // tear inside the last record
+	code, stdout, stderr := runRecover(t, "-wal", path)
+	if code != 3 {
+		t.Fatalf("torn tail: exit %d, want 3 (stderr %q)", code, stderr)
+	}
+	var te struct {
+		Error   string `json:"error"`
+		Offset  int64  `json:"offset"`
+		Detail  string `json:"detail"`
+		Records int    `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(stderr)), &te); err != nil {
+		t.Fatalf("stderr is not one JSON line: %v\n%q", err, stderr)
+	}
+	if te.Error != "torn-tail" || te.Detail == "" || te.Offset <= 0 {
+		t.Fatalf("unexpected structured error: %+v", te)
+	}
+	// The committed prefix must still recover.
+	if !strings.Contains(stdout, "x = 41") {
+		t.Fatalf("valid prefix not recovered:\n%s", stdout)
+	}
+}
+
+func TestCorruptTailWarnsByDefaultAndFailsStrict(t *testing.T) {
+	data := writeLog(t)
+	data[len(data)-1] ^= 0x40 // flip a payload bit in the final record
+	path := walFile(t, data)
+
+	code, _, stderr := runRecover(t, "-wal", path)
+	if code != 0 {
+		t.Fatalf("corrupt tail without -strict: exit %d, want 0 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "warning") || !strings.Contains(stderr, "corrupt") {
+		t.Fatalf("expected a corrupt-tail warning, got %q", stderr)
+	}
+
+	code, _, stderr = runRecover(t, "-wal", path, "-strict")
+	if code != 4 {
+		t.Fatalf("corrupt tail with -strict: exit %d, want 4 (stderr %q)", code, stderr)
+	}
+	var te struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(stderr)), &te); err != nil || te.Error != "corrupt-tail" {
+		t.Fatalf("want structured corrupt-tail error, got %q (err %v)", stderr, err)
+	}
+}
+
+func TestMissingFlagExitsOne(t *testing.T) {
+	if code, _, _ := runRecover(t); code != 1 {
+		t.Fatalf("missing -wal: exit %d, want 1", code)
+	}
+}

@@ -9,6 +9,7 @@
 //	rssim -workload longlived -protocol altruistic
 //	rssim -workload synthetic -granularity 2 -protocol rsgt -schedule
 //	rssim -workload banking -protocol rsgt -trace run.jsonl -metrics
+//	rssim -workload banking -faults 'wal.torn:0.01,txn.abort:0.2' -seed 7
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"relser/internal/core"
+	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/storage"
@@ -48,6 +50,9 @@ func main() {
 		chromePath = flag.String("chrome", "", "write the event trace in Chrome trace_event format to this file")
 		dotDir     = flag.String("dotdir", "", "write RSG DOT snapshots taken at rejection points into this directory")
 		metricsOn  = flag.Bool("metrics", false, "print the runtime metrics registry after the run")
+		faultSpec  = flag.String("faults", "", "arm deterministic fault injection: point:rate[:duration],... (e.g. 'wal.torn:0.01,txn.abort:0.2'); same seed replays the same fault schedule")
+		deadline   = flag.Int64("deadline", 0, "abort any transaction instance older than this many logical clock units (0 disables)")
+		watchdog   = flag.Duration("watchdog", 0, "concurrent driver: fail with a wedge report after this long without progress (0 = default 10s, negative disables)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -113,6 +118,15 @@ func main() {
 	if *metricsOn {
 		registry = metrics.NewRegistry()
 	}
+	var injector *fault.Injector
+	if *faultSpec != "" {
+		spec, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		injector = fault.New(*seed, spec)
+		fmt.Fprintf(status, "faults: armed %s (seed %d)\n", spec, *seed)
+	}
 
 	fmt.Fprintf(status, "workload=%s programs=%d protocol=%s seed=%d mpl=%d\n",
 		w.Name, len(w.Programs), p.Name(), *seed, *mpl)
@@ -124,7 +138,13 @@ func main() {
 		Shards:     *shards,
 		Tracer:     tracer,
 		Metrics:    registry,
+		Faults:     injector,
+		Deadline:   *deadline,
+		Watchdog:   *watchdog,
 	})
+	if injector != nil {
+		reportFaults(status, injector)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -246,6 +266,26 @@ func reportTrace(status *os.File, buf *trace.Buffer, w *workload.Workload, trace
 		} else {
 			fmt.Fprintf(status, "trace: all %d rejection cycle(s) replay-verified against the offline RSG\n", checked)
 		}
+	}
+}
+
+// reportFaults prints the injector's realized firing schedule and its
+// fingerprint; the same seed and spec reproduce both exactly.
+func reportFaults(status *os.File, in *fault.Injector) {
+	fmt.Fprintf(status, "faults: fingerprint %s\n", in.Fingerprint())
+	for _, ps := range in.Schedule() {
+		fmt.Fprintf(status, "  %-18s consulted %d fired %d", ps.Point, ps.Calls, ps.Fired)
+		if n := len(ps.FiredAt); n > 0 {
+			show := ps.FiredAt
+			if n > 8 {
+				show = show[:8]
+			}
+			fmt.Fprintf(status, " at calls %v", show)
+			if n > 8 {
+				fmt.Fprintf(status, " (+%d more)", n-8)
+			}
+		}
+		fmt.Fprintln(status)
 	}
 }
 

@@ -1,0 +1,355 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"relser/internal/core"
+	"relser/internal/fault"
+	"relser/internal/metrics"
+	"relser/internal/sched"
+	"relser/internal/storage"
+	"relser/internal/txn"
+	"relser/internal/workload"
+)
+
+// runE16 is the chaos certification: every built-in fault spec (or the
+// one passed via Options.FaultSpec / rsbench -faults) runs the banking
+// workload under seeded deterministic fault injection, and each run is
+// certified on three axes:
+//
+//   - Correctness under faults: a run either completes — with its
+//     committed schedule passing the offline RSG test and the balance
+//     invariant holding — or crashes cleanly (fault.ErrCrash from an
+//     injected WAL torn write or crash).
+//   - Durability: recovery from EVERY prefix of the emitted WAL (all
+//     record boundaries plus mid-record tears) yields a store whose
+//     balance invariant is intact — torn tails truncate, they never
+//     corrupt.
+//   - Reproducibility: rerunning with the same seed produces the
+//     identical fault schedule (injector fingerprint), byte-identical
+//     WAL, and the same committed count — a chaos failure is replayable
+//     from its seed alone.
+//
+// Two more legs exercise the graceful-degradation machinery on real
+// goroutines: a latency-spike run that must complete certified, and a
+// rate-1 shard wedge that the stall watchdog must surface as a
+// *txn.WedgeError instead of hanging.
+func runE16(opts Options) (*Report, error) {
+	rep := &Report{}
+
+	type leg struct {
+		name string
+		spec string
+	}
+	legs := []leg{
+		{"wal-chaos", "wal.torn:0.004,wal.corrupt:0.003,wal.crash:0.002"},
+		{"abort-storm", "txn.abort:0.5,sched.grant.delay:0.05"},
+		{"latency", "store.read.delay:0.05:200us,store.write.delay:0.05:200us"},
+	}
+	if opts.FaultSpec != "" {
+		if _, err := fault.ParseSpec(opts.FaultSpec); err != nil {
+			return nil, err
+		}
+		legs = []leg{{"custom", opts.FaultSpec}}
+	}
+	protocols := []string{"s2pl", "rsgt"}
+	seeds := 3
+	if opts.Quick {
+		protocols = []string{"rsgt"}
+		seeds = 2
+	}
+
+	tb := metrics.NewTable("Deterministic chaos runs (banking workload)",
+		"spec", "protocol", "seed", "outcome", "committed", "aborts", "injected", "sheds", "deadline", "wal prefixes", "replay")
+	for _, lg := range legs {
+		spec := fault.MustParseSpec(lg.spec)
+		allCertified, allPrefixes, allReplay := true, true, true
+		sawShed, sawInjected := false, false
+		for _, proto := range protocols {
+			for s := 0; s < seeds; s++ {
+				seed := opts.Seed + int64(s)
+				first, err := chaosRun(lg.name, proto, seed, spec, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s seed %d: %v", lg.name, proto, seed, err)
+				}
+				if !first.certified {
+					allCertified = false
+				}
+				if !first.prefixesClean {
+					allPrefixes = false
+				}
+				sawShed = sawShed || first.sheds > 0
+				sawInjected = sawInjected || first.injected > 0
+				// Replay: the same seed must reproduce the identical fault
+				// schedule, WAL bytes and outcome.
+				second, err := chaosRun(lg.name, proto, seed, spec, opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s seed %d replay: %v", lg.name, proto, seed, err)
+				}
+				replayOK := first.fingerprint == second.fingerprint &&
+					bytes.Equal(first.wal, second.wal) &&
+					first.committed == second.committed &&
+					first.outcome == second.outcome
+				if !replayOK {
+					allReplay = false
+				}
+				tb.AddRow(lg.name, proto, seed, first.outcome, first.committed, first.aborts,
+					first.injected, first.sheds, first.deadlineAborts, first.prefixes, boolMark(replayOK))
+			}
+		}
+		rep.AddClaim(allCertified,
+			"%s: every run completes RSG-certified with the invariant intact, or crashes cleanly via fault.ErrCrash", lg.name)
+		rep.AddClaim(allPrefixes,
+			"%s: recovery from every WAL prefix (record boundaries and mid-record tears) preserves balance conservation", lg.name)
+		rep.AddClaim(allReplay,
+			"%s: same seed reproduces the identical fault schedule (fingerprint), WAL bytes and outcome", lg.name)
+		if lg.name == "abort-storm" {
+			rep.AddClaim(sawInjected, "abort-storm: injected txn.abort faults actually fired")
+			rep.AddClaim(sawShed, "abort-storm: the admission controller shed load (effective MPL degraded below configured MPL)")
+		}
+	}
+
+	// Deadline leg: under S2PL, T2 blocks on T1's exclusive lock long
+	// enough to overrun its deadline deterministically; after the
+	// timeout-abort and restart it completes solo within budget.
+	if dres, err := chaosDeadline(opts); err != nil {
+		return nil, err
+	} else {
+		rep.AddClaim(dres.DeadlineAborts > 0 && dres.Committed == 2,
+			"deadline: a blocked transaction overruns its deadline, is timeout-aborted (%d deadline aborts) and completes on retry", dres.DeadlineAborts)
+	}
+
+	// Concurrent legs: latency spikes must not break certification, and
+	// a rate-1 shard wedge must be surfaced by the watchdog, not hung on.
+	if opts.FaultSpec == "" {
+		if err := chaosConcurrentLatency(rep, opts); err != nil {
+			return nil, err
+		}
+		if err := chaosWedge(rep, opts); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Tables = append(rep.Tables, tb)
+	rep.AddNote("fault specs use the internal/fault grammar point:rate[:duration]; reproduce any row with rssim -faults '<spec>' -seed <seed> (the injector fingerprint is a pure function of seed and per-point call indices)")
+	return rep, nil
+}
+
+// chaosOutcome captures one deterministic chaos run for certification
+// and replay comparison.
+type chaosOutcome struct {
+	outcome        string // "completed" | "crashed"
+	committed      int
+	aborts         int
+	injected       int
+	sheds          int
+	deadlineAborts int
+	certified      bool
+	prefixes       int
+	prefixesClean  bool
+	fingerprint    string
+	wal            []byte
+}
+
+// chaosRun executes one seeded banking run under the spec on the
+// deterministic driver, then certifies the outcome and sweeps WAL
+// prefix recovery.
+func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*chaosOutcome, error) {
+	cfg := workload.DefaultBankingConfig()
+	if leg == "abort-storm" {
+		// Short transactions only: long audits would spend hundreds of
+		// incarnations surviving a 0.5 per-tick abort rate.
+		cfg.CreditAudits = 0
+		cfg.BankAudits = 0
+	}
+	w, err := workload.Banking(cfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sched.NewProtocol(proto, w.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore()
+	store.Load(w.Initial)
+	var walBuf bytes.Buffer
+	inj := fault.New(seed, spec)
+	r, err := txn.New(txn.Config{
+		Protocol:    p,
+		Programs:    w.Programs,
+		Oracle:      w.Oracle,
+		Store:       store,
+		Semantics:   w.Semantics,
+		MPL:         8,
+		Seed:        seed,
+		MaxRestarts: 100000,
+		WAL:         storage.NewWAL(&walBuf),
+		Tracer:      opts.Tracer,
+		Metrics:     opts.Metrics,
+		Faults:      inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &chaosOutcome{fingerprint: inj.Fingerprint()}
+	res, runErr := r.Run()
+	out.fingerprint = inj.Fingerprint()
+	out.wal = append([]byte(nil), walBuf.Bytes()...)
+	switch {
+	case runErr == nil:
+		out.outcome = "completed"
+		out.committed = res.Committed
+		out.aborts = res.Aborts
+		out.injected = res.InjectedAborts + res.InjectedDelays
+		out.sheds = res.LoadSheds
+		out.deadlineAborts = res.DeadlineAborts
+		out.certified = res.Verify() == nil && w.Invariant(store.Snapshot()) == nil
+	case errors.Is(runErr, fault.ErrCrash):
+		// An injected WAL crash or torn write ended the run; durability
+		// is certified by the prefix sweep below.
+		out.outcome = "crashed"
+		out.certified = true
+	default:
+		return nil, runErr
+	}
+	out.prefixes, out.prefixesClean = sweepWALPrefixes(out.wal, w)
+	return out, nil
+}
+
+// sweepWALPrefixes recovers the workload's store from every record
+// boundary of the log plus a mid-record tear inside each record, and
+// checks the workload invariant on each recovered snapshot. Returns the
+// number of prefixes checked and whether all were clean.
+func sweepWALPrefixes(wal []byte, w *workload.Workload) (int, bool) {
+	cuts := []int{0}
+	off := 0
+	for off+8 <= len(wal) {
+		size := int(binary.LittleEndian.Uint32(wal[off : off+4]))
+		if size <= 0 || off+8+size > len(wal) {
+			// Damaged or torn frame: add one cut inside it and stop.
+			cuts = append(cuts, off+min(len(wal)-off, 8+size/2))
+			break
+		}
+		if size > 2 {
+			cuts = append(cuts, off+8+size/2) // mid-record tear
+		}
+		off += 8 + size
+		cuts = append(cuts, off)
+	}
+	if off < len(wal) {
+		cuts = append(cuts, len(wal))
+	}
+	checked, clean := 0, true
+	for _, cut := range cuts {
+		st, _, err := storage.Recover(bytes.NewReader(wal[:cut]), w.Initial)
+		checked++
+		if err != nil || w.Invariant(st.Snapshot()) != nil {
+			clean = false
+		}
+	}
+	return checked, clean
+}
+
+// chaosDeadline builds the deterministic deadline-overrun scenario:
+// T1 holds x exclusively for six ticks, so T2 (blocked on x from
+// admission, then six ops of its own) cannot finish within its
+// nine-tick deadline on the first incarnation, but completes alone
+// after the timeout-abort.
+func chaosDeadline(opts Options) (*txn.Result, error) {
+	t1 := core.T(1, core.W("x"), core.W("a1"), core.W("a2"), core.W("a3"), core.W("a4"), core.W("a5"))
+	t2 := core.T(2, core.R("x"), core.R("b1"), core.R("b2"), core.R("b3"), core.R("b4"), core.R("b5"))
+	r, err := txn.New(txn.Config{
+		Protocol:    sched.NewS2PL(),
+		Programs:    []*core.Transaction{t1, t2},
+		MPL:         8,
+		Seed:        opts.Seed,
+		Deadline:    9,
+		MaxRestarts: 100,
+		Tracer:      opts.Tracer,
+		Metrics:     opts.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("deadline leg: %v", err)
+	}
+	return res, nil
+}
+
+// chaosConcurrentLatency runs the banking workload on goroutines under
+// storage latency spikes and a shard-stall point, certifying that
+// slowness degrades throughput but never correctness.
+func chaosConcurrentLatency(rep *Report, opts Options) error {
+	spec := fault.MustParseSpec("store.read.delay:0.05:200us,store.write.delay:0.05:200us,shard.stall:0.02:500us")
+	w, err := workload.Banking(workload.DefaultBankingConfig(), opts.Seed)
+	if err != nil {
+		return err
+	}
+	store := storage.NewStore()
+	store.Load(w.Initial)
+	r, err := txn.NewConcurrent(txn.Config{
+		Protocol:  sched.NewS2PLSharded(opts.Shards),
+		Programs:  w.Programs,
+		Oracle:    w.Oracle,
+		Store:     store,
+		Semantics: w.Semantics,
+		MPL:       6,
+		Shards:    opts.Shards,
+		Seed:      opts.Seed,
+		Watchdog:  10 * time.Second,
+		Faults:    fault.New(opts.Seed, spec),
+		Tracer:    opts.Tracer,
+		Metrics:   opts.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	res, err := r.Run()
+	ok := err == nil && res.Verify() == nil && w.Invariant(store.Snapshot()) == nil
+	rep.AddClaim(ok, "latency (concurrent): storage delay spikes and shard stalls degrade speed, never certification (err=%v)", err)
+	return nil
+}
+
+// chaosWedge arms shard.wedge at rate 1 under a short watchdog: the
+// first operation of every worker parks inside the driver holding its
+// shard mutex, and the run must fail with *txn.WedgeError instead of
+// hanging.
+func chaosWedge(rep *Report, opts Options) error {
+	w, err := workload.Banking(workload.DefaultBankingConfig(), opts.Seed)
+	if err != nil {
+		return err
+	}
+	store := storage.NewStore()
+	store.Load(w.Initial)
+	r, err := txn.NewConcurrent(txn.Config{
+		Protocol:  sched.NewNoCC(),
+		Programs:  w.Programs,
+		Oracle:    w.Oracle,
+		Store:     store,
+		Semantics: w.Semantics,
+		MPL:       4,
+		Shards:    opts.Shards,
+		Seed:      opts.Seed,
+		Watchdog:  300 * time.Millisecond,
+		Faults:    fault.New(opts.Seed, fault.MustParseSpec("shard.wedge:1")),
+		Tracer:    opts.Tracer,
+		Metrics:   opts.Metrics,
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	_, err = r.Run()
+	var we *txn.WedgeError
+	detected := errors.As(err, &we)
+	rep.AddClaim(detected,
+		"wedge (concurrent): a rate-1 shard wedge is surfaced by the watchdog as *txn.WedgeError in %v, not a hang (err=%v)",
+		time.Since(start).Round(time.Millisecond), err)
+	return nil
+}

@@ -24,6 +24,10 @@
 //	    serial state — the declared trade of the model
 //	E15 sharded scheduler scaling: concurrent throughput over
 //	    shards x goroutines against the single-lock baseline
+//	E16 chaos certification: seeded fault injection (WAL damage,
+//	    crashes, abort storms, latency spikes, shard wedges) with
+//	    RSG-certified commits, invariant-clean recovery from every WAL
+//	    prefix, watchdog-bounded wedges and byte-identical replays
 //
 // Each experiment produces a Report of tables and checked claims; the
 // rsbench binary renders them, and EXPERIMENTS.md records one full
@@ -118,6 +122,10 @@ type Options struct {
 	// that run the goroutine runtime (E13); zero means one shard. E15
 	// sweeps its own shard counts and ignores it.
 	Shards int
+	// FaultSpec, when non-empty, replaces E16's built-in chaos specs
+	// with one custom fault spec (internal/fault grammar, e.g.
+	// "wal.torn:0.01,txn.abort:0.2"). Other experiments ignore it.
+	FaultSpec string
 }
 
 // TableData is a metrics.Table flattened for JSON artifacts.
@@ -185,6 +193,7 @@ var registry = map[string]struct {
 	"E13": {"Concurrent runtime certification (goroutine driver)", runE13},
 	"E14": {"State semantics of the relaxation (replay)", runE14},
 	"E15": {"Sharded scheduler scaling (shards x goroutines)", runE15},
+	"E16": {"Chaos certification under deterministic fault injection", runE16},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -18,7 +18,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"relser/internal/fault"
 	"relser/internal/shard"
 	"relser/internal/trace"
 )
@@ -45,6 +47,7 @@ type Store struct {
 	writes  atomic.Uint64 // total write count (all objects); also the global write sequence
 	reads   atomic.Uint64
 	tr      atomic.Pointer[trace.Tracer]
+	inj     atomic.Pointer[fault.Injector]
 }
 
 type storeStripe struct {
@@ -62,6 +65,22 @@ func (st *Store) SetTracer(tr *trace.Tracer) {
 // tracer returns the installed tracer (nil-safe: a nil *Tracer reports
 // Enabled() == false).
 func (st *Store) tracer() *trace.Tracer { return st.tr.Load() }
+
+// SetInjector arms the store's latency fault points (store.read.delay,
+// store.write.delay): a firing stalls the access under its stripe
+// latch, modeling a device hiccup that blocks same-stripe neighbors.
+// Pass nil to disarm.
+func (st *Store) SetInjector(in *fault.Injector) {
+	st.inj.Store(in)
+}
+
+// stall sleeps when the latency fault point fires. Called under the
+// stripe latch.
+func (st *Store) stall(p fault.Point) {
+	if in := st.inj.Load(); in.Fire(p) {
+		time.Sleep(in.Latency(p))
+	}
+}
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -105,6 +124,7 @@ func (st *Store) Read(name string) Versioned {
 	st.reads.Add(1)
 	sp := st.stripe(name)
 	sp.mu.Lock()
+	st.stall(fault.StoreReadDelay)
 	v := *sp.object(name)
 	if tr := st.tracer(); tr.Enabled() {
 		tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
@@ -127,6 +147,7 @@ func (st *Store) Write(name string, v Value) Versioned {
 func (st *Store) writeSeq(name string, v Value) (Versioned, uint64) {
 	sp := st.stripe(name)
 	sp.mu.Lock()
+	st.stall(fault.StoreWriteDelay)
 	seq := st.writes.Add(1)
 	obj := sp.object(name)
 	prev := *obj

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 
+	"relser/internal/fault"
 	"relser/internal/trace"
 )
 
@@ -79,6 +80,10 @@ type WAL struct {
 	// appended counts records written through this handle.
 	appended int
 	tr       *trace.Tracer
+	inj      *fault.Injector
+	// crashed latches an injected crash: every later append fails with
+	// the same fault.ErrCrash, modeling a dead device.
+	crashed bool
 }
 
 // SetTracer installs a structured-event sink: every appended record
@@ -87,6 +92,14 @@ func (l *WAL) SetTracer(tr *trace.Tracer) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.tr = tr
+}
+
+// SetInjector arms the log's fault points (wal.torn, wal.corrupt,
+// wal.short, wal.crash). Pass nil to disarm.
+func (l *WAL) SetInjector(in *fault.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inj = in
 }
 
 // NewWAL returns a log writing to w. Callers owning files should pass
@@ -103,20 +116,48 @@ func OpenWALFile(path string) (*WAL, *os.File, error) {
 	return NewWAL(f), f, nil
 }
 
-// Append writes one record.
+// Append writes one record. With an injector armed, the append may
+// deterministically crash the log (wal.crash stops at a record
+// boundary, wal.torn leaves a partial frame behind — both latch
+// fault.ErrCrash for every later append) or silently damage the
+// record (wal.corrupt flips a payload bit, wal.short drops the
+// payload) while the log keeps running.
 func (l *WAL) Append(rec WALRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.crashed {
+		return fault.ErrCrash
+	}
 	payload := encodeWALRecord(rec, l.buf[:0])
 	l.buf = payload // reuse the arena next time
 	var frame [8]byte
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, walTable))
+	if l.inj.Fire(fault.WALCrash) {
+		l.crashed = true
+		return fault.ErrCrash
+	}
+	if fired, cut := l.inj.FireCut(fault.WALTorn, len(frame)+len(payload)-1); fired {
+		// Write a strict prefix of the record, then die: the torn tail
+		// recovery must cleanly ignore.
+		torn := append(append([]byte(nil), frame[:]...), payload...)[:cut+1]
+		l.w.Write(torn) //nolint:errcheck // already crashing
+		l.crashed = true
+		return fault.ErrCrash
+	}
+	if fired, cut := l.inj.FireCut(fault.WALCorrupt, len(payload)*8); fired {
+		// Flip one payload bit after the checksum was computed: a lying
+		// disk the reader must catch.
+		payload[cut/8] ^= 1 << (cut % 8)
+	}
+	short := l.inj.Fire(fault.WALShort)
 	if _, err := l.w.Write(frame[:]); err != nil {
 		return err
 	}
-	if _, err := l.w.Write(payload); err != nil {
-		return err
+	if !short {
+		if _, err := l.w.Write(payload); err != nil {
+			return err
+		}
 	}
 	l.appended++
 	if l.tr.Enabled() {
@@ -175,41 +216,111 @@ func decodeWALRecord(payload []byte) (WALRecord, error) {
 	return rec, nil
 }
 
-// ReadWAL decodes records until EOF or the first corrupt/torn record,
-// returning the valid prefix. A torn tail is not an error: it is the
-// expected shape of a crash.
-func ReadWAL(r io.Reader) ([]WALRecord, error) {
+// TailState classifies how a WAL scan ended.
+type TailState int
+
+const (
+	// TailClean: EOF exactly at a record boundary — the log is whole.
+	TailClean TailState = iota
+	// TailTorn: the log ends inside a record (partial frame header or
+	// payload) — the expected shape of a crash mid-append.
+	TailTorn
+	// TailCorrupt: a complete record failed its checksum, carried an
+	// implausible length, or would not decode — damage rather than a
+	// clean tear.
+	TailCorrupt
+)
+
+// String names the tail state.
+func (t TailState) String() string {
+	switch t {
+	case TailClean:
+		return "clean"
+	case TailTorn:
+		return "torn"
+	case TailCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("TailState(%d)", int(t))
+	}
+}
+
+// ScanReport describes where and how a WAL scan stopped.
+type ScanReport struct {
+	// Records is the number of valid records in the prefix.
+	Records int
+	// Tail classifies the stop; Offset is the byte offset of the first
+	// bad record's frame (== total valid-prefix length), and Detail
+	// explains what was found there.
+	Tail   TailState
+	Offset int64
+	Detail string
+}
+
+// ScanWAL decodes records until EOF or the first damaged record,
+// returning the valid prefix plus a report classifying the tail. Torn
+// and corrupt tails are not errors — they are what crash recovery
+// exists for — so err is only a real read failure.
+func ScanWAL(r io.Reader) ([]WALRecord, ScanReport, error) {
 	br := bufio.NewReader(r)
 	var out []WALRecord
+	var rep ScanReport
+	var off int64
 	for {
+		rep.Offset = off
 		var frame [8]byte
-		if _, err := io.ReadFull(br, frame[:]); err != nil {
-			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return out, nil
+		n, err := io.ReadFull(br, frame[:])
+		if err != nil {
+			if errors.Is(err, io.EOF) && n == 0 {
+				rep.Tail = TailClean
+				return out, rep, nil
 			}
-			return out, err
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				rep.Tail = TailTorn
+				rep.Detail = fmt.Sprintf("partial frame header (%d of 8 bytes)", n)
+				return out, rep, nil
+			}
+			return out, rep, err
 		}
 		size := binary.LittleEndian.Uint32(frame[0:4])
 		sum := binary.LittleEndian.Uint32(frame[4:8])
 		if size > 1<<20 {
-			return out, nil // implausible length: treat as torn tail
+			rep.Tail = TailCorrupt
+			rep.Detail = fmt.Sprintf("implausible record length %d", size)
+			return out, rep, nil
 		}
 		payload := make([]byte, size)
-		if _, err := io.ReadFull(br, payload); err != nil {
+		if n, err := io.ReadFull(br, payload); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return out, nil // torn record
+				rep.Tail = TailTorn
+				rep.Detail = fmt.Sprintf("partial payload (%d of %d bytes)", n, size)
+				return out, rep, nil
 			}
-			return out, err
+			return out, rep, err
 		}
 		if crc32.Checksum(payload, walTable) != sum {
-			return out, nil // corrupt record ends the valid prefix
+			rep.Tail = TailCorrupt
+			rep.Detail = fmt.Sprintf("checksum mismatch on record %d", rep.Records)
+			return out, rep, nil
 		}
 		rec, err := decodeWALRecord(payload)
 		if err != nil {
-			return out, nil
+			rep.Tail = TailCorrupt
+			rep.Detail = fmt.Sprintf("checksum-valid record %d does not decode", rep.Records)
+			return out, rep, nil
 		}
 		out = append(out, rec)
+		rep.Records++
+		off += 8 + int64(size)
 	}
+}
+
+// ReadWAL decodes records until EOF or the first corrupt/torn record,
+// returning the valid prefix. A torn tail is not an error: it is the
+// expected shape of a crash. Use ScanWAL to learn how the log ended.
+func ReadWAL(r io.Reader) ([]WALRecord, error) {
+	recs, _, err := ScanWAL(r)
+	return recs, err
 }
 
 // Recover rebuilds a store from a log: writes of an instance are
@@ -217,13 +328,13 @@ func ReadWAL(r io.Reader) ([]WALRecord, error) {
 // commit record; aborted or unfinished instances leave no trace. The
 // initial snapshot supplies pre-log object values.
 func Recover(r io.Reader, initial map[string]Value) (*Store, *RecoveryReport, error) {
-	records, err := ReadWAL(r)
+	records, scan, err := ScanWAL(r)
 	if err != nil {
 		return nil, nil, err
 	}
 	st := NewStore()
 	st.Load(initial)
-	report := &RecoveryReport{}
+	report := &RecoveryReport{Tail: scan}
 	type pendingWrite struct {
 		object string
 		value  Value
@@ -264,10 +375,17 @@ type RecoveryReport struct {
 	// Orphans counts write records whose instance never began (only
 	// possible with a mangled log).
 	Orphans int
+	// Tail carries the scan's tail classification: how (and where) the
+	// log ended.
+	Tail ScanReport
 }
 
 // String renders the report.
 func (r *RecoveryReport) String() string {
-	return fmt.Sprintf("recovered %d records: %d committed, %d aborted, %d unfinished, %d orphans",
+	s := fmt.Sprintf("recovered %d records: %d committed, %d aborted, %d unfinished, %d orphans",
 		r.Records, r.Committed, r.Aborted, r.Unfinished, r.Orphans)
+	if r.Tail.Tail != TailClean {
+		s += fmt.Sprintf(" (%s tail at offset %d: %s)", r.Tail.Tail, r.Tail.Offset, r.Tail.Detail)
+	}
+	return s
 }

@@ -1,0 +1,231 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"relser/internal/fault"
+)
+
+// sampleWAL builds a small multi-transaction log and returns its bytes
+// and decoded records.
+func sampleWAL(t testing.TB) ([]byte, []WALRecord) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	recs := []WALRecord{
+		{Kind: WALBegin, Instance: 1},
+		{Kind: WALWrite, Instance: 1, Object: "x", Value: 10},
+		{Kind: WALWrite, Instance: 1, Object: "a_longer_object_name", Value: -7},
+		{Kind: WALBegin, Instance: 2},
+		{Kind: WALWrite, Instance: 2, Object: "y", Value: 1 << 40},
+		{Kind: WALCommit, Instance: 1},
+		{Kind: WALAbort, Instance: 2},
+	}
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes(), recs
+}
+
+func recordsEqual(a, b WALRecord) bool {
+	return a.Kind == b.Kind && a.Instance == b.Instance && a.Object == b.Object && a.Value == b.Value
+}
+
+// requirePrefix asserts that got is a prefix of the original records —
+// damage may shorten the log but must never invent or alter a record.
+func requirePrefix(t *testing.T, label string, got, want []WALRecord) {
+	t.Helper()
+	if len(got) > len(want) {
+		t.Fatalf("%s: decoded %d records from a log of %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("%s: phantom record at %d: got %+v want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWALTruncationNeverPhantom cuts the log at every byte offset:
+// every truncation must decode to a strict prefix of the original
+// records, classified clean exactly at record boundaries.
+func TestWALTruncationNeverPhantom(t *testing.T) {
+	full, recs := sampleWAL(t)
+	boundaries := map[int]bool{0: true}
+	{
+		off := 0
+		rest := full
+		for len(rest) > 0 {
+			size := int(uint32(rest[0]) | uint32(rest[1])<<8 | uint32(rest[2])<<16 | uint32(rest[3])<<24)
+			off += 8 + size
+			boundaries[off] = true
+			rest = full[off:]
+		}
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		got, rep, err := ScanWAL(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		requirePrefix(t, fmt.Sprintf("cut %d", cut), got, recs)
+		if boundaries[cut] {
+			if rep.Tail != TailClean {
+				t.Fatalf("cut %d is a boundary but tail = %s (%s)", cut, rep.Tail, rep.Detail)
+			}
+		} else if rep.Tail != TailTorn {
+			t.Fatalf("cut %d is mid-record but tail = %s (%s)", cut, rep.Tail, rep.Detail)
+		}
+		if rep.Records != len(got) {
+			t.Fatalf("cut %d: report says %d records, scan returned %d", cut, rep.Records, len(got))
+		}
+	}
+}
+
+// TestWALBitflipNeverPhantom flips every bit of the log in turn: the
+// scan must never panic and never return anything but a prefix of the
+// original records.
+func TestWALBitflipNeverPhantom(t *testing.T) {
+	full, recs := sampleWAL(t)
+	for i := 0; i < len(full)*8; i++ {
+		mut := append([]byte(nil), full...)
+		mut[i/8] ^= 1 << (i % 8)
+		got, rep, err := ScanWAL(bytes.NewReader(mut))
+		if err != nil {
+			t.Fatalf("bit %d: %v", i, err)
+		}
+		requirePrefix(t, fmt.Sprintf("bit %d", i), got, recs)
+		if len(got) == len(recs) && rep.Tail != TailClean {
+			t.Fatalf("bit %d: full decode but tail %s", i, rep.Tail)
+		}
+		if len(got) < len(recs) && rep.Tail == TailClean {
+			t.Fatalf("bit %d: lost records but tail clean", i)
+		}
+	}
+}
+
+// FuzzWALDecode throws arbitrary bytes at the scanner: it must never
+// panic, and what it returns must be internally consistent.
+func FuzzWALDecode(f *testing.F) {
+	full, _ := sampleWAL(f)
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	mut := append([]byte(nil), full...)
+	mut[9] ^= 0x40
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, rep, err := ScanWAL(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("in-memory scan errored: %v", err)
+		}
+		if rep.Records != len(recs) {
+			t.Fatalf("report %d records vs %d returned", rep.Records, len(recs))
+		}
+		if rep.Offset < 0 || rep.Offset > int64(len(data)) {
+			t.Fatalf("offset %d outside log of %d bytes", rep.Offset, len(data))
+		}
+		for i, rec := range recs {
+			if rec.Kind < WALBegin || rec.Kind > WALAbort {
+				t.Fatalf("record %d has invalid kind %d", i, rec.Kind)
+			}
+		}
+		// Recovery over whatever the scan accepted must not panic either.
+		if _, _, err := Recover(bytes.NewReader(data), nil); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	})
+}
+
+// TestWALInjectedTorn arms wal.torn at rate 1: the first append tears,
+// the log latches fault.ErrCrash, and the bytes on disk scan as a torn
+// tail with no phantom records.
+func TestWALInjectedTorn(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	w.SetInjector(fault.New(1, fault.MustParseSpec("wal.torn:1")))
+	err := w.Append(WALRecord{Kind: WALBegin, Instance: 1})
+	if !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("torn append returned %v, want ErrCrash", err)
+	}
+	if err := w.Append(WALRecord{Kind: WALCommit, Instance: 1}); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("post-crash append returned %v, want sticky ErrCrash", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("torn write left no partial bytes")
+	}
+	recs, rep, err := ScanWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 || rep.Tail != TailTorn {
+		t.Fatalf("torn log scanned to %d records, tail %s, err %v", len(recs), rep.Tail, err)
+	}
+}
+
+// TestWALInjectedCorrupt arms wal.corrupt at rate 1: appends succeed
+// (the disk lies) but the scan stops at the first record with a
+// checksum mismatch.
+func TestWALInjectedCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	w.SetInjector(fault.New(1, fault.MustParseSpec("wal.corrupt:1")))
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 1, Object: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, rep, err := ScanWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 || rep.Tail != TailCorrupt {
+		t.Fatalf("corrupt log scanned to %d records, tail %s, err %v", len(recs), rep.Tail, err)
+	}
+}
+
+// TestWALInjectedShortAndCrash covers the remaining WAL points: short
+// writes silently drop the payload (scanned as damage, not a record),
+// and wal.crash stops the log with nothing written.
+func TestWALInjectedShortAndCrash(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWAL(&buf)
+	w.SetInjector(fault.New(1, fault.MustParseSpec("wal.short:1")))
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 8 {
+		t.Fatalf("short write wrote %d bytes, want frame-only 8", buf.Len())
+	}
+	recs, rep, err := ScanWAL(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(recs) != 0 || rep.Tail == TailClean {
+		t.Fatalf("short log scanned to %d records, tail %s, err %v", len(recs), rep.Tail, err)
+	}
+
+	var buf2 bytes.Buffer
+	w2 := NewWAL(&buf2)
+	w2.SetInjector(fault.New(1, fault.MustParseSpec("wal.crash:1")))
+	if err := w2.Append(WALRecord{Kind: WALBegin, Instance: 1}); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("crash append returned %v", err)
+	}
+	if buf2.Len() != 0 {
+		t.Fatalf("clean crash wrote %d bytes", buf2.Len())
+	}
+	if _, rep, err := ScanWAL(bytes.NewReader(buf2.Bytes())); err != nil || rep.Tail != TailClean {
+		t.Fatalf("empty log tail %s, err %v", rep.Tail, err)
+	}
+}
+
+// TestScanWALCorruptLength: a complete frame with an implausible
+// length is damage (corrupt), not a torn tail.
+func TestScanWALCorruptLength(t *testing.T) {
+	full, recs := sampleWAL(t)
+	mut := append(append([]byte(nil), full...), 0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4)
+	got, rep, err := ScanWAL(bytes.NewReader(mut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePrefix(t, "implausible length", got, recs)
+	if len(got) != len(recs) || rep.Tail != TailCorrupt {
+		t.Fatalf("got %d records, tail %s", len(got), rep.Tail)
+	}
+	if rep.Offset != int64(len(full)) {
+		t.Fatalf("bad-record offset %d, want %d", rep.Offset, len(full))
+	}
+}

@@ -64,6 +64,16 @@ const (
 	// KindTxnAbort marks an aborted instance (protocol decision, stall
 	// victimization, recoverability or cascade; see Reason).
 	KindTxnAbort Kind = "txn-abort"
+	// KindFault records a driver-level fault-point firing (Reason names
+	// the point, e.g. "txn.abort" or "sched.grant.delay").
+	KindFault Kind = "fault"
+	// KindShed records the admission controller changing the effective
+	// multiprogramming level under an abort storm (Reason carries the
+	// new limit).
+	KindShed Kind = "shed"
+	// KindWedge records the stall watchdog declaring the run wedged;
+	// Reason carries the diagnosis.
+	KindWedge Kind = "wedge"
 	// KindWALAppend records one write-ahead-log append.
 	KindWALAppend Kind = "wal-append"
 	// KindStoreRead records one read under the store latch.

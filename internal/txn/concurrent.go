@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"relser/internal/core"
+	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/shard"
@@ -119,6 +120,21 @@ type ConcurrentRunner struct {
 	activeCount atomic.Int64 // len(active), readable without the state lock
 	sleepers    atomic.Int64 // workers asleep on any cond (or committed to sleeping)
 
+	// Resilience state. progress is bumped by every executed operation,
+	// commit, abort and restart; the watchdog declares a wedge when it
+	// stops moving. wedgeErr is the watchdog's verdict, checked by
+	// pendingErr so workers unwind without the watchdog ever needing
+	// the state lock. shed and lv are guarded by the exclusive state
+	// lock; jit has its own mutex.
+	progress       atomic.Int64
+	wedgeErr       atomic.Pointer[WedgeError]
+	shed           *shedder
+	lv             livelock // state
+	jit            *jitter
+	injectedAborts atomic.Int64
+	injectedDelays atomic.Int64
+	deadlineAborts atomic.Int64
+
 	latencies metrics.Stats // state
 	obs       observer
 
@@ -156,6 +172,8 @@ func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
 		shardSafe:  sched.IsShardSafe(cfg.Protocol),
 		active:     make(map[int64]*instanceState),
 		dependents: make(map[int64]map[int64]bool),
+		shed:       newShedder(cfg.MPL),
+		jit:        newJitter(backoffSeed(&cfg)),
 	}
 	r.commitCond = sync.NewCond(&r.commitMu)
 	r.obs = newObserver(&cfg)
@@ -178,12 +196,25 @@ func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
 // Run executes all programs to commit, running up to MPL transaction
 // workers concurrently, and returns the aggregated result.
 func (r *ConcurrentRunner) Run() (*Result, error) {
+	if wd := r.cfg.Watchdog; wd >= 0 {
+		if wd == 0 {
+			wd = defaultWatchdog
+		}
+		stop := r.startWatchdog(wd)
+		defer stop()
+	}
+	// work is never closed: each program has at most one pendingProgram
+	// in flight, so the buffer always has room and requeues never block.
+	// Shutdown is signaled on done instead — closing work would race
+	// with a concurrent requeue (send on closed channel) when one worker
+	// errors out while another is restarting a program.
 	work := make(chan *pendingProgram, len(r.cfg.Programs))
 	for _, p := range r.cfg.Programs {
 		work <- &pendingProgram{program: p}
 	}
+	done := make(chan struct{})
 	var closeOnce sync.Once
-	shutdown := func() { closeOnce.Do(func() { close(work) }) }
+	shutdown := func() { closeOnce.Do(func() { close(done) }) }
 	var wg sync.WaitGroup
 	workers := r.cfg.MPL
 	if workers > len(r.cfg.Programs) {
@@ -193,7 +224,13 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for pp := range work {
+			for {
+				var pp *pendingProgram
+				select {
+				case <-done:
+					return
+				case pp = <-work:
+				}
 				requeue, err := r.runProgram(pp)
 				if err != nil {
 					r.fail(err)
@@ -201,13 +238,17 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 					return
 				}
 				if requeue {
-					work <- pp
+					select {
+					case work <- pp:
+					case <-done:
+						return
+					}
 					continue
 				}
 				r.state.RLock()
-				done := r.res.Committed == len(r.cfg.Programs) || r.runErr != nil
+				finished := r.res.Committed == len(r.cfg.Programs) || r.runErr != nil
 				r.state.RUnlock()
-				if done {
+				if finished {
 					shutdown()
 					return
 				}
@@ -226,6 +267,12 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 	}
 	r.res.OpsExecuted = int(r.opsExecuted.Load())
 	r.res.Blocks = int(r.blocksTotal.Load())
+	r.res.InjectedAborts = int(r.injectedAborts.Load())
+	r.res.InjectedDelays = int(r.injectedDelays.Load())
+	r.res.DeadlineAborts = int(r.deadlineAborts.Load())
+	r.res.LoadSheds = r.shed.sheds
+	r.res.MinEffectiveMPL = r.shed.minEff
+	r.res.LivelockEscalations = r.lv.escalations
 	r.res.LatencyMean = r.latencies.Mean()
 	r.res.LatencyP95 = r.latencies.Percentile(95)
 	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
@@ -241,7 +288,7 @@ func (r *ConcurrentRunner) logWAL(rec storage.WALRecord) {
 	}
 	r.walMu.Lock()
 	if err := r.cfg.WAL.Append(rec); err != nil && r.walErr == nil {
-		r.walErr = fmt.Errorf("txn: WAL append failed: %v", err)
+		r.walErr = fmt.Errorf("txn: WAL append failed: %w", err)
 	}
 	r.walMu.Unlock()
 }
@@ -256,12 +303,13 @@ func (r *ConcurrentRunner) logWALLocked(rec storage.WALRecord) {
 	err := r.cfg.WAL.Append(rec)
 	r.walMu.Unlock()
 	if err != nil && r.runErr == nil {
-		r.runErr = fmt.Errorf("txn: WAL append failed: %v", err)
+		r.runErr = fmt.Errorf("txn: WAL append failed: %w", err)
 	}
 }
 
-// foldWALErrLocked promotes a parked operation-path WAL error into
-// runErr. Requires the exclusive state lock.
+// foldWALErrLocked promotes a parked operation-path WAL error — or the
+// watchdog's wedge verdict — into runErr. Requires the exclusive state
+// lock.
 func (r *ConcurrentRunner) foldWALErrLocked() {
 	r.walMu.Lock()
 	we := r.walErr
@@ -269,13 +317,20 @@ func (r *ConcurrentRunner) foldWALErrLocked() {
 	if we != nil && r.runErr == nil {
 		r.runErr = we
 	}
+	if wedge := r.wedgeErr.Load(); wedge != nil && r.runErr == nil {
+		r.runErr = wedge
+	}
 }
 
 // pendingErr reports a failure visible from the shared state lock:
-// runErr, or a parked WAL error not yet folded.
+// runErr, a watchdog wedge verdict, or a parked WAL error not yet
+// folded.
 func (r *ConcurrentRunner) pendingErr() error {
 	if r.runErr != nil {
 		return r.runErr
+	}
+	if wedge := r.wedgeErr.Load(); wedge != nil {
+		return wedge
 	}
 	r.walMu.Lock()
 	defer r.walMu.Unlock()
@@ -295,10 +350,22 @@ func (r *ConcurrentRunner) fail(err error) {
 // requeue=true when the instance aborted and the program must retry.
 func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 	r.state.Lock()
-	r.foldWALErrLocked()
-	if err := r.runErr; err != nil {
+	for {
+		r.foldWALErrLocked()
+		if err := r.runErr; err != nil {
+			r.state.Unlock()
+			return false, err
+		}
+		// Admission control: when the shedder has degraded the effective
+		// MPL below the worker count, surplus workers idle here until the
+		// storm clears. The limit is never below 1, so instances already
+		// admitted always drain.
+		if r.activeCount.Load() < int64(r.shed.limit()) {
+			break
+		}
 		r.state.Unlock()
-		return false, err
+		time.Sleep(100 * time.Microsecond)
+		r.state.Lock()
 	}
 	r.nextInstance++
 	st := &instanceState{
@@ -344,6 +411,28 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 			if aborted {
 				return r.noteRestart(pp, st)
 			}
+			continue
+		}
+		if dl := r.cfg.Deadline; dl > 0 && r.execSeq.Load()-st.startClock > dl {
+			r.deadlineAborts.Add(1)
+			r.obs.deadlineAbort()
+			r.state.RUnlock()
+			r.victimize(st, "deadline")
+			return r.noteRestart(pp, st)
+		}
+		if r.cfg.Faults.Fire(fault.TxnForcedAbort) {
+			r.injectedAborts.Add(1)
+			r.obs.fault(fault.TxnForcedAbort, st.id, r.execSeq.Load())
+			r.state.RUnlock()
+			r.victimize(st, "injected")
+			return r.noteRestart(pp, st)
+		}
+		if r.cfg.Faults.Fire(fault.SchedGrantDelay) {
+			// The scheduler "loses" this worker's turn for a beat.
+			r.injectedDelays.Add(1)
+			r.obs.fault(fault.SchedGrantDelay, st.id, r.execSeq.Load())
+			r.state.RUnlock()
+			time.Sleep(r.cfg.Faults.Latency(fault.SchedGrantDelay))
 			continue
 		}
 		op := st.program.Op(st.next)
@@ -589,6 +678,8 @@ func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (b
 	}
 	r.res.Restarts++
 	r.obs.restart()
+	r.progress.Add(1)
+	level := r.lv.level
 	r.state.Unlock()
 	// Yield before the retry. Without this, a single-CPU scheduler can
 	// livelock an abort: the victim's worker keeps the processor,
@@ -596,6 +687,11 @@ func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (b
 	// freed before the woken waiters ever get scheduled, and recreates
 	// the same deadlock — repeatedly, until MaxRestarts trips. Yielding
 	// lets the waiters this abort unblocked run first.
+	//
+	// Once the livelock detector has escalated, yielding alone is not
+	// spreading contenders enough: add capped, jittered wall-clock
+	// backoff from the dedicated seeded stream.
+	r.jit.sleep(pp.restarts, level)
 	runtime.Gosched()
 	return true, nil
 }
@@ -610,7 +706,21 @@ func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *dri
 	if w, dirty := topDirty(sh, op.Object); dirty && w != st.id && r.depPath(w, st.id) {
 		return 0, false
 	}
+	if in := r.cfg.Faults; in.Active(fault.ShardStall) || in.Active(fault.ShardWedge) {
+		// Both fire while holding the shard's mutex — a stalled or
+		// wedged worker realistically blocks its same-shard neighbors. A
+		// wedge parks until the injector is released, which only the
+		// watchdog does: without one, a rate-1 wedge hangs the run, which
+		// is exactly the failure mode the watchdog exists to surface.
+		if in.Fire(fault.ShardStall) {
+			time.Sleep(in.Latency(fault.ShardStall))
+		}
+		if in.Fire(fault.ShardWedge) {
+			in.Wedge()
+		}
+	}
 	r.opsExecuted.Add(1)
+	r.progress.Add(1)
 	if op.Kind == core.ReadOp {
 		v := r.cfg.Store.Read(op.Object)
 		st.reads[op.Seq] = v.Value
@@ -637,6 +747,12 @@ func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *dri
 }
 
 func (r *ConcurrentRunner) commitLocked(st *instanceState) {
+	r.progress.Add(1)
+	r.lv.noteCommit()
+	prevLim := r.shed.limit()
+	if lim, changed := r.shed.observe(true); changed {
+		r.obs.shed(lim, r.cfg.MPL, lim < prevLim, r.execSeq.Load())
+	}
 	r.cfg.Protocol.Commit(st.id)
 	r.logWALLocked(storage.WALRecord{Kind: storage.WALCommit, Instance: st.id})
 	st.undo.Discard()
@@ -755,6 +871,14 @@ func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
 		delete(r.active, v)
 		r.activeCount.Add(-1)
 		r.res.Aborts++
+		r.progress.Add(1)
+		prevLim := r.shed.limit()
+		if lim, changed := r.shed.observe(false); changed {
+			r.obs.shed(lim, r.cfg.MPL, lim < prevLim, now)
+		}
+		if level, escalated := r.lv.noteRestart(); escalated {
+			r.obs.livelockEscalation(level, now)
+		}
 		if v != id {
 			st.doomed.Store(true)
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"relser/internal/core"
+	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/trace"
 )
@@ -26,6 +27,18 @@ type observer struct {
 	active      *metrics.Gauge
 	latency     *metrics.Histogram
 	blockWait   *metrics.Histogram
+
+	// Resilience instruments: fault-point firings honored by the
+	// driver, deadline overruns, admission-control shedding and the
+	// stall watchdog.
+	deadlines   *metrics.Counter
+	injAborts   *metrics.Counter
+	injDelays   *metrics.Counter
+	loadSheds   *metrics.Counter
+	livelockEsc *metrics.Counter
+	wedges      *metrics.Counter
+	degraded    *metrics.Gauge
+	effMPL      *metrics.Gauge
 
 	// Contention instruments for the sharded concurrent driver
 	// (initShardInstruments). Counters are atomic and histograms are
@@ -52,6 +65,15 @@ func newObserver(cfg *Config) observer {
 		o.active = reg.Gauge("txn.active")
 		o.latency = reg.Histogram("txn.latency")
 		o.blockWait = reg.Histogram("txn.block_latency")
+		o.deadlines = reg.Counter("txn.deadline_aborts")
+		o.injAborts = reg.Counter("txn.injected_aborts")
+		o.injDelays = reg.Counter("txn.injected_delays")
+		o.loadSheds = reg.Counter("txn.load_sheds")
+		o.livelockEsc = reg.Counter("txn.livelock_escalations")
+		o.wedges = reg.Counter("txn.watchdog_wedges")
+		o.degraded = reg.Gauge("txn.degraded")
+		o.effMPL = reg.Gauge("txn.effective_mpl")
+		o.effMPL.Set(float64(cfg.MPL))
 	}
 	return o
 }
@@ -222,5 +244,80 @@ func (o *observer) commitWait() {
 func (o *observer) recoverabilityAbort() {
 	if o.recovAborts != nil {
 		o.recovAborts.Inc()
+	}
+}
+
+func (o *observer) deadlineAbort() {
+	if o.deadlines != nil {
+		o.deadlines.Inc()
+	}
+}
+
+// fault records a driver-level fault-point firing (injected abort or
+// grant delay) against the instance it hit.
+func (o *observer) fault(point fault.Point, inst int64, clock int64) {
+	switch point {
+	case fault.TxnForcedAbort:
+		if o.injAborts != nil {
+			o.injAborts.Inc()
+		}
+	case fault.SchedGrantDelay:
+		if o.injDelays != nil {
+			o.injDelays.Inc()
+		}
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindFault, Protocol: o.proto,
+			Instance: inst, Reason: string(point), Tick: clock,
+		})
+	}
+}
+
+// shed records the admission controller changing the effective
+// multiprogramming level; dropped distinguishes a shed (halving) from
+// a recovery step.
+func (o *observer) shed(effective, mpl int, dropped bool, clock int64) {
+	if o.loadSheds != nil && dropped {
+		o.loadSheds.Inc()
+	}
+	if o.effMPL != nil {
+		o.effMPL.Set(float64(effective))
+	}
+	if o.degraded != nil {
+		if effective < mpl {
+			o.degraded.Set(1)
+		} else {
+			o.degraded.Set(0)
+		}
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindShed, Protocol: o.proto,
+			Reason: fmt.Sprintf("effective-mpl=%d/%d", effective, mpl), Tick: clock,
+		})
+	}
+}
+
+// livelockEscalation records the detector widening restart backoff.
+func (o *observer) livelockEscalation(level int, clock int64) {
+	if o.livelockEsc != nil {
+		o.livelockEsc.Inc()
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindFault, Protocol: o.proto,
+			Reason: fmt.Sprintf("livelock-escalation level=%d", level), Tick: clock,
+		})
+	}
+}
+
+// wedge records the watchdog declaring the run wedged.
+func (o *observer) wedge(we *WedgeError) {
+	if o.wedges != nil {
+		o.wedges.Inc()
+	}
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{Kind: trace.KindWedge, Protocol: o.proto, Reason: we.Error()})
 	}
 }

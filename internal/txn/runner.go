@@ -18,8 +18,10 @@ import (
 	"math/rand"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"relser/internal/core"
+	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/shard"
@@ -86,6 +88,29 @@ type Config struct {
 	// Metrics, when set, receives run counters, the active-instance
 	// gauge and latency histograms under the "txn." prefix.
 	Metrics *metrics.Registry
+	// Faults arms deterministic fault injection: the injector is
+	// attached to the store and WAL and consulted at the driver's own
+	// fault points (sched.grant.delay, txn.abort; the concurrent driver
+	// additionally honors shard.stall and shard.wedge). Nil disables
+	// injection entirely.
+	Faults *fault.Injector
+	// Deadline bounds each instance's age in logical time units (ticks
+	// for Runner, executed operations for ConcurrentRunner) measured
+	// from admission; an instance exceeding it on the operation path is
+	// aborted with reason "deadline" and restarted. 0 disables.
+	Deadline int64
+	// Watchdog bounds progress-free wall time in the concurrent driver:
+	// if no operation executes, commits, aborts or restarts for this
+	// long, the run fails with *WedgeError instead of hanging. 0 selects
+	// the 10s default; negative disables. The deterministic Runner is
+	// single-threaded and ignores it.
+	Watchdog time.Duration
+	// BackoffSeed seeds the dedicated restart-backoff RNG stream. The
+	// backoff draws are decoupled from the admission-shuffle stream so
+	// that runs differing only in backoff pressure (e.g. under fault
+	// injection) still replay the same admission order. 0 derives a
+	// stream from Seed.
+	BackoffSeed int64
 }
 
 // Event is one executed operation in the global execution order.
@@ -112,6 +137,21 @@ type Result struct {
 	// protocol) because an access would have closed a dirty-data
 	// dependency cycle, making commit ordering impossible.
 	RecoverabilityAborts int
+	// DeadlineAborts counts driver aborts for instances that exceeded
+	// Config.Deadline.
+	DeadlineAborts int
+	// InjectedAborts counts txn.abort fault firings honored by the
+	// driver; InjectedDelays counts sched.grant.delay firings.
+	InjectedAborts int
+	InjectedDelays int
+	// LivelockEscalations counts restart-backoff escalations by the
+	// livelock detector.
+	LivelockEscalations int
+	// LoadSheds counts admission-limit halvings by the abort-storm
+	// shedder; MinEffectiveMPL is the lowest effective multiprogramming
+	// level the run degraded to (== Config.MPL when never shed).
+	LoadSheds       int
+	MinEffectiveMPL int
 	// AvgConcurrency is the mean number of in-flight instances per
 	// tick.
 	AvgConcurrency float64
@@ -161,6 +201,12 @@ type Runner struct {
 	cfg   Config
 	rng   *rand.Rand
 	store *storage.Store
+	// backoffRng is the dedicated restart-backoff stream (see
+	// Config.BackoffSeed); rng stays reserved for scheduling decisions
+	// (tick shuffles, victim picks).
+	backoffRng *rand.Rand
+	shed       *shedder
+	lv         livelock
 
 	nextInstance int64
 	pending      []*pendingProgram
@@ -229,9 +275,17 @@ func New(cfg Config) (*Runner, error) {
 			cfg.WAL.SetTracer(cfg.Tracer)
 		}
 	}
+	if cfg.Faults != nil {
+		cfg.Store.SetInjector(cfg.Faults)
+		if cfg.WAL != nil {
+			cfg.WAL.SetInjector(cfg.Faults)
+		}
+	}
 	r := &Runner{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		backoffRng: rand.New(rand.NewSource(backoffSeed(&cfg))),
+		shed:       newShedder(cfg.MPL),
 		store:      cfg.Store,
 		active:     make(map[int64]*instanceState),
 		dirtyStack: make(map[string][]int64),
@@ -264,7 +318,7 @@ func (r *Runner) Run() (*Result, error) {
 			return nil, err
 		}
 		if r.walErr != nil {
-			return nil, fmt.Errorf("txn: WAL append failed: %v", r.walErr)
+			return nil, fmt.Errorf("txn: WAL append failed: %w", r.walErr)
 		}
 		if !progress {
 			// No instance made progress: victimize one active instance
@@ -285,6 +339,9 @@ func (r *Runner) Run() (*Result, error) {
 	}
 	r.res.LatencyMean = r.latencies.Mean()
 	r.res.LatencyP95 = r.latencies.Percentile(95)
+	r.res.LoadSheds = r.shed.sheds
+	r.res.MinEffectiveMPL = r.shed.minEff
+	r.res.LivelockEscalations = r.lv.escalations
 	// Commits append whole per-instance event blocks; restore global
 	// execution order.
 	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
@@ -295,9 +352,10 @@ func (r *Runner) Run() (*Result, error) {
 // free; programs aborted recently stay queued until their backoff
 // expires.
 func (r *Runner) admit() {
+	limit := r.shed.limit() // admission-controlled MPL (<= cfg.MPL)
 	rest := r.pending[:0]
 	for i, pp := range r.pending {
-		if len(r.active) >= r.cfg.MPL || pp.readyAt > r.res.Ticks {
+		if len(r.active) >= limit || pp.readyAt > r.res.Ticks {
 			rest = append(rest, r.pending[i])
 			continue
 		}
@@ -342,6 +400,7 @@ func (r *Runner) tick() (bool, error) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	r.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 	progress := false
+	delayed := 0
 	for _, id := range ids {
 		st, ok := r.active[id]
 		if !ok {
@@ -349,6 +408,31 @@ func (r *Runner) tick() (bool, error) {
 		}
 		if st.done {
 			continue // commits happen in the post-loop commit wave
+		}
+		if dl := r.cfg.Deadline; dl > 0 && int64(r.res.Ticks)-st.startClock > dl {
+			r.res.DeadlineAborts++
+			r.obs.deadlineAbort()
+			if err := r.abortCascade(st.id, "deadline"); err != nil {
+				return false, err
+			}
+			progress = true
+			continue
+		}
+		if r.cfg.Faults.Fire(fault.TxnForcedAbort) {
+			r.res.InjectedAborts++
+			r.obs.fault(fault.TxnForcedAbort, st.id, int64(r.res.Ticks))
+			if err := r.abortCascade(st.id, "injected"); err != nil {
+				return false, err
+			}
+			progress = true
+			continue
+		}
+		if r.cfg.Faults.Fire(fault.SchedGrantDelay) {
+			// The scheduler "loses" this instance's turn for a tick.
+			r.res.InjectedDelays++
+			r.obs.fault(fault.SchedGrantDelay, st.id, int64(r.res.Ticks))
+			delayed++
+			continue
 		}
 		op := st.program.Op(st.next)
 		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
@@ -400,6 +484,11 @@ func (r *Runner) tick() (bool, error) {
 		if !committed {
 			break
 		}
+	}
+	if !progress && delayed > 0 {
+		// Only injected grant delays held the tick back; that is not a
+		// protocol stall, so do not victimize anyone over it.
+		progress = true
 	}
 	return progress, nil
 }
@@ -499,6 +588,11 @@ func (r *Runner) tryCommit(st *instanceState) bool {
 	delete(r.active, st.id)
 	r.res.Committed++
 	r.obs.commit(st, int64(r.res.Ticks))
+	r.lv.noteCommit()
+	prevLim := r.shed.limit()
+	if lim, changed := r.shed.observe(true); changed {
+		r.obs.shed(lim, r.cfg.MPL, lim < prevLim, int64(r.res.Ticks))
+	}
 	r.latencies.Add(float64(int64(r.res.Ticks) - st.startClock))
 	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: int64(r.res.Ticks), CommitSeq: r.execSeq})
 	r.res.Trace = append(r.res.Trace, st.events...)
@@ -570,16 +664,33 @@ func (r *Runner) abortCascade(id int64, reason string) error {
 		}
 		r.res.Restarts++
 		r.obs.restart()
+		prevLim := r.shed.limit()
+		if lim, changed := r.shed.observe(false); changed {
+			r.obs.shed(lim, r.cfg.MPL, lim < prevLim, int64(r.res.Ticks))
+		}
+		level, escalated := r.lv.noteRestart()
+		if escalated {
+			r.obs.livelockEscalation(level, int64(r.res.Ticks))
+		}
 		backoff := st.restarts
 		if backoff > 6 {
 			backoff = 6
 		}
+		// Livelock escalation widens the backoff window beyond the
+		// per-instance exponential cap.
+		backoff += level
+		if backoff > 10 {
+			backoff = 10
+		}
 		// Randomized exponential backoff staggers restarted programs so
 		// identical contenders do not re-collide in lockstep forever.
+		// Draws come from the dedicated backoff stream, keeping the
+		// scheduling stream (r.rng) byte-identical across runs that
+		// differ only in backoff pressure.
 		r.pending = append(r.pending, &pendingProgram{
 			program:  st.program,
 			restarts: st.restarts,
-			readyAt:  r.res.Ticks + 1 + r.rng.Intn(1<<backoff),
+			readyAt:  r.res.Ticks + 1 + r.backoffRng.Intn(1<<backoff),
 		})
 	}
 	return nil

@@ -21,8 +21,10 @@ package workload
 
 import (
 	"fmt"
+	"time"
 
 	"relser/internal/core"
+	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/storage"
@@ -69,6 +71,15 @@ type RunOptions struct {
 	Tracer *trace.Tracer
 	// Metrics receives run counters and latency histograms.
 	Metrics *metrics.Registry
+	// Faults arms deterministic fault injection across the run's store,
+	// WAL and driver (see internal/fault).
+	Faults *fault.Injector
+	// Deadline bounds each instance's logical age before a driver abort;
+	// 0 disables (see txn.Config.Deadline).
+	Deadline int64
+	// Watchdog bounds progress-free wall time in the concurrent driver;
+	// 0 selects the default, negative disables (see txn.Config.Watchdog).
+	Watchdog time.Duration
 }
 
 // RunWith executes the workload with full options and returns the
@@ -91,6 +102,9 @@ func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Resul
 		WAL:       opts.WAL,
 		Tracer:    opts.Tracer,
 		Metrics:   opts.Metrics,
+		Faults:    opts.Faults,
+		Deadline:  opts.Deadline,
+		Watchdog:  opts.Watchdog,
 	}
 	var (
 		res *txn.Result
