@@ -1,0 +1,60 @@
+package metrics
+
+// canonicalKeys is the registry of metric names the system emits.
+// Every literal key passed to Registry.Counter/Gauge/Histogram in
+// non-test code must appear here; the rsvet registrydrift analyzer
+// enforces that statically, so a typo in a dashboard-facing key is a
+// compile-gate failure instead of a silently empty time series.
+//
+// Dynamically formatted per-shard keys (txn.shard%02d.blocks,
+// txn.shard%02d.wait_seconds) are outside the literal check; their
+// prefixes are registered here so tooling can still recognize them.
+var canonicalKeys = []string{
+	"txn.ops_executed",
+	"txn.committed",
+	"txn.aborts",
+	"txn.blocks",
+	"txn.restarts",
+	"txn.commit_waits",
+	"txn.recoverability_aborts",
+	"txn.active",
+	"txn.latency",
+	"txn.block_latency",
+	"txn.deadline_aborts",
+	"txn.injected_aborts",
+	"txn.injected_delays",
+	"txn.load_sheds",
+	"txn.livelock_escalations",
+	"txn.watchdog_wedges",
+	"txn.degraded",
+	"txn.effective_mpl",
+	"txn.wakeups",
+	"txn.cond.broadcast_shard",
+	"txn.cond.broadcast_global",
+	"txn.cond.broadcast_flood",
+}
+
+// DynamicKeyPrefixes lists the prefixes of per-shard keys built with
+// fmt.Sprintf at registration time.
+var DynamicKeyPrefixes = []string{"txn.shard"}
+
+// Keys returns the canonical metric key set (a copy).
+func Keys() []string {
+	return append([]string(nil), canonicalKeys...)
+}
+
+// IsKnownKey reports whether name is a canonical key or carries a
+// registered dynamic prefix.
+func IsKnownKey(name string) bool {
+	for _, k := range canonicalKeys {
+		if name == k {
+			return true
+		}
+	}
+	for _, p := range DynamicKeyPrefixes {
+		if len(name) > len(p) && name[:len(p)] == p {
+			return true
+		}
+	}
+	return false
+}
