@@ -1,0 +1,166 @@
+// Command rsvet is the repository's static-analysis gate. It has two
+// sides:
+//
+// Vet mode (default) runs the custom analyzers over Go packages:
+//
+//	rsvet ./...
+//	rsvet -list
+//	rsvet -run stripelock,registrydrift ./...
+//
+// Diagnostics print as file:line:col: message [analyzer]; the exit
+// status is 1 when any diagnostic survives //rsvet:allow suppression.
+//
+// Spec mode statically checks relative-atomicity instance files
+// (the internal/core text format):
+//
+//	rsvet -spec examples/specs/partitioned.txt
+//	rsvet -spec -certify examples/specs/*.txt
+//
+// Each file's findings print with severities; exit status is 1 when
+// any file has an error-severity finding, and with -certify also when
+// any file fails static potential-RSG certification. Exit status 2
+// means the tool itself failed (unparsable file, load error).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"relser/internal/analysis"
+	"relser/internal/analysis/checker"
+	"relser/internal/analysis/coreimmut"
+	"relser/internal/analysis/load"
+	"relser/internal/analysis/registrydrift"
+	"relser/internal/analysis/specbuild"
+	"relser/internal/analysis/speclint"
+	"relser/internal/analysis/stripelock"
+	"relser/internal/analysis/terminalops"
+	"relser/internal/core"
+)
+
+// all registers every analyzer, in reporting order.
+var all = []*analysis.Analyzer{
+	coreimmut.Analyzer,
+	registrydrift.Analyzer,
+	specbuild.Analyzer,
+	stripelock.Analyzer,
+	terminalops.Analyzer,
+}
+
+func main() {
+	var (
+		specMode = flag.Bool("spec", false, "check relative-atomicity instance files instead of Go packages")
+		certify  = flag.Bool("certify", false, "with -spec: also fail files that cannot be statically certified safe")
+		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		dir      = flag.String("C", ".", "directory to resolve package patterns in")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+	if *specMode {
+		os.Exit(specMain(flag.Args(), *certify))
+	}
+	os.Exit(vetMain(*dir, flag.Args(), *run))
+}
+
+// vetMain loads the requested packages and applies the analyzers.
+func vetMain(dir string, patterns []string, run string) int {
+	analyzers, err := selectAnalyzers(run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsvet:", err)
+		return 2
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsvet:", err)
+		return 2
+	}
+	findings, err := checker.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsvet:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "rsvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// specMain parses each instance file and reports speclint findings.
+func specMain(files []string, certify bool) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "rsvet -spec: no instance files given")
+		return 2
+	}
+	status := 0
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsvet:", err)
+			return 2
+		}
+		inst, err := core.ParseInstance(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rsvet: %s: %v\n", path, err)
+			return 2
+		}
+		rep := speclint.CheckInstance(inst)
+		for _, finding := range rep.Findings {
+			fmt.Printf("%s: %s\n", path, finding)
+		}
+		if rep.Certified {
+			fmt.Printf("%s: statically certified safe for every execution\n", path)
+		}
+		if rep.HasErrors() || (certify && !rep.Certified) {
+			status = 1
+		}
+	}
+	return status
+}
+
+// selectAnalyzers resolves the -run flag.
+func selectAnalyzers(run string) ([]*analysis.Analyzer, error) {
+	if run == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(run, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown analyzer %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

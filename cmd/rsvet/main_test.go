@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relser/internal/analysis/checker"
+	"relser/internal/analysis/load"
+	"relser/internal/analysis/speclint"
+	"relser/internal/core"
+)
+
+// repoRoot is the module directory, two levels above this package.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+// TestRepoIsVetClean runs every analyzer over the whole repository:
+// the tree must stay free of unsuppressed findings, the same gate CI
+// enforces.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole repository")
+	}
+	pkgs, err := load.Packages(repoRoot(t), "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	findings, err := checker.Run(pkgs, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestExampleSpecs pins the triage of the example spec files:
+// partitioned certifies, degenerate errors, fig1 is in between.
+func TestExampleSpecs(t *testing.T) {
+	specs := filepath.Join(repoRoot(t), "examples", "specs")
+	check := func(name string) speclint.Report {
+		t.Helper()
+		f, err := os.Open(filepath.Join(specs, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		inst, err := core.ParseInstance(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return speclint.CheckInstance(inst)
+	}
+
+	if rep := check("partitioned.txt"); !rep.Certified || rep.HasErrors() {
+		t.Errorf("partitioned.txt must certify cleanly: %+v", rep)
+	}
+	if rep := check("degenerate.txt"); rep.Certified || !rep.HasErrors() {
+		t.Errorf("degenerate.txt must be rejected: %+v", rep)
+	}
+	if rep := check("fig1.txt"); rep.Certified || rep.HasErrors() {
+		t.Errorf("fig1.txt must neither certify nor error: %+v", rep)
+	}
+}
+
+// TestSelectAnalyzers covers the -run flag resolution.
+func TestSelectAnalyzers(t *testing.T) {
+	got, err := selectAnalyzers("stripelock,speclint")
+	if err == nil {
+		t.Fatalf("unknown analyzer accepted: %v", got)
+	}
+	got, err = selectAnalyzers("stripelock, registrydrift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "stripelock" || got[1].Name != "registrydrift" {
+		t.Fatalf("wrong selection: %v", got)
+	}
+	if got, _ := selectAnalyzers(""); len(got) != len(all) {
+		t.Fatalf("empty -run must select all analyzers")
+	}
+}

@@ -1,0 +1,108 @@
+// Package analysistest runs one rsvet analyzer over a fixture
+// directory and matches its diagnostics against want comments, in the
+// style of golang.org/x/tools/go/analysis/analysistest:
+//
+//	sh.mu.Lock()
+//	other.mu.Lock() // want `acquired while`
+//
+// Every line carrying a `// want ...` backquoted regexp must receive
+// a diagnostic whose message matches, and every diagnostic must be
+// wanted. Fixtures live in internal/analysis/testdata/src/<name> and
+// may import module packages; they are loaded standalone (not part of
+// the module package tree), type-checked against the module's
+// dependency export data.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"relser/internal/analysis"
+	"relser/internal/analysis/checker"
+	"relser/internal/analysis/load"
+)
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// Run applies the analyzer to the fixture directory (relative to the
+// caller's working directory, conventionally "testdata/src/<name>")
+// and reports mismatches between diagnostics and want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	moduleDir, err := findModuleDir()
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := load.Dir(moduleDir, fixture)
+	if err != nil {
+		t.Fatalf("analysistest: loading %s: %v", fixture, err)
+	}
+	findings, err := checker.Run([]*load.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		for i, text := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(text, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("analysistest: %s:%d: bad want regexp %q: %v", name, i+1, m[1], err)
+				}
+				wants[key{name, i + 1}] = append(wants[key{name, i + 1}], re)
+			}
+		}
+	}
+
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(f.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: %s", f.Pos, f.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// findModuleDir walks up from the working directory to the module
+// root (the directory holding go.mod).
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,125 @@
+// Package coreimmut enforces the immutability contract of the model
+// layer: core.Transaction, core.TxnSet, core.Spec, core.Schedule and
+// core.Op values are frozen after construction (TxnSet.GlobalIndex,
+// the RSG builder and every scheduler cache derived state that
+// silently desynchronizes if a program is edited in place). Outside
+// internal/core itself, writing through a field of a frozen value —
+// t.Ops = append(...), t.Ops[0].Object = "y", op.Seq = 3 — is
+// reported; derivation must go through the constructing package's API
+// (Clone, Refine, Coarsen, ...).
+//
+// Whole-value assignment (t = other), element writes into local
+// slices of core types (ops[k] = core.R("x")) and core.Instance —
+// a deliberately mutable bundle that parse.go and the figure
+// catalogue build incrementally — are all fine.
+package coreimmut
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"relser/internal/analysis"
+)
+
+// Analyzer is the core-immutability check.
+var Analyzer = &analysis.Analyzer{
+	Name: "coreimmut",
+	Doc:  "check that frozen core model values are not mutated outside internal/core",
+	Run:  run,
+}
+
+const corePath = "relser/internal/core"
+
+// frozen lists the core named types whose fields must not be written
+// outside their package. Instance is intentionally absent.
+var frozen = map[string]bool{
+	"Transaction": true,
+	"TxnSet":      true,
+	"Spec":        true,
+	"Schedule":    true,
+	"Op":          true,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == corePath {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if name, ok := frozenFieldWrite(pass, lhs); ok {
+						pass.Reportf(lhs.Pos(),
+							"mutation of %s outside internal/core; model values are frozen after construction", name)
+					}
+				}
+			case *ast.IncDecStmt:
+				if name, ok := frozenFieldWrite(pass, n.X); ok {
+					pass.Reportf(n.X.Pos(),
+						"mutation of %s outside internal/core; model values are frozen after construction", name)
+				}
+			case *ast.UnaryExpr:
+				// Taking the address of a frozen field hands out a
+				// mutable alias that defeats the contract.
+				if n.Op == token.AND {
+					if name, ok := frozenFieldWrite(pass, n.X); ok {
+						pass.Reportf(n.Pos(),
+							"address of %s field taken outside internal/core; the alias defeats the immutability contract", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// frozenFieldWrite reports whether the expression writes through (or
+// aliases) a field selected from a frozen core value: some step of
+// the selector/index chain is x.f with x of a frozen named core type.
+func frozenFieldWrite(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			if name, ok := frozenNamed(pass, x.X); ok {
+				return name, true
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// frozenNamed reports whether the expression's type (after pointer
+// indirection) is one of the frozen named types of internal/core.
+func frozenNamed(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != corePath || !frozen[obj.Name()] {
+		return "", false
+	}
+	return "core." + obj.Name(), true
+}

@@ -1,0 +1,12 @@
+package coreimmut_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/coreimmut"
+)
+
+func TestCoreimmut(t *testing.T) {
+	analysistest.Run(t, coreimmut.Analyzer, "../testdata/src/coreimmut")
+}

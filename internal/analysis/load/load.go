@@ -1,0 +1,223 @@
+// Package load type-checks Go packages for the rsvet analyzers
+// without golang.org/x/tools/go/packages: it shells out to the go
+// tool for package metadata and compiled export data
+// (`go list -deps -export -json`), parses the target packages' sources
+// and type-checks them against the export data of their dependencies.
+// The approach is the same one x/tools' go/packages driver uses; only
+// the target packages are type-checked from source, every dependency
+// (including the standard library) is imported from its compiled
+// export file, so loading stays fast and fully offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Packages loads and type-checks the packages matching the go-list
+// patterns, resolved relative to dir (a directory inside the module).
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	targets, exports, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, absJoin(lp.Dir, lp.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// Dir loads the single package formed by the .go files of dir, which
+// need not be part of any module package tree (analysistest fixture
+// directories under testdata/ are the intended callers). Imports are
+// resolved through moduleDir's module: the fixtures may import both
+// standard-library and module-local packages.
+func Dir(moduleDir, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	// Parse first to learn the import set, then ask the go tool for
+	// export data of exactly those packages and their dependencies.
+	parsed, err := parseFiles(fset, files)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var imports []string
+	for _, f := range parsed {
+		for _, spec := range f.Imports {
+			path, err := strconv.Unquote(spec.Path.Value)
+			if err != nil || path == "unsafe" || seen[path] {
+				continue
+			}
+			seen[path] = true
+			imports = append(imports, path)
+		}
+	}
+	exports := map[string]string{}
+	if len(imports) > 0 {
+		_, exports, err = goList(moduleDir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := exportImporter(fset, exports)
+	return checkParsed(fset, imp, parsed[0].Name.Name, dir, parsed)
+}
+
+// goList runs `go list -deps -export -json` on the patterns and
+// returns the matched (non-dependency) packages plus an import-path to
+// export-data-file map covering the whole dependency closure.
+func goList(dir string, patterns []string) ([]listedPkg, map[string]string, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=Dir,ImportPath,Export,GoFiles,Standard,DepOnly",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("load: go list %s: %v\n%s",
+			strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPkg
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("load: decoding go list output: %v", err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+	return targets, exports, nil
+}
+
+// exportImporter imports packages from compiled export data files.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func parseFiles(fset *token.FileSet, paths []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, pkgPath, dir string, paths []string) (*Package, error) {
+	files, err := parseFiles(fset, paths)
+	if err != nil {
+		return nil, err
+	}
+	return checkParsed(fset, imp, pkgPath, dir, files)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, pkgPath, dir string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath, Dir: dir, Fset: fset,
+		Files: files, Types: tpkg, TypesInfo: info,
+	}, nil
+}
+
+func absJoin(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join(dir, n)
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package registrydrift_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/registrydrift"
+)
+
+func TestRegistrydrift(t *testing.T) {
+	analysistest.Run(t, registrydrift.Analyzer, "../testdata/src/registrydrift")
+}

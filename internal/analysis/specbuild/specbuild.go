@@ -1,0 +1,178 @@
+// Package specbuild statically validates relative-atomicity spec
+// construction: calls to core.Spec's SetUnits / CutAfter (directly or
+// through the relser facade) whose arguments are constant are checked
+// against the transaction programs built in the same function, so a
+// partition that would only fail at run time — overlapping or
+// non-covering unit lengths, an out-of-range or no-op breakpoint —
+// is reported at build time.
+//
+// Transaction lengths are recovered intraprocedurally from
+// core.T(id, ops...) calls: the variadic operation count is the
+// program length. Spec calls whose transaction id or lengths are not
+// compile-time constants are skipped (the run-time validation in
+// internal/core still covers them).
+package specbuild
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"relser/internal/analysis"
+)
+
+// Analyzer is the spec-construction check.
+var Analyzer = &analysis.Analyzer{
+	Name: "specbuild",
+	Doc:  "check constant core.Spec partitions for overlap, coverage and breakpoint range",
+	Run:  run,
+}
+
+// corePaths are the packages whose T / SetUnits / CutAfter carry spec
+// semantics: the core implementation and the root facade re-exporting
+// it.
+var corePaths = map[string]bool{
+	"relser/internal/core": true,
+	"relser":               true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	txnLen := map[int64]int{} // constant txn id -> program length
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if !isCoreName(pass, sel.Sel) {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "T":
+			if call.Ellipsis.IsValid() || len(call.Args) < 1 {
+				return true
+			}
+			if id, ok := intConst(pass, call.Args[0]); ok {
+				txnLen[id] = len(call.Args) - 1
+			}
+		case "SetUnits":
+			checkSetUnits(pass, call, txnLen)
+		case "CutAfter":
+			checkCutAfter(pass, call, txnLen)
+		}
+		return true
+	})
+}
+
+// checkSetUnits validates SetUnits(i, j, lens...) when the lengths are
+// constant: each unit must be non-empty, and when Ti's program length
+// is known the units must exactly cover it.
+func checkSetUnits(pass *analysis.Pass, call *ast.CallExpr, txnLen map[int64]int) {
+	if call.Ellipsis.IsValid() || len(call.Args) < 3 {
+		return
+	}
+	sum, allConst := 0, true
+	for k, arg := range call.Args[2:] {
+		l, ok := intConst(pass, arg)
+		if !ok {
+			allConst = false
+			continue
+		}
+		if l <= 0 {
+			pass.Reportf(arg.Pos(),
+				"atomic unit %d has non-positive length %d; units must partition the transaction into non-empty runs", k+1, l)
+		}
+		sum += int(l)
+	}
+	if !allConst {
+		return
+	}
+	i, ok := intConst(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	n, known := txnLen[i]
+	if !known {
+		return
+	}
+	switch {
+	case sum < n:
+		pass.Reportf(call.Pos(),
+			"unit lengths sum to %d but T%d has %d operations; the partition does not cover the transaction", sum, i, n)
+	case sum > n:
+		pass.Reportf(call.Pos(),
+			"unit lengths sum to %d but T%d has only %d operations; units overlap or overrun the transaction", sum, i, n)
+	}
+}
+
+// checkCutAfter validates CutAfter(i, j, seq) for constant seq against
+// a known program length: out-of-range breakpoints are errors, a cut
+// after the final operation is a silent no-op worth flagging.
+func checkCutAfter(pass *analysis.Pass, call *ast.CallExpr, txnLen map[int64]int) {
+	if len(call.Args) != 3 {
+		return
+	}
+	seq, ok := intConst(pass, call.Args[2])
+	if !ok {
+		return
+	}
+	if seq < 0 {
+		pass.Reportf(call.Args[2].Pos(), "breakpoint after seq %d is out of range; seq is 0-based", seq)
+		return
+	}
+	i, ok := intConst(pass, call.Args[0])
+	if !ok {
+		return
+	}
+	n, known := txnLen[i]
+	if !known {
+		return
+	}
+	switch {
+	case int(seq) >= n:
+		pass.Reportf(call.Args[2].Pos(),
+			"breakpoint after seq %d is out of range for T%d with %d operations", seq, i, n)
+	case int(seq) == n-1:
+		pass.Reportf(call.Args[2].Pos(),
+			"breakpoint after the final operation of T%d is a no-op; drop it or cut earlier", i)
+	}
+}
+
+// isCoreName reports whether the selected identifier resolves to the
+// core package or the relser facade (whose T, R, W are package vars
+// bound to the core functions).
+func isCoreName(pass *analysis.Pass, id *ast.Ident) bool {
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	switch obj := obj.(type) {
+	case *types.Func:
+		return obj.Pkg() != nil && corePaths[obj.Pkg().Path()]
+	case *types.Var:
+		return obj.Pkg() != nil && corePaths[obj.Pkg().Path()]
+	}
+	return false
+}
+
+func intConst(pass *analysis.Pass, e ast.Expr) (int64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(tv.Value)
+}

@@ -1,0 +1,12 @@
+package specbuild_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/specbuild"
+)
+
+func TestSpecbuild(t *testing.T) {
+	analysistest.Run(t, specbuild.Analyzer, "../testdata/src/specbuild")
+}

@@ -1,0 +1,299 @@
+// Package speclint statically analyzes relative-atomicity
+// specifications against the transaction programs they govern,
+// without reference to any particular schedule. Three checks:
+//
+//  1. Lemma 1 degeneracy: a spec that is absolute for every pair
+//     collapses relative serializability to classical conflict
+//     serializability — the relaxation the paper is about is vacuous.
+//  2. Redundant breakpoints: chopping Atomicity(Ti, Tj) when Ti and
+//     Tj lie in different conflict components can never admit an
+//     interleaving — no depends-on path can ever connect the two
+//     transactions, so no F- or B-arc involving the pair arises in
+//     any schedule and the breakpoints are dead weight.
+//  3. Static potential-RSG certification: if, for every ordered pair
+//     of transactions in the same conflict component, Atomicity(Ti,
+//     Tj) is fully chopped (all singleton units), then every RSG arc
+//     in every schedule points forward in schedule time and every
+//     execution is relatively serializable — the spec is certified
+//     safe once, statically, and per-schedule certification can be
+//     skipped. Failing to certify is not a defect — forbidding some
+//     interleavings is what a constraining spec is for — so each
+//     blocking pair is reported as a warning; when some unit keeps
+//     two operations u < w together relative to a transaction holding
+//     an operation v conflicting with both, the warning spells out
+//     the concrete potential cycle v -D-> w -I..-> PushForward(u)
+//     -F-> v realized by any schedule placing v between u and w.
+//
+// The certification criterion is sound but conservative: an
+// uncertified spec may still hold for the schedules a particular
+// workload produces; those need the dynamic Theorem 1 check.
+package speclint
+
+import (
+	"fmt"
+	"sort"
+
+	"relser/internal/core"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+const (
+	// Info findings are observations that need no action.
+	Info Severity = iota
+	// Warn findings are dead or ineffective spec structure.
+	Warn
+	// Error findings are specs that defeat their own purpose
+	// (Lemma 1 degeneracy).
+	Error
+)
+
+// String renders the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+}
+
+// Finding is one diagnostic about a spec.
+type Finding struct {
+	// Check names the rule: "lemma1", "breakpoint", "potential-rsg".
+	Check    string
+	Severity Severity
+	// Pair identifies the Atomicity(Ti, Tj) the finding concerns;
+	// zero for spec-wide findings.
+	Pair [2]core.TxnID
+	// Message is the human-readable diagnostic.
+	Message string
+}
+
+// String renders "severity: message [check]".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.Severity, f.Message, f.Check)
+}
+
+// Report is the outcome of analyzing one spec.
+type Report struct {
+	Findings []Finding
+	// Certified is true when the static potential-RSG argument proves
+	// every execution under the spec relatively serializable.
+	Certified bool
+}
+
+// HasErrors reports whether any finding is Error severity.
+func (r Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Check analyzes the spec against its transaction set.
+func Check(sp *core.Spec) Report {
+	ts := sp.Set()
+	var rep Report
+	comp := conflictComponents(ts)
+	checkLemma1(sp, ts, &rep)
+	checkBreakpoints(sp, ts, comp, &rep)
+	certify(sp, ts, comp, &rep)
+	return rep
+}
+
+// CheckInstance analyzes a parsed instance's spec.
+func CheckInstance(inst *core.Instance) Report {
+	return Check(inst.Spec)
+}
+
+// checkLemma1 detects the degenerate spec of Lemma 1: absolute
+// atomicity for every pair makes relative serializability coincide
+// with conflict serializability.
+func checkLemma1(sp *core.Spec, ts *core.TxnSet, rep *Report) {
+	if ts.NumTxns() < 2 || !sp.IsAbsolute() {
+		return
+	}
+	rep.Findings = append(rep.Findings, Finding{
+		Check:    "lemma1",
+		Severity: Error,
+		Message: "spec is absolute for every transaction pair: by Lemma 1 relative serializability " +
+			"collapses to classical conflict serializability and the relaxation admits nothing; " +
+			"chop at least one Atomicity(Ti, Tj) with SetUnits/CutAfter, or use a plain " +
+			"serializability checker instead",
+	})
+}
+
+// checkBreakpoints flags chopped pairs whose transactions can never
+// depend on each other: depends-on chains are confined to conflict
+// components, so breakpoints across components are unsatisfiable —
+// they never admit an interleaving the absolute spec would forbid.
+func checkBreakpoints(sp *core.Spec, ts *core.TxnSet, comp map[core.TxnID]core.TxnID, rep *Report) {
+	for _, ti := range ts.Txns() {
+		for _, tj := range ts.Txns() {
+			if ti.ID == tj.ID || sp.NumUnits(ti.ID, tj.ID) <= 1 {
+				continue
+			}
+			if comp[ti.ID] != comp[tj.ID] {
+				rep.Findings = append(rep.Findings, Finding{
+					Check:    "breakpoint",
+					Severity: Warn,
+					Pair:     [2]core.TxnID{ti.ID, tj.ID},
+					Message: fmt.Sprintf(
+						"Atomicity(T%d, T%d) declares %d units but no chain of conflicts connects T%d and T%d: "+
+							"no depends-on path can ever link them, so these breakpoints never admit an interleaving; "+
+							"drop them or leave the pair absolute",
+						ti.ID, tj.ID, sp.NumUnits(ti.ID, tj.ID), ti.ID, tj.ID),
+				})
+			}
+		}
+	}
+}
+
+// certify runs the static potential-RSG argument. Every ordered pair
+// of distinct transactions in the same conflict component must be
+// fully chopped: then PushForward(u) = u and PullBackward(v) = v for
+// every dependency arc, all F- and B-arcs collapse onto their forward
+// D-arcs, and since I- and D-arcs always point forward in schedule
+// time the RSG of every schedule is acyclic (Theorem 1: every
+// execution is relatively serializable). Cross-component pairs never
+// acquire D-arcs, so their atomicity is irrelevant to acyclicity.
+func certify(sp *core.Spec, ts *core.TxnSet, comp map[core.TxnID]core.TxnID, rep *Report) {
+	ok := true
+	for _, ti := range ts.Txns() {
+		for _, tj := range ts.Txns() {
+			if ti.ID == tj.ID || comp[ti.ID] != comp[tj.ID] {
+				continue
+			}
+			if sp.NumUnits(ti.ID, tj.ID) == ti.Len() {
+				continue // fully chopped: every unit a singleton
+			}
+			ok = false
+			reportUncertifiedPair(sp, ti, tj, rep)
+		}
+	}
+	rep.Certified = ok
+	if ok {
+		rep.Findings = append(rep.Findings, Finding{
+			Check:    "potential-rsg",
+			Severity: Info,
+			Message: "static potential-RSG is acyclic: every atomicity relation between conflicting " +
+				"transactions is fully chopped, so all RSG arcs point forward in any schedule; " +
+				"every execution is relatively serializable and per-schedule certification may be skipped",
+		})
+	}
+}
+
+// reportUncertifiedPair explains one certification failure with a
+// single Warn finding. A non-singleton unit is what a constraining
+// spec is for — forbidding some interleavings is not a defect — so
+// failing to certify is never an error; but when a concrete witness
+// exists (a unit keeping u < w together while some v in Tj conflicts
+// with both) the finding spells out the potential cycle
+// v -D-> w -I..-> PushForward(u) -F-> v that per-schedule
+// certification will have to keep rejecting.
+func reportUncertifiedPair(sp *core.Spec, ti, tj *core.Transaction, rep *Report) {
+	msg := fmt.Sprintf(
+		"Atomicity(T%d, T%d) keeps %d operations in %d unit(s) while T%d and T%d are conflict-connected: "+
+			"the static argument cannot certify the spec; executions need per-schedule RSG certification",
+		ti.ID, tj.ID, ti.Len(), sp.NumUnits(ti.ID, tj.ID), ti.ID, tj.ID)
+	if u, v, w, found := cycleWitness(sp, ti, tj); found {
+		msg += fmt.Sprintf(
+			" (e.g. %s and %s share a unit and %s conflicts with both: a schedule interleaving %s "+
+				"between them closes the potential cycle %s -D-> %s -I..-> %s -F-> %s)",
+			u, w, v, v,
+			v, w, sp.PushForward(u, tj.ID), v)
+	}
+	rep.Findings = append(rep.Findings, Finding{
+		Check:    "potential-rsg",
+		Severity: Warn,
+		Pair:     [2]core.TxnID{ti.ID, tj.ID},
+		Message:  msg,
+	})
+}
+
+// cycleWitness searches Atomicity(Ti, Tj) for a unit holding two
+// operations u < w and an operation v of Tj conflicting with both.
+func cycleWitness(sp *core.Spec, ti, tj *core.Transaction) (u, v, w core.Op, found bool) {
+	for k := 0; k < sp.NumUnits(ti.ID, tj.ID); k++ {
+		start, end := sp.Unit(ti.ID, tj.ID, k)
+		for a := start; a < end; a++ {
+			for b := a + 1; b <= end; b++ {
+				for s := 0; s < tj.Len(); s++ {
+					cand := tj.Op(s)
+					if cand.ConflictsWith(ti.Op(a)) && cand.ConflictsWith(ti.Op(b)) {
+						return ti.Op(a), cand, ti.Op(b), true
+					}
+				}
+			}
+		}
+	}
+	return core.Op{}, core.Op{}, core.Op{}, false
+}
+
+// conflictComponents computes the connected components of the
+// transaction conflict graph with a union-find keyed by TxnID: for
+// every object written by at least one transaction, all transactions
+// accessing the object are joined (readers connect only through a
+// writer, which is exactly conflict connectivity). The returned map
+// sends each TxnID to its component representative.
+func conflictComponents(ts *core.TxnSet) map[core.TxnID]core.TxnID {
+	parent := map[core.TxnID]core.TxnID{}
+	var find func(core.TxnID) core.TxnID
+	find = func(x core.TxnID) core.TxnID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, t := range ts.Txns() {
+		parent[t.ID] = t.ID
+	}
+	type access struct {
+		txns    []core.TxnID
+		written bool
+	}
+	objects := map[string]*access{}
+	for _, t := range ts.Txns() {
+		for seq := 0; seq < t.Len(); seq++ {
+			op := t.Op(seq)
+			a := objects[op.Object]
+			if a == nil {
+				a = &access{}
+				objects[op.Object] = a
+			}
+			if len(a.txns) == 0 || a.txns[len(a.txns)-1] != t.ID {
+				a.txns = append(a.txns, t.ID)
+			}
+			if op.Kind == core.WriteOp {
+				a.written = true
+			}
+		}
+	}
+	names := make([]string, 0, len(objects))
+	for name := range objects {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := objects[name]
+		if !a.written {
+			continue
+		}
+		for _, id := range a.txns[1:] {
+			parent[find(a.txns[0])] = find(id)
+		}
+	}
+	out := map[core.TxnID]core.TxnID{}
+	for _, t := range ts.Txns() {
+		out[t.ID] = find(t.ID)
+	}
+	return out
+}

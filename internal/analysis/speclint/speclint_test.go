@@ -1,0 +1,235 @@
+package speclint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relser/internal/analysis/speclint"
+	"relser/internal/core"
+)
+
+func mustSet(t *testing.T, txns ...*core.Transaction) *core.TxnSet {
+	t.Helper()
+	ts, err := core.NewTxnSet(txns...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+func findings(rep speclint.Report, check string) []speclint.Finding {
+	var out []speclint.Finding
+	for _, f := range rep.Findings {
+		if f.Check == check {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestLemma1Collapse: an absolute spec over conflicting transactions
+// is the degenerate case of Lemma 1 and must be rejected with an
+// actionable diagnostic.
+func TestLemma1Collapse(t *testing.T) {
+	ts := mustSet(t,
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.W("x")),
+	)
+	rep := speclint.Check(core.NewSpec(ts)) // NewSpec defaults to absolute
+	l1 := findings(rep, "lemma1")
+	if len(l1) != 1 || l1[0].Severity != speclint.Error {
+		t.Fatalf("want one lemma1 error, got %v", rep.Findings)
+	}
+	if !strings.Contains(l1[0].Message, "conflict serializability") ||
+		!strings.Contains(l1[0].Message, "SetUnits") {
+		t.Fatalf("lemma1 diagnostic not actionable: %s", l1[0].Message)
+	}
+	if !rep.HasErrors() || rep.Certified {
+		t.Fatalf("degenerate spec must have errors and no certification: %+v", rep)
+	}
+}
+
+// TestSingleTxnNotDegenerate: with fewer than two transactions there
+// is no pair to relax, so no Lemma 1 finding.
+func TestSingleTxnNotDegenerate(t *testing.T) {
+	ts := mustSet(t, core.T(1, core.R("x"), core.W("x")))
+	rep := speclint.Check(core.NewSpec(ts))
+	if len(findings(rep, "lemma1")) != 0 {
+		t.Fatalf("unexpected lemma1 finding: %v", rep.Findings)
+	}
+	if !rep.Certified {
+		t.Fatalf("single-transaction spec is trivially safe: %+v", rep)
+	}
+}
+
+// TestUnsatisfiableBreakpoints: chopping a pair whose transactions
+// touch disjoint objects can never admit an interleaving — the
+// breakpoints are dead and must be flagged.
+func TestUnsatisfiableBreakpoints(t *testing.T) {
+	ts := mustSet(t,
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.R("y"), core.W("y")),
+	)
+	sp := core.NewSpec(ts)
+	if err := sp.SetUnits(1, 2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := speclint.Check(sp)
+	bp := findings(rep, "breakpoint")
+	if len(bp) != 1 || bp[0].Severity != speclint.Warn {
+		t.Fatalf("want one breakpoint warning, got %v", rep.Findings)
+	}
+	if bp[0].Pair != [2]core.TxnID{1, 2} {
+		t.Fatalf("breakpoint finding names wrong pair: %+v", bp[0])
+	}
+	// Disjoint transactions are safe regardless of the dead chop.
+	if !rep.Certified {
+		t.Fatalf("disjoint transactions must certify: %+v", rep)
+	}
+}
+
+// TestStaticCertification: fully chopping every atomicity relation
+// between conflicting transactions certifies the spec for every
+// execution (all F/B arcs collapse onto forward D-arcs).
+func TestStaticCertification(t *testing.T) {
+	ts := mustSet(t,
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.W("x"), core.R("x")),
+	)
+	sp := core.NewSpec(ts)
+	sp.AllowAllPairs()
+	rep := speclint.Check(sp)
+	if !rep.Certified {
+		t.Fatalf("fully chopped spec must certify: %+v", rep)
+	}
+	if rep.HasErrors() {
+		t.Fatalf("unexpected errors: %v", rep.Findings)
+	}
+	if len(findings(rep, "potential-rsg")) != 1 {
+		t.Fatalf("want one certification info finding, got %v", rep.Findings)
+	}
+}
+
+// TestCertifiedSpecHoldsOnAllInterleavings cross-checks the static
+// certification against the dynamic Theorem 1 oracle: every
+// interleaving of the certified programs must be relatively
+// serializable.
+func TestCertifiedSpecHoldsOnAllInterleavings(t *testing.T) {
+	ts := mustSet(t,
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.W("x"), core.R("x")),
+	)
+	sp := core.NewSpec(ts)
+	sp.AllowAllPairs()
+	if rep := speclint.Check(sp); !rep.Certified {
+		t.Fatalf("precondition: spec must certify: %+v", rep)
+	}
+	for _, s := range allInterleavings(t, ts) {
+		if !core.IsRelativelySerializable(s, sp) {
+			t.Fatalf("certified spec violated by schedule %v", s)
+		}
+	}
+}
+
+// TestPotentialCycleWitness: a unit keeping u < w together while the
+// other transaction holds an operation conflicting with both blocks
+// certification, and the warning must carry the concrete cycle the
+// dynamic check will keep rejecting.
+func TestPotentialCycleWitness(t *testing.T) {
+	ts := mustSet(t,
+		core.T(1, core.R("x"), core.W("x")),
+		core.T(2, core.W("x"), core.R("y")),
+	)
+	sp := core.NewSpec(ts)
+	// Chop T2 fully but leave Atomicity(T1, T2) absolute: w2[x]
+	// conflicts with both r1[x] and w1[x] in T1's single unit.
+	if err := sp.AllowAll(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	rep := speclint.Check(sp)
+	var hit *speclint.Finding
+	for i, f := range rep.Findings {
+		if f.Check == "potential-rsg" && f.Severity == speclint.Warn &&
+			f.Pair == [2]core.TxnID{1, 2} {
+			hit = &rep.Findings[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("want potential-rsg warning with witness, got %v", rep.Findings)
+	}
+	// A constraining (non-degenerate) spec is not an error.
+	if rep.HasErrors() {
+		t.Fatalf("non-degenerate spec must not error: %v", rep.Findings)
+	}
+	for _, frag := range []string{"r1[x]", "w1[x]", "w2[x]", "-D->", "-F->"} {
+		if !strings.Contains(hit.Message, frag) {
+			t.Fatalf("witness diagnostic missing %q: %s", frag, hit.Message)
+		}
+	}
+	// The witness is real: the interleaving r1 w2 w1 must fail the
+	// dynamic check.
+	s, err := core.ParseSchedule(ts, "r1[x] w2[x] w1[x] r2[y]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if core.IsRelativelySerializable(s, sp) {
+		t.Fatal("witness schedule unexpectedly serializable")
+	}
+}
+
+// TestFig1NotCertifiable: the paper's Figure 1 spec admits some
+// interleavings but not all — it must neither certify nor error.
+func TestFig1NotCertifiable(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "core", "testdata", "instances", "fig1.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inst, err := core.ParseInstance(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := speclint.CheckInstance(inst)
+	if rep.Certified {
+		t.Fatalf("Figure 1 spec must not statically certify: %+v", rep)
+	}
+	if len(findings(rep, "breakpoint")) != 0 {
+		t.Fatalf("Figure 1 has no dead breakpoints: %v", rep.Findings)
+	}
+	if len(findings(rep, "lemma1")) != 0 {
+		t.Fatalf("Figure 1 is not degenerate: %v", rep.Findings)
+	}
+}
+
+// allInterleavings enumerates every schedule of the set (programs are
+// short; the count stays tiny).
+func allInterleavings(t *testing.T, ts *core.TxnSet) []*core.Schedule {
+	t.Helper()
+	var out []*core.Schedule
+	next := make(map[core.TxnID]int)
+	var ops []core.Op
+	var rec func()
+	rec = func() {
+		if len(ops) == ts.NumOps() {
+			s, err := core.NewSchedule(ts, append([]core.Op(nil), ops...))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, s)
+			return
+		}
+		for _, tx := range ts.Txns() {
+			if next[tx.ID] < tx.Len() {
+				ops = append(ops, tx.Op(next[tx.ID]))
+				next[tx.ID]++
+				rec()
+				next[tx.ID]--
+				ops = ops[:len(ops)-1]
+			}
+		}
+	}
+	rec()
+	return out
+}

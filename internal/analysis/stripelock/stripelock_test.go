@@ -1,0 +1,12 @@
+package stripelock_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/stripelock"
+)
+
+func TestStripelock(t *testing.T) {
+	analysistest.Run(t, stripelock.Analyzer, "../testdata/src/stripelock")
+}

@@ -1,0 +1,194 @@
+// Package terminalops flags protocol API misuse around transaction
+// termination: once Commit(i) or Abort(i) has been issued to a
+// scheduler protocol for an instance, no further Request / CanCommit /
+// Commit / Abort for the same instance may follow — the protocols
+// drop all state for a terminated instance, so a late call either
+// panics or silently corrupts the decision graph. A subsequent
+// Begin(i, ...) re-admits the instance and resets the tracking.
+//
+// The analysis is intraprocedural and syntactic about identity: calls
+// are matched when both the receiver expression and the instance
+// expression render identically. Tracking follows straight-line
+// statement order inside each block; loop bodies start fresh (a
+// terminal call late in one iteration does not poison the next).
+package terminalops
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+
+	"relser/internal/analysis"
+)
+
+// Analyzer is the terminal-operation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "terminalops",
+	Doc:  "check that no protocol call follows Commit/Abort for the same instance",
+	Run:  run,
+}
+
+const schedPath = "relser/internal/sched"
+
+func run(pass *analysis.Pass) error {
+	w := &walker{pass: pass}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				w.block(fn.Body.List, map[string]string{})
+			}
+		}
+	}
+	return nil
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block scans statements in order. terminated maps "recv\x00instance"
+// to the terminal call's name. Branch bodies inherit a copy; loop
+// bodies start empty.
+func (w *walker) block(list []ast.Stmt, terminated map[string]string) {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			w.call(s.X, terminated)
+		case *ast.AssignStmt:
+			for _, e := range s.Rhs {
+				w.call(e, terminated)
+			}
+		case *ast.IfStmt:
+			w.block(s.Body.List, copyMap(terminated))
+			if s.Else != nil {
+				if blk, ok := s.Else.(*ast.BlockStmt); ok {
+					w.block(blk.List, copyMap(terminated))
+				} else if elif, ok := s.Else.(*ast.IfStmt); ok {
+					w.block([]ast.Stmt{elif}, copyMap(terminated))
+				}
+			}
+		case *ast.BlockStmt:
+			w.block(s.List, copyMap(terminated))
+		case *ast.ForStmt:
+			w.block(s.Body.List, map[string]string{})
+		case *ast.RangeStmt:
+			w.block(s.Body.List, map[string]string{})
+		case *ast.SwitchStmt:
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CaseClause); ok {
+					w.block(cc.Body, copyMap(terminated))
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+				w.block(lit.Body.List, map[string]string{})
+			}
+		}
+	}
+}
+
+// call inspects one expression for protocol method calls and updates
+// or checks the terminated set.
+func (w *walker) call(e ast.Expr, terminated map[string]string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Begin", "Request", "CanCommit", "Commit", "Abort":
+		default:
+			return true
+		}
+		if !w.isSchedMethod(sel.Sel) {
+			return true
+		}
+		inst, ok := instanceArg(name, call)
+		if !ok {
+			return true
+		}
+		key := render(sel.X) + "\x00" + inst
+		switch name {
+		case "Begin":
+			delete(terminated, key)
+		case "Commit", "Abort":
+			if prior, done := terminated[key]; done {
+				w.report(call.Pos(), name, inst, prior)
+			}
+			terminated[key] = name
+		default: // Request, CanCommit
+			if prior, done := terminated[key]; done {
+				w.report(call.Pos(), name, inst, prior)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) report(pos token.Pos, name, inst, prior string) {
+	w.pass.Reportf(pos,
+		"%s for instance %s after terminal %s; terminated instances drop protocol state and must be re-admitted with Begin",
+		name, inst, prior)
+}
+
+// isSchedMethod reports whether the selected method belongs to the
+// scheduler-protocol package (a concrete protocol or the Protocol
+// interface itself).
+func (w *walker) isSchedMethod(id *ast.Ident) bool {
+	obj, ok := w.pass.TypesInfo.Uses[id]
+	if !ok {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == schedPath
+}
+
+// instanceArg extracts the rendered instance expression from a
+// protocol call: the first argument for Begin/CanCommit/Commit/Abort,
+// the Instance field of the OpRequest literal for Request.
+func instanceArg(name string, call *ast.CallExpr) (string, bool) {
+	if len(call.Args) == 0 {
+		return "", false
+	}
+	if name != "Request" {
+		return render(call.Args[0]), true
+	}
+	lit, ok := call.Args[0].(*ast.CompositeLit)
+	if !ok {
+		return "", false
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Instance" {
+			return render(kv.Value), true
+		}
+	}
+	return "", false
+}
+
+func copyMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func render(e ast.Expr) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

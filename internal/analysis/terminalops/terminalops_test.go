@@ -1,0 +1,12 @@
+package terminalops_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/terminalops"
+)
+
+func TestTerminalops(t *testing.T) {
+	analysistest.Run(t, terminalops.Analyzer, "../testdata/src/terminalops")
+}

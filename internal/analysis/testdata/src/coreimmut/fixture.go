@@ -1,0 +1,40 @@
+// Package fixture exercises the coreimmut analyzer.
+package fixture
+
+import (
+	"relser/internal/core"
+)
+
+func constructionOK() *core.Transaction {
+	ops := make([]core.Op, 2)
+	ops[0] = core.R("x") // fine: filling a local slice is construction
+	ops[1] = core.W("x")
+	return core.T(1, ops...)
+}
+
+func wholeValueOK(t, other *core.Transaction) *core.Transaction {
+	t = other // fine: rebinding the variable mutates nothing
+	return t
+}
+
+func instanceBundleOK(inst *core.Instance, s *core.Schedule) {
+	inst.Schedules["extra"] = s // fine: Instance is a mutable bundle
+	inst.Names = append(inst.Names, "extra")
+}
+
+func fieldWrites(t *core.Transaction, sp *core.Spec) {
+	t.Ops = nil                        // want `mutation of core.Transaction`
+	t.Ops = append(t.Ops, core.R("y")) // want `mutation of core.Transaction`
+	t.Ops[0] = core.W("z")             // want `mutation of core.Transaction`
+	t.Ops[0].Object = "q"              // want `mutation of core.Op`
+	t.ID++                             // want `mutation of core.Transaction`
+}
+
+func opFieldWrite(o core.Op) core.Op {
+	o.Seq = 7 // want `mutation of core.Op`
+	return o
+}
+
+func aliasing(t *core.Transaction) *core.Op {
+	return &t.Ops[0] // want `address of core.Transaction field`
+}

@@ -1,0 +1,39 @@
+// Package fixture exercises the registrydrift analyzer.
+package fixture
+
+import (
+	"relser/internal/fault"
+	"relser/internal/metrics"
+	"relser/internal/trace"
+)
+
+func points(in *fault.Injector) {
+	in.Fire(fault.ShardStall)           // fine: registry constant
+	in.Fire(fault.Point("shard.stall")) // fine: literal in registry
+	in.Fire(fault.Point("shard.stal"))  // want `not in the fault registry`
+	var p fault.Point = "no.such.point" // want `not in the fault registry`
+	_ = p
+}
+
+func specs() {
+	_, _ = fault.ParseSpec("shard.stall:0.5")  // fine
+	_, _ = fault.ParseSpec("shard.stall=0.5")  // want `does not parse`
+	_ = fault.MustParseSpec("bogus.point:1.0") // want `does not parse`
+}
+
+func kinds() {
+	_ = trace.KindCommit          // fine: registry constant
+	_ = trace.Kind("commit")      // fine: literal in registry
+	_ = trace.Kind("comitted")    // want `not a registered event kind`
+	var k trace.Kind = "beginnng" // want `not a registered event kind`
+	_ = k
+}
+
+func keys(reg *metrics.Registry) {
+	_ = reg.Counter("txn.committed")     // fine: canonical
+	_ = reg.Counter("txn.comitted")      // want `not in the canonical key registry`
+	_ = reg.Gauge("txn.actve")           // want `not in the canonical key registry`
+	_ = reg.Histogram("txn.shard03.lat") // fine: registered dynamic prefix
+	name := "txn.elsewhere"
+	_ = reg.Counter(name) // fine: not a constant, run-time concern
+}

@@ -1,0 +1,45 @@
+// Package fixture exercises the specbuild analyzer.
+package fixture
+
+import (
+	"relser/internal/core"
+)
+
+func coveringOK() {
+	t1 := core.T(1, core.R("x"), core.W("x"), core.W("z"), core.R("y"))
+	t2 := core.T(2, core.R("y"), core.W("y"), core.R("x"))
+	ts := core.MustTxnSet(t1, t2)
+	sp := core.NewSpec(ts)
+	_ = sp.SetUnits(1, 2, 2, 2) // fine: 2+2 covers the 4 ops of T1
+	_ = sp.CutAfter(2, 1, 0)    // fine
+}
+
+func badPartitions() {
+	t1 := core.T(1, core.R("x"), core.W("x"), core.W("z"), core.R("y"))
+	t2 := core.T(2, core.R("y"), core.W("y"), core.R("x"))
+	ts := core.MustTxnSet(t1, t2)
+	sp := core.NewSpec(ts)
+	_ = sp.SetUnits(1, 2, 2, 1)    // want `does not cover the transaction`
+	_ = sp.SetUnits(1, 2, 3, 2)    // want `units overlap or overrun`
+	_ = sp.SetUnits(1, 2, 2, 0, 2) // want `non-positive length`
+	_ = sp.SetUnits(2, 1, 4, -1)   // want `non-positive length`
+}
+
+func badBreakpoints() {
+	t1 := core.T(1, core.R("x"), core.W("x"), core.W("z"), core.R("y"))
+	t2 := core.T(2, core.R("y"), core.W("y"), core.R("x"))
+	ts := core.MustTxnSet(t1, t2)
+	sp := core.NewSpec(ts)
+	_ = sp.CutAfter(1, 2, 7)  // want `out of range for T1`
+	_ = sp.CutAfter(1, 2, -1) // want `out of range`
+	_ = sp.CutAfter(2, 1, 2)  // want `no-op`
+}
+
+func unknownLengthsSkipped(n int, lens []int) {
+	t1 := core.T(1, core.R("x"), core.W("x"))
+	ts := core.MustTxnSet(t1)
+	sp := core.NewSpec(ts)
+	_ = sp.CutAfter(1, 1, n)                // fine: seq not constant
+	_ = sp.SetUnits(1, 1, lens...)          // fine: spread, lengths unknown
+	_ = sp.SetUnits(core.TxnID(n), 1, 9, 9) // fine: txn id not constant
+}

@@ -1,0 +1,60 @@
+// Package fixture exercises the terminalops analyzer.
+package fixture
+
+import (
+	"relser/internal/core"
+	"relser/internal/sched"
+)
+
+func afterCommit(p *sched.SGT, id int64, req sched.OpRequest) {
+	p.Commit(id)
+	_ = p.Request(sched.OpRequest{Instance: id}) // want `Request for instance id after terminal Commit`
+	_ = p.CanCommit(id)                          // want `CanCommit for instance id after terminal Commit`
+	p.Abort(id)                                  // want `Abort for instance id after terminal Commit`
+}
+
+func afterAbort(p *sched.SGT, id int64) {
+	p.Abort(id)
+	p.Commit(id) // want `Commit for instance id after terminal Abort`
+}
+
+func reAdmitOK(p *sched.SGT, id int64, t *core.Transaction) {
+	p.Commit(id)
+	p.Begin(id, t)
+	_ = p.Request(sched.OpRequest{Instance: id}) // fine: re-admitted
+	p.Commit(id)
+}
+
+func distinctInstancesOK(p *sched.SGT, a, b int64) {
+	p.Commit(a)
+	_ = p.CanCommit(b) // fine: different instance
+}
+
+func distinctProtocolsOK(p, q *sched.SGT, id int64) {
+	p.Commit(id)
+	_ = q.CanCommit(id) // fine: different protocol value
+}
+
+func branchesIsolated(p *sched.SGT, id int64, cond bool) {
+	if cond {
+		p.Commit(id)
+	} else {
+		p.Abort(id)
+	}
+	// A terminal call inside one branch does not poison code after the
+	// if statement in this conservative intraprocedural analysis.
+	_ = p.CanCommit(id)
+}
+
+func branchCarries(p *sched.SGT, id int64, cond bool) {
+	p.Commit(id)
+	if cond {
+		p.Abort(id) // want `Abort for instance id after terminal Commit`
+	}
+}
+
+func loopBodyFresh(p *sched.SGT, ids []int64) {
+	for _, id := range ids {
+		p.Commit(id)
+	}
+}
