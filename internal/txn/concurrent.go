@@ -566,6 +566,8 @@ func (r *ConcurrentRunner) tryFinish(st *instanceState) (committed, aborted bool
 // state holders, which cannot run until this worker drops the shared
 // lock — and by then waiters is registered and sh.mu pins the cond
 // until Wait is entered.
+//
+//rsvet:locks sh.mu
 func (r *ConcurrentRunner) sleepShard(sh *driverShard) bool {
 	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
 		r.sleepers.Add(-1)
@@ -702,6 +704,8 @@ func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (b
 // callers additionally hold pmu. Returns the operation's execution
 // order and false if executing would create an unrecoverable
 // read-from cycle.
+//
+//rsvet:locks sh.mu
 func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *driverShard) (int64, bool) {
 	if w, dirty := topDirty(sh, op.Object); dirty && w != st.id && r.depPath(w, st.id) {
 		return 0, false
@@ -712,10 +716,13 @@ func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *dri
 		// wedge parks until the injector is released, which only the
 		// watchdog does: without one, a rate-1 wedge hangs the run, which
 		// is exactly the failure mode the watchdog exists to surface.
+		//rsvet:allow stripelock -- stall must block same-shard neighbors to be realistic
 		if in.Fire(fault.ShardStall) {
 			time.Sleep(in.Latency(fault.ShardStall))
 		}
+		//rsvet:allow stripelock -- wedge parks under sh.mu so the watchdog has something to detect
 		if in.Fire(fault.ShardWedge) {
+			//rsvet:allow stripelock
 			in.Wedge()
 		}
 	}
