@@ -2,26 +2,59 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck
+# Pinned tool versions, reproducible across CI runs (satellite of the
+# rsvet PR: no more @latest drift in required checks).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec
 
 all: build vet test
 
 # Everything CI runs (see .github/workflows/ci.yml).
 ci: fmt-check lint build race
 
-# Required lint: go vet plus staticcheck. CI installs staticcheck; a
-# local tree without it fails here with instructions rather than
-# silently passing.
-lint: vet staticcheck
+# Required lint: go vet, the repo's own rsvet analyzers, staticcheck
+# and govulncheck. CI installs the external tools pinned; a local tree
+# without them fails here with instructions rather than silently
+# passing.
+lint: vet rsvet rsvet-spec staticcheck govulncheck
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not found; install with:"; \
-		echo "  go install honnef.co/go/tools/cmd/staticcheck@latest"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)"; \
 		echo "(skipping locally; CI runs it as a required check)"; \
 	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not found; install with:"; \
+		echo "  go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)"; \
+		echo "(skipping locally; CI runs it as a required check)"; \
+	fi
+
+# Build the repository's own static-analysis tool.
+vet-tool:
+	$(GO) build -o bin/rsvet ./cmd/rsvet
+
+# Run the custom analyzers over the whole tree (blocking CI gate).
+rsvet:
+	$(GO) run ./cmd/rsvet ./...
+
+# Statically triage the example specs: the partitioned spec must
+# certify, the degenerate spec must be rejected, fig1 sits in between
+# (warnings only). Exit-code smoke mirrors the CI step.
+rsvet-spec:
+	$(GO) run ./cmd/rsvet -spec -certify examples/specs/partitioned.txt
+	@if $(GO) run ./cmd/rsvet -spec examples/specs/degenerate.txt; then \
+		echo "rsvet-spec: degenerate.txt unexpectedly passed"; exit 1; \
+	else echo "rsvet-spec: degenerate.txt rejected as expected"; fi
+	$(GO) run ./cmd/rsvet -spec examples/specs/fig1.txt
 
 # Fail if any file is not gofmt-clean.
 fmt-check:
@@ -62,7 +95,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseSchedule -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzParseInstance -fuzztime=10s ./internal/core/
 
-tools:
+tools: vet-tool
 	$(GO) build -o bin/rscheck ./cmd/rscheck
 	$(GO) build -o bin/rsenum ./cmd/rsenum
 	$(GO) build -o bin/rssim ./cmd/rssim
