@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine
 
 all: build vet test
 
@@ -72,6 +72,13 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Focused engine-pipeline gate (CI: test job): the serial/concurrent
+# parity corpus and per-stage cancellation unwind, race-checked and
+# repeated to shake out scheduling-dependent flakes.
+test-engine:
+	$(GO) test -race -count=2 ./internal/engine ./internal/txn \
+		-run 'TestSerialConcurrentParity|TestSerialReplayDeterminism|TestCancel|TestRunOptionsTimeout|TestCorePipeline|TestAbortAll|TestStageNames|TestNewCoreValidation'
 
 cover:
 	$(GO) test -cover ./...

@@ -42,6 +42,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 		shards     = flag.Int("shards", 1, "shard count for the concurrent driver's hot path (rounded up to a power of two)")
 		faultSpec  = flag.String("faults", "", "E16: replace the built-in chaos specs with this fault spec (point:rate[:duration],...)")
+		timeout    = flag.Duration("timeout", 0, "bound each workload run inside an experiment with a context deadline (0 disables); an expired run errors the experiment instead of hanging")
 	)
 	flag.Parse()
 
@@ -71,7 +72,7 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards, FaultSpec: *faultSpec}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Shards: *shards, FaultSpec: *faultSpec, Timeout: *timeout}
 	var buf *trace.Buffer
 	if *tracePath != "" {
 		buf = trace.NewBuffer()

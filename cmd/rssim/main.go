@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"runtime/pprof"
 	"strings"
 
+	"relser"
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
@@ -51,8 +53,9 @@ func main() {
 		dotDir     = flag.String("dotdir", "", "write RSG DOT snapshots taken at rejection points into this directory")
 		metricsOn  = flag.Bool("metrics", false, "print the runtime metrics registry after the run")
 		faultSpec  = flag.String("faults", "", "arm deterministic fault injection: point:rate[:duration],... (e.g. 'wal.torn:0.01,txn.abort:0.2'); same seed replays the same fault schedule")
-		deadline   = flag.Int64("deadline", 0, "abort any transaction instance older than this many logical clock units (0 disables)")
-		watchdog   = flag.Duration("watchdog", 0, "concurrent driver: fail with a wedge report after this long without progress (0 = default 10s, negative disables)")
+		timeout    = flag.Duration("timeout", 0, "bound the whole run's wall time via a context deadline (0 disables); on expiry in-flight transactions are rolled back and any WAL stays recoverable")
+		deadline   = flag.Int64("deadline", 0, "deprecated alias kept for old scripts: per-instance logical-age abort bound (0 disables); prefer -timeout for bounding runs")
+		watchdog   = flag.Duration("watchdog", 0, "deprecated alias kept for old scripts: concurrent-driver progress-free wedge bound (0 = default 10s, negative disables); prefer -timeout, which cancels the same run context")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -130,7 +133,13 @@ func main() {
 
 	fmt.Fprintf(status, "workload=%s programs=%d protocol=%s seed=%d mpl=%d\n",
 		w.Name, len(w.Programs), p.Name(), *seed, *mpl)
-	res, _, err := w.RunWith(p, workload.RunOptions{
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, _, err := relser.Run(ctx, w, p, relser.RunOptions{
 		Seed:       *seed,
 		MPL:        *mpl,
 		WAL:        wal,

@@ -7,22 +7,33 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"relser/internal/sched"
+	"relser"
 	"relser/internal/storage"
 	"relser/internal/workload"
 )
 
 func main() {
 	cfg := workload.DefaultBankingConfig()
-	w, err := workload.Banking(cfg, 11)
+	w, err := relser.Banking(cfg, 11)
 	if err != nil {
 		log.Fatal(err)
 	}
+	p, err := relser.NewProtocol("rsgt", w.Oracle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The root entry point runs under a context; the timeout bounds the
+	// whole run's wall time (far above what this example needs — it is
+	// here to show the cancellation plumbing, not to fire).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
 	var logBuf bytes.Buffer
-	res, store, err := w.RunWith(sched.NewRSGT(w.Oracle), workload.RunOptions{
+	res, store, err := relser.Run(ctx, w, p, relser.RunOptions{
 		Seed: 11,
 		MPL:  8,
 		WAL:  storage.NewWAL(&logBuf),

@@ -1,0 +1,621 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"relser/internal/core"
+	"relser/internal/fault"
+	"relser/internal/metrics"
+	"relser/internal/sched"
+	"relser/internal/shard"
+	"relser/internal/storage"
+)
+
+// Instance is one in-flight incarnation of a transaction program.
+// Drivers own the synchronization: the deterministic driver touches
+// instances single-threaded; the concurrent driver confines each
+// instance to its worker on the operation path and to exclusive
+// state-lock holders on lifecycle paths (Doomed is the one
+// cross-worker flag, hence atomic).
+type Instance struct {
+	ID      int64
+	Program *core.Transaction
+	// Next is the program-order index of the next operation to issue.
+	Next  int
+	Undo  storage.UndoLog
+	Reads map[int]storage.Value
+	// DepsOn holds live instances whose uncommitted data this instance
+	// read or overwrote; commit waits for them and their abort cascades
+	// here.
+	DepsOn   map[int64]bool
+	Restarts int
+	Events   []Event
+	Writes   map[string]storage.Value
+	// Done is set when all operations executed; the instance is waiting
+	// to commit.
+	Done bool
+	// StartClock is the logical time at admission, for latency.
+	StartClock int64
+	// BlockedSince is the logical time the instance entered its current
+	// block interval, or -1 when not blocked; the reporter's
+	// block-latency histogram closes intervals at the next grant.
+	BlockedSince int64
+	// Doomed is set when a cascade initiated by another worker aborted
+	// this instance; its worker observes the flag on next wake and
+	// restarts the program (concurrent driver only).
+	Doomed atomic.Bool
+}
+
+// Pending is a program queued for (re-)admission.
+type Pending struct {
+	Program  *core.Transaction
+	Restarts int
+	// ReadyAt delays re-admission after an abort (restart backoff), in
+	// ticks; only the deterministic driver's tick queue uses it.
+	ReadyAt int
+}
+
+// Core is the engine pipeline state shared by every driver: the
+// instance table, dirty-writer stacks, the dirty-read dependency
+// graph, WAL emission, degradation controllers and the reporter. A
+// Core implements the lifecycle stages; drivers supply the loop (one
+// goroutine with a tick clock, or a worker pool with the execution
+// sequence as the clock) and the synchronization discipline:
+//
+//   - The deterministic driver calls everything single-threaded.
+//   - The concurrent driver calls Admit, TryCommit, AbortCascade and
+//     AbortAll under its exclusive state lock; Decide, Unrecoverable
+//     and Apply on the operation path under the shared state lock plus
+//     the target object's shard lock (so the shard's dirty stacks are
+//     stable). The dependency graph has its own leaf mutex for
+//     operation-path mutations; lifecycle holders are excluded from
+//     those by the state lock and access it directly.
+type Core struct {
+	Cfg    Config
+	Router shard.Router
+
+	// Active is the instance table, guarded by the driver's lifecycle
+	// discipline (see type comment).
+	Active       map[int64]*Instance
+	nextInstance int64
+
+	// dirty stacks uncommitted writers per object (innermost last),
+	// partitioned by driver shard. Operation-path access requires the
+	// object's shard lock in the concurrent driver.
+	dirty []map[string][]int64
+
+	// depMu guards dependents and every Instance.DepsOn among
+	// concurrent operation-path holders; exclusive state holders access
+	// them directly. Leaf mutex: never held across other locks.
+	depMu      sync.Mutex
+	dependents map[int64]map[int64]bool
+
+	// walMu serializes WAL appends; append errors park in walErr until
+	// a driver folds them into its run error. Leaf mutex.
+	walMu  sync.Mutex
+	walErr error
+
+	// ExecSeq is the global execution sequence: every applied operation
+	// draws the next value as its order. The concurrent driver also
+	// uses it as the run's logical clock.
+	ExecSeq atomic.Int64
+
+	// Operation-path counters (atomic so the concurrent hot path needs
+	// no extra locks); folded into the Result by Finalize.
+	opsExecuted    atomic.Int64
+	blocksTotal    atomic.Int64
+	injectedAborts atomic.Int64
+	injectedDelays atomic.Int64
+	deadlineAborts atomic.Int64
+	recovAborts    atomic.Int64
+	cancelAborts   atomic.Int64
+
+	// Degradation controllers; observe calls are lifecycle-locked.
+	shed *shedder
+	lv   livelock
+	jit  *jitter
+
+	latencies metrics.Stats
+	rep       reporter
+
+	res Result
+}
+
+// NewCore validates the configuration (filling defaults) and prepares
+// the shared pipeline state.
+func NewCore(cfg Config) (*Core, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		Cfg:        cfg,
+		Router:     shard.NewRouter(cfg.Shards),
+		Active:     make(map[int64]*Instance),
+		dependents: make(map[int64]map[int64]bool),
+		shed:       newShedder(cfg.MPL),
+		jit:        newJitter(cfg.RestartBackoffSeed()),
+	}
+	c.dirty = make([]map[string][]int64, c.Router.Shards())
+	for i := range c.dirty {
+		c.dirty[i] = make(map[string][]int64)
+	}
+	c.rep = newReporter(&cfg)
+	c.res.Protocol = cfg.Protocol.Name()
+	c.res.oracle = cfg.Oracle
+	return c, nil
+}
+
+// Clock returns the execution-sequence clock (the concurrent driver's
+// logical time).
+func (c *Core) Clock() int64 { return c.ExecSeq.Load() }
+
+// AdmitLimit returns the admission controller's current effective
+// multiprogramming level. Safe from any goroutine.
+func (c *Core) AdmitLimit() int { return c.shed.limit() }
+
+// Committed returns the committed-instance count. Caller-synchronized
+// (lifecycle discipline).
+func (c *Core) Committed() int { return c.res.Committed }
+
+// ActiveIDs returns the live instance IDs, ascending.
+// Caller-synchronized.
+func (c *Core) ActiveIDs() []int64 {
+	ids := make([]int64, 0, len(c.Active))
+	for id := range c.Active {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Admit runs the Admit stage: a fresh instance enters the protocol,
+// the WAL holds its begin record, and the admission is observed.
+// Lifecycle-locked.
+func (c *Core) Admit(pp *Pending, clock int64) *Instance {
+	c.nextInstance++
+	st := &Instance{
+		ID:           c.nextInstance,
+		Program:      pp.Program,
+		Reads:        make(map[int]storage.Value),
+		DepsOn:       make(map[int64]bool),
+		Writes:       make(map[string]storage.Value),
+		Restarts:     pp.Restarts,
+		StartClock:   clock,
+		BlockedSince: -1,
+	}
+	c.Active[st.ID] = st
+	c.Cfg.Protocol.Begin(st.ID, st.Program)
+	c.LogWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.ID})
+	c.rep.begin(st, clock)
+	c.Cfg.Hooks.fire(StageAdmit, st)
+	return st
+}
+
+// Decide runs the Issue and Decide stages: the instance's next
+// operation is submitted to the protocol and its verdict returned. A
+// request whose context is already canceled is refused with Abort
+// without consulting the protocol — a canceled instance must not enter
+// wait queues it will never leave. Called under whatever admission
+// mutual exclusion the protocol requires (the driver's shard lock or
+// protocol mutex).
+func (c *Core) Decide(st *Instance, req sched.OpRequest) sched.Decision {
+	c.Cfg.Hooks.fire(StageIssue, st)
+	var dec sched.Decision
+	if req.Canceled() {
+		dec = sched.Abort
+	} else {
+		dec = c.Cfg.Protocol.Request(req)
+	}
+	c.Cfg.Hooks.fire(StageDecide, st)
+	return dec
+}
+
+// Unrecoverable reports whether letting st touch op's object would
+// close a dirty-data dependency cycle — neither party could ever
+// commit first, so the driver must abort instead of applying. Called
+// with the object's shard (shardIdx) stable per the driver's locking
+// contract.
+func (c *Core) Unrecoverable(st *Instance, op core.Op, shardIdx int) bool {
+	w, dirty := topDirty(c.dirty[shardIdx], op.Object)
+	return dirty && w != st.ID && c.depPath(w, st.ID)
+}
+
+// Apply runs the Apply stage for a granted operation: the store access
+// (context-aware, so injected stalls cut short on cancellation), dirty
+// tracking and dependency recording, the WAL write record, and the
+// instance's event log. It returns the operation's global execution
+// order. The caller must have ruled the access recoverable
+// (Unrecoverable) under the same shard lock.
+func (c *Core) Apply(ctx context.Context, st *Instance, op core.Op, shardIdx int) int64 {
+	c.opsExecuted.Add(1)
+	dirty := c.dirty[shardIdx]
+	if op.Kind == core.ReadOp {
+		v := c.Cfg.Store.ReadCtx(ctx, op.Object)
+		st.Reads[op.Seq] = v.Value
+		if w, ok := topDirty(dirty, op.Object); ok && w != st.ID {
+			c.addDep(st, w)
+		}
+	} else {
+		v := c.Cfg.Semantics.WriteValue(st.Program, op.Seq, st.Reads)
+		if w, ok := topDirty(dirty, op.Object); ok && w != st.ID {
+			c.addDep(st, w) // overwrote dirty data
+		}
+		st.Undo.WriteLoggedCtx(ctx, c.Cfg.Store, op.Object, v)
+		st.Writes[op.Object] = v
+		dirty[op.Object] = append(dirty[op.Object], st.ID)
+		c.LogWAL(storage.WALRecord{Kind: storage.WALWrite, Instance: st.ID, Object: op.Object, Value: v})
+	}
+	order := c.ExecSeq.Add(1)
+	st.Events = append(st.Events, Event{Instance: st.ID, Program: st.Program, Op: op, Order: order})
+	st.Next++
+	if st.Next == st.Program.Len() {
+		st.Done = true
+	}
+	c.Cfg.Hooks.fire(StageApply, st)
+	return order
+}
+
+// TryCommit runs the Commit stage for a finished instance if its
+// dirty-data dependencies have drained and the protocol agrees; a veto
+// is counted as a commit wait and the driver retries.
+// Lifecycle-locked.
+func (c *Core) TryCommit(st *Instance, clock int64) bool {
+	if len(st.DepsOn) > 0 || !c.Cfg.Protocol.CanCommit(st.ID) {
+		c.res.CommitWaits++
+		c.rep.commitWait()
+		return false
+	}
+	c.Cfg.Protocol.Commit(st.ID)
+	c.LogWAL(storage.WALRecord{Kind: storage.WALCommit, Instance: st.ID})
+	st.Undo.Discard()
+	for obj := range st.Writes {
+		c.removeDirty(obj, st.ID)
+	}
+	for dep := range c.dependents[st.ID] {
+		if d, ok := c.Active[dep]; ok {
+			delete(d.DepsOn, st.ID)
+		}
+	}
+	delete(c.dependents, st.ID)
+	delete(c.Active, st.ID)
+	c.res.Committed++
+	c.lv.noteCommit()
+	prevLim := c.shed.limit()
+	if lim, changed := c.shed.observe(true); changed {
+		c.rep.shed(lim, c.Cfg.MPL, lim < prevLim, clock)
+	}
+	c.rep.commit(st, clock)
+	c.latencies.Add(float64(clock - st.StartClock))
+	c.res.Spans = append(c.res.Spans, Span{
+		Instance: st.ID, Program: int(st.Program.ID),
+		Start: st.StartClock, End: clock, CommitSeq: c.ExecSeq.Load(),
+	})
+	c.res.Trace = append(c.res.Trace, st.Events...)
+	c.res.Programs = append(c.res.Programs, st.Program)
+	if c.Cfg.History != nil {
+		c.Cfg.History.Append(storage.Commit{Instance: st.ID, Writes: st.Writes})
+	}
+	c.Cfg.Hooks.fire(StageCommit, st)
+	return true
+}
+
+// AbortCascade runs the Abort stage: the instance and, transitively,
+// every live instance that read or overwrote its uncommitted data are
+// aborted together, all their writes rolled back in global reverse
+// order. onVictim is called for each victim after its engine-side
+// cleanup — the deterministic driver requeues the program with backoff
+// there, the concurrent driver dooms co-victims; a non-nil error stops
+// the cascade and fails the run. Lifecycle-locked.
+func (c *Core) AbortCascade(id int64, reason string, clock int64, onVictim func(*Instance) error) error {
+	victims := map[int64]bool{}
+	var collect func(v int64)
+	collect = func(v int64) {
+		if victims[v] {
+			return
+		}
+		if _, ok := c.Active[v]; !ok {
+			return
+		}
+		victims[v] = true
+		for dep := range c.dependents[v] {
+			collect(dep)
+		}
+	}
+	collect(id)
+	if len(victims) == 0 {
+		return nil
+	}
+	ordered := make([]int64, 0, len(victims))
+	for v := range victims {
+		ordered = append(ordered, v)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	logs := make([]*storage.UndoLog, 0, len(ordered))
+	for _, v := range ordered {
+		logs = append(logs, &c.Active[v].Undo)
+	}
+	storage.RollbackSet(c.Cfg.Store, logs)
+	for _, v := range ordered {
+		st := c.Active[v]
+		c.Cfg.Protocol.Abort(v)
+		c.LogWAL(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
+		c.rep.txnAbort(st, reason, clock)
+		for obj := range st.Writes {
+			c.removeDirty(obj, v)
+		}
+		for dep := range c.dependents[v] {
+			if d, ok := c.Active[dep]; ok {
+				delete(d.DepsOn, v)
+			}
+		}
+		delete(c.dependents, v)
+		for on := range st.DepsOn {
+			if deps := c.dependents[on]; deps != nil {
+				delete(deps, v)
+			}
+		}
+		delete(c.Active, v)
+		c.res.Aborts++
+		prevLim := c.shed.limit()
+		if lim, changed := c.shed.observe(false); changed {
+			c.rep.shed(lim, c.Cfg.MPL, lim < prevLim, clock)
+		}
+		if level, escalated := c.lv.noteRestart(); escalated {
+			c.rep.livelockEscalation(level, clock)
+		}
+		c.Cfg.Hooks.fire(StageAbort, st)
+		if onVictim != nil {
+			if err := onVictim(st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// AbortAll runs the Recover stage: the run context was canceled, so
+// every in-flight instance is aborted — effects rolled back, WAL abort
+// records appended — leaving the store invariant-clean and the log
+// recoverable exactly as after any other abort. cause names what
+// canceled the run (for the trace). Returns the number of instances
+// unwound. Lifecycle-locked.
+func (c *Core) AbortAll(cause string, clock int64) int {
+	// The run-scoped Recover hook fires even when nothing is left in
+	// flight (earlier cascades may have drained every instance): the
+	// unwind still marks the run's end.
+	c.Cfg.Hooks.fire(StageRecover, nil)
+	ids := c.ActiveIDs()
+	if len(ids) == 0 {
+		return 0
+	}
+	c.rep.cancel(cause, clock)
+	n := 0
+	for _, id := range ids {
+		if _, ok := c.Active[id]; !ok {
+			continue // already unwound by an earlier cascade
+		}
+		// onVictim never errors, so neither does the cascade.
+		_ = c.AbortCascade(id, "canceled", clock, func(*Instance) error {
+			n++
+			c.cancelAborts.Add(1)
+			c.rep.cancelAbort()
+			return nil
+		})
+	}
+	return n
+}
+
+// Finalize folds the operation-path counters, degradation state and
+// latency stats into the Result, restores global execution order on
+// the trace (commits append whole per-instance event blocks) and
+// returns it. The driver supplies its tick statistics (zero for the
+// concurrent driver, which has no tick clock).
+func (c *Core) Finalize(ticks int, avgConcurrency float64) *Result {
+	c.res.Ticks = ticks
+	c.res.AvgConcurrency = avgConcurrency
+	c.res.OpsExecuted = int(c.opsExecuted.Load())
+	c.res.Blocks = int(c.blocksTotal.Load())
+	c.res.InjectedAborts = int(c.injectedAborts.Load())
+	c.res.InjectedDelays = int(c.injectedDelays.Load())
+	c.res.DeadlineAborts = int(c.deadlineAborts.Load())
+	c.res.RecoverabilityAborts = int(c.recovAborts.Load())
+	c.res.CancelAborts = int(c.cancelAborts.Load())
+	c.res.LoadSheds = c.shed.sheds
+	c.res.MinEffectiveMPL = c.shed.minEff
+	c.res.LivelockEscalations = c.lv.escalations
+	c.res.LatencyMean = c.latencies.Mean()
+	c.res.LatencyP95 = c.latencies.Percentile(95)
+	sort.Slice(c.res.Trace, func(i, j int) bool { return c.res.Trace[i].Order < c.res.Trace[j].Order })
+	return &c.res
+}
+
+// LogWAL appends a record, parking errors in walErr (surfaced by
+// WALErr at the drivers' fold points) so the hot path never needs a
+// lifecycle lock. The simulator's WAL sinks are in-memory or local
+// files; an append error is fatal to the run.
+func (c *Core) LogWAL(rec storage.WALRecord) {
+	if c.Cfg.WAL == nil {
+		return
+	}
+	c.walMu.Lock()
+	if err := c.Cfg.WAL.Append(rec); err != nil && c.walErr == nil {
+		c.walErr = fmt.Errorf("txn: WAL append failed: %w", err)
+	}
+	c.walMu.Unlock()
+}
+
+// WALErr returns the parked WAL append error, if any. Safe from any
+// goroutine.
+func (c *Core) WALErr() error {
+	c.walMu.Lock()
+	defer c.walMu.Unlock()
+	return c.walErr
+}
+
+// CountRestart records one program restart (the driver decides where
+// in its loop restarts are charged). Lifecycle-locked.
+func (c *Core) CountRestart() {
+	c.res.Restarts++
+	c.rep.restart()
+}
+
+// CountRecoverabilityAbort records one driver-issued recoverability
+// abort.
+func (c *Core) CountRecoverabilityAbort() {
+	c.recovAborts.Add(1)
+	c.rep.recoverabilityAbort()
+}
+
+// CountDeadlineAbort records one per-instance deadline overrun.
+func (c *Core) CountDeadlineAbort() {
+	c.deadlineAborts.Add(1)
+	c.rep.deadlineAbort()
+}
+
+// CountFault records a driver-level fault-point firing (txn.abort or
+// sched.grant.delay) against the instance it hit.
+func (c *Core) CountFault(p fault.Point, inst int64, clock int64) {
+	switch p {
+	case fault.TxnForcedAbort:
+		c.injectedAborts.Add(1)
+	case fault.SchedGrantDelay:
+		c.injectedDelays.Add(1)
+	}
+	c.rep.fault(p, inst, clock)
+}
+
+// ObserveGrant records an executed operation with its execution order.
+func (c *Core) ObserveGrant(st *Instance, op core.Op, order, clock int64) {
+	c.rep.grant(st, op, order, clock)
+}
+
+// ObserveBlock records a protocol Block decision; shardIdx, when
+// non-negative, additionally charges the sharded driver's per-shard
+// block counter.
+func (c *Core) ObserveBlock(st *Instance, op core.Op, clock int64, shardIdx int) {
+	c.blocksTotal.Add(1)
+	if shardIdx >= 0 && c.rep.shardBlocks != nil {
+		c.rep.shardBlocks[shardIdx].Inc()
+	}
+	c.rep.block(st, op, clock)
+}
+
+// ObserveAbortDecision records a protocol Abort decision for a request.
+func (c *Core) ObserveAbortDecision(st *Instance, op core.Op, clock int64) {
+	c.rep.abortDecision(st, op, clock)
+}
+
+// ObserveWedge records the watchdog declaring the run wedged.
+func (c *Core) ObserveWedge(we *WedgeError) { c.rep.wedge(we) }
+
+// ObserveWakeup / ObserveBroadcast* record the concurrent driver's
+// cond-variable traffic.
+func (c *Core) ObserveWakeup() { c.rep.wakeup() }
+
+// ObserveBroadcastShard records a targeted per-shard broadcast.
+func (c *Core) ObserveBroadcastShard() { c.rep.broadcastShard() }
+
+// ObserveBroadcastGlobal records a global-cond broadcast.
+func (c *Core) ObserveBroadcastGlobal() { c.rep.broadcastGlobal() }
+
+// ObserveBroadcastFlood records a flood (everything) broadcast.
+func (c *Core) ObserveBroadcastFlood() { c.rep.broadcastFlood() }
+
+// InitShardInstruments resolves the sharded driver's per-shard
+// contention instruments (no-op without a metrics registry).
+func (c *Core) InitShardInstruments() {
+	c.rep.initShardInstruments(c.Cfg.Metrics, c.Router.Shards())
+}
+
+// ShardInstruments returns shard i's block counter and wall-clock wait
+// histogram (nil without metrics).
+func (c *Core) ShardInstruments(i int) (*metrics.Counter, *metrics.Histogram) {
+	if c.rep.shardBlocks == nil {
+		return nil, nil
+	}
+	return c.rep.shardBlocks[i], c.rep.shardWait[i]
+}
+
+// JitterSleep blocks the caller for a seeded random backoff scaled by
+// its restart count and the livelock escalation level; level 0 returns
+// immediately.
+func (c *Core) JitterSleep(restarts, level int) { c.jit.sleep(restarts, level) }
+
+// LivelockLevel returns the current livelock escalation level.
+// Lifecycle-locked.
+func (c *Core) LivelockLevel() int { return c.lv.level }
+
+// addDep records a dirty-read dependency from the operation path.
+func (c *Core) addDep(st *Instance, on int64) {
+	c.depMu.Lock()
+	defer c.depMu.Unlock()
+	if st.DepsOn[on] {
+		return
+	}
+	st.DepsOn[on] = true
+	deps := c.dependents[on]
+	if deps == nil {
+		deps = make(map[int64]bool)
+		c.dependents[on] = deps
+	}
+	deps[st.ID] = true
+}
+
+// depPath reports whether the dependency graph has a path from -> to.
+// Takes depMu; the Active map itself is stable under the caller's
+// driver discipline.
+func (c *Core) depPath(from, to int64) bool {
+	c.depMu.Lock()
+	defer c.depMu.Unlock()
+	seen := map[int64]bool{}
+	stack := []int64{from}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		if inst, ok := c.Active[v]; ok {
+			for d := range inst.DepsOn {
+				stack = append(stack, d)
+			}
+		}
+	}
+	return false
+}
+
+// topDirty returns the innermost uncommitted writer of object in the
+// given shard's dirty table.
+func topDirty(dirty map[string][]int64, object string) (int64, bool) {
+	stack := dirty[object]
+	if len(stack) == 0 {
+		return 0, false
+	}
+	return stack[len(stack)-1], true
+}
+
+// removeDirty drops every stack entry of the instance for the object.
+// Lifecycle-locked (commit and cascade paths only).
+func (c *Core) removeDirty(object string, id int64) {
+	dirty := c.dirty[c.Router.Shard(object)]
+	stack := dirty[object]
+	out := stack[:0]
+	for _, w := range stack {
+		if w != id {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		delete(dirty, object)
+	} else {
+		dirty[object] = out
+	}
+}

@@ -1,0 +1,91 @@
+// Package engine is the unified transaction-execution pipeline: one
+// explicit per-transaction lifecycle state machine
+//
+//	Admit → Issue → Decide → Apply → Commit/Abort → Recover
+//
+// shared by every driver. The deterministic tick driver (txn.Runner)
+// and the sharded goroutine driver (txn.ConcurrentRunner) are thin
+// loops — single-goroutine vs. worker pool — over the same stage
+// implementations living here: admission and instance bookkeeping,
+// protocol consultation, operation application with dirty-data
+// tracking, commit gating, cascading abort with cross-transaction
+// rollback, graceful degradation (shedding, livelock escalation) and
+// the engine-owned reporter that turns a run into a Result plus trace
+// and metrics emission.
+//
+// Cancellation is one mechanism throughout: every run threads a
+// context.Context through the stages, the scheduler's grant/wait
+// paths (sched.OpRequest.Ctx), the storage substrate's fault stalls
+// and the fault injector's wedge points. Per-run deadlines are
+// context deadlines; the concurrent driver's stall watchdog escalates
+// by canceling the run context with its WedgeError as the cause. A
+// canceled run unwinds through the Recover stage: every in-flight
+// instance is aborted with its effects rolled back and its WAL abort
+// record appended, so the store is invariant-clean and the log
+// recoverable exactly as after any other abort.
+package engine
+
+// Stage names one lifecycle stage of the engine pipeline. Stage hooks
+// (Config.Hooks) observe an instance crossing each stage; the tests
+// use them to cancel runs at precise lifecycle points.
+type Stage int
+
+const (
+	// StageAdmit is instance creation: an admission slot was free, the
+	// protocol saw Begin, the WAL holds the begin record.
+	StageAdmit Stage = iota
+	// StageIssue is the moment the driver submits the instance's next
+	// operation to the protocol.
+	StageIssue
+	// StageDecide is the protocol's verdict on the issued operation
+	// (grant, block or abort).
+	StageDecide
+	// StageApply is a granted operation executing against the store.
+	StageApply
+	// StageCommit is commit bookkeeping for a finished instance.
+	StageCommit
+	// StageAbort is an abort cascade rolling an instance (and its
+	// dirty-read dependents) back.
+	StageAbort
+	// StageRecover is the cancellation unwind: the run context was
+	// canceled and the engine is aborting every in-flight instance to
+	// leave the store invariant-clean and the WAL recoverable.
+	StageRecover
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageAdmit:
+		return "admit"
+	case StageIssue:
+		return "issue"
+	case StageDecide:
+		return "decide"
+	case StageApply:
+		return "apply"
+	case StageCommit:
+		return "commit"
+	case StageAbort:
+		return "abort"
+	case StageRecover:
+		return "recover"
+	default:
+		return "unknown"
+	}
+}
+
+// Hooks observes lifecycle stage transitions. The instance is the one
+// crossing the stage (nil for run-scoped transitions such as the
+// Recover unwind's start). Hooks run synchronously on the driver's
+// execution path under whatever locks that path holds, so they must be
+// fast and must not call back into the engine; canceling the run
+// context is the intended use.
+type Hooks func(stage Stage, st *Instance)
+
+// fire invokes the hook if one is installed.
+func (h Hooks) fire(stage Stage, st *Instance) {
+	if h != nil {
+		h(stage, st)
+	}
+}

@@ -1,4 +1,4 @@
-package txn
+package engine
 
 import (
 	"fmt"
@@ -9,11 +9,12 @@ import (
 	"relser/internal/trace"
 )
 
-// observer bundles a run's tracer and metrics instruments so both
-// drivers share one emission discipline. Counters are resolved once at
-// construction; every method is safe — and free of allocations — when
-// tracing and metrics are disabled.
-type observer struct {
+// reporter bundles a run's tracer and metrics instruments so both
+// drivers share one emission discipline — it is the engine-owned
+// counterpart of the Result construction, resolved once per run.
+// Counters are resolved at construction; every method is safe — and
+// free of allocations — when tracing and metrics are disabled.
+type reporter struct {
 	tr    *trace.Tracer
 	proto string
 
@@ -29,16 +30,17 @@ type observer struct {
 	blockWait   *metrics.Histogram
 
 	// Resilience instruments: fault-point firings honored by the
-	// driver, deadline overruns, admission-control shedding and the
-	// stall watchdog.
-	deadlines   *metrics.Counter
-	injAborts   *metrics.Counter
-	injDelays   *metrics.Counter
-	loadSheds   *metrics.Counter
-	livelockEsc *metrics.Counter
-	wedges      *metrics.Counter
-	degraded    *metrics.Gauge
-	effMPL      *metrics.Gauge
+	// driver, deadline overruns, admission-control shedding, the stall
+	// watchdog and run-context cancellation.
+	deadlines    *metrics.Counter
+	injAborts    *metrics.Counter
+	injDelays    *metrics.Counter
+	loadSheds    *metrics.Counter
+	livelockEsc  *metrics.Counter
+	wedges       *metrics.Counter
+	cancelAborts *metrics.Counter
+	degraded     *metrics.Gauge
+	effMPL       *metrics.Gauge
 
 	// Contention instruments for the sharded concurrent driver
 	// (initShardInstruments). Counters are atomic and histograms are
@@ -52,8 +54,8 @@ type observer struct {
 	shardWait   []*metrics.Histogram
 }
 
-func newObserver(cfg *Config) observer {
-	o := observer{tr: cfg.Tracer, proto: cfg.Protocol.Name()}
+func newReporter(cfg *Config) reporter {
+	o := reporter{tr: cfg.Tracer, proto: cfg.Protocol.Name()}
 	if reg := cfg.Metrics; reg != nil {
 		o.ops = reg.Counter("txn.ops_executed")
 		o.committed = reg.Counter("txn.committed")
@@ -71,6 +73,7 @@ func newObserver(cfg *Config) observer {
 		o.loadSheds = reg.Counter("txn.load_sheds")
 		o.livelockEsc = reg.Counter("txn.livelock_escalations")
 		o.wedges = reg.Counter("txn.watchdog_wedges")
+		o.cancelAborts = reg.Counter("txn.cancel_aborts")
 		o.degraded = reg.Gauge("txn.degraded")
 		o.effMPL = reg.Gauge("txn.effective_mpl")
 		o.effMPL.Set(float64(cfg.MPL))
@@ -79,39 +82,39 @@ func newObserver(cfg *Config) observer {
 }
 
 // begin records an instance's admission.
-func (o *observer) begin(st *instanceState, clock int64) {
+func (o *reporter) begin(st *Instance, clock int64) {
 	if o.active != nil {
 		o.active.Add(1)
 	}
 	if o.tr.Enabled() {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindBegin, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID),
-			Program: st.program.String(), Tick: clock,
+			Instance: st.ID, Txn: int(st.Program.ID),
+			Program: st.Program.String(), Tick: clock,
 		})
 	}
 }
 
 // grant records an executed operation; order is its global execution
 // sequence number. Ends any open block interval.
-func (o *observer) grant(st *instanceState, op core.Op, order, clock int64) {
+func (o *reporter) grant(st *Instance, op core.Op, order, clock int64) {
 	if o.ops != nil {
 		o.ops.Inc()
 	}
-	if st.blockedSince >= 0 {
+	if st.BlockedSince >= 0 {
 		if o.blockWait != nil {
-			o.blockWait.Observe(float64(clock - st.blockedSince))
+			o.blockWait.Observe(float64(clock - st.BlockedSince))
 		}
-		st.blockedSince = -1
+		st.BlockedSince = -1
 	}
 	if o.tr.Enabled() {
 		ev := trace.Event{
 			Kind: trace.KindGrant, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Instance: st.ID, Txn: int(st.Program.ID), Seq: op.Seq,
 			Op: op.String(), Object: op.Object, Order: order, Tick: clock,
 		}
 		if op.Kind == core.WriteOp {
-			ev.Value = int64(st.writes[op.Object])
+			ev.Value = int64(st.Writes[op.Object])
 		}
 		o.tr.Emit(ev)
 	}
@@ -119,17 +122,17 @@ func (o *observer) grant(st *instanceState, op core.Op, order, clock int64) {
 
 // block records a protocol Block decision; the block interval closes
 // at the next grant (or disappears with the instance on abort).
-func (o *observer) block(st *instanceState, op core.Op, clock int64) {
+func (o *reporter) block(st *Instance, op core.Op, clock int64) {
 	if o.blocks != nil {
 		o.blocks.Inc()
 	}
-	if st.blockedSince < 0 {
-		st.blockedSince = clock
+	if st.BlockedSince < 0 {
+		st.BlockedSince = clock
 	}
 	if o.tr.Enabled() {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindBlock, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Instance: st.ID, Txn: int(st.Program.ID), Seq: op.Seq,
 			Op: op.String(), Object: op.Object, Tick: clock,
 		})
 	}
@@ -137,18 +140,18 @@ func (o *observer) block(st *instanceState, op core.Op, clock int64) {
 
 // abortDecision records a protocol Abort decision for a request (the
 // per-instance txn-abort events follow from the cascade).
-func (o *observer) abortDecision(st *instanceState, op core.Op, clock int64) {
+func (o *reporter) abortDecision(st *Instance, op core.Op, clock int64) {
 	if o.tr.Enabled() {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindAbortDecision, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID), Seq: op.Seq,
+			Instance: st.ID, Txn: int(st.Program.ID), Seq: op.Seq,
 			Op: op.String(), Object: op.Object, Tick: clock,
 		})
 	}
 }
 
 // commit records a committed instance.
-func (o *observer) commit(st *instanceState, clock int64) {
+func (o *reporter) commit(st *Instance, clock int64) {
 	if o.committed != nil {
 		o.committed.Inc()
 	}
@@ -156,19 +159,19 @@ func (o *observer) commit(st *instanceState, clock int64) {
 		o.active.Add(-1)
 	}
 	if o.latency != nil {
-		o.latency.Observe(float64(clock - st.startClock))
+		o.latency.Observe(float64(clock - st.StartClock))
 	}
 	if o.tr.Enabled() {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindCommit, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID), Tick: clock,
+			Instance: st.ID, Txn: int(st.Program.ID), Tick: clock,
 		})
 	}
 }
 
 // txnAbort records one aborted instance (direct victim or cascade
 // co-victim) with the driver's reason.
-func (o *observer) txnAbort(st *instanceState, reason string, clock int64) {
+func (o *reporter) txnAbort(st *Instance, reason string, clock int64) {
 	if o.aborts != nil {
 		o.aborts.Inc()
 	}
@@ -178,9 +181,28 @@ func (o *observer) txnAbort(st *instanceState, reason string, clock int64) {
 	if o.tr.Enabled() {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindTxnAbort, Protocol: o.proto,
-			Instance: st.id, Txn: int(st.program.ID),
+			Instance: st.ID, Txn: int(st.Program.ID),
 			Reason: reason, Tick: clock,
 		})
+	}
+}
+
+// cancel records the Recover-stage unwind starting: the run context
+// was canceled with the given cause and in-flight instances are about
+// to be aborted.
+func (o *reporter) cancel(cause string, clock int64) {
+	if o.tr.Enabled() {
+		o.tr.Emit(trace.Event{
+			Kind: trace.KindCancel, Protocol: o.proto,
+			Reason: cause, Tick: clock,
+		})
+	}
+}
+
+// cancelAbort counts one instance aborted by the Recover unwind.
+func (o *reporter) cancelAbort() {
+	if o.cancelAborts != nil {
+		o.cancelAborts.Inc()
 	}
 }
 
@@ -189,7 +211,7 @@ func (o *observer) txnAbort(st *instanceState, reason string, clock int64) {
 // (seconds), plus broadcast counters that distinguish targeted
 // per-shard wakeups from global and flood broadcasts. No-op without a
 // metrics registry.
-func (o *observer) initShardInstruments(reg *metrics.Registry, shards int) {
+func (o *reporter) initShardInstruments(reg *metrics.Registry, shards int) {
 	if reg == nil {
 		return
 	}
@@ -205,49 +227,49 @@ func (o *observer) initShardInstruments(reg *metrics.Registry, shards int) {
 	}
 }
 
-func (o *observer) wakeup() {
+func (o *reporter) wakeup() {
 	if o.wakeups != nil {
 		o.wakeups.Inc()
 	}
 }
 
-func (o *observer) broadcastShard() {
+func (o *reporter) broadcastShard() {
 	if o.bcastShard != nil {
 		o.bcastShard.Inc()
 	}
 }
 
-func (o *observer) broadcastGlobal() {
+func (o *reporter) broadcastGlobal() {
 	if o.bcastGlobal != nil {
 		o.bcastGlobal.Inc()
 	}
 }
 
-func (o *observer) broadcastFlood() {
+func (o *reporter) broadcastFlood() {
 	if o.bcastFlood != nil {
 		o.bcastFlood.Inc()
 	}
 }
 
-func (o *observer) restart() {
+func (o *reporter) restart() {
 	if o.restarts != nil {
 		o.restarts.Inc()
 	}
 }
 
-func (o *observer) commitWait() {
+func (o *reporter) commitWait() {
 	if o.commitWaits != nil {
 		o.commitWaits.Inc()
 	}
 }
 
-func (o *observer) recoverabilityAbort() {
+func (o *reporter) recoverabilityAbort() {
 	if o.recovAborts != nil {
 		o.recovAborts.Inc()
 	}
 }
 
-func (o *observer) deadlineAbort() {
+func (o *reporter) deadlineAbort() {
 	if o.deadlines != nil {
 		o.deadlines.Inc()
 	}
@@ -255,7 +277,7 @@ func (o *observer) deadlineAbort() {
 
 // fault records a driver-level fault-point firing (injected abort or
 // grant delay) against the instance it hit.
-func (o *observer) fault(point fault.Point, inst int64, clock int64) {
+func (o *reporter) fault(point fault.Point, inst int64, clock int64) {
 	switch point {
 	case fault.TxnForcedAbort:
 		if o.injAborts != nil {
@@ -277,7 +299,7 @@ func (o *observer) fault(point fault.Point, inst int64, clock int64) {
 // shed records the admission controller changing the effective
 // multiprogramming level; dropped distinguishes a shed (halving) from
 // a recovery step.
-func (o *observer) shed(effective, mpl int, dropped bool, clock int64) {
+func (o *reporter) shed(effective, mpl int, dropped bool, clock int64) {
 	if o.loadSheds != nil && dropped {
 		o.loadSheds.Inc()
 	}
@@ -300,7 +322,7 @@ func (o *observer) shed(effective, mpl int, dropped bool, clock int64) {
 }
 
 // livelockEscalation records the detector widening restart backoff.
-func (o *observer) livelockEscalation(level int, clock int64) {
+func (o *reporter) livelockEscalation(level int, clock int64) {
 	if o.livelockEsc != nil {
 		o.livelockEsc.Inc()
 	}
@@ -313,7 +335,7 @@ func (o *observer) livelockEscalation(level int, clock int64) {
 }
 
 // wedge records the watchdog declaring the run wedged.
-func (o *observer) wedge(we *WedgeError) {
+func (o *reporter) wedge(we *WedgeError) {
 	if o.wedges != nil {
 		o.wedges.Inc()
 	}

@@ -1,4 +1,4 @@
-package txn
+package engine
 
 import (
 	"fmt"
@@ -10,17 +10,18 @@ import (
 
 // This file holds the graceful-degradation machinery shared by both
 // drivers: admission-control load shedding under abort storms, livelock
-// detection with escalating restart backoff, and the concurrent
-// driver's stall watchdog. All of it is deterministic given the run's
-// seeds — the shedder and detector consume only commit/abort outcomes,
-// and backoff draws come from dedicated RNG streams decoupled from
-// scheduling decisions.
+// detection with escalating restart backoff, and the wedge diagnosis
+// the concurrent driver's stall watchdog escalates with. All of it is
+// deterministic given the run's seeds — the shedder and detector
+// consume only commit/abort outcomes, and backoff draws come from
+// dedicated RNG streams decoupled from scheduling decisions.
 
 // WedgeError is the watchdog's diagnosis when the concurrent driver
 // makes no progress for longer than Config.Watchdog: instead of the run
-// hanging, it fails with this error, naming what was live at the time.
-// Injected shard wedges (fault.ShardWedge) are released when the
-// watchdog fires, so even a rate-1 wedge terminates.
+// hanging, the watchdog cancels the run context with this error as the
+// cause, naming what was live at the time. Injected shard wedges
+// (fault.ShardWedge) are released when the watchdog fires, so even a
+// rate-1 wedge terminates.
 type WedgeError struct {
 	// After is the progress-free interval that tripped the watchdog.
 	After time.Duration
@@ -106,9 +107,6 @@ func (s *shedder) observe(commit bool) (int, bool) {
 // goroutine.
 func (s *shedder) limit() int { return int(s.effective.Load()) }
 
-// degraded reports whether the controller is currently shedding load.
-func (s *shedder) degraded() bool { return s.limit() < s.mpl }
-
 // livelock detects restart storms that never reach a commit: each
 // escalation level doubles the restart budget (16, 32, 64, ...) and
 // widens restart backoff, spreading contenders further apart than
@@ -182,93 +180,17 @@ func (j *jitter) sleep(restarts, level int) {
 	time.Sleep(d)
 }
 
-// backoffSeed derives the dedicated restart-backoff stream seed when
-// Config.BackoffSeed is unset. Any fixed mix works; it just has to
+// RestartBackoffSeed derives the dedicated restart-backoff stream seed
+// when Config.BackoffSeed is unset. Any fixed mix works; it just has to
 // differ from the admission-shuffle stream so the two never share
 // draws.
-func backoffSeed(cfg *Config) int64 {
+func (cfg *Config) RestartBackoffSeed() int64 {
 	if cfg.BackoffSeed != 0 {
 		return cfg.BackoffSeed
 	}
 	return cfg.Seed ^ 0x5DEECE66D
 }
 
-// defaultWatchdog bounds progress-free wall time in the concurrent
+// DefaultWatchdog bounds progress-free wall time in the concurrent
 // driver when Config.Watchdog is zero.
-const defaultWatchdog = 10 * time.Second
-
-// startWatchdog launches the stall watchdog and returns its stop
-// function. The watchdog polls a progress counter (bumped on every
-// executed operation, commit, abort and restart); if it does not move
-// for the configured interval the run is declared wedged: a WedgeError
-// parks in r.wedgeErr (surfaced by pendingErr on every worker's next
-// step), any injected shard wedges are released, and every condition
-// variable is flooded repeatedly until shutdown so no re-sleeping
-// worker is stranded.
-//
-// The watchdog never takes the state lock — a wedged worker may hold
-// it transitively — so its diagnosis uses only atomics and TryLock
-// probes on the shard mutexes.
-func (r *ConcurrentRunner) startWatchdog(limit time.Duration) func() {
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		poll := limit / 8
-		if poll < time.Millisecond {
-			poll = time.Millisecond
-		}
-		last := r.progress.Load()
-		lastMove := time.Now()
-		ticker := time.NewTicker(poll)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-ticker.C:
-			}
-			if cur := r.progress.Load(); cur != last {
-				last, lastMove = cur, time.Now()
-				continue
-			}
-			if time.Since(lastMove) < limit {
-				continue
-			}
-			we := &WedgeError{
-				After:    limit,
-				Active:   r.activeCount.Load(),
-				Sleepers: r.sleepers.Load(),
-				Suspects: r.suspectShards(),
-			}
-			if r.wedgeErr.CompareAndSwap(nil, we) {
-				r.obs.wedge(we)
-			}
-			r.cfg.Faults.Release()
-			for {
-				r.wakeAll()
-				select {
-				case <-stop:
-					return
-				case <-time.After(5 * time.Millisecond):
-				}
-			}
-		}
-	}()
-	return func() { close(stop); <-done }
-}
-
-// suspectShards probes each driver shard mutex without blocking and
-// reports the ones that are held — their holders are the wedge
-// suspects.
-func (r *ConcurrentRunner) suspectShards() []int {
-	var out []int
-	for i, sh := range r.shards {
-		if sh.mu.TryLock() {
-			sh.mu.Unlock()
-		} else {
-			out = append(out, i)
-		}
-	}
-	return out
-}
+const DefaultWatchdog = 10 * time.Second

@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"relser/internal/metrics"
 	"relser/internal/trace"
@@ -126,6 +127,10 @@ type Options struct {
 	// with one custom fault spec (internal/fault grammar, e.g.
 	// "wal.torn:0.01,txn.abort:0.2"). Other experiments ignore it.
 	FaultSpec string
+	// Timeout, when positive, bounds each workload run inside an
+	// experiment with a context deadline (workload.RunOptions.Timeout);
+	// an expired run surfaces as an experiment error, not a hang.
+	Timeout time.Duration
 }
 
 // TableData is a metrics.Table flattened for JSON artifacts.

@@ -85,6 +85,7 @@ func runE15(opts Options) (*Report, error) {
 			MPL:        mpl,
 			Shards:     shards,
 			Concurrent: true,
+			Timeout:    opts.Timeout,
 		})
 		if err != nil {
 			return fmt.Errorf("shards=%d mpl=%d: %v", shards, mpl, err)
@@ -113,6 +114,7 @@ func runE15(opts Options) (*Report, error) {
 				Shards:     shards,
 				Concurrent: true,
 				Metrics:    reg,
+				Timeout:    opts.Timeout,
 			})
 			wall := time.Since(start)
 			if err != nil {

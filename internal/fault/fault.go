@@ -23,6 +23,7 @@
 package fault
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -33,6 +34,26 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// SleepCtx sleeps for d or until ctx is canceled, whichever comes
+// first. Injected stalls (store latches, shard stalls, grant delays)
+// sleep through it so a canceled run stops paying for fault latency it
+// no longer cares about. A nil ctx sleeps the full duration.
+func SleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
 
 // Point names one fault-injection site.
 type Point string
@@ -326,6 +347,20 @@ func (in *Injector) Wedge() {
 		return
 	}
 	<-in.released
+}
+
+// WedgeCtx is Wedge bounded by a context: it returns when Release is
+// called or when ctx is canceled, whichever comes first. Run
+// cancellation (a -timeout deadline, a watchdog escalation) thereby
+// unwedges workers without needing a separate release channel per run.
+func (in *Injector) WedgeCtx(ctx context.Context) {
+	if in == nil {
+		return
+	}
+	select {
+	case <-in.released:
+	case <-ctx.Done():
+	}
 }
 
 // Release unwedges every current and future Wedge call. Idempotent.

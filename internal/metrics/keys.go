@@ -26,6 +26,7 @@ var canonicalKeys = []string{
 	"txn.load_sheds",
 	"txn.livelock_escalations",
 	"txn.watchdog_wedges",
+	"txn.cancel_aborts",
 	"txn.degraded",
 	"txn.effective_mpl",
 	"txn.wakeups",

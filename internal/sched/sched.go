@@ -21,6 +21,7 @@
 package sched
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -62,6 +63,18 @@ type OpRequest struct {
 	Program  *core.Transaction
 	Seq      int
 	Op       core.Op
+	// Ctx is the run context. Protocols with wait disciplines consult
+	// it on their block paths (Canceled) so a canceled requester is
+	// refused with Abort instead of being queued into wait state it
+	// will never leave. Nil means "never canceled" (offline replays,
+	// direct protocol tests).
+	Ctx context.Context
+}
+
+// Canceled reports whether the request's run context has been
+// canceled. Nil-context requests are never canceled.
+func (req OpRequest) Canceled() bool {
+	return req.Ctx != nil && req.Ctx.Err() != nil
 }
 
 // Protocol is an online concurrency-control policy. The driver calls

@@ -14,11 +14,11 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"relser/internal/fault"
 	"relser/internal/shard"
@@ -74,11 +74,12 @@ func (st *Store) SetInjector(in *fault.Injector) {
 	st.inj.Store(in)
 }
 
-// stall sleeps when the latency fault point fires. Called under the
-// stripe latch.
-func (st *Store) stall(p fault.Point) {
+// stall sleeps when the latency fault point fires, cut short if ctx is
+// canceled — a canceled run stops paying for injected device hiccups.
+// Called under the stripe latch.
+func (st *Store) stall(ctx context.Context, p fault.Point) {
 	if in := st.inj.Load(); in.Fire(p) {
-		time.Sleep(in.Latency(p))
+		fault.SleepCtx(ctx, in.Latency(p))
 	}
 }
 
@@ -121,10 +122,18 @@ func (st *Store) Load(values map[string]Value) {
 // missing object implicitly creates it with the zero value, matching
 // the abstract model where every object always exists.
 func (st *Store) Read(name string) Versioned {
+	return st.ReadCtx(context.Background(), name)
+}
+
+// ReadCtx is Read under a run context: an injected read stall under
+// the stripe latch is cut short when ctx is canceled. The read itself
+// always completes — cancellation bounds fault latency, it does not
+// make reads fail.
+func (st *Store) ReadCtx(ctx context.Context, name string) Versioned {
 	st.reads.Add(1)
 	sp := st.stripe(name)
 	sp.mu.Lock()
-	st.stall(fault.StoreReadDelay)
+	st.stall(ctx, fault.StoreReadDelay)
 	v := *sp.object(name)
 	if tr := st.tracer(); tr.Enabled() {
 		tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
@@ -136,18 +145,19 @@ func (st *Store) Read(name string) Versioned {
 // Write replaces the object's value, bumping its version, and returns
 // the previous state (which undo logs capture).
 func (st *Store) Write(name string, v Value) Versioned {
-	prev, _ := st.writeSeq(name, v)
+	prev, _ := st.writeSeq(context.Background(), name, v)
 	return prev
 }
 
 // writeSeq is Write plus the global write sequence number, which undo
 // logs use to order cross-transaction rollback. The sequence is drawn
 // under the stripe latch, so per-object sequences are monotonic in
-// write order — the property RollbackSet relies on.
-func (st *Store) writeSeq(name string, v Value) (Versioned, uint64) {
+// write order — the property RollbackSet relies on. Like ReadCtx, ctx
+// only bounds injected stall latency.
+func (st *Store) writeSeq(ctx context.Context, name string, v Value) (Versioned, uint64) {
 	sp := st.stripe(name)
 	sp.mu.Lock()
-	st.stall(fault.StoreWriteDelay)
+	st.stall(ctx, fault.StoreWriteDelay)
 	seq := st.writes.Add(1)
 	obj := sp.object(name)
 	prev := *obj
@@ -228,7 +238,13 @@ type undoEntry struct {
 // WriteLogged performs a write through the log, capturing the
 // before-image first.
 func (log *UndoLog) WriteLogged(st *Store, name string, v Value) {
-	prev, seq := st.writeSeq(name, v)
+	log.WriteLoggedCtx(context.Background(), st, name, v)
+}
+
+// WriteLoggedCtx is WriteLogged under a run context (see ReadCtx for
+// the cancellation contract).
+func (log *UndoLog) WriteLoggedCtx(ctx context.Context, st *Store, name string, v Value) {
+	prev, seq := st.writeSeq(ctx, name, v)
 	log.entries = append(log.entries, undoEntry{object: name, prev: prev, seq: seq})
 }
 

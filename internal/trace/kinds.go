@@ -21,6 +21,7 @@ var allKinds = []Kind{
 	KindFault,
 	KindShed,
 	KindWedge,
+	KindCancel,
 	KindWALAppend,
 	KindStoreRead,
 	KindStoreWrite,

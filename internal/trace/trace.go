@@ -74,6 +74,11 @@ const (
 	// KindWedge records the stall watchdog declaring the run wedged;
 	// Reason carries the diagnosis.
 	KindWedge Kind = "wedge"
+	// KindCancel records the run context being canceled and the engine
+	// starting its Recover-stage unwind; Reason carries the
+	// cancellation cause. Per-instance txn-abort events (reason
+	// "canceled") follow for every unwound instance.
+	KindCancel Kind = "cancel"
 	// KindWALAppend records one write-ahead-log append.
 	KindWALAppend Kind = "wal-append"
 	// KindStoreRead records one read under the store latch.

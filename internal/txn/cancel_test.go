@@ -1,0 +1,182 @@
+package txn_test
+
+// Cancellation corpus: a run context canceled while transactions are
+// mid-flight must unwind through the engine's Recover stage no matter
+// which lifecycle stage the cancellation lands on — effects rolled
+// back, WAL abort records appended — so the store stays
+// invariant-clean and the log recovers to exactly the committed
+// transactions. Config.Hooks places the cancellation at each stage in
+// turn, on both drivers.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"relser/internal/engine"
+	"relser/internal/fault"
+	"relser/internal/sched"
+	"relser/internal/storage"
+	"relser/internal/txn"
+	"relser/internal/workload"
+)
+
+var cancelStages = []txn.Stage{
+	txn.StageAdmit, txn.StageIssue, txn.StageDecide,
+	txn.StageApply, txn.StageCommit, txn.StageAbort,
+}
+
+// runCanceledAtStage runs the banking workload and cancels the context
+// the third time the given stage fires, then checks the unwind left
+// store and WAL consistent.
+func runCanceledAtStage(t *testing.T, stage txn.Stage, concurrent bool) {
+	t.Helper()
+	w, err := workload.Banking(workload.DefaultBankingConfig(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewStore()
+	store.Load(w.Initial)
+	var logBuf bytes.Buffer
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Int32
+	var unwound atomic.Bool
+	cfg := txn.Config{
+		Protocol:  sched.NewRSGT(w.Oracle),
+		Programs:  w.Programs,
+		Oracle:    w.Oracle,
+		Store:     store,
+		Semantics: w.Semantics,
+		MPL:       8,
+		Seed:      7,
+		WAL:       storage.NewWAL(&logBuf),
+		// A mild abort storm keeps every stage busy — without it, low-
+		// contention concurrent runs can finish before StageAbort ever
+		// fires three times.
+		Faults: fault.New(7, fault.MustParseSpec("txn.abort:0.2")),
+		Hooks: func(s txn.Stage, _ *engine.Instance) {
+			if s == txn.StageRecover {
+				unwound.Store(true)
+				return
+			}
+			if s == stage && fired.Add(1) == 3 {
+				cancel()
+			}
+		},
+	}
+	var (
+		res    *txn.Result
+		runErr error
+	)
+	if concurrent {
+		cfg.Shards = 4
+		r, err := txn.NewConcurrent(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, runErr = r.RunContext(ctx)
+	} else {
+		r, err := txn.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, runErr = r.RunContext(ctx)
+	}
+	if runErr == nil {
+		if fired.Load() < 3 {
+			// The stage never fired often enough to cancel (e.g. an
+			// uncontended run with no aborts); nothing to assert.
+			t.Skipf("stage %s fired %d times; run completed", stage, fired.Load())
+		}
+		t.Fatalf("run succeeded (%v) despite cancellation at stage %s", res, stage)
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("run error does not carry the cancellation cause: %v", runErr)
+	}
+	if !unwound.Load() {
+		t.Error("Recover stage never fired on the canceled run")
+	}
+	// The unwind rolled uncommitted effects back: only committed
+	// transfers remain, so balance conservation must hold on the live
+	// store.
+	if err := w.Invariant(store.Snapshot()); err != nil {
+		t.Errorf("canceled run left the store dirty: %v", err)
+	}
+	// The WAL is recoverable: every in-flight instance got its abort
+	// record, and replay reproduces the live store.
+	recovered, report, err := storage.Recover(bytes.NewReader(logBuf.Bytes()), w.Initial)
+	if err != nil {
+		t.Fatalf("WAL unrecoverable after cancellation: %v", err)
+	}
+	if report.Unfinished != 0 || report.Orphans != 0 {
+		t.Errorf("canceled run left a ragged log: %s", report)
+	}
+	live := store.Snapshot()
+	for obj, v := range recovered.Snapshot() {
+		if live[obj] != v {
+			t.Errorf("recovered %s=%d, live %d", obj, v, live[obj])
+		}
+	}
+	if err := w.Invariant(recovered.Snapshot()); err != nil {
+		t.Errorf("recovered store breaks invariant: %v", err)
+	}
+}
+
+func TestCancelAtEachStage(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		driver := "serial"
+		if concurrent {
+			driver = "concurrent"
+		}
+		for _, stage := range cancelStages {
+			t.Run(fmt.Sprintf("%s/%s", driver, stage), func(t *testing.T) {
+				runCanceledAtStage(t, stage, concurrent)
+			})
+		}
+	}
+}
+
+// TestRunOptionsTimeout exercises the workload-level wall-clock bound:
+// an immediately-expiring timeout must fail the run with the deadline
+// as cause on both drivers.
+func TestRunOptionsTimeout(t *testing.T) {
+	for _, concurrent := range []bool{false, true} {
+		w, err := workload.Banking(workload.DefaultBankingConfig(), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = w.RunWith(sched.NewRSGT(w.Oracle), workload.RunOptions{
+			Seed: 3, MPL: 8, Concurrent: concurrent, Shards: 2,
+			Timeout: time.Nanosecond,
+		})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("concurrent=%v: want deadline cause, got %v", concurrent, err)
+		}
+	}
+}
+
+// TestCancelBeforeRun pins the edge case: a context already canceled
+// at entry fails immediately with nothing admitted and an empty log.
+func TestCancelBeforeRun(t *testing.T) {
+	w, err := workload.Banking(workload.DefaultBankingConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, concurrent := range []bool{false, true} {
+		var logBuf bytes.Buffer
+		_, _, err := w.RunWithContext(ctx, sched.NewRSGT(w.Oracle), workload.RunOptions{
+			Seed: 5, MPL: 8, Concurrent: concurrent,
+			WAL: storage.NewWAL(&logBuf),
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("concurrent=%v: want canceled, got %v", concurrent, err)
+		}
+	}
+}

@@ -1,43 +1,41 @@
 package txn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"relser/internal/core"
+	"relser/internal/engine"
 	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/sched"
 	"relser/internal/shard"
-	"relser/internal/storage"
 )
 
 // ConcurrentRunner executes transaction programs on real goroutines —
 // one worker per in-flight instance, bounded by the multiprogramming
-// level — against the same protocol and store machinery as the
-// deterministic Runner.
+// level — driving the same engine pipeline stages as the deterministic
+// Runner.
 //
 // The hot path is sharded: the key space is partitioned over
 // Config.Shards driver shards (power of two, FNV-routed, shared with
 // the store's stripes and the protocol's lock tables). Each shard owns
-// a wait queue (condition variable) and the dirty-writer stacks for its
-// objects. How much of the path runs concurrently depends on the
-// protocol:
-//
-//   - Shard-safe protocols (sched.ShardSafe — NoCC, S2PL, TO) admit
-//     and execute operations under only the target object's shard lock,
-//     so requests on different shards proceed in parallel. Holding the
-//     shard lock across Request+execute keeps same-object admission and
-//     execution in the same order, which the protocols' correctness
-//     arguments require.
-//   - All other protocols are sequential state machines; their
-//     Request+execute pairs are serialized under pmu. Tracing stays
-//     sound for replay certification (trace.VerifyCycles) because pmu
-//     imposes a total order on admissions and their grant events.
+// a wait queue (condition variable); the engine's dirty-writer stacks
+// are partitioned the same way, so holding a shard's lock stabilizes
+// exactly the dirty state the engine's Apply stage touches.
+// Shard-safe protocols (sched.ShardSafe — NoCC, S2PL, TO) admit and
+// execute operations under only the target object's shard lock, so
+// requests on different shards proceed in parallel; holding the shard
+// lock across Decide+Apply keeps same-object admission and execution
+// in the same order, which the protocols' correctness arguments
+// require. All other protocols are sequential state machines; their
+// Decide+Apply pairs are serialized under pmu, which also keeps
+// tracing sound for replay certification (a total order on admissions
+// and their grant events).
 //
 // Lifecycle transitions — begin, commit, abort cascades, stall
 // victimization — take the state lock exclusively, stopping the world;
@@ -46,58 +44,52 @@ import (
 // ShardSafe contract) and lets cascades roll back effects without
 // interference.
 //
-// Waiting and waking are targeted to fix the seed's thundering herd
-// (every state change woke every sleeper):
+// Waiting and waking are targeted to avoid a thundering herd: workers
+// blocked by a shard-safe protocol sleep on their object's shard cond
+// (commits broadcast only the shards their program touched — an S2PL
+// waiter always waits on an object in its holder's program, so the
+// holder's commit reaches it; grants wake nobody); workers blocked
+// under pmu and commit-waiters sleep on the global cond; aborts and
+// cascades are rare and broadcast everything.
 //
-//   - A worker blocked by a shard-safe protocol sleeps on its object's
-//     shard cond. Commits broadcast only the shards their program
-//     touched — an S2PL waiter always waits on an object in its
-//     holder's program, so the holder's commit reaches it. Grants wake
-//     nobody (acquiring a lock cannot unblock a different waiter).
-//   - Workers blocked under pmu, and commit-waiters (dirty-read
-//     dependencies, CanCommit), sleep on the global cond; commits and
-//     non-shard-safe grants broadcast it.
-//   - Aborts and cascades are rare and broadcast everything.
+// Stall detection is symmetric flag-and-check on two seq-cst atomics:
+// a worker about to sleep that would leave every active instance's
+// worker asleep (sleepers >= activeCount) instead victimizes itself,
+// and a committer that leaves the remaining workers all asleep floods
+// every cond so one of them detects the stall; the last transition
+// into an all-asleep state is always observed by its own check.
 //
-// Stall detection is symmetric flag-and-check on two atomics: a worker
-// about to sleep that would leave every active instance's worker asleep
-// (sleepers >= activeCount) instead victimizes itself, and a committer
-// that leaves the remaining workers all asleep floods every cond so one
-// of them detects the stall. Both counters are seq-cst atomics, so the
-// last transition into an all-asleep state is always observed by its
-// own check.
+// Cancellation rides one mechanism: RunContext derives a cancel-cause
+// context; the stall watchdog escalates by canceling it (*WedgeError
+// cause), external deadlines cancel it from outside, and a watcher
+// goroutine floods every cond until shutdown so parked workers unwind.
+// Drained in-flight instances are aborted through the engine's Recover
+// stage, leaving the store invariant-clean and the WAL recoverable.
 //
 // Lock order: state.RLock -> pmu -> shard.mu -> {depMu, walMu};
 // pmu -> commitMu; state.Lock -> {shard.mu, commitMu, walMu}. The
-// leaf mutexes (depMu, walMu, commitMu, shard.mu) are never nested
-// with one another.
+// leaf mutexes (depMu and walMu live in the engine; commitMu and
+// shard.mu here) are never nested with one another.
 //
 // Concurrent runs are not reproducible (goroutine interleaving is the
 // scheduler's); tests assert outcomes — everything commits, committed
 // schedules verify, invariants hold — rather than traces.
 type ConcurrentRunner struct {
-	cfg    Config
-	router shard.Router
-	// shardSafe records whether cfg.Protocol opted into per-shard
+	eng *engine.Core
+	// shardSafe records whether the protocol opted into per-shard
 	// admission via sched.ShardSafe.
 	shardSafe bool
 
 	// state is the world lock: the operation path holds it shared,
-	// lifecycle transitions hold it exclusively. Fields below marked
-	// "state" are written only under the exclusive lock (and may be read
-	// under the shared lock by their owning worker).
+	// lifecycle transitions hold it exclusively. Engine lifecycle calls
+	// (Admit, TryCommit, AbortCascade, AbortAll) and runErr are
+	// guarded by the exclusive lock.
 	state sync.RWMutex
-	// pmu serializes Request+execute for protocols that are not
+	// pmu serializes Decide+Apply for protocols that are not
 	// shard-safe.
 	pmu sync.Mutex
 
 	shards []*driverShard
-
-	// depMu guards the dirty-read dependency graph (dependents and
-	// every instanceState.depsOn) among concurrent operation-path
-	// holders; exclusive state holders access it directly.
-	depMu      sync.Mutex
-	dependents map[int64]map[int64]bool
 
 	// commitMu guards registration on the global cond, where
 	// commit-waiters and pmu-path blockers sleep.
@@ -105,133 +97,116 @@ type ConcurrentRunner struct {
 	commitCond    *sync.Cond
 	globalWaiters int
 
-	// walMu serializes WAL appends from the operation path; append
-	// errors park in walErr until a lifecycle holder folds them into
-	// runErr.
-	walMu  sync.Mutex
-	walErr error
-
-	nextInstance int64                    // state
-	active       map[int64]*instanceState // state (map identity; entries see field docs)
-
-	execSeq     atomic.Int64 // global execution sequence (logical clock)
-	opsExecuted atomic.Int64
-	blocksTotal atomic.Int64
-	activeCount atomic.Int64 // len(active), readable without the state lock
+	activeCount atomic.Int64 // live instances, readable without the state lock
 	sleepers    atomic.Int64 // workers asleep on any cond (or committed to sleeping)
 
-	// Resilience state. progress is bumped by every executed operation,
-	// commit, abort and restart; the watchdog declares a wedge when it
-	// stops moving. wedgeErr is the watchdog's verdict, checked by
-	// pendingErr so workers unwind without the watchdog ever needing
-	// the state lock. shed and lv are guarded by the exclusive state
-	// lock; jit has its own mutex.
-	progress       atomic.Int64
-	wedgeErr       atomic.Pointer[WedgeError]
-	shed           *shedder
-	lv             livelock // state
-	jit            *jitter
-	injectedAborts atomic.Int64
-	injectedDelays atomic.Int64
-	deadlineAborts atomic.Int64
+	// progress is bumped by every executed operation, commit, abort and
+	// restart; the watchdog declares a wedge when it stops moving.
+	progress atomic.Int64
 
-	latencies metrics.Stats // state
-	obs       observer
-
-	res    Result // state
-	runErr error  // state
+	runErr error // state
 }
 
-// driverShard is one partition of the driver's wait/dirty state. mu
-// guards waiters and (on the operation path) dirty; exclusive state
-// holders access dirty directly.
+// driverShard is one partition of the driver's wait state. mu guards
+// waiters and, on the operation path, the engine's same-indexed dirty
+// stacks.
 type driverShard struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	waiters int
-	// dirty stacks uncommitted writers per object (innermost last),
-	// mirroring the deterministic runner's dirtyStack but partitioned.
-	dirty map[string][]int64
 
-	blocks   *metrics.Counter   // per-shard block decisions (nil without metrics)
 	waitHist *metrics.Histogram // per-shard wall-clock wait seconds (nil without metrics)
 }
 
 // NewConcurrent validates the configuration (same rules as New) and
 // prepares a concurrent runner with cfg.Shards driver shards.
 func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
-	probe, err := New(cfg) // reuse validation and defaulting
+	eng, err := engine.NewCore(cfg)
 	if err != nil {
 		return nil, err
 	}
-	cfg = probe.cfg
-	router := shard.NewRouter(cfg.Shards)
+	eng.InitShardInstruments()
 	r := &ConcurrentRunner{
-		cfg:        cfg,
-		router:     router,
-		shardSafe:  sched.IsShardSafe(cfg.Protocol),
-		active:     make(map[int64]*instanceState),
-		dependents: make(map[int64]map[int64]bool),
-		shed:       newShedder(cfg.MPL),
-		jit:        newJitter(backoffSeed(&cfg)),
+		eng:       eng,
+		shardSafe: sched.IsShardSafe(eng.Cfg.Protocol),
 	}
 	r.commitCond = sync.NewCond(&r.commitMu)
-	r.obs = newObserver(&cfg)
-	r.obs.initShardInstruments(cfg.Metrics, router.Shards())
-	r.shards = make([]*driverShard, router.Shards())
+	r.shards = make([]*driverShard, eng.Router.Shards())
 	for i := range r.shards {
-		sh := &driverShard{dirty: make(map[string][]int64)}
+		sh := &driverShard{}
 		sh.cond = sync.NewCond(&sh.mu)
-		if r.obs.shardBlocks != nil {
-			sh.blocks = r.obs.shardBlocks[i]
-			sh.waitHist = r.obs.shardWait[i]
-		}
+		_, sh.waitHist = eng.ShardInstruments(i)
 		r.shards[i] = sh
 	}
-	r.res.Protocol = cfg.Protocol.Name()
-	r.res.oracle = cfg.Oracle
 	return r, nil
 }
 
 // Run executes all programs to commit, running up to MPL transaction
 // workers concurrently, and returns the aggregated result.
 func (r *ConcurrentRunner) Run() (*Result, error) {
-	if wd := r.cfg.Watchdog; wd >= 0 {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run under a context. Cancellation (external deadline
+// or the watchdog's wedge verdict, which cancels with a *WedgeError
+// cause) stops the workers, unwinds in-flight instances through the
+// engine's Recover stage, and fails the run with the cause.
+func (r *ConcurrentRunner) RunContext(parent context.Context) (*Result, error) {
+	ctx, cancel := context.WithCancelCause(parent)
+	defer cancel(nil)
+	if wd := r.eng.Cfg.Watchdog; wd >= 0 {
 		if wd == 0 {
-			wd = defaultWatchdog
+			wd = engine.DefaultWatchdog
 		}
-		stop := r.startWatchdog(wd)
+		stop := r.startWatchdog(wd, cancel)
 		defer stop()
 	}
-	// work is never closed: each program has at most one pendingProgram
-	// in flight, so the buffer always has room and requeues never block.
-	// Shutdown is signaled on done instead — closing work would race
-	// with a concurrent requeue (send on closed channel) when one worker
-	// errors out while another is restarting a program.
-	work := make(chan *pendingProgram, len(r.cfg.Programs))
-	for _, p := range r.cfg.Programs {
-		work <- &pendingProgram{program: p}
+	// work is never closed (closing would race with a concurrent
+	// requeue); shutdown is signaled on done instead. Each program has
+	// at most one Pending in flight, so requeues never block.
+	work := make(chan *engine.Pending, len(r.eng.Cfg.Programs))
+	for _, p := range r.eng.Cfg.Programs {
+		work <- &engine.Pending{Program: p}
 	}
 	done := make(chan struct{})
 	var closeOnce sync.Once
 	shutdown := func() { closeOnce.Do(func() { close(done) }) }
+	// Cancellation watcher: parked workers cannot see ctx, so flood
+	// every cond repeatedly until shutdown — each woken worker re-checks
+	// pendingErr and unwinds. Injected wedges are released too.
+	go func() {
+		select {
+		case <-done:
+			return
+		case <-ctx.Done():
+		}
+		r.eng.Cfg.Faults.Release()
+		for {
+			r.wakeAll()
+			select {
+			case <-done:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
 	var wg sync.WaitGroup
-	workers := r.cfg.MPL
-	if workers > len(r.cfg.Programs) {
-		workers = len(r.cfg.Programs)
+	workers := r.eng.Cfg.MPL
+	if workers > len(r.eng.Cfg.Programs) {
+		workers = len(r.eng.Cfg.Programs)
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				var pp *pendingProgram
+				var pp *engine.Pending
 				select {
 				case <-done:
 					return
 				case pp = <-work:
 				}
-				requeue, err := r.runProgram(pp)
+				requeue, err := r.runProgram(ctx, pp)
 				if err != nil {
 					r.fail(err)
 					shutdown()
@@ -246,7 +221,7 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 					continue
 				}
 				r.state.RLock()
-				finished := r.res.Committed == len(r.cfg.Programs) || r.runErr != nil
+				finished := r.eng.Committed() == len(r.eng.Cfg.Programs) || r.runErr != nil
 				r.state.RUnlock()
 				if finished {
 					shutdown()
@@ -256,85 +231,65 @@ func (r *ConcurrentRunner) Run() (*Result, error) {
 		}()
 	}
 	wg.Wait()
+	shutdown() // release the cancellation watcher
 	r.state.Lock()
 	defer r.state.Unlock()
-	r.foldWALErrLocked()
+	r.foldErrLocked(ctx)
 	if r.runErr != nil {
+		if ctx.Err() != nil {
+			// Recover stage: roll back whatever is still in flight so the
+			// store is invariant-clean and the WAL replays to committed
+			// effects only. Non-cancellation failures (WAL append errors,
+			// restart exhaustion) keep the historical behavior — aborted
+			// instances' effects are already absent from recovery.
+			r.eng.AbortAll(context.Cause(ctx).Error(), r.eng.Clock())
+		}
 		return nil, r.runErr
 	}
-	if r.res.Committed != len(r.cfg.Programs) {
-		return nil, fmt.Errorf("txn: concurrent run finished with %d of %d programs committed", r.res.Committed, len(r.cfg.Programs))
+	if r.eng.Committed() != len(r.eng.Cfg.Programs) {
+		return nil, fmt.Errorf("txn: concurrent run finished with %d of %d programs committed", r.eng.Committed(), len(r.eng.Cfg.Programs))
 	}
-	r.res.OpsExecuted = int(r.opsExecuted.Load())
-	r.res.Blocks = int(r.blocksTotal.Load())
-	r.res.InjectedAborts = int(r.injectedAborts.Load())
-	r.res.InjectedDelays = int(r.injectedDelays.Load())
-	r.res.DeadlineAborts = int(r.deadlineAborts.Load())
-	r.res.LoadSheds = r.shed.sheds
-	r.res.MinEffectiveMPL = r.shed.minEff
-	r.res.LivelockEscalations = r.lv.escalations
-	r.res.LatencyMean = r.latencies.Mean()
-	r.res.LatencyP95 = r.latencies.Percentile(95)
-	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
-	return &r.res, nil
+	return r.eng.Finalize(0, 0), nil
 }
 
-// logWAL appends a record from the operation path. Errors park in
-// walErr (surfaced by the next lifecycle holder) so the hot path never
-// needs the exclusive state lock.
-func (r *ConcurrentRunner) logWAL(rec storage.WALRecord) {
-	if r.cfg.WAL == nil {
+// runCanceled converts a canceled context into the run error: the
+// cancel cause itself when one was supplied (the watchdog's
+// *WedgeError), or a wrapped ctx.Err() for plain cancellations and
+// deadlines.
+func runCanceled(ctx context.Context) error {
+	cause := context.Cause(ctx)
+	if cause == ctx.Err() {
+		return fmt.Errorf("txn: run canceled: %w", cause)
+	}
+	return cause
+}
+
+// foldErrLocked promotes a parked WAL append error or the context's
+// cancellation into runErr. Requires the exclusive state lock.
+func (r *ConcurrentRunner) foldErrLocked(ctx context.Context) {
+	if r.runErr != nil {
 		return
 	}
-	r.walMu.Lock()
-	if err := r.cfg.WAL.Append(rec); err != nil && r.walErr == nil {
-		r.walErr = fmt.Errorf("txn: WAL append failed: %w", err)
-	}
-	r.walMu.Unlock()
-}
-
-// logWALLocked appends a record while holding the exclusive state lock,
-// surfacing append errors as run failures.
-func (r *ConcurrentRunner) logWALLocked(rec storage.WALRecord) {
-	if r.cfg.WAL == nil {
+	if err := r.eng.WALErr(); err != nil {
+		r.runErr = err
 		return
 	}
-	r.walMu.Lock()
-	err := r.cfg.WAL.Append(rec)
-	r.walMu.Unlock()
-	if err != nil && r.runErr == nil {
-		r.runErr = fmt.Errorf("txn: WAL append failed: %w", err)
-	}
-}
-
-// foldWALErrLocked promotes a parked operation-path WAL error — or the
-// watchdog's wedge verdict — into runErr. Requires the exclusive state
-// lock.
-func (r *ConcurrentRunner) foldWALErrLocked() {
-	r.walMu.Lock()
-	we := r.walErr
-	r.walMu.Unlock()
-	if we != nil && r.runErr == nil {
-		r.runErr = we
-	}
-	if wedge := r.wedgeErr.Load(); wedge != nil && r.runErr == nil {
-		r.runErr = wedge
+	if ctx.Err() != nil {
+		r.runErr = runCanceled(ctx)
 	}
 }
 
 // pendingErr reports a failure visible from the shared state lock:
-// runErr, a watchdog wedge verdict, or a parked WAL error not yet
-// folded.
-func (r *ConcurrentRunner) pendingErr() error {
+// runErr, a cancellation (external or watchdog), or a parked WAL error
+// not yet folded.
+func (r *ConcurrentRunner) pendingErr(ctx context.Context) error {
 	if r.runErr != nil {
 		return r.runErr
 	}
-	if wedge := r.wedgeErr.Load(); wedge != nil {
-		return wedge
+	if ctx.Err() != nil {
+		return runCanceled(ctx)
 	}
-	r.walMu.Lock()
-	defer r.walMu.Unlock()
-	return r.walErr
+	return r.eng.WALErr()
 }
 
 func (r *ConcurrentRunner) fail(err error) {
@@ -348,60 +303,44 @@ func (r *ConcurrentRunner) fail(err error) {
 
 // runProgram executes one incarnation of a program. It returns
 // requeue=true when the instance aborted and the program must retry.
-func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
+func (r *ConcurrentRunner) runProgram(ctx context.Context, pp *engine.Pending) (bool, error) {
 	r.state.Lock()
 	for {
-		r.foldWALErrLocked()
+		r.foldErrLocked(ctx)
 		if err := r.runErr; err != nil {
 			r.state.Unlock()
 			return false, err
 		}
 		// Admission control: when the shedder has degraded the effective
-		// MPL below the worker count, surplus workers idle here until the
-		// storm clears. The limit is never below 1, so instances already
-		// admitted always drain.
-		if r.activeCount.Load() < int64(r.shed.limit()) {
+		// MPL below the worker count, surplus workers idle here until
+		// the storm clears (the limit is never below 1).
+		if r.activeCount.Load() < int64(r.eng.AdmitLimit()) {
 			break
 		}
 		r.state.Unlock()
 		time.Sleep(100 * time.Microsecond)
 		r.state.Lock()
 	}
-	r.nextInstance++
-	st := &instanceState{
-		id:           r.nextInstance,
-		program:      pp.program,
-		reads:        make(map[int]storage.Value),
-		depsOn:       make(map[int64]bool),
-		writes:       make(map[string]storage.Value),
-		restarts:     pp.restarts,
-		startClock:   r.execSeq.Load(),
-		blockedSince: -1,
-	}
-	r.active[st.id] = st
+	st := r.eng.Admit(pp, r.eng.Clock())
 	r.activeCount.Add(1)
-	r.cfg.Protocol.Begin(st.id, st.program)
-	r.logWALLocked(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
-	r.obs.begin(st, r.execSeq.Load())
 	r.state.Unlock()
 
 	for {
 		r.state.RLock()
-		if err := r.pendingErr(); err != nil {
+		if err := r.pendingErr(ctx); err != nil {
 			r.state.RUnlock()
-			return false, err // another worker already failed the run
+			return false, err // run failed or was canceled
 		}
-		if st.doomed.Load() {
+		if st.Doomed.Load() {
 			// A cascade initiated by another worker aborted us; the
-			// initiator already rolled back our effects and released
-			// protocol state.
-			st.doomed.Store(false)
+			// initiator already rolled back our effects.
+			st.Doomed.Store(false)
 			r.state.RUnlock()
 			return r.noteRestart(pp, st)
 		}
-		if st.done {
+		if st.Done {
 			r.state.RUnlock()
-			committed, aborted, err := r.tryFinish(st)
+			committed, aborted, err := r.tryFinish(ctx, st)
 			if err != nil {
 				return false, err
 			}
@@ -413,45 +352,44 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 			}
 			continue
 		}
-		if dl := r.cfg.Deadline; dl > 0 && r.execSeq.Load()-st.startClock > dl {
-			r.deadlineAborts.Add(1)
-			r.obs.deadlineAbort()
+		if dl := r.eng.Cfg.Deadline; dl > 0 && r.eng.Clock()-st.StartClock > dl {
+			r.eng.CountDeadlineAbort()
 			r.state.RUnlock()
 			r.victimize(st, "deadline")
 			return r.noteRestart(pp, st)
 		}
-		if r.cfg.Faults.Fire(fault.TxnForcedAbort) {
-			r.injectedAborts.Add(1)
-			r.obs.fault(fault.TxnForcedAbort, st.id, r.execSeq.Load())
+		if r.eng.Cfg.Faults.Fire(fault.TxnForcedAbort) {
+			r.eng.CountFault(fault.TxnForcedAbort, st.ID, r.eng.Clock())
 			r.state.RUnlock()
 			r.victimize(st, "injected")
 			return r.noteRestart(pp, st)
 		}
-		if r.cfg.Faults.Fire(fault.SchedGrantDelay) {
-			// The scheduler "loses" this worker's turn for a beat.
-			r.injectedDelays.Add(1)
-			r.obs.fault(fault.SchedGrantDelay, st.id, r.execSeq.Load())
+		if r.eng.Cfg.Faults.Fire(fault.SchedGrantDelay) {
+			// The scheduler "loses" this worker's turn for a beat; a
+			// canceled run stops paying for the injected latency.
+			r.eng.CountFault(fault.SchedGrantDelay, st.ID, r.eng.Clock())
 			r.state.RUnlock()
-			time.Sleep(r.cfg.Faults.Latency(fault.SchedGrantDelay))
+			fault.SleepCtx(ctx, r.eng.Cfg.Faults.Latency(fault.SchedGrantDelay))
 			continue
 		}
-		op := st.program.Op(st.next)
-		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
-		sh := r.shards[r.router.Shard(op.Object)]
+		op := st.Program.Op(st.Next)
+		req := sched.OpRequest{Instance: st.ID, Program: st.Program, Seq: st.Next, Op: op, Ctx: ctx}
+		shardIdx := r.eng.Router.Shard(op.Object)
+		sh := r.shards[shardIdx]
 		var dec sched.Decision
 		if r.shardSafe {
 			sh.mu.Lock()
-			dec = r.cfg.Protocol.Request(req)
+			dec = r.eng.Decide(st, req)
 		} else {
 			r.pmu.Lock()
-			dec = r.cfg.Protocol.Request(req)
+			dec = r.eng.Decide(st, req)
 			if dec == sched.Grant {
-				sh.mu.Lock() // for the shard's dirty stacks during execute
+				sh.mu.Lock() // for the shard's dirty stacks during Apply
 			}
 		}
 		switch dec {
 		case sched.Grant:
-			order, ok := r.executeSharded(st, op, sh)
+			order, ok := r.applySharded(ctx, st, op, sh, shardIdx)
 			if !ok {
 				sh.mu.Unlock()
 				if !r.shardSafe {
@@ -463,7 +401,7 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 			}
 			// Emit the grant before releasing the shard (and pmu) so
 			// trace order matches same-object execution order.
-			r.obs.grant(st, op, order, order)
+			r.eng.ObserveGrant(st, op, order, order)
 			sh.mu.Unlock()
 			if r.shardSafe {
 				r.state.RUnlock()
@@ -477,11 +415,7 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 				r.broadcastGlobal()
 			}
 		case sched.Block:
-			r.blocksTotal.Add(1)
-			if sh.blocks != nil {
-				sh.blocks.Inc()
-			}
-			r.obs.block(st, op, r.execSeq.Load())
+			r.eng.ObserveBlock(st, op, r.eng.Clock(), shardIdx)
 			var slept bool
 			if r.shardSafe {
 				slept = r.sleepShard(sh)
@@ -500,7 +434,7 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 			// Woken (the helper released the shared state lock before
 			// sleeping); re-enter the loop and retry the same operation.
 		case sched.Abort:
-			r.obs.abortDecision(st, op, r.execSeq.Load())
+			r.eng.ObserveAbortDecision(st, op, r.eng.Clock())
 			if r.shardSafe {
 				sh.mu.Unlock()
 			} else {
@@ -513,35 +447,66 @@ func (r *ConcurrentRunner) runProgram(pp *pendingProgram) (bool, error) {
 	}
 }
 
+// applySharded runs the engine's recoverability check and Apply stage
+// on the sharded hot path. Called with the shared state lock and sh.mu
+// held (sh is the target object's shard, so the engine's dirty stacks
+// for it are stable); non-shard-safe callers additionally hold pmu.
+// Returns the operation's execution order and false if executing would
+// create an unrecoverable read-from cycle.
+//
+//rsvet:locks sh.mu
+func (r *ConcurrentRunner) applySharded(ctx context.Context, st *engine.Instance, op core.Op, sh *driverShard, shardIdx int) (int64, bool) {
+	if r.eng.Unrecoverable(st, op, shardIdx) {
+		return 0, false
+	}
+	if in := r.eng.Cfg.Faults; in.Active(fault.ShardStall) || in.Active(fault.ShardWedge) {
+		// Both fire while holding the shard's mutex — a stalled or
+		// wedged worker realistically blocks its same-shard neighbors. A
+		// wedge parks until the injector is released or the run context
+		// is canceled; the watchdog does both.
+		//rsvet:allow stripelock -- stall must block same-shard neighbors to be realistic
+		if in.Fire(fault.ShardStall) {
+			fault.SleepCtx(ctx, in.Latency(fault.ShardStall))
+		}
+		//rsvet:allow stripelock -- wedge parks under sh.mu so the watchdog has something to detect
+		if in.Fire(fault.ShardWedge) {
+			//rsvet:allow stripelock
+			in.WedgeCtx(ctx)
+		}
+	}
+	order := r.eng.Apply(ctx, st, op, shardIdx)
+	r.progress.Add(1)
+	return order, true
+}
+
 // tryFinish attempts to commit a finished instance under the exclusive
 // state lock; if dependencies or the protocol veto, the worker parks on
 // the global cond until a commit or abort changes that state.
-func (r *ConcurrentRunner) tryFinish(st *instanceState) (committed, aborted bool, err error) {
+func (r *ConcurrentRunner) tryFinish(ctx context.Context, st *engine.Instance) (committed, aborted bool, err error) {
 	r.state.Lock()
-	r.foldWALErrLocked()
+	r.foldErrLocked(ctx)
 	if r.runErr != nil {
 		err = r.runErr
 		r.state.Unlock()
 		return false, false, err
 	}
-	if st.doomed.Load() {
-		st.doomed.Store(false)
+	if st.Doomed.Load() {
+		st.Doomed.Store(false)
 		r.state.Unlock()
 		return false, true, nil
 	}
-	if len(st.depsOn) == 0 && r.cfg.Protocol.CanCommit(st.id) {
-		r.commitLocked(st)
+	if r.eng.TryCommit(st, r.eng.Clock()) {
+		r.activeCount.Add(-1)
+		r.progress.Add(1)
+		r.wakeAfterCommitLocked(st)
 		r.state.Unlock()
 		return true, false, nil
 	}
-	r.res.CommitWaits++
-	r.obs.commitWait()
 	r.commitMu.Lock()
-	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
-		// Everyone else is already waiting: break the stall here.
+	if s := r.sleepers.Add(1); s >= r.activeCount.Load() { // everyone else already waits: break the stall here
 		r.sleepers.Add(-1)
 		r.commitMu.Unlock()
-		r.abortCascadeLocked(st.id, "stall")
+		r.abortCascadeLocked(st, "stall")
 		r.state.Unlock()
 		r.wakeAll()
 		return false, true, nil
@@ -552,7 +517,7 @@ func (r *ConcurrentRunner) tryFinish(st *instanceState) (committed, aborted bool
 	r.globalWaiters--
 	r.sleepers.Add(-1)
 	r.commitMu.Unlock()
-	r.obs.wakeup()
+	r.eng.ObserveWakeup()
 	return false, false, nil
 }
 
@@ -560,12 +525,8 @@ func (r *ConcurrentRunner) tryFinish(st *instanceState) (committed, aborted bool
 // state lock and sh.mu held. On true the worker slept and was woken;
 // both locks are released. On false parking would have stalled the run;
 // sh.mu is released but the shared state lock is still held and the
-// caller must victimize.
-//
-// No wakeup can be lost: shard conds are only broadcast by exclusive
-// state holders, which cannot run until this worker drops the shared
-// lock — and by then waiters is registered and sh.mu pins the cond
-// until Wait is entered.
+// caller must victimize. No wakeup can be lost: waiters is registered
+// and sh.mu pins the cond until Wait is entered.
 //
 //rsvet:locks sh.mu
 func (r *ConcurrentRunner) sleepShard(sh *driverShard) bool {
@@ -584,19 +545,15 @@ func (r *ConcurrentRunner) sleepShard(sh *driverShard) bool {
 		sh.waitHist.Observe(time.Since(start).Seconds())
 	}
 	sh.mu.Unlock()
-	r.obs.wakeup()
+	r.eng.ObserveWakeup()
 	return true
 }
 
 // sleepGlobal parks the worker on the global cond. Called with the
-// shared state lock and pmu held. On true the worker slept and was
-// woken; pmu and the state lock are released. On false parking would
-// have stalled the run; pmu is released but the shared state lock is
-// still held and the caller must victimize.
-//
+// shared state lock and pmu held; release semantics mirror sleepShard.
 // Registration (globalWaiters++) happens under commitMu before pmu is
 // released, so a grant that could unblock this worker — which needs pmu
-// for its own Request — always broadcasts after the registration.
+// for its own Decide — always broadcasts after the registration.
 func (r *ConcurrentRunner) sleepGlobal() bool {
 	r.commitMu.Lock()
 	if s := r.sleepers.Add(1); s >= r.activeCount.Load() {
@@ -612,7 +569,7 @@ func (r *ConcurrentRunner) sleepGlobal() bool {
 	r.globalWaiters--
 	r.sleepers.Add(-1)
 	r.commitMu.Unlock()
-	r.obs.wakeup()
+	r.eng.ObserveWakeup()
 	return true
 }
 
@@ -620,15 +577,15 @@ func (r *ConcurrentRunner) sleepGlobal() bool {
 func (r *ConcurrentRunner) broadcastGlobal() {
 	r.commitMu.Lock()
 	if r.globalWaiters > 0 {
-		r.obs.broadcastGlobal()
+		r.eng.ObserveBroadcastGlobal()
 		r.commitCond.Broadcast()
 	}
 	r.commitMu.Unlock()
 }
 
 // wakeAll broadcasts every cond (all shards plus global). Used for
-// rare events — aborts, cascades, run failure, flood fallback — where
-// targeting is not worth the complexity.
+// rare events — aborts, cascades, run failure, cancellation floods —
+// where targeting is not worth the complexity.
 func (r *ConcurrentRunner) wakeAll() {
 	for _, sh := range r.shards {
 		sh.mu.Lock()
@@ -644,163 +601,16 @@ func (r *ConcurrentRunner) wakeAll() {
 	r.commitMu.Unlock()
 }
 
-// victimize aborts st's cascade under the exclusive state lock and
-// wakes all sleepers. Handles the race where another worker's cascade
-// doomed st between the caller releasing the shared lock and this
-// acquiring the exclusive one.
-func (r *ConcurrentRunner) victimize(st *instanceState, reason string) {
-	r.state.Lock()
-	if reason == "recoverability" {
-		r.res.RecoverabilityAborts++
-		r.obs.recoverabilityAbort()
-	}
-	if st.doomed.Load() {
-		// Someone else already aborted us (and woke everyone).
-		st.doomed.Store(false)
-		r.state.Unlock()
-		return
-	}
-	r.abortCascadeLocked(st.id, reason)
-	r.state.Unlock()
-	r.wakeAll()
-}
-
-// noteRestart records restart bookkeeping after an abort and tells the
-// worker loop to requeue the program.
-func (r *ConcurrentRunner) noteRestart(pp *pendingProgram, st *instanceState) (bool, error) {
-	r.state.Lock()
-	pp.restarts = st.restarts + 1
-	if pp.restarts > r.cfg.MaxRestarts {
-		err := fmt.Errorf("txn: program T%d exceeded %d restarts", st.program.ID, r.cfg.MaxRestarts)
-		if r.runErr == nil {
-			r.runErr = err
-		}
-		r.state.Unlock()
-		return false, err
-	}
-	r.res.Restarts++
-	r.obs.restart()
-	r.progress.Add(1)
-	level := r.lv.level
-	r.state.Unlock()
-	// Yield before the retry. Without this, a single-CPU scheduler can
-	// livelock an abort: the victim's worker keeps the processor,
-	// reincarnates the program, re-acquires the locks its abort just
-	// freed before the woken waiters ever get scheduled, and recreates
-	// the same deadlock — repeatedly, until MaxRestarts trips. Yielding
-	// lets the waiters this abort unblocked run first.
-	//
-	// Once the livelock detector has escalated, yielding alone is not
-	// spreading contenders enough: add capped, jittered wall-clock
-	// backoff from the dedicated seeded stream.
-	r.jit.sleep(pp.restarts, level)
-	runtime.Gosched()
-	return true, nil
-}
-
-// executeSharded mirrors Runner.execute on the sharded hot path.
-// Called with the shared state lock and sh.mu held (sh is the target
-// object's shard, so its dirty stacks are stable); non-shard-safe
-// callers additionally hold pmu. Returns the operation's execution
-// order and false if executing would create an unrecoverable
-// read-from cycle.
-//
-//rsvet:locks sh.mu
-func (r *ConcurrentRunner) executeSharded(st *instanceState, op core.Op, sh *driverShard) (int64, bool) {
-	if w, dirty := topDirty(sh, op.Object); dirty && w != st.id && r.depPath(w, st.id) {
-		return 0, false
-	}
-	if in := r.cfg.Faults; in.Active(fault.ShardStall) || in.Active(fault.ShardWedge) {
-		// Both fire while holding the shard's mutex — a stalled or
-		// wedged worker realistically blocks its same-shard neighbors. A
-		// wedge parks until the injector is released, which only the
-		// watchdog does: without one, a rate-1 wedge hangs the run, which
-		// is exactly the failure mode the watchdog exists to surface.
-		//rsvet:allow stripelock -- stall must block same-shard neighbors to be realistic
-		if in.Fire(fault.ShardStall) {
-			time.Sleep(in.Latency(fault.ShardStall))
-		}
-		//rsvet:allow stripelock -- wedge parks under sh.mu so the watchdog has something to detect
-		if in.Fire(fault.ShardWedge) {
-			//rsvet:allow stripelock
-			in.Wedge()
-		}
-	}
-	r.opsExecuted.Add(1)
-	r.progress.Add(1)
-	if op.Kind == core.ReadOp {
-		v := r.cfg.Store.Read(op.Object)
-		st.reads[op.Seq] = v.Value
-		if w, dirty := topDirty(sh, op.Object); dirty && w != st.id {
-			r.addDep(st, w)
-		}
-	} else {
-		v := r.cfg.Semantics.WriteValue(st.program, op.Seq, st.reads)
-		if w, dirty := topDirty(sh, op.Object); dirty && w != st.id {
-			r.addDep(st, w)
-		}
-		st.undo.WriteLogged(r.cfg.Store, op.Object, v)
-		st.writes[op.Object] = v
-		sh.dirty[op.Object] = append(sh.dirty[op.Object], st.id)
-		r.logWAL(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
-	}
-	order := r.execSeq.Add(1)
-	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: order})
-	st.next++
-	if st.next == st.program.Len() {
-		st.done = true
-	}
-	return order, true
-}
-
-func (r *ConcurrentRunner) commitLocked(st *instanceState) {
-	r.progress.Add(1)
-	r.lv.noteCommit()
-	prevLim := r.shed.limit()
-	if lim, changed := r.shed.observe(true); changed {
-		r.obs.shed(lim, r.cfg.MPL, lim < prevLim, r.execSeq.Load())
-	}
-	r.cfg.Protocol.Commit(st.id)
-	r.logWALLocked(storage.WALRecord{Kind: storage.WALCommit, Instance: st.id})
-	st.undo.Discard()
-	for obj := range st.writes {
-		r.removeDirtyLocked(obj, st.id)
-	}
-	for dep := range r.dependents[st.id] {
-		if d, ok := r.active[dep]; ok {
-			delete(d.depsOn, st.id)
-		}
-	}
-	delete(r.dependents, st.id)
-	delete(r.active, st.id)
-	r.activeCount.Add(-1)
-	r.res.Committed++
-	now := r.execSeq.Load()
-	r.obs.commit(st, now)
-	r.latencies.Add(float64(now - st.startClock))
-	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: now, CommitSeq: now})
-	r.res.Trace = append(r.res.Trace, st.events...)
-	r.res.Programs = append(r.res.Programs, st.program)
-	if r.cfg.History != nil {
-		r.cfg.History.Append(storage.Commit{Instance: st.id, Writes: st.writes})
-	}
-	r.wakeAfterCommitLocked(st)
-}
-
 // wakeAfterCommitLocked wakes exactly the sleepers a commit can
-// unblock: the shards of the committed program's objects (lock waiters
-// there may now acquire) and the global cond (commit-waiters and
-// pmu-path blockers). An S2PL-style waiter always sleeps on the shard
-// of an object its blocker holds, and every held object is in the
-// holder's program, so the targeted broadcast reaches it.
-//
-// Safety net: if the remaining active workers are all asleep after the
-// targeted wakeups were chosen, flood everything so one of them runs
-// the stall check. Requires the exclusive state lock.
-func (r *ConcurrentRunner) wakeAfterCommitLocked(st *instanceState) {
+// unblock: the shards of the committed program's objects and the
+// global cond (commit-waiters and pmu-path blockers). Safety net: if
+// the remaining active workers are all asleep after the targeted
+// wakeups were chosen, flood everything so one of them runs the stall
+// check. Requires the exclusive state lock.
+func (r *ConcurrentRunner) wakeAfterCommitLocked(st *engine.Instance) {
 	var woken [shard.MaxShards]bool
-	for i := 0; i < st.program.Len(); i++ {
-		s := r.router.Shard(st.program.Op(i).Object)
+	for i := 0; i < st.Program.Len(); i++ {
+		s := r.eng.Router.Shard(st.Program.Op(i).Object)
 		if woken[s] {
 			continue
 		}
@@ -808,157 +618,150 @@ func (r *ConcurrentRunner) wakeAfterCommitLocked(st *instanceState) {
 		sh := r.shards[s]
 		sh.mu.Lock()
 		if sh.waiters > 0 {
-			r.obs.broadcastShard()
+			r.eng.ObserveBroadcastShard()
 			sh.cond.Broadcast()
 		}
 		sh.mu.Unlock()
 	}
 	r.commitMu.Lock()
 	if r.globalWaiters > 0 {
-		r.obs.broadcastGlobal()
+		r.eng.ObserveBroadcastGlobal()
 		r.commitCond.Broadcast()
 	}
 	r.commitMu.Unlock()
 	if ac := r.activeCount.Load(); ac > 0 && r.sleepers.Load() >= ac {
-		r.obs.broadcastFlood()
+		r.eng.ObserveBroadcastFlood()
 		r.wakeAll()
 	}
 }
 
-// abortCascadeLocked aborts the instance and every live dependent,
-// rolling all their effects back together; co-victims running on other
-// goroutines are marked doomed and clean themselves up on next wake.
-// Requires the exclusive state lock; the caller broadcasts afterwards.
-func (r *ConcurrentRunner) abortCascadeLocked(id int64, reason string) {
-	victims := map[int64]bool{}
-	var collect func(v int64)
-	collect = func(v int64) {
-		if victims[v] {
-			return
-		}
-		if _, ok := r.active[v]; !ok {
-			return
-		}
-		victims[v] = true
-		for dep := range r.dependents[v] {
-			collect(dep)
-		}
+// victimize aborts st's cascade under the exclusive state lock and
+// wakes all sleepers. Handles the race where another worker's cascade
+// doomed st between the caller releasing the shared lock and this
+// acquiring the exclusive one.
+func (r *ConcurrentRunner) victimize(st *engine.Instance, reason string) {
+	r.state.Lock()
+	if reason == "recoverability" {
+		r.eng.CountRecoverabilityAbort()
 	}
-	collect(id)
-	ordered := make([]int64, 0, len(victims))
-	for v := range victims {
-		ordered = append(ordered, v)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	logs := make([]*storage.UndoLog, 0, len(ordered))
-	for _, v := range ordered {
-		logs = append(logs, &r.active[v].undo)
-	}
-	storage.RollbackSet(r.cfg.Store, logs)
-	now := r.execSeq.Load()
-	for _, v := range ordered {
-		st := r.active[v]
-		r.cfg.Protocol.Abort(v)
-		r.logWALLocked(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
-		r.obs.txnAbort(st, reason, now)
-		for obj := range st.writes {
-			r.removeDirtyLocked(obj, v)
-		}
-		for dep := range r.dependents[v] {
-			if d, ok := r.active[dep]; ok {
-				delete(d.depsOn, v)
-			}
-		}
-		delete(r.dependents, v)
-		for on := range st.depsOn {
-			if deps := r.dependents[on]; deps != nil {
-				delete(deps, v)
-			}
-		}
-		delete(r.active, v)
-		r.activeCount.Add(-1)
-		r.res.Aborts++
-		r.progress.Add(1)
-		prevLim := r.shed.limit()
-		if lim, changed := r.shed.observe(false); changed {
-			r.obs.shed(lim, r.cfg.MPL, lim < prevLim, now)
-		}
-		if level, escalated := r.lv.noteRestart(); escalated {
-			r.obs.livelockEscalation(level, now)
-		}
-		if v != id {
-			st.doomed.Store(true)
-		}
-	}
-}
-
-// addDep records a dirty-read dependency from the operation path.
-func (r *ConcurrentRunner) addDep(st *instanceState, on int64) {
-	r.depMu.Lock()
-	defer r.depMu.Unlock()
-	if st.depsOn[on] {
+	if st.Doomed.Load() {
+		// Someone else already aborted us (and woke everyone).
+		st.Doomed.Store(false)
+		r.state.Unlock()
 		return
 	}
-	st.depsOn[on] = true
-	deps := r.dependents[on]
-	if deps == nil {
-		deps = make(map[int64]bool)
-		r.dependents[on] = deps
-	}
-	deps[st.id] = true
+	r.abortCascadeLocked(st, reason)
+	r.state.Unlock()
+	r.wakeAll()
 }
 
-// depPath reports whether the dependency graph has a path from -> to.
-// Takes depMu; the active map itself is stable under the caller's
-// shared state lock.
-func (r *ConcurrentRunner) depPath(from, to int64) bool {
-	r.depMu.Lock()
-	defer r.depMu.Unlock()
-	seen := map[int64]bool{}
-	stack := []int64{from}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if v == to {
-			return true
+// abortCascadeLocked runs the engine's Abort stage for st's cascade;
+// co-victims running on other goroutines are marked doomed and clean
+// themselves up on next wake. Requires the exclusive state lock; the
+// caller broadcasts afterwards.
+func (r *ConcurrentRunner) abortCascadeLocked(st *engine.Instance, reason string) {
+	// onVictim never errors, so neither does the cascade.
+	_ = r.eng.AbortCascade(st.ID, reason, r.eng.Clock(), func(v *engine.Instance) error {
+		r.activeCount.Add(-1)
+		r.progress.Add(1)
+		if v.ID != st.ID {
+			v.Doomed.Store(true)
 		}
-		if seen[v] {
-			continue
+		return nil
+	})
+}
+
+// noteRestart records restart bookkeeping after an abort and tells the
+// worker loop to requeue the program.
+func (r *ConcurrentRunner) noteRestart(pp *engine.Pending, st *engine.Instance) (bool, error) {
+	r.state.Lock()
+	pp.Restarts = st.Restarts + 1
+	if pp.Restarts > r.eng.Cfg.MaxRestarts {
+		err := fmt.Errorf("txn: program T%d exceeded %d restarts", st.Program.ID, r.eng.Cfg.MaxRestarts)
+		if r.runErr == nil {
+			r.runErr = err
 		}
-		seen[v] = true
-		if inst, ok := r.active[v]; ok {
-			for d := range inst.depsOn {
-				stack = append(stack, d)
+		r.state.Unlock()
+		return false, err
+	}
+	r.eng.CountRestart()
+	r.progress.Add(1)
+	level := r.eng.LivelockLevel()
+	r.state.Unlock()
+	// Yield before the retry: a single-CPU scheduler can otherwise
+	// livelock an abort, with the victim's worker re-acquiring the locks
+	// its abort just freed before the woken waiters ever run. Once the
+	// livelock detector has escalated, yielding alone does not spread
+	// contenders enough: add capped, jittered wall-clock backoff from
+	// the dedicated seeded stream.
+	r.eng.JitterSleep(pp.Restarts, level)
+	runtime.Gosched()
+	return true, nil
+}
+
+// startWatchdog launches the stall watchdog and returns its stop
+// function. The watchdog polls a progress counter (bumped on every
+// executed operation, commit, abort and restart); if it does not move
+// for the configured interval the run is declared wedged and the
+// watchdog escalates through the run's cancellation mechanism: it
+// releases injected shard wedges and cancels the context with the
+// *WedgeError as the cause, which surfaces on every worker's next
+// pendingErr check and triggers the cancellation watcher's floods.
+// The watchdog never takes the state lock — a wedged worker may hold
+// it transitively — so its diagnosis uses only atomics and TryLock
+// probes on the shard mutexes.
+func (r *ConcurrentRunner) startWatchdog(limit time.Duration, cancel context.CancelCauseFunc) func() {
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		poll := limit / 8
+		if poll < time.Millisecond {
+			poll = time.Millisecond
+		}
+		last := r.progress.Load()
+		lastMove := time.Now()
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
 			}
+			if cur := r.progress.Load(); cur != last {
+				last, lastMove = cur, time.Now()
+				continue
+			}
+			if time.Since(lastMove) < limit {
+				continue
+			}
+			we := &WedgeError{
+				After:    limit,
+				Active:   r.activeCount.Load(),
+				Sleepers: r.sleepers.Load(),
+				Suspects: r.suspectShards(),
+			}
+			r.eng.ObserveWedge(we)
+			r.eng.Cfg.Faults.Release()
+			cancel(we)
+			return
 		}
-	}
-	return false
+	}()
+	return func() { close(stop); <-done }
 }
 
-// topDirty returns the innermost uncommitted writer of object on sh.
-// Caller holds sh.mu (operation path) or the exclusive state lock.
-func topDirty(sh *driverShard, object string) (int64, bool) {
-	stack := sh.dirty[object]
-	if len(stack) == 0 {
-		return 0, false
-	}
-	return stack[len(stack)-1], true
-}
-
-// removeDirtyLocked drops id from object's dirty stack. Requires the
-// exclusive state lock (commit and cascade paths only).
-func (r *ConcurrentRunner) removeDirtyLocked(object string, id int64) {
-	sh := r.shards[r.router.Shard(object)]
-	stack := sh.dirty[object]
-	out := stack[:0]
-	for _, w := range stack {
-		if w != id {
-			out = append(out, w)
+// suspectShards probes each driver shard mutex without blocking and
+// reports the ones that are held — their holders are the wedge
+// suspects.
+func (r *ConcurrentRunner) suspectShards() []int {
+	var out []int
+	for i, sh := range r.shards {
+		if sh.mu.TryLock() {
+			sh.mu.Unlock()
+		} else {
+			out = append(out, i)
 		}
 	}
-	if len(out) == 0 {
-		delete(sh.dirty, object)
-	} else {
-		sh.dirty[object] = out
-	}
+	return out
 }

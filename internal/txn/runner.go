@@ -1,324 +1,86 @@
-// Package txn is the transaction runtime: it executes declared
-// transaction programs against the storage substrate under a pluggable
-// concurrency-control protocol (internal/sched), handling blocking,
-// deadlock victimization, aborts with cascading rollback, restarts and
-// commit ordering — and it emits the observed committed schedule so
-// the offline theory (internal/core) can certify every run.
-//
-// The runtime is a deterministic discrete-event loop: given the same
-// seed, programs and protocol, a run reproduces exactly. Each tick it
-// offers one operation of every ready instance to the protocol in a
-// seeded random order, modelling concurrent clients with an open set
-// of in-flight transactions bounded by the multiprogramming level.
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
-	"sync/atomic"
-	"time"
 
-	"relser/internal/core"
+	"relser/internal/engine"
 	"relser/internal/fault"
-	"relser/internal/metrics"
 	"relser/internal/sched"
-	"relser/internal/shard"
-	"relser/internal/storage"
-	"relser/internal/trace"
 )
 
-// Semantics computes the value a write operation stores, given the
-// values the transaction has read so far (keyed by operation sequence).
-// Workloads use it to give programs real data semantics (transfers,
-// audits); the default writes a value derived from the transaction and
-// operation identity.
-type Semantics interface {
-	WriteValue(prog *core.Transaction, seq int, reads map[int]storage.Value) storage.Value
-}
-
-// DefaultSemantics writes txnID*1000 + seq; good enough when only the
-// interleaving matters.
-type DefaultSemantics struct{}
-
-// WriteValue implements Semantics.
-func (DefaultSemantics) WriteValue(prog *core.Transaction, seq int, _ map[int]storage.Value) storage.Value {
-	return storage.Value(int64(prog.ID)*1000 + int64(seq))
-}
-
-// Config describes one run.
-type Config struct {
-	Protocol sched.Protocol
-	// Programs are executed to commit exactly once each; IDs must be
-	// distinct.
-	Programs []*core.Transaction
-	// Oracle supplies relative atomicity specifications, both to
-	// verification and (for protocols that take one) to scheduling. It
-	// defaults to absolute atomicity.
-	Oracle sched.AtomicityOracle
-	// Store defaults to a fresh empty store.
-	Store *storage.Store
-	// Semantics defaults to DefaultSemantics.
-	Semantics Semantics
-	// MPL bounds concurrently active instances (default 8).
-	MPL int
-	// Shards is the key-space partition width for the concurrent
-	// driver: per-shard wait queues and dirty tracking, with shard-safe
-	// protocols admitted concurrently under per-shard locks. Normalized
-	// to a power of two (default 1 — the classical single-lock driver).
-	// The deterministic Runner is single-threaded and ignores it.
-	Shards int
-	// Seed drives the deterministic scheduler interleaving.
-	Seed int64
-	// MaxRestarts bounds restarts per program before the run fails
-	// (default 1000).
-	MaxRestarts int
-	// History, when set, records committed write effects.
-	History *storage.History
-	// WAL, when set, receives begin/write/commit/abort records; a store
-	// recovered from it (storage.Recover) reproduces exactly the
-	// committed effects. WAL append errors fail the run.
-	WAL *storage.WAL
-	// Tracer, when set, receives structured events for every scheduling
-	// decision and instance lifecycle transition; it is also attached to
-	// the protocol, store and WAL so their internal decisions land in
-	// the same stream.
-	Tracer *trace.Tracer
-	// Metrics, when set, receives run counters, the active-instance
-	// gauge and latency histograms under the "txn." prefix.
-	Metrics *metrics.Registry
-	// Faults arms deterministic fault injection: the injector is
-	// attached to the store and WAL and consulted at the driver's own
-	// fault points (sched.grant.delay, txn.abort; the concurrent driver
-	// additionally honors shard.stall and shard.wedge). Nil disables
-	// injection entirely.
-	Faults *fault.Injector
-	// Deadline bounds each instance's age in logical time units (ticks
-	// for Runner, executed operations for ConcurrentRunner) measured
-	// from admission; an instance exceeding it on the operation path is
-	// aborted with reason "deadline" and restarted. 0 disables.
-	Deadline int64
-	// Watchdog bounds progress-free wall time in the concurrent driver:
-	// if no operation executes, commits, aborts or restarts for this
-	// long, the run fails with *WedgeError instead of hanging. 0 selects
-	// the 10s default; negative disables. The deterministic Runner is
-	// single-threaded and ignores it.
-	Watchdog time.Duration
-	// BackoffSeed seeds the dedicated restart-backoff RNG stream. The
-	// backoff draws are decoupled from the admission-shuffle stream so
-	// that runs differing only in backoff pressure (e.g. under fault
-	// injection) still replay the same admission order. 0 derives a
-	// stream from Seed.
-	BackoffSeed int64
-}
-
-// Event is one executed operation in the global execution order.
-type Event struct {
-	Instance int64
-	Program  *core.Transaction
-	Op       core.Op
-	// Order is the global execution sequence number; the committed
-	// trace is sorted by it.
-	Order int64
-}
-
-// Result aggregates a run.
-type Result struct {
-	Protocol    string
-	Ticks       int
-	OpsExecuted int
-	Committed   int
-	Aborts      int
-	Blocks      int
-	CommitWaits int
-	Restarts    int
-	// RecoverabilityAborts counts aborts issued by the driver (not the
-	// protocol) because an access would have closed a dirty-data
-	// dependency cycle, making commit ordering impossible.
-	RecoverabilityAborts int
-	// DeadlineAborts counts driver aborts for instances that exceeded
-	// Config.Deadline.
-	DeadlineAborts int
-	// InjectedAborts counts txn.abort fault firings honored by the
-	// driver; InjectedDelays counts sched.grant.delay firings.
-	InjectedAborts int
-	InjectedDelays int
-	// LivelockEscalations counts restart-backoff escalations by the
-	// livelock detector.
-	LivelockEscalations int
-	// LoadSheds counts admission-limit halvings by the abort-storm
-	// shedder; MinEffectiveMPL is the lowest effective multiprogramming
-	// level the run degraded to (== Config.MPL when never shed).
-	LoadSheds       int
-	MinEffectiveMPL int
-	// AvgConcurrency is the mean number of in-flight instances per
-	// tick.
-	AvgConcurrency float64
-	// LatencyMean and LatencyP95 summarize committed-instance latency
-	// in logical time units (driver ticks for the deterministic
-	// runner, executed operations for the concurrent runner), measured
-	// from admission to commit.
-	LatencyMean float64
-	LatencyP95  float64
-	// Trace is the committed-instance execution trace, in order.
-	Trace []Event
-	// Spans records committed instances' lifetimes for Timeline.
-	Spans []Span
-	// Programs are the committed programs (same pointers as Config).
-	Programs []*core.Transaction
-	oracle   sched.AtomicityOracle
-}
-
-type instanceState struct {
-	id      int64
-	program *core.Transaction
-	next    int
-	undo    storage.UndoLog
-	reads   map[int]storage.Value
-	// depsOn holds live instances whose uncommitted data this instance
-	// read or overwrote; commit waits for them and their abort cascades
-	// here.
-	depsOn   map[int64]bool
-	restarts int
-	events   []Event
-	writes   map[string]storage.Value
-	done     bool // all operations executed, waiting to commit
-	// startClock is the logical time at admission, for latency.
-	startClock int64
-	// blockedSince is the logical time the instance entered its current
-	// block interval, or -1 when not blocked; the observer's
-	// block-latency histogram closes intervals at the next grant.
-	blockedSince int64
-	// doomed is set when a cascade initiated by another worker aborted
-	// this instance; its worker observes the flag on next wake and
-	// restarts the program (concurrent driver only).
-	doomed atomic.Bool
-}
-
-// Runner executes a configuration.
+// Runner executes a configuration as a deterministic discrete-event
+// loop over the engine pipeline: each tick it offers one operation of
+// every ready instance to the protocol in a seeded random order,
+// modelling concurrent clients with an open set of in-flight
+// transactions bounded by the multiprogramming level. Given the same
+// seed, programs and protocol, a run reproduces exactly.
 type Runner struct {
-	cfg   Config
-	rng   *rand.Rand
-	store *storage.Store
+	eng *engine.Core
+	rng *rand.Rand
 	// backoffRng is the dedicated restart-backoff stream (see
 	// Config.BackoffSeed); rng stays reserved for scheduling decisions
 	// (tick shuffles, victim picks).
 	backoffRng *rand.Rand
-	shed       *shedder
-	lv         livelock
-
-	nextInstance int64
-	pending      []*pendingProgram
-	active       map[int64]*instanceState
-	// dirtyStack tracks, per object, the live instances that wrote it,
-	// oldest first; the top entry owns the object's current
-	// uncommitted value. Entries are removed on commit and abort, so an
-	// abort re-exposes the previous uncommitted writer (if any).
-	dirtyStack map[string][]int64
-	// dependents inverts depsOn for cascade lookup.
-	dependents map[int64]map[int64]bool
-	execSeq    int64
-	walErr     error
-	latencies  metrics.Stats
-	obs        observer
-
-	res Result
-}
-
-type pendingProgram struct {
-	program  *core.Transaction
-	restarts int
-	// readyAt delays re-admission after an abort (restart backoff),
-	// in ticks.
-	readyAt int
+	pending    []*engine.Pending
+	ticks      int
 }
 
 // New validates the configuration and prepares a runner.
 func New(cfg Config) (*Runner, error) {
-	if cfg.Protocol == nil {
-		return nil, errors.New("txn: Config.Protocol is required")
-	}
-	if len(cfg.Programs) == 0 {
-		return nil, errors.New("txn: no programs to run")
-	}
-	seen := make(map[core.TxnID]bool)
-	for _, p := range cfg.Programs {
-		if p == nil || p.Len() == 0 {
-			return nil, errors.New("txn: nil or empty program")
-		}
-		if seen[p.ID] {
-			return nil, fmt.Errorf("txn: duplicate program ID %d", p.ID)
-		}
-		seen[p.ID] = true
-	}
-	if cfg.Oracle == nil {
-		cfg.Oracle = sched.AbsoluteOracle{}
-	}
-	if cfg.Store == nil {
-		cfg.Store = storage.NewStore()
-	}
-	if cfg.Semantics == nil {
-		cfg.Semantics = DefaultSemantics{}
-	}
-	if cfg.MPL <= 0 {
-		cfg.MPL = 8
-	}
-	cfg.Shards = shard.Normalize(cfg.Shards)
-	if cfg.MaxRestarts <= 0 {
-		cfg.MaxRestarts = 1000
-	}
-	if cfg.Tracer != nil {
-		sched.Attach(cfg.Protocol, cfg.Tracer)
-		cfg.Store.SetTracer(cfg.Tracer)
-		if cfg.WAL != nil {
-			cfg.WAL.SetTracer(cfg.Tracer)
-		}
-	}
-	if cfg.Faults != nil {
-		cfg.Store.SetInjector(cfg.Faults)
-		if cfg.WAL != nil {
-			cfg.WAL.SetInjector(cfg.Faults)
-		}
+	eng, err := engine.NewCore(cfg)
+	if err != nil {
+		return nil, err
 	}
 	r := &Runner{
-		cfg:        cfg,
-		rng:        rand.New(rand.NewSource(cfg.Seed)),
-		backoffRng: rand.New(rand.NewSource(backoffSeed(&cfg))),
-		shed:       newShedder(cfg.MPL),
-		store:      cfg.Store,
-		active:     make(map[int64]*instanceState),
-		dirtyStack: make(map[string][]int64),
-		dependents: make(map[int64]map[int64]bool),
+		eng:        eng,
+		rng:        rand.New(rand.NewSource(eng.Cfg.Seed)),
+		backoffRng: rand.New(rand.NewSource(eng.Cfg.RestartBackoffSeed())),
 	}
-	r.obs = newObserver(&cfg)
-	for _, p := range cfg.Programs {
-		r.pending = append(r.pending, &pendingProgram{program: p})
+	for _, p := range eng.Cfg.Programs {
+		r.pending = append(r.pending, &engine.Pending{Program: p})
 	}
-	r.res.Protocol = cfg.Protocol.Name()
-	r.res.oracle = cfg.Oracle
 	return r, nil
 }
 
 // Run executes all programs to commit and returns the result.
 func (r *Runner) Run() (*Result, error) {
+	return r.RunContext(context.Background())
+}
+
+// RunContext is Run under a context: cancellation (or deadline expiry)
+// is checked at every tick boundary and unwinds all in-flight
+// instances through the engine's Recover stage — effects rolled back,
+// WAL abort records appended — before the run fails with the
+// cancellation cause.
+func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 	concurrencySum := 0
 	for {
+		if ctx.Err() != nil {
+			cause := context.Cause(ctx)
+			r.eng.AbortAll(cause.Error(), int64(r.ticks))
+			if err := r.eng.WALErr(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("txn: run canceled: %w", cause)
+		}
 		r.admit()
-		if len(r.active) == 0 && len(r.pending) == 0 {
+		if len(r.eng.Active) == 0 && len(r.pending) == 0 {
 			break
 		}
-		r.res.Ticks++
-		if len(r.active) == 0 {
+		r.ticks++
+		if len(r.eng.Active) == 0 {
 			continue // all pending programs are backing off; idle tick
 		}
-		concurrencySum += len(r.active)
-		progress, err := r.tick()
+		concurrencySum += len(r.eng.Active)
+		progress, err := r.tick(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if r.walErr != nil {
-			return nil, fmt.Errorf("txn: WAL append failed: %w", r.walErr)
+		if err := r.eng.WALErr(); err != nil {
+			return nil, err
 		}
 		if !progress {
 			// No instance made progress: victimize one active instance
@@ -329,134 +91,94 @@ func (r *Runner) Run() (*Result, error) {
 			if victim == nil {
 				return nil, errors.New("txn: stalled with no active instances")
 			}
-			if err := r.abortCascade(victim.id, "stall"); err != nil {
+			if err := r.abortCascade(victim, "stall"); err != nil {
 				return nil, err
 			}
 		}
 	}
-	if r.res.Ticks > 0 {
-		r.res.AvgConcurrency = float64(concurrencySum) / float64(r.res.Ticks)
+	avg := 0.0
+	if r.ticks > 0 {
+		avg = float64(concurrencySum) / float64(r.ticks)
 	}
-	r.res.LatencyMean = r.latencies.Mean()
-	r.res.LatencyP95 = r.latencies.Percentile(95)
-	r.res.LoadSheds = r.shed.sheds
-	r.res.MinEffectiveMPL = r.shed.minEff
-	r.res.LivelockEscalations = r.lv.escalations
-	// Commits append whole per-instance event blocks; restore global
-	// execution order.
-	sort.Slice(r.res.Trace, func(i, j int) bool { return r.res.Trace[i].Order < r.res.Trace[j].Order })
-	return &r.res, nil
+	return r.eng.Finalize(r.ticks, avg), nil
 }
 
 // admit starts ready pending programs while multiprogramming slots are
 // free; programs aborted recently stay queued until their backoff
 // expires.
 func (r *Runner) admit() {
-	limit := r.shed.limit() // admission-controlled MPL (<= cfg.MPL)
+	limit := r.eng.AdmitLimit() // admission-controlled MPL (<= cfg.MPL)
 	rest := r.pending[:0]
 	for i, pp := range r.pending {
-		if len(r.active) >= limit || pp.readyAt > r.res.Ticks {
+		if len(r.eng.Active) >= limit || pp.ReadyAt > r.ticks {
 			rest = append(rest, r.pending[i])
 			continue
 		}
-		r.nextInstance++
-		st := &instanceState{
-			id:           r.nextInstance,
-			program:      pp.program,
-			reads:        make(map[int]storage.Value),
-			depsOn:       make(map[int64]bool),
-			writes:       make(map[string]storage.Value),
-			restarts:     pp.restarts,
-			startClock:   int64(r.res.Ticks),
-			blockedSince: -1,
-		}
-		r.active[st.id] = st
-		r.cfg.Protocol.Begin(st.id, st.program)
-		r.logWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.id})
-		r.obs.begin(st, int64(r.res.Ticks))
+		r.eng.Admit(pp, int64(r.ticks))
 	}
 	r.pending = rest
 }
 
-// logWAL appends a record, deferring errors to the main loop (the
-// simulator's WAL sinks are in-memory or local files; an append error
-// is fatal).
-func (r *Runner) logWAL(rec storage.WALRecord) {
-	if r.cfg.WAL == nil {
-		return
-	}
-	if err := r.cfg.WAL.Append(rec); err != nil && r.walErr == nil {
-		r.walErr = err
-	}
-}
-
 // tick offers one step to every active instance in seeded random
 // order; it reports whether anything progressed.
-func (r *Runner) tick() (bool, error) {
-	ids := make([]int64, 0, len(r.active))
-	for id := range r.active {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+func (r *Runner) tick(ctx context.Context) (bool, error) {
+	ids := r.eng.ActiveIDs()
 	r.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	clock := int64(r.ticks)
 	progress := false
 	delayed := 0
 	for _, id := range ids {
-		st, ok := r.active[id]
+		st, ok := r.eng.Active[id]
 		if !ok {
 			continue // aborted by an earlier cascade this tick
 		}
-		if st.done {
+		if st.Done {
 			continue // commits happen in the post-loop commit wave
 		}
-		if dl := r.cfg.Deadline; dl > 0 && int64(r.res.Ticks)-st.startClock > dl {
-			r.res.DeadlineAborts++
-			r.obs.deadlineAbort()
-			if err := r.abortCascade(st.id, "deadline"); err != nil {
+		if dl := r.eng.Cfg.Deadline; dl > 0 && clock-st.StartClock > dl {
+			r.eng.CountDeadlineAbort()
+			if err := r.abortCascade(st, "deadline"); err != nil {
 				return false, err
 			}
 			progress = true
 			continue
 		}
-		if r.cfg.Faults.Fire(fault.TxnForcedAbort) {
-			r.res.InjectedAborts++
-			r.obs.fault(fault.TxnForcedAbort, st.id, int64(r.res.Ticks))
-			if err := r.abortCascade(st.id, "injected"); err != nil {
+		if r.eng.Cfg.Faults.Fire(fault.TxnForcedAbort) {
+			r.eng.CountFault(fault.TxnForcedAbort, st.ID, clock)
+			if err := r.abortCascade(st, "injected"); err != nil {
 				return false, err
 			}
 			progress = true
 			continue
 		}
-		if r.cfg.Faults.Fire(fault.SchedGrantDelay) {
+		if r.eng.Cfg.Faults.Fire(fault.SchedGrantDelay) {
 			// The scheduler "loses" this instance's turn for a tick.
-			r.res.InjectedDelays++
-			r.obs.fault(fault.SchedGrantDelay, st.id, int64(r.res.Ticks))
+			r.eng.CountFault(fault.SchedGrantDelay, st.ID, clock)
 			delayed++
 			continue
 		}
-		op := st.program.Op(st.next)
-		req := sched.OpRequest{Instance: st.id, Program: st.program, Seq: st.next, Op: op}
-		switch r.cfg.Protocol.Request(req) {
+		op := st.Program.Op(st.Next)
+		req := sched.OpRequest{Instance: st.ID, Program: st.Program, Seq: st.Next, Op: op, Ctx: ctx}
+		switch r.eng.Decide(st, req) {
 		case sched.Grant:
-			if !r.execute(st, op) {
-				// Recoverability: the access would close a dirty-data
-				// dependency cycle; commit ordering could never
-				// resolve it, so abort now.
-				r.res.RecoverabilityAborts++
-				r.obs.recoverabilityAbort()
-				if err := r.abortCascade(st.id, "recoverability"); err != nil {
+			shardIdx := r.eng.Router.Shard(op.Object)
+			if r.eng.Unrecoverable(st, op, shardIdx) {
+				// The access would close a dirty-data dependency cycle;
+				// commit ordering could never resolve it, so abort now.
+				r.eng.CountRecoverabilityAbort()
+				if err := r.abortCascade(st, "recoverability"); err != nil {
 					return false, err
 				}
 			} else {
-				r.obs.grant(st, op, r.execSeq, int64(r.res.Ticks))
+				order := r.eng.Apply(ctx, st, op, shardIdx)
+				r.eng.ObserveGrant(st, op, order, clock)
 			}
 			progress = true
 		case sched.Block:
-			r.res.Blocks++
-			r.obs.block(st, op, int64(r.res.Ticks))
+			r.eng.ObserveBlock(st, op, clock, -1)
 		case sched.Abort:
-			r.obs.abortDecision(st, op, int64(r.res.Ticks))
-			if err := r.abortCascade(st.id, "protocol"); err != nil {
+			r.eng.ObserveAbortDecision(st, op, clock)
+			if err := r.abortCascade(st, "protocol"); err != nil {
 				return false, err
 			}
 			progress = true
@@ -466,17 +188,12 @@ func (r *Runner) tick() (bool, error) {
 	// dirty-data dependency, so iterate to a fixpoint within the tick.
 	for {
 		committed := false
-		ids = ids[:0]
-		for id := range r.active {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
-			st, ok := r.active[id]
-			if !ok || !st.done {
+		for _, id := range r.eng.ActiveIDs() {
+			st, ok := r.eng.Active[id]
+			if !ok || !st.Done {
 				continue
 			}
-			if r.tryCommit(st) {
+			if r.eng.TryCommit(st, clock) {
 				committed = true
 				progress = true
 			}
@@ -493,245 +210,44 @@ func (r *Runner) tick() (bool, error) {
 	return progress, nil
 }
 
-// execute applies the granted operation to the store and updates dirty
-// tracking. It reports false — without applying the operation — when
-// touching the object's dirty data would create a commit-dependency
-// cycle (the access is unrecoverable: neither party could ever commit
-// first).
-func (r *Runner) execute(st *instanceState, op core.Op) bool {
-	if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id && r.depPathExists(w, st.id) {
-		return false
-	}
-	r.res.OpsExecuted++
-	if op.Kind == core.ReadOp {
-		v := r.store.Read(op.Object)
-		st.reads[op.Seq] = v.Value
-		if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id {
-			r.addDep(st, w)
+// abortCascade aborts the instance through the engine and requeues
+// each victim's program with randomized exponential backoff, so
+// identical contenders do not re-collide in lockstep forever.
+func (r *Runner) abortCascade(st *engine.Instance, reason string) error {
+	return r.eng.AbortCascade(st.ID, reason, int64(r.ticks), func(v *engine.Instance) error {
+		v.Restarts++
+		if v.Restarts > r.eng.Cfg.MaxRestarts {
+			return fmt.Errorf("txn: program T%d exceeded %d restarts (reason %s)", v.Program.ID, r.eng.Cfg.MaxRestarts, reason)
 		}
-	} else {
-		v := r.cfg.Semantics.WriteValue(st.program, op.Seq, st.reads)
-		if w, dirty := r.dirtyWriter(op.Object); dirty && w != st.id {
-			r.addDep(st, w) // overwrote dirty data
-		}
-		st.undo.WriteLogged(r.store, op.Object, v)
-		st.writes[op.Object] = v
-		r.dirtyStack[op.Object] = append(r.dirtyStack[op.Object], st.id)
-		r.logWAL(storage.WALRecord{Kind: storage.WALWrite, Instance: st.id, Object: op.Object, Value: v})
-	}
-	r.execSeq++
-	st.events = append(st.events, Event{Instance: st.id, Program: st.program, Op: op, Order: r.execSeq})
-	st.next++
-	if st.next == st.program.Len() {
-		st.done = true
-	}
-	return true
-}
-
-// depPathExists reports whether from transitively depends on to in the
-// live dirty-dependency graph.
-func (r *Runner) depPathExists(from, to int64) bool {
-	seen := map[int64]bool{}
-	stack := []int64{from}
-	for len(stack) > 0 {
-		v := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if v == to {
-			return true
-		}
-		if seen[v] {
-			continue
-		}
-		seen[v] = true
-		if inst, ok := r.active[v]; ok {
-			for d := range inst.depsOn {
-				stack = append(stack, d)
-			}
-		}
-	}
-	return false
-}
-
-func (r *Runner) addDep(st *instanceState, on int64) {
-	if st.depsOn[on] {
-		return
-	}
-	st.depsOn[on] = true
-	deps := r.dependents[on]
-	if deps == nil {
-		deps = make(map[int64]bool)
-		r.dependents[on] = deps
-	}
-	deps[st.id] = true
-}
-
-// tryCommit commits a finished instance if the protocol allows and all
-// dirty-data dependencies have committed.
-func (r *Runner) tryCommit(st *instanceState) bool {
-	if len(st.depsOn) > 0 || !r.cfg.Protocol.CanCommit(st.id) {
-		r.res.CommitWaits++
-		r.obs.commitWait()
-		return false
-	}
-	r.cfg.Protocol.Commit(st.id)
-	r.logWAL(storage.WALRecord{Kind: storage.WALCommit, Instance: st.id})
-	st.undo.Discard()
-	for obj := range st.writes {
-		r.removeDirty(obj, st.id)
-	}
-	for dep := range r.dependents[st.id] {
-		if d, ok := r.active[dep]; ok {
-			delete(d.depsOn, st.id)
-		}
-	}
-	delete(r.dependents, st.id)
-	delete(r.active, st.id)
-	r.res.Committed++
-	r.obs.commit(st, int64(r.res.Ticks))
-	r.lv.noteCommit()
-	prevLim := r.shed.limit()
-	if lim, changed := r.shed.observe(true); changed {
-		r.obs.shed(lim, r.cfg.MPL, lim < prevLim, int64(r.res.Ticks))
-	}
-	r.latencies.Add(float64(int64(r.res.Ticks) - st.startClock))
-	r.res.Spans = append(r.res.Spans, Span{Instance: st.id, Program: int(st.program.ID), Start: st.startClock, End: int64(r.res.Ticks), CommitSeq: r.execSeq})
-	r.res.Trace = append(r.res.Trace, st.events...)
-	r.res.Programs = append(r.res.Programs, st.program)
-	if r.cfg.History != nil {
-		r.cfg.History.Append(storage.Commit{Instance: st.id, Writes: st.writes})
-	}
-	return true
-}
-
-// abortCascade aborts the instance and, transitively, every live
-// instance that read or overwrote its uncommitted data, rolling back
-// all their writes in global reverse order, then requeues the programs
-// for restart.
-func (r *Runner) abortCascade(id int64, reason string) error {
-	victims := map[int64]bool{}
-	var collect func(v int64)
-	collect = func(v int64) {
-		if victims[v] {
-			return
-		}
-		if _, ok := r.active[v]; !ok {
-			return
-		}
-		victims[v] = true
-		for dep := range r.dependents[v] {
-			collect(dep)
-		}
-	}
-	collect(id)
-	if len(victims) == 0 {
-		return nil
-	}
-	ordered := make([]int64, 0, len(victims))
-	for v := range victims {
-		ordered = append(ordered, v)
-	}
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
-	logs := make([]*storage.UndoLog, 0, len(ordered))
-	for _, v := range ordered {
-		st := r.active[v]
-		logs = append(logs, &st.undo)
-	}
-	storage.RollbackSet(r.store, logs)
-	for _, v := range ordered {
-		st := r.active[v]
-		r.cfg.Protocol.Abort(v)
-		r.logWAL(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
-		r.obs.txnAbort(st, reason, int64(r.res.Ticks))
-		for obj := range st.writes {
-			r.removeDirty(obj, v)
-		}
-		for dep := range r.dependents[v] {
-			if d, ok := r.active[dep]; ok {
-				delete(d.depsOn, v)
-			}
-		}
-		delete(r.dependents, v)
-		for on := range st.depsOn {
-			if deps := r.dependents[on]; deps != nil {
-				delete(deps, v)
-			}
-		}
-		delete(r.active, v)
-		r.res.Aborts++
-		st.restarts++
-		if st.restarts > r.cfg.MaxRestarts {
-			return fmt.Errorf("txn: program T%d exceeded %d restarts (reason %s)", st.program.ID, r.cfg.MaxRestarts, reason)
-		}
-		r.res.Restarts++
-		r.obs.restart()
-		prevLim := r.shed.limit()
-		if lim, changed := r.shed.observe(false); changed {
-			r.obs.shed(lim, r.cfg.MPL, lim < prevLim, int64(r.res.Ticks))
-		}
-		level, escalated := r.lv.noteRestart()
-		if escalated {
-			r.obs.livelockEscalation(level, int64(r.res.Ticks))
-		}
-		backoff := st.restarts
+		r.eng.CountRestart()
+		backoff := v.Restarts
 		if backoff > 6 {
 			backoff = 6
 		}
 		// Livelock escalation widens the backoff window beyond the
 		// per-instance exponential cap.
-		backoff += level
+		backoff += r.eng.LivelockLevel()
 		if backoff > 10 {
 			backoff = 10
 		}
-		// Randomized exponential backoff staggers restarted programs so
-		// identical contenders do not re-collide in lockstep forever.
 		// Draws come from the dedicated backoff stream, keeping the
 		// scheduling stream (r.rng) byte-identical across runs that
 		// differ only in backoff pressure.
-		r.pending = append(r.pending, &pendingProgram{
-			program:  st.program,
-			restarts: st.restarts,
-			readyAt:  r.res.Ticks + 1 + r.backoffRng.Intn(1<<backoff),
+		r.pending = append(r.pending, &engine.Pending{
+			Program:  v.Program,
+			Restarts: v.Restarts,
+			ReadyAt:  r.ticks + 1 + r.backoffRng.Intn(1<<backoff),
 		})
-	}
-	return nil
-}
-
-// dirtyWriter returns the live instance owning the object's current
-// uncommitted value, if any.
-func (r *Runner) dirtyWriter(object string) (int64, bool) {
-	stack := r.dirtyStack[object]
-	if len(stack) == 0 {
-		return 0, false
-	}
-	return stack[len(stack)-1], true
-}
-
-// removeDirty drops every stack entry of the instance for the object.
-func (r *Runner) removeDirty(object string, id int64) {
-	stack := r.dirtyStack[object]
-	out := stack[:0]
-	for _, w := range stack {
-		if w != id {
-			out = append(out, w)
-		}
-	}
-	if len(out) == 0 {
-		delete(r.dirtyStack, object)
-	} else {
-		r.dirtyStack[object] = out
-	}
+		return nil
+	})
 }
 
 // randomVictim picks a seeded-random active instance for stall
 // breaking.
-func (r *Runner) randomVictim() *instanceState {
-	if len(r.active) == 0 {
+func (r *Runner) randomVictim() *engine.Instance {
+	ids := r.eng.ActiveIDs()
+	if len(ids) == 0 {
 		return nil
 	}
-	ids := make([]int64, 0, len(r.active))
-	for id := range r.active {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return r.active[ids[r.rng.Intn(len(ids))]]
+	return r.eng.Active[ids[r.rng.Intn(len(ids))]]
 }

@@ -20,6 +20,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -80,11 +81,29 @@ type RunOptions struct {
 	// Watchdog bounds progress-free wall time in the concurrent driver;
 	// 0 selects the default, negative disables (see txn.Config.Watchdog).
 	Watchdog time.Duration
+	// Timeout, when positive, bounds the run's wall time via a context
+	// deadline layered onto the caller's context: an expired run unwinds
+	// in-flight instances through the engine's Recover stage and fails
+	// with context.DeadlineExceeded as the cause.
+	Timeout time.Duration
 }
 
 // RunWith executes the workload with full options and returns the
 // result together with the store it ran against.
 func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Result, *storage.Store, error) {
+	return w.RunWithContext(context.Background(), protocol, opts)
+}
+
+// RunWithContext is RunWith under a caller context: cancellation and
+// deadlines propagate through both drivers' run loops (txn.Runner
+// checks at tick boundaries; txn.ConcurrentRunner's workers check on
+// every step and are flooded awake on cancellation).
+func (w *Workload) RunWithContext(ctx context.Context, protocol sched.Protocol, opts RunOptions) (*txn.Result, *storage.Store, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	store := opts.Store
 	if store == nil {
 		store = storage.NewStore()
@@ -114,13 +133,13 @@ func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Resul
 		var runner *txn.ConcurrentRunner
 		runner, err = txn.NewConcurrent(cfg)
 		if err == nil {
-			res, err = runner.Run()
+			res, err = runner.RunContext(ctx)
 		}
 	} else {
 		var runner *txn.Runner
 		runner, err = txn.New(cfg)
 		if err == nil {
-			res, err = runner.Run()
+			res, err = runner.RunContext(ctx)
 		}
 	}
 	if err != nil {

@@ -1,0 +1,69 @@
+package relser
+
+import (
+	"context"
+	"time"
+
+	"relser/internal/sched"
+	"relser/internal/storage"
+	"relser/internal/txn"
+	"relser/internal/workload"
+)
+
+// Execution facade: the runtime side of the reproduction behind one
+// context-aware entry point. A run takes a workload (programs plus
+// their relative atomicity specification), an online protocol, and
+// options; it executes through the engine pipeline (internal/engine)
+// and returns the aggregated result, whose committed schedule can be
+// certified against Theorem 1 with RunResult.Verify.
+type (
+	// Protocol is an online concurrency-control policy; construct one
+	// with NewProtocol.
+	Protocol = sched.Protocol
+	// Workload bundles transaction programs with their atomicity
+	// specification, initial data, write semantics and invariant.
+	Workload = workload.Workload
+	// RunOptions tunes a run: seed, multiprogramming level, concurrent
+	// (goroutine) execution with sharding, WAL, observability sinks,
+	// fault injection, logical deadlines and wall-clock timeout.
+	RunOptions = workload.RunOptions
+	// RunResult aggregates a run; Verify certifies its committed
+	// schedule relatively serializable, RecoveryProperties classifies it
+	// in the recoverability hierarchy.
+	RunResult = txn.Result
+	// Store is the in-memory object store runs execute against.
+	Store = storage.Store
+)
+
+// Workload constructors and the protocol registry.
+var (
+	// Banking, CADCAM, LongLived and Synthetic build the paper's
+	// workload scenarios (§1, §5).
+	Banking   = workload.Banking
+	CADCAM    = workload.CADCAM
+	LongLived = workload.LongLived
+	Synthetic = workload.Synthetic
+
+	// NewProtocol resolves a protocol by name ("nocc", "s2pl", "sgt",
+	// "rsgt", "altruistic", ...), binding the workload's oracle to
+	// protocols that take one.
+	NewProtocol = sched.NewProtocol
+)
+
+// Run executes the workload under the protocol with the given options.
+// The context governs the whole run: cancellation or deadline expiry
+// stops both drivers, unwinds in-flight transactions through the
+// engine's Recover stage (effects rolled back, WAL abort records
+// appended, store invariant-clean), and fails the run with the
+// cancellation cause. The returned store is the one the run executed
+// against, usable even when the run itself failed.
+func Run(ctx context.Context, w *Workload, p Protocol, opts RunOptions) (*RunResult, *Store, error) {
+	return w.RunWithContext(ctx, p, opts)
+}
+
+// RunTimeout is Run with a wall-clock budget instead of a caller
+// context; zero or negative d means no bound.
+func RunTimeout(d time.Duration, w *Workload, p Protocol, opts RunOptions) (*RunResult, *Store, error) {
+	opts.Timeout = d
+	return w.RunWithContext(context.Background(), p, opts)
+}
