@@ -80,6 +80,12 @@ test-engine:
 	$(GO) test -race -count=2 ./internal/engine ./internal/txn \
 		-run 'TestSerialConcurrentParity|TestSerialReplayDeterminism|TestCancel|TestRunOptionsTimeout|TestCorePipeline|TestAbortAll|TestStageNames|TestNewCoreValidation'
 
+# Live ops-endpoint smoke (CI: test job): a run with -ops serving,
+# scraped for the canonical /metrics, /healthz and /debug keys while
+# the endpoint lingers after the run.
+smoke-ops:
+	sh scripts/smoke_ops.sh
+
 cover:
 	$(GO) test -cover ./...
 
@@ -92,7 +98,7 @@ bench:
 bench-hot:
 	$(GO) test -run 'XXX' -bench . -benchmem -count=5 ./internal/txn ./internal/graph
 
-# Regenerate every experiment report of EXPERIMENTS.md (E1-E15).
+# Regenerate every experiment report of EXPERIMENTS.md (E1-E17).
 experiments:
 	$(GO) run ./cmd/rsbench
 

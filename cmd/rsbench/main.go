@@ -25,6 +25,7 @@ import (
 
 	"relser/internal/experiments"
 	"relser/internal/metrics"
+	"relser/internal/obs"
 	"relser/internal/trace"
 )
 
@@ -43,6 +44,7 @@ func main() {
 		shards     = flag.Int("shards", 1, "shard count for the concurrent driver's hot path (rounded up to a power of two)")
 		faultSpec  = flag.String("faults", "", "E16: replace the built-in chaos specs with this fault spec (point:rate[:duration],...)")
 		timeout    = flag.Duration("timeout", 0, "bound each workload run inside an experiment with a context deadline (0 disables); an expired run errors the experiment instead of hanging")
+		opsAddr    = flag.String("ops", "", "serve the live ops endpoint (/metrics, /healthz, /debug/flight, /debug/trace, pprof) on this address while experiments run, e.g. :6060")
 	)
 	flag.Parse()
 
@@ -78,8 +80,19 @@ func main() {
 		buf = trace.NewBuffer()
 		opts.Tracer = trace.New(buf)
 	}
-	if *metricsOn {
+	if *metricsOn || *opsAddr != "" {
 		opts.Metrics = metrics.NewRegistry()
+	}
+	var opsSrv *obs.Server
+	if *opsAddr != "" {
+		plane := obs.New(obs.Options{Registry: opts.Metrics})
+		opts.Obs = plane
+		srv, err := plane.Serve(*opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		opsSrv = srv
+		fmt.Printf("ops: live endpoint on http://%s (/metrics /healthz /debug/flight /debug/spans /debug/trace /debug/pprof/)\n", srv.Addr())
 	}
 
 	// Every requested experiment runs even if an earlier one errors;
@@ -126,6 +139,11 @@ func main() {
 		outcomes = append(outcomes, o)
 	}
 
+	if opsSrv != nil {
+		if err := opsSrv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rsbench: ops close:", err)
+		}
+	}
 	if buf != nil {
 		if err := writeTrace(*tracePath, buf); err != nil {
 			fatal(err)

@@ -10,6 +10,7 @@
 //	rssim -workload synthetic -granularity 2 -protocol rsgt -schedule
 //	rssim -workload banking -protocol rsgt -trace run.jsonl -metrics
 //	rssim -workload banking -faults 'wal.torn:0.01,txn.abort:0.2' -seed 7
+//	rssim -workload synthetic -concurrent -ops :6060 -linger 30s
 package main
 
 import (
@@ -20,11 +21,13 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"relser"
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/obs"
 	"relser/internal/sched"
 	"relser/internal/storage"
 	"relser/internal/trace"
@@ -56,8 +59,11 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "bound the whole run's wall time via a context deadline (0 disables); on expiry in-flight transactions are rolled back and any WAL stays recoverable")
 		deadline   = flag.Int64("deadline", 0, "deprecated alias kept for old scripts: per-instance logical-age abort bound (0 disables); prefer -timeout for bounding runs")
 		watchdog   = flag.Duration("watchdog", 0, "deprecated alias kept for old scripts: concurrent-driver progress-free wedge bound (0 = default 10s, negative disables); prefer -timeout, which cancels the same run context")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
+		opsAddr    = flag.String("ops", "", "serve the live ops endpoint on this address for the run's duration (e.g. ':6060'): /metrics, /healthz, /debug/flight, /debug/spans, /debug/trace and /debug/pprof")
+		linger     = flag.Duration("linger", 0, "keep the ops endpoint serving this long after the run completes, for post-run scraping (requires -ops)")
+		flightDir  = flag.String("flightdir", "", "write automatic flight-recorder dumps (watchdog wedge, abort storm, livelock escalation, cancellation) into this directory (requires -ops)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
 	)
 	flag.Parse()
 
@@ -121,6 +127,23 @@ func main() {
 	if *metricsOn {
 		registry = metrics.NewRegistry()
 	}
+	var (
+		plane  *obs.Plane
+		opsSrv *obs.Server
+	)
+	if *opsAddr != "" {
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fatal(err)
+			}
+		}
+		plane = obs.New(obs.Options{Registry: registry, DumpDir: *flightDir})
+		opsSrv, err = plane.Serve(*opsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(status, "ops: serving http://%s (/metrics /healthz /debug/flight /debug/spans /debug/trace /debug/pprof)\n", opsSrv.Addr())
+	}
 	var injector *fault.Injector
 	if *faultSpec != "" {
 		spec, err := fault.ParseSpec(*faultSpec)
@@ -147,6 +170,7 @@ func main() {
 		Shards:     *shards,
 		Tracer:     tracer,
 		Metrics:    registry,
+		Obs:        plane,
 		Faults:     injector,
 		Deadline:   *deadline,
 		Watchdog:   *watchdog,
@@ -212,6 +236,24 @@ func main() {
 			fatal(err)
 		}
 		f.Close()
+	}
+	if opsSrv != nil {
+		if *linger > 0 {
+			fmt.Fprintf(status, "ops: lingering %s for post-run scrapes (http://%s)\n", *linger, opsSrv.Addr())
+			time.Sleep(*linger)
+		}
+		if err := opsSrv.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "rssim: ops shutdown:", err)
+		}
+		fmt.Fprintf(status, "ops: flight recorder retained %d of %d events; %d spans\n",
+			len(plane.Flight()), plane.Recorder().Recorded(), len(plane.Spans()))
+		dumps, derrs := plane.Dumps()
+		for _, d := range dumps {
+			fmt.Fprintln(status, "ops: flight dump:", d)
+		}
+		for _, derr := range derrs {
+			fmt.Fprintln(os.Stderr, "rssim:", derr)
+		}
 	}
 	if *verify {
 		if err := res.Verify(); err != nil {

@@ -48,6 +48,12 @@ type Instance struct {
 	// this instance; its worker observes the flag on next wake and
 	// restarts the program (concurrent driver only).
 	Doomed atomic.Bool
+	// Obs is an opaque slot for observers layered over the stage hooks
+	// (internal/obs parks the instance's live span here so lifecycle
+	// hooks reach it without a table lookup). The engine never touches
+	// it; access follows the same driver synchronization as the rest of
+	// the instance.
+	Obs any
 }
 
 // Pending is a program queued for (re-)admission.
@@ -191,7 +197,9 @@ func (c *Core) Admit(pp *Pending, clock int64) *Instance {
 	c.Cfg.Protocol.Begin(st.ID, st.Program)
 	c.LogWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.ID})
 	c.rep.begin(st, clock)
-	c.Cfg.Hooks.fire(StageAdmit, st)
+	if h := c.Cfg.Hooks.Admit; h != nil {
+		h(st)
+	}
 	return st
 }
 
@@ -203,14 +211,18 @@ func (c *Core) Admit(pp *Pending, clock int64) *Instance {
 // mutual exclusion the protocol requires (the driver's shard lock or
 // protocol mutex).
 func (c *Core) Decide(st *Instance, req sched.OpRequest) sched.Decision {
-	c.Cfg.Hooks.fire(StageIssue, st)
+	if h := c.Cfg.Hooks.Issue; h != nil {
+		h(st)
+	}
 	var dec sched.Decision
 	if req.Canceled() {
 		dec = sched.Abort
 	} else {
 		dec = c.Cfg.Protocol.Request(req)
 	}
-	c.Cfg.Hooks.fire(StageDecide, st)
+	if h := c.Cfg.Hooks.Decide; h != nil {
+		h(st)
+	}
 	return dec
 }
 
@@ -255,7 +267,9 @@ func (c *Core) Apply(ctx context.Context, st *Instance, op core.Op, shardIdx int
 	if st.Next == st.Program.Len() {
 		st.Done = true
 	}
-	c.Cfg.Hooks.fire(StageApply, st)
+	if h := c.Cfg.Hooks.Apply; h != nil {
+		h(st)
+	}
 	return order
 }
 
@@ -299,7 +313,9 @@ func (c *Core) TryCommit(st *Instance, clock int64) bool {
 	if c.Cfg.History != nil {
 		c.Cfg.History.Append(storage.Commit{Instance: st.ID, Writes: st.Writes})
 	}
-	c.Cfg.Hooks.fire(StageCommit, st)
+	if h := c.Cfg.Hooks.Commit; h != nil {
+		h(st)
+	}
 	return true
 }
 
@@ -367,7 +383,9 @@ func (c *Core) AbortCascade(id int64, reason string, clock int64, onVictim func(
 		if level, escalated := c.lv.noteRestart(); escalated {
 			c.rep.livelockEscalation(level, clock)
 		}
-		c.Cfg.Hooks.fire(StageAbort, st)
+		if h := c.Cfg.Hooks.Abort; h != nil {
+			h(st)
+		}
 		if onVictim != nil {
 			if err := onVictim(st); err != nil {
 				return err
@@ -387,7 +405,9 @@ func (c *Core) AbortAll(cause string, clock int64) int {
 	// The run-scoped Recover hook fires even when nothing is left in
 	// flight (earlier cascades may have drained every instance): the
 	// unwind still marks the run's end.
-	c.Cfg.Hooks.fire(StageRecover, nil)
+	if h := c.Cfg.Hooks.Recover; h != nil {
+		h()
+	}
 	ids := c.ActiveIDs()
 	if len(ids) == 0 {
 		return 0

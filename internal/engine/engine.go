@@ -75,17 +75,39 @@ func (s Stage) String() string {
 	}
 }
 
-// Hooks observes lifecycle stage transitions. The instance is the one
-// crossing the stage (nil for run-scoped transitions such as the
-// Recover unwind's start). Hooks run synchronously on the driver's
-// execution path under whatever locks that path holds, so they must be
-// fast and must not call back into the engine; canceling the run
-// context is the intended use.
-type Hooks func(stage Stage, st *Instance)
+// Hooks observes lifecycle stage transitions, one optional function
+// per stage; the instance is the one crossing the stage (Recover is
+// run-scoped and carries none). A nil field costs its transition a
+// single nil check, so observers that only need the per-instance
+// lifecycle — internal/obs assembles spans from Admit/Commit/Abort —
+// leave the per-operation stages (Issue, Decide, Apply) undisturbed on
+// the hot path. Hooks run synchronously on the driver's execution path
+// under whatever locks that path holds, so they must be fast and must
+// not call back into the engine; canceling the run context is the
+// intended use.
+type Hooks struct {
+	Admit  func(*Instance)
+	Issue  func(*Instance)
+	Decide func(*Instance)
+	Apply  func(*Instance)
+	Commit func(*Instance)
+	Abort  func(*Instance)
+	// Recover observes the cancellation unwind's start; the unwound
+	// instances each cross Abort afterwards.
+	Recover func()
+}
 
-// fire invokes the hook if one is installed.
-func (h Hooks) fire(stage Stage, st *Instance) {
-	if h != nil {
-		h(stage, st)
+// OnStages routes every stage transition through one function — the
+// shape tests use to observe the full stage sequence or cancel a run
+// at a precise lifecycle point.
+func OnStages(fn func(Stage, *Instance)) Hooks {
+	return Hooks{
+		Admit:   func(st *Instance) { fn(StageAdmit, st) },
+		Issue:   func(st *Instance) { fn(StageIssue, st) },
+		Decide:  func(st *Instance) { fn(StageDecide, st) },
+		Apply:   func(st *Instance) { fn(StageApply, st) },
+		Commit:  func(st *Instance) { fn(StageCommit, st) },
+		Abort:   func(st *Instance) { fn(StageAbort, st) },
+		Recover: func() { fn(StageRecover, nil) },
 	}
 }

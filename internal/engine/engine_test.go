@@ -75,7 +75,7 @@ func TestCorePipelineDirect(t *testing.T) {
 	cfg := engine.Config{
 		Protocol: sched.NewNoCC(),
 		Programs: []*core.Transaction{p},
-		Hooks:    func(s engine.Stage, _ *engine.Instance) { stages = append(stages, s) },
+		Hooks:    engine.OnStages(func(s engine.Stage, _ *engine.Instance) { stages = append(stages, s) }),
 	}
 	eng, err := engine.NewCore(cfg)
 	if err != nil {
@@ -129,11 +129,11 @@ func TestAbortAllFiresRecoverWhenIdle(t *testing.T) {
 	cfg := engine.Config{
 		Protocol: sched.NewNoCC(),
 		Programs: []*core.Transaction{prog(1, "r[x]")},
-		Hooks: func(s engine.Stage, _ *engine.Instance) {
+		Hooks: engine.OnStages(func(s engine.Stage, _ *engine.Instance) {
 			if s == engine.StageRecover {
 				sawRecover = true
 			}
-		},
+		}),
 	}
 	eng, err := engine.NewCore(cfg)
 	if err != nil {

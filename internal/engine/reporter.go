@@ -86,7 +86,7 @@ func (o *reporter) begin(st *Instance, clock int64) {
 	if o.active != nil {
 		o.active.Add(1)
 	}
-	if o.tr.Enabled() {
+	if o.tr.Wants(trace.KindBegin) {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindBegin, Protocol: o.proto,
 			Instance: st.ID, Txn: int(st.Program.ID),
@@ -107,7 +107,7 @@ func (o *reporter) grant(st *Instance, op core.Op, order, clock int64) {
 		}
 		st.BlockedSince = -1
 	}
-	if o.tr.Enabled() {
+	if o.tr.Wants(trace.KindGrant) {
 		ev := trace.Event{
 			Kind: trace.KindGrant, Protocol: o.proto,
 			Instance: st.ID, Txn: int(st.Program.ID), Seq: op.Seq,
@@ -161,7 +161,7 @@ func (o *reporter) commit(st *Instance, clock int64) {
 	if o.latency != nil {
 		o.latency.Observe(float64(clock - st.StartClock))
 	}
-	if o.tr.Enabled() {
+	if o.tr.Wants(trace.KindCommit) {
 		o.tr.Emit(trace.Event{
 			Kind: trace.KindCommit, Protocol: o.proto,
 			Instance: st.ID, Txn: int(st.Program.ID), Tick: clock,

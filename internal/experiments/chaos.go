@@ -10,11 +10,28 @@ import (
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/obs"
 	"relser/internal/sched"
 	"relser/internal/storage"
 	"relser/internal/txn"
 	"relser/internal/workload"
 )
+
+// withObs wires the live observability plane into a driver config the
+// same way workload.RunOptions.Obs does: the plane becomes the tracer
+// (teeing any existing tracer downstream), its span hooks become the
+// stage hooks, and its registry backs the run when none is set.
+func withObs(cfg txn.Config, p *obs.Plane) txn.Config {
+	if p == nil {
+		return cfg
+	}
+	cfg.Tracer = p.Tracer(cfg.Tracer)
+	cfg.Hooks = p.Hooks(cfg.Hooks)
+	if cfg.Metrics == nil {
+		cfg.Metrics = p.Registry()
+	}
+	return cfg
+}
 
 // runE16 is the chaos certification: every built-in fault spec (or the
 // one passed via Options.FaultSpec / rsbench -faults) runs the banking
@@ -178,7 +195,7 @@ func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*ch
 	store.Load(w.Initial)
 	var walBuf bytes.Buffer
 	inj := fault.New(seed, spec)
-	r, err := txn.New(txn.Config{
+	r, err := txn.New(withObs(txn.Config{
 		Protocol:    p,
 		Programs:    w.Programs,
 		Oracle:      w.Oracle,
@@ -191,7 +208,7 @@ func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*ch
 		Tracer:      opts.Tracer,
 		Metrics:     opts.Metrics,
 		Faults:      inj,
-	})
+	}, opts.Obs))
 	if err != nil {
 		return nil, err
 	}
@@ -262,7 +279,7 @@ func sweepWALPrefixes(wal []byte, w *workload.Workload) (int, bool) {
 func chaosDeadline(opts Options) (*txn.Result, error) {
 	t1 := core.T(1, core.W("x"), core.W("a1"), core.W("a2"), core.W("a3"), core.W("a4"), core.W("a5"))
 	t2 := core.T(2, core.R("x"), core.R("b1"), core.R("b2"), core.R("b3"), core.R("b4"), core.R("b5"))
-	r, err := txn.New(txn.Config{
+	r, err := txn.New(withObs(txn.Config{
 		Protocol:    sched.NewS2PL(),
 		Programs:    []*core.Transaction{t1, t2},
 		MPL:         8,
@@ -271,7 +288,7 @@ func chaosDeadline(opts Options) (*txn.Result, error) {
 		MaxRestarts: 100,
 		Tracer:      opts.Tracer,
 		Metrics:     opts.Metrics,
-	})
+	}, opts.Obs))
 	if err != nil {
 		return nil, err
 	}
@@ -293,7 +310,7 @@ func chaosConcurrentLatency(rep *Report, opts Options) error {
 	}
 	store := storage.NewStore()
 	store.Load(w.Initial)
-	r, err := txn.NewConcurrent(txn.Config{
+	r, err := txn.NewConcurrent(withObs(txn.Config{
 		Protocol:  sched.NewS2PLSharded(opts.Shards),
 		Programs:  w.Programs,
 		Oracle:    w.Oracle,
@@ -306,7 +323,7 @@ func chaosConcurrentLatency(rep *Report, opts Options) error {
 		Faults:    fault.New(opts.Seed, spec),
 		Tracer:    opts.Tracer,
 		Metrics:   opts.Metrics,
-	})
+	}, opts.Obs))
 	if err != nil {
 		return err
 	}
@@ -327,7 +344,7 @@ func chaosWedge(rep *Report, opts Options) error {
 	}
 	store := storage.NewStore()
 	store.Load(w.Initial)
-	r, err := txn.NewConcurrent(txn.Config{
+	r, err := txn.NewConcurrent(withObs(txn.Config{
 		Protocol:  sched.NewNoCC(),
 		Programs:  w.Programs,
 		Oracle:    w.Oracle,
@@ -340,7 +357,7 @@ func chaosWedge(rep *Report, opts Options) error {
 		Faults:    fault.New(opts.Seed, fault.MustParseSpec("shard.wedge:1")),
 		Tracer:    opts.Tracer,
 		Metrics:   opts.Metrics,
-	})
+	}, opts.Obs))
 	if err != nil {
 		return err
 	}

@@ -28,6 +28,9 @@
 //	    crashes, abort storms, latency spikes, shard wedges) with
 //	    RSG-certified commits, invariant-clean recovery from every WAL
 //	    prefix, watchdog-bounded wedges and byte-identical replays
+//	E17 observability plane: flight-recorder + span overhead on the E15
+//	    hot path, and live /metrics scrape fidelity against the
+//	    end-of-run Result
 //
 // Each experiment produces a Report of tables and checked claims; the
 // rsbench binary renders them, and EXPERIMENTS.md records one full
@@ -41,6 +44,7 @@ import (
 	"time"
 
 	"relser/internal/metrics"
+	"relser/internal/obs"
 	"relser/internal/trace"
 )
 
@@ -119,6 +123,10 @@ type Options struct {
 	// Metrics, when set, accumulates runtime counters and histograms
 	// across the experiment's runs.
 	Metrics *metrics.Registry
+	// Obs, when set, attaches the live observability plane to every
+	// workload run the experiment performs (E15 and E17 run their own
+	// instrumented configurations and ignore it).
+	Obs *obs.Plane
 	// Shards stripes the concurrent driver's hot path in experiments
 	// that run the goroutine runtime (E13); zero means one shard. E15
 	// sweeps its own shard counts and ignores it.
@@ -199,6 +207,7 @@ var registry = map[string]struct {
 	"E14": {"State semantics of the relaxation (replay)", runE14},
 	"E15": {"Sharded scheduler scaling (shards x goroutines)", runE15},
 	"E16": {"Chaos certification under deterministic fault injection", runE16},
+	"E17": {"Observability plane overhead and live-scrape fidelity", runE17},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -33,11 +33,24 @@ var canonicalKeys = []string{
 	"txn.cond.broadcast_shard",
 	"txn.cond.broadcast_global",
 	"txn.cond.broadcast_flood",
+
+	// Observability plane (internal/obs): flight-recorder ring, span
+	// table, SSE tail and automatic dump triggers.
+	"obs.ring_recorded",
+	"obs.ring_drops",
+	"obs.spans_live",
+	"obs.spans_completed",
+	"obs.sse_subscribers",
+	"obs.sse_dropped",
+	"obs.dump_triggers",
 }
 
-// DynamicKeyPrefixes lists the prefixes of per-shard keys built with
-// fmt.Sprintf at registration time.
-var DynamicKeyPrefixes = []string{"txn.shard"}
+// DynamicKeyPrefixes lists the prefixes of keys built with fmt.Sprintf
+// at registration time: the concurrent driver's per-shard instruments
+// and the ops endpoint's per-route request counters. The obs prefix is
+// deliberately "obs.http." rather than "obs." so the static obs.* keys
+// above stay under the registrydrift literal check.
+var DynamicKeyPrefixes = []string{"txn.shard", "obs.http."}
 
 // Keys returns the canonical metric key set (a copy).
 func Keys() []string {

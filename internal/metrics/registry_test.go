@@ -99,6 +99,105 @@ func TestRegistryConcurrentUse(t *testing.T) {
 	}
 }
 
+// TestHistogramSummaryConcurrentObserve hammers one histogram from
+// eight writers while a reader keeps taking summaries, then checks the
+// final nearest-rank quantiles exactly. Under -race this pins the
+// Observe/Summary locking discipline the obs plane's /metrics endpoint
+// relies on (scrapes summarize histograms mid-run).
+func TestHistogramSummaryConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h")
+	const writers, perWriter = 8, 1000
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		last := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Summary()
+			if s.Count < last {
+				t.Errorf("summary count went backwards: %d after %d", s.Count, last)
+				return
+			}
+			last = s.Count
+			if s.Count > 0 && (s.P50 > s.P95 || s.P95 > s.P99 || s.P99 > s.Max) {
+				t.Errorf("mid-flight quantiles out of order: %+v", s)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	s := h.Summary()
+	if s.Count != writers*perWriter {
+		t.Fatalf("count = %d, want %d", s.Count, writers*perWriter)
+	}
+	// Every value 0..999 appears exactly 8 times, so nearest-rank
+	// quantiles are fully determined: rank ceil(q*8000) lands on value
+	// floor((rank-1)/8).
+	if s.P50 != 499 {
+		t.Errorf("p50 = %v, want 499", s.P50)
+	}
+	if s.P95 != 949 {
+		t.Errorf("p95 = %v, want 949", s.P95)
+	}
+	if s.P99 != 989 {
+		t.Errorf("p99 = %v, want 989", s.P99)
+	}
+	if s.Max != 999 {
+		t.Errorf("max = %v, want 999", s.Max)
+	}
+	if s.Mean != 499.5 {
+		t.Errorf("mean = %v, want 499.5", s.Mean)
+	}
+}
+
+// TestSnapshotDiffIntervalSemantics pins Diff's interval accounting:
+// counters subtract (a counter born after the base counts from zero),
+// gauges and histogram summaries keep the later level — they are
+// levels and distributions, not interval events.
+func TestSnapshotDiffIntervalSemantics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(5)
+	r.Gauge("g").Set(3)
+	r.Histogram("h").Observe(1)
+	base := r.Snapshot()
+	r.Counter("a").Add(2)
+	r.Counter("b").Inc()
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(2)
+	d := r.Snapshot().Diff(base)
+	if d.Counters["a"] != 2 {
+		t.Errorf("diff a = %d, want 2", d.Counters["a"])
+	}
+	if d.Counters["b"] != 1 {
+		t.Errorf("diff b = %d, want 1 (missing base key counts from zero)", d.Counters["b"])
+	}
+	if d.Gauges["g"] != 9 {
+		t.Errorf("diff gauge = %v, want the later level 9", d.Gauges["g"])
+	}
+	if h := d.Histograms["h"]; h.Count != 2 || h.Max != 2 {
+		t.Errorf("diff histogram = %+v, want the later summary", h)
+	}
+}
+
 func TestSnapshotDiffAndTable(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("txn.committed").Add(10)

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"relser/internal/metrics"
+	"relser/internal/trace"
+)
+
+// Health is the degradation state the /healthz endpoint reports: a
+// roll-up of the engine's graceful-degradation machinery (admission
+// shedding, livelock escalation, the stall watchdog, run cancellation)
+// plus the headline run counters.
+type Health struct {
+	// Status is "ok", "degraded" (shedding or livelock escalation
+	// active) or "wedged" (the watchdog declared the run stuck).
+	Status string `json:"status"`
+	// Shedding reports the admission controller holding the effective
+	// multiprogramming level below the configured one.
+	Shedding bool `json:"shedding"`
+	// EffectiveMPL / MPL are the current and configured admission
+	// limits (zero before the first shed observation without metrics).
+	EffectiveMPL int `json:"effective_mpl"`
+	MPL          int `json:"mpl"`
+	// LivelockLevel is the restart-backoff escalation level.
+	LivelockLevel int `json:"livelock_level"`
+	// Wedged reports the stall watchdog having fired; WedgeReason is
+	// its diagnosis.
+	Wedged      bool   `json:"wedged"`
+	WedgeReason string `json:"wedge_reason,omitempty"`
+	// Canceled reports the run context having been canceled;
+	// CancelCause names what canceled it.
+	Canceled    bool   `json:"canceled"`
+	CancelCause string `json:"cancel_cause,omitempty"`
+	// Headline counters from the shared registry.
+	Committed int64   `json:"committed"`
+	Aborts    int64   `json:"aborts"`
+	Active    float64 `json:"active"`
+}
+
+// healthState accumulates degradation evidence from the rare event
+// kinds; the mutex is touched only by those kinds, never by the
+// per-operation hot path.
+type healthState struct {
+	mu          sync.Mutex
+	effMPL      int
+	mpl         int
+	livelock    int
+	wedged      bool
+	wedgeReason string
+	canceled    bool
+	cancelCause string
+}
+
+// observe folds one degradation event into the state. Called only for
+// shed, wedge, fault and cancel kinds.
+func (h *healthState) observe(ev trace.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch ev.Kind {
+	case trace.KindShed:
+		// Reason format: "effective-mpl=<eff>/<mpl>" (engine reporter).
+		var eff, mpl int
+		if _, err := fmt.Sscanf(ev.Reason, "effective-mpl=%d/%d", &eff, &mpl); err == nil {
+			h.effMPL, h.mpl = eff, mpl
+		}
+	case trace.KindWedge:
+		h.wedged = true
+		h.wedgeReason = ev.Reason
+	case trace.KindCancel:
+		h.canceled = true
+		h.cancelCause = ev.Reason
+	case trace.KindFault:
+		// Livelock escalations ride the fault kind with a structured
+		// reason: "livelock-escalation level=<n>" (engine reporter).
+		var level int
+		if _, err := fmt.Sscanf(ev.Reason, "livelock-escalation level=%d", &level); err == nil {
+			h.livelock = level
+		}
+	}
+}
+
+// snapshot renders the current health, pulling live gauge levels from
+// the shared registry when one is attached.
+func (h *healthState) snapshot(reg *metrics.Registry) Health {
+	h.mu.Lock()
+	out := Health{
+		EffectiveMPL:  h.effMPL,
+		MPL:           h.mpl,
+		LivelockLevel: h.livelock,
+		Wedged:        h.wedged,
+		WedgeReason:   h.wedgeReason,
+		Canceled:      h.canceled,
+		CancelCause:   h.cancelCause,
+	}
+	h.mu.Unlock()
+	if reg != nil {
+		out.Committed = reg.Counter("txn.committed").Value()
+		out.Aborts = reg.Counter("txn.aborts").Value()
+		out.Active = reg.Gauge("txn.active").Value()
+		if eff := reg.Gauge("txn.effective_mpl").Value(); eff > 0 {
+			out.EffectiveMPL = int(eff)
+		}
+		if reg.Gauge("txn.degraded").Value() > 0 {
+			out.Shedding = true
+		}
+	}
+	if out.MPL > 0 && out.EffectiveMPL > 0 && out.EffectiveMPL < out.MPL {
+		out.Shedding = true
+	}
+	switch {
+	case out.Wedged:
+		out.Status = "wedged"
+	case out.Shedding || out.LivelockLevel > 0:
+		out.Status = "degraded"
+	default:
+		out.Status = "ok"
+	}
+	return out
+}
+
+// isLivelockEscalation reports whether a fault event is a livelock
+// escalation (as opposed to an injected fault-point firing).
+func isLivelockEscalation(ev trace.Event) bool {
+	return ev.Kind == trace.KindFault && strings.HasPrefix(ev.Reason, "livelock-escalation ")
+}

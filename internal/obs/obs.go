@@ -1,0 +1,359 @@
+// Package obs is the live observability plane: an always-on,
+// low-overhead layer over the engine's stage hooks and trace stream
+// that keeps a bounded in-memory view of a running system — a
+// lock-free flight recorder over trace events, per-transaction spans
+// carrying RSG conflict evidence, and a degradation health roll-up —
+// and serves it over an embeddable ops HTTP endpoint (Prometheus
+// /metrics, /healthz, flight dumps, SSE live tail, pprof).
+//
+// The plane is built not to perturb what it observes. Hot event kinds
+// (per-transaction lifecycle, grants, store latch crossings, WAL
+// appends) are sampled *before*
+// event construction via the tracer's kind gate, the recorder ring is
+// lock-free, span and health bookkeeping only runs for rare lifecycle
+// kinds, and with no plane attached every instrumentation site remains
+// the nil-tracer no-op it was. Attaching a full-trace downstream sink
+// (rssim -trace) disables sampling so post-hoc consumers — including
+// trace.VerifyCycles replay — still see the complete stream.
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relser/internal/engine"
+	"relser/internal/metrics"
+	"relser/internal/trace"
+)
+
+// DefaultSampleEvery is the default sampling divisor for hot event
+// kinds: one in every N begin/commit/grant/store/WAL events is
+// recorded.
+const DefaultSampleEvery = 64
+
+// DefaultDumpLivelockLevel is the livelock escalation level that
+// triggers an automatic flight dump.
+const DefaultDumpLivelockLevel = 2
+
+// maxAutoDumps bounds the number of automatic dump files per plane.
+const maxAutoDumps = 8
+
+// Options configures a Plane. The zero value is usable: a fresh
+// registry, default ring and span retention, default sampling, no file
+// dumps.
+type Options struct {
+	// Registry receives the plane's instruments and is the registry
+	// /metrics exposes. Share it with the run (workload wiring does this
+	// automatically) so one scrape covers engine and plane. Nil creates
+	// a fresh registry.
+	Registry *metrics.Registry
+	// RingCap is the flight-recorder capacity (DefaultRingCap if <= 0).
+	RingCap int
+	// SpanCap is the completed-span retention (DefaultSpanCap if <= 0).
+	SpanCap int
+	// SampleEvery records one in every N hot-kind events
+	// (DefaultSampleEvery if 0; 1 or Full disables sampling; rounded up
+	// to a power of two so the gate divides with a mask). Rare kinds —
+	// degradation, cycle evidence, per-instance aborts — are never
+	// sampled.
+	SampleEvery int
+	// Full disables sampling entirely; implied when a downstream
+	// full-trace sink is attached via Tracer.
+	Full bool
+	// DumpDir, when set, receives automatic flight dumps (JSONL) on
+	// watchdog wedge, run cancellation, livelock escalation and
+	// abort-storm shedding. Empty disables file dumps; the triggers are
+	// still counted and the ring stays inspectable over HTTP.
+	DumpDir string
+	// DumpLivelockLevel is the escalation level that triggers a dump
+	// (DefaultDumpLivelockLevel if 0; negative disables the trigger).
+	DumpLivelockLevel int
+}
+
+// Plane bundles the flight recorder, span table, health state and SSE
+// broadcaster behind one wiring surface. Construct once per process
+// (or per run), wire with Tracer and Hooks, and mount Handler.
+type Plane struct {
+	opts   Options
+	reg    *metrics.Registry
+	rec    *Recorder
+	spans  *spanTable
+	health *healthState
+	sse    *broadcaster
+	epoch  time.Time
+
+	// sampleMask is SampleEvery-1 (power of two), applied to the
+	// per-kind countdowns below so the gate's modulo is a mask.
+	sampleMask uint64
+
+	// Sampling countdowns, one per gated kind (plain atomics so the
+	// gate never locks).
+	scBegin      atomic.Uint64
+	scCommit     atomic.Uint64
+	scGrant      atomic.Uint64
+	scBlock      atomic.Uint64
+	scLockWait   atomic.Uint64
+	scStoreRead  atomic.Uint64
+	scStoreWrite atomic.Uint64
+	scWAL        atomic.Uint64
+
+	dumpC    *metrics.Counter
+	dumpMu   sync.Mutex
+	dumped   map[string]bool
+	dumps    []string
+	dumpWG   sync.WaitGroup
+	dumpSeq  int
+	dumpErrs []error
+}
+
+// New constructs a plane.
+func New(opts Options) *Plane {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = DefaultSampleEvery
+	}
+	for opts.SampleEvery&(opts.SampleEvery-1) != 0 {
+		opts.SampleEvery++
+	}
+	if opts.DumpLivelockLevel == 0 {
+		opts.DumpLivelockLevel = DefaultDumpLivelockLevel
+	}
+	epoch := time.Now()
+	return &Plane{
+		opts:       opts,
+		sampleMask: uint64(opts.SampleEvery) - 1,
+		reg:        reg,
+		rec:        NewRecorder(opts.RingCap, reg),
+		spans:      newSpanTable(epoch, opts.SpanCap, reg),
+		health:     &healthState{},
+		sse:        newBroadcaster(reg),
+		epoch:      epoch,
+		dumpC:      reg.Counter("obs.dump_triggers"),
+		dumped:     make(map[string]bool),
+	}
+}
+
+// Registry returns the plane's metrics registry (share it with the run
+// so engine counters and plane counters land in one scrape).
+func (p *Plane) Registry() *metrics.Registry { return p.reg }
+
+// Recorder returns the flight recorder.
+func (p *Plane) Recorder() *Recorder { return p.rec }
+
+// Flight returns the flight recorder's retained events in order.
+func (p *Plane) Flight() []trace.Event { return p.rec.Snapshot() }
+
+// Spans returns the retained completed spans, oldest first.
+func (p *Plane) Spans() []Span { return p.spans.Completed() }
+
+// Health returns the current degradation roll-up.
+func (p *Plane) Health() Health { return p.health.snapshot(p.reg) }
+
+// Tracer returns a tracer that feeds the plane. When downstream is an
+// enabled tracer (a CLI's -trace buffer, a JSONL writer), its sink is
+// teed in after the plane — behind a serializing wrapper, since the
+// plane's tracer is unserialized — and sampling is disabled so the
+// downstream consumer sees the complete stream (trace.VerifyCycles
+// replay requires every grant). With no downstream, hot kinds are
+// sampled per Options.SampleEvery before event construction.
+func (p *Plane) Tracer(downstream *trace.Tracer) *trace.Tracer {
+	var tee trace.Sink
+	full := p.opts.Full || p.opts.SampleEvery <= 1
+	if downstream.Enabled() {
+		tee = &syncSink{s: downstream.Sink()}
+		full = true
+	}
+	t := trace.NewUnserialized(&planeSink{p: p, downstream: tee})
+	if !full {
+		t.SetKindGate(p.admit)
+	}
+	return t
+}
+
+// Hooks chains the plane's span assembly in front of next on the
+// lifecycle stages (Admit, Commit, Abort), preserving any hooks the
+// caller installed. The per-operation stages are left exactly as the
+// caller set them — for the plane alone they stay nil, so Issue,
+// Decide and Apply keep costing the engine a nil check per transition.
+func (p *Plane) Hooks(next engine.Hooks) engine.Hooks {
+	h := next
+	h.Admit = chainHook(p.spans.admit, next.Admit)
+	h.Commit = chainHook(func(st *engine.Instance) { p.spans.finish(st, "committed") }, next.Commit)
+	h.Abort = chainHook(func(st *engine.Instance) { p.spans.finish(st, "aborted") }, next.Abort)
+	return h
+}
+
+// chainHook runs first, then the caller's hook when one is installed.
+func chainHook(first, then func(*engine.Instance)) func(*engine.Instance) {
+	if then == nil {
+		return first
+	}
+	return func(st *engine.Instance) {
+		first(st)
+		then(st)
+	}
+}
+
+// Close waits for in-flight automatic dumps to finish writing.
+func (p *Plane) Close() {
+	p.dumpWG.Wait()
+}
+
+// Dumps returns the automatic dump files written so far and any write
+// errors encountered.
+func (p *Plane) Dumps() ([]string, []error) {
+	p.dumpMu.Lock()
+	defer p.dumpMu.Unlock()
+	return append([]string(nil), p.dumps...), append([]error(nil), p.dumpErrs...)
+}
+
+// admit is the tracer kind gate: hot kinds pass one in SampleEvery
+// (the first of each kind always passes), everything else always. Runs
+// on the instrumented hot path, so it is a string switch plus one
+// atomic add and a mask — no locks, no allocation, no division.
+func (p *Plane) admit(k trace.Kind) bool {
+	m := p.sampleMask
+	switch k {
+	case trace.KindBegin:
+		return p.scBegin.Add(1)&m == 1
+	case trace.KindCommit:
+		return p.scCommit.Add(1)&m == 1
+	case trace.KindGrant:
+		return p.scGrant.Add(1)&m == 1
+	case trace.KindBlock:
+		return p.scBlock.Add(1)&m == 1
+	case trace.KindLockWait:
+		return p.scLockWait.Add(1)&m == 1
+	case trace.KindStoreRead:
+		return p.scStoreRead.Add(1)&m == 1
+	case trace.KindStoreWrite:
+		return p.scStoreWrite.Add(1)&m == 1
+	case trace.KindWALAppend:
+		return p.scWAL.Add(1)&m == 1
+	}
+	return true
+}
+
+// planeSink fans one event to the plane's consumers: span enrichment
+// and health for the rare kinds that need them, then the ring, the SSE
+// broadcast and the optional downstream tee. Safe for concurrent use.
+type planeSink struct {
+	p          *Plane
+	downstream trace.Sink
+}
+
+// Emit implements trace.Sink.
+func (s *planeSink) Emit(ev trace.Event) {
+	p := s.p
+	switch ev.Kind {
+	case trace.KindTxnAbort, trace.KindCycleReject, trace.KindConflictCycle, trace.KindDeadlock:
+		p.spans.observe(ev)
+	case trace.KindShed, trace.KindWedge, trace.KindCancel:
+		p.health.observe(ev)
+		p.maybeDump(ev)
+	case trace.KindFault:
+		if isLivelockEscalation(ev) {
+			p.health.observe(ev)
+			p.maybeDump(ev)
+		}
+	}
+	p.rec.Emit(ev)
+	p.sse.broadcast(ev)
+	if s.downstream != nil {
+		s.downstream.Emit(ev)
+	}
+}
+
+// syncSink serializes Emit calls onto a sink that is not safe for
+// concurrent use (trace.JSONLWriter; trace.Buffer locks internally but
+// the wrapper is cheap and uniform).
+type syncSink struct {
+	mu sync.Mutex
+	s  trace.Sink
+}
+
+// Emit implements trace.Sink.
+func (s *syncSink) Emit(ev trace.Event) {
+	s.mu.Lock()
+	s.s.Emit(ev)
+	s.mu.Unlock()
+}
+
+// maybeDump fires the automatic flight dump when a degradation event
+// crosses a trigger threshold. Dumps are deduplicated per trigger kind
+// and written off the emitting goroutine, so a wedge dump never runs
+// under the driver locks the wedge itself is about.
+func (p *Plane) maybeDump(ev trace.Event) {
+	var trigger string
+	switch ev.Kind {
+	case trace.KindWedge:
+		trigger = "wedge"
+	case trace.KindCancel:
+		trigger = "cancel"
+	case trace.KindShed:
+		// Only a storm — the controller holding admission at or below
+		// half the configured level — triggers a dump; routine recovery
+		// steps do not.
+		var eff, mpl int
+		if _, err := fmt.Sscanf(ev.Reason, "effective-mpl=%d/%d", &eff, &mpl); err != nil || mpl == 0 || eff > mpl/2 {
+			return
+		}
+		trigger = "abort-storm"
+	case trace.KindFault:
+		var level int
+		if _, err := fmt.Sscanf(ev.Reason, "livelock-escalation level=%d", &level); err != nil {
+			return
+		}
+		if p.opts.DumpLivelockLevel < 0 || level < p.opts.DumpLivelockLevel {
+			return
+		}
+		trigger = "livelock"
+	default:
+		return
+	}
+	p.dumpMu.Lock()
+	if p.dumped[trigger] || p.dumpSeq >= maxAutoDumps {
+		p.dumpMu.Unlock()
+		return
+	}
+	p.dumped[trigger] = true
+	p.dumpSeq++
+	seq := p.dumpSeq
+	p.dumpMu.Unlock()
+	p.dumpC.Inc()
+	if p.opts.DumpDir == "" {
+		return
+	}
+	p.dumpWG.Add(1)
+	go func() {
+		defer p.dumpWG.Done()
+		path := filepath.Join(p.opts.DumpDir, fmt.Sprintf("flight-%02d-%s.jsonl", seq, trigger))
+		err := writeDump(path, p.rec.Snapshot())
+		p.dumpMu.Lock()
+		if err != nil {
+			p.dumpErrs = append(p.dumpErrs, fmt.Errorf("obs: dump %s: %w", path, err))
+		} else {
+			p.dumps = append(p.dumps, path)
+		}
+		p.dumpMu.Unlock()
+	}()
+}
+
+func writeDump(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

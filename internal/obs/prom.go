@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"relser/internal/metrics"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). Counters and gauges map directly;
+// histograms map to summaries (quantile-labelled series plus _sum and
+// _count) with the retained maximum as a separate <name>_max gauge.
+// Metric names have their dots replaced with underscores
+// (txn.commit_waits -> txn_commit_waits).
+func WritePrometheus(w io.Writer, s metrics.Snapshot) error {
+	var sb strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(&sb, "# TYPE %s summary\n", pn)
+		fmt.Fprintf(&sb, "%s{quantile=\"0.5\"} %s\n", pn, promFloat(h.P50))
+		fmt.Fprintf(&sb, "%s{quantile=\"0.95\"} %s\n", pn, promFloat(h.P95))
+		fmt.Fprintf(&sb, "%s{quantile=\"0.99\"} %s\n", pn, promFloat(h.P99))
+		fmt.Fprintf(&sb, "%s_sum %s\n", pn, promFloat(h.Mean*float64(h.Count)))
+		fmt.Fprintf(&sb, "%s_count %d\n", pn, h.Count)
+		fmt.Fprintf(&sb, "# TYPE %s_max gauge\n%s_max %s\n", pn, pn, promFloat(h.Max))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// promName maps a registry key to a valid Prometheus metric name.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		valid := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if valid {
+			sb.WriteRune(r)
+		} else {
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus expects (plain decimal,
+// no exponent surprises for the common cases).
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"relser/internal/trace"
+)
+
+// Handler returns the ops endpoint: everything an operator (or the
+// planned rserve front end) mounts to watch a live system.
+//
+//	/metrics       Prometheus text exposition of the shared registry
+//	               (?format=json for the raw snapshot)
+//	/healthz       degradation state (HTTP 503 when wedged)
+//	/debug/flight  flight-recorder dump (JSONL; ?format=chrome)
+//	/debug/spans   completed transaction spans (JSONL; ?format=chrome)
+//	/debug/trace   SSE live tail of recorded events
+//	/debug/pprof/  net/http/pprof profiles
+func (p *Plane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", p.instrument("metrics", p.handleMetrics))
+	mux.HandleFunc("/healthz", p.instrument("healthz", p.handleHealthz))
+	mux.HandleFunc("/debug/flight", p.instrument("flight", p.handleFlight))
+	mux.HandleFunc("/debug/spans", p.instrument("spans", p.handleSpans))
+	mux.HandleFunc("/debug/trace", p.instrument("trace", p.handleTrace))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// instrument wraps a handler with a per-endpoint request counter. The
+// keys are formatted ("obs.http.<endpoint>.requests"), which is why
+// metrics.DynamicKeyPrefixes registers the "obs.http." prefix.
+func (p *Plane) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := p.reg.Counter(fmt.Sprintf("obs.http.%s.requests", endpoint))
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		h(w, r)
+	}
+}
+
+func (p *Plane) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := p.reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = WritePrometheus(w, snap)
+}
+
+func (p *Plane) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := p.Health()
+	w.Header().Set("Content-Type", "application/json")
+	if h.Wedged {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	_ = json.NewEncoder(w).Encode(h)
+}
+
+func (p *Plane) handleFlight(w http.ResponseWriter, r *http.Request) {
+	events := p.Flight()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = trace.WriteChrome(w, events)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = trace.WriteJSONL(w, events)
+}
+
+func (p *Plane) handleSpans(w http.ResponseWriter, r *http.Request) {
+	spans := p.Spans()
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteSpansChrome(w, spans)
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = WriteSpansJSONL(w, spans)
+}
+
+// handleTrace streams recorded events as server-sent events until the
+// client disconnects. Events a slow client cannot drain are dropped
+// (counted in obs.sse_dropped) — the tail observes, it never backs up
+// the run.
+func (p *Plane) handleTrace(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	id, ch := p.sse.subscribe()
+	defer p.sse.unsubscribe(id)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if _, err := fmt.Fprintf(w, "data: "); err != nil {
+				return
+			}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "\n"); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// Server is a running ops endpoint.
+type Server struct {
+	plane *Plane
+	srv   *http.Server
+	ln    net.Listener
+	done  chan struct{}
+}
+
+// Serve starts the ops endpoint on addr (e.g. ":6060", "127.0.0.1:0")
+// in a background goroutine and returns once the listener is bound, so
+// the caller can log the resolved address before the run starts.
+func (p *Plane) Serve(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		plane: p,
+		srv:   &http.Server{Handler: p.Handler()},
+		ln:    ln,
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // http.ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close shuts the endpoint down, allowing in-flight scrapes a short
+// grace period, and waits for the plane's pending dumps.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	<-s.done
+	s.plane.Close()
+	return err
+}

@@ -135,7 +135,7 @@ func (st *Store) ReadCtx(ctx context.Context, name string) Versioned {
 	sp.mu.Lock()
 	st.stall(ctx, fault.StoreReadDelay)
 	v := *sp.object(name)
-	if tr := st.tracer(); tr.Enabled() {
+	if tr := st.tracer(); tr.Wants(trace.KindStoreRead) {
 		tr.Emit(trace.Event{Kind: trace.KindStoreRead, Object: name, Value: int64(v.Value), Version: v.Version})
 	}
 	sp.mu.Unlock()
@@ -163,7 +163,7 @@ func (st *Store) writeSeq(ctx context.Context, name string, v Value) (Versioned,
 	prev := *obj
 	obj.Value = v
 	obj.Version++
-	if tr := st.tracer(); tr.Enabled() {
+	if tr := st.tracer(); tr.Wants(trace.KindStoreWrite) {
 		tr.Emit(trace.Event{Kind: trace.KindStoreWrite, Object: name, Value: int64(v), Version: obj.Version})
 	}
 	sp.mu.Unlock()

@@ -160,7 +160,7 @@ func (l *WAL) Append(rec WALRecord) error {
 		}
 	}
 	l.appended++
-	if l.tr.Enabled() {
+	if l.tr.Wants(trace.KindWALAppend) {
 		l.tr.Emit(trace.Event{
 			Kind: trace.KindWALAppend, Instance: rec.Instance,
 			Object: rec.Object, Op: rec.Kind.String(), Value: int64(rec.Value),

@@ -206,6 +206,13 @@ type Tracer struct {
 	mu    sync.Mutex
 	sink  Sink
 	epoch time.Time
+	// serialize holds Emit under mu for sinks that are not safe for
+	// concurrent use (the default; see NewUnserialized).
+	serialize bool
+	// gate is the optional per-kind admission filter consulted by
+	// Wants. Installed once before the tracer is shared (SetKindGate),
+	// read-only afterwards.
+	gate func(Kind) bool
 	// DotSink, when set before use, receives named Graphviz snapshots
 	// (rejected RSG cycles) as they occur.
 	DotSink func(name, dot string)
@@ -215,11 +222,44 @@ type Tracer struct {
 // New returns a tracer over the sink. A nil sink yields a disabled
 // tracer whose instrumentation costs a nil check and nothing else.
 func New(sink Sink) *Tracer {
+	return &Tracer{sink: sink, epoch: time.Now(), serialize: true}
+}
+
+// NewUnserialized returns a tracer that forwards events to the sink
+// without holding the tracer's mutex. The sink must be safe for
+// concurrent Emit calls (the flight recorder's ring is; Buffer and
+// JSONLWriter are not). This removes the one point of global
+// serialization from the concurrent driver's instrumented hot path.
+func NewUnserialized(sink Sink) *Tracer {
 	return &Tracer{sink: sink, epoch: time.Now()}
 }
 
 // Enabled reports whether events are being recorded. Safe on nil.
 func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// SetKindGate installs a per-kind admission filter consulted by Wants.
+// Hot instrumentation sites (operation grants, store latch crossings,
+// WAL appends) guard event construction behind Wants, so a gate lets
+// an always-on observability plane sample high-volume kinds before the
+// event is even built. Install before the tracer is shared with a run;
+// the gate must be safe for concurrent calls.
+func (t *Tracer) SetKindGate(gate func(Kind) bool) { t.gate = gate }
+
+// Wants reports whether an event of the given kind should be
+// constructed and emitted: the tracer is enabled and the kind gate (if
+// any) admits the kind. Sites without sampling semantics keep guarding
+// with Enabled; events emitted past a rejecting gate are still
+// forwarded — the gate is a site-side economy, not a sink-side filter.
+// Safe on nil.
+func (t *Tracer) Wants(k Kind) bool {
+	if !t.Enabled() {
+		return false
+	}
+	if t.gate != nil {
+		return t.gate(k)
+	}
+	return true
+}
 
 // Emit stamps the event (if TS is zero) and forwards it to the sink.
 // Safe on nil and on disabled tracers.
@@ -227,12 +267,35 @@ func (t *Tracer) Emit(ev Event) {
 	if !t.Enabled() {
 		return
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	if ev.TS == 0 {
 		ev.TS = time.Since(t.epoch).Nanoseconds()
 	}
+	if !t.serialize {
+		t.sink.Emit(ev)
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.sink.Emit(ev)
+}
+
+// Sink returns the sink the tracer forwards to (nil when disabled).
+// Observability planes use it to tee an existing tracer's output into
+// their own fan-out without re-wiring the call sites.
+func (t *Tracer) Sink() Sink {
+	if t == nil {
+		return nil
+	}
+	return t.sink
+}
+
+// Epoch returns the tracer's timestamp epoch (its construction time);
+// event TS fields are nanoseconds since it.
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
 }
 
 // EmitDot forwards a named Graphviz snapshot to the DotSink, if one is

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"relser/internal/core"
+	"relser/internal/obs"
 	"relser/internal/sched"
 	"relser/internal/txn"
 	"relser/internal/workload"
@@ -133,6 +134,49 @@ func BenchmarkRSGTAdmission(b *testing.B) {
 			p.Commit(id)
 		}
 	}
+}
+
+// BenchmarkConcurrentRecorder pins the observability plane's hot-path
+// cost for the perf gate: the same low-conflict sharded workload bare,
+// with the default sampled plane, and with the full-trace plane. The
+// sampled/off ratio is the <5% overhead budget DESIGN.md §5.3 claims
+// (E17 measures it end to end; this keeps it in benchstat).
+func BenchmarkConcurrentRecorder(b *testing.B) {
+	w := benchPrograms(b, workload.SyntheticConfig{
+		Objects: 512, Programs: 128, OpsPerTxn: 8, WriteRatio: 0.25,
+	})
+	run := func(b *testing.B, mkPlane func() *obs.Plane) {
+		ops := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var plane *obs.Plane
+			if mkPlane != nil {
+				b.StopTimer()
+				plane = mkPlane()
+				b.StartTimer()
+			}
+			res, _, err := w.RunWith(sched.NewS2PLSharded(8), workload.RunOptions{
+				Seed: 1, MPL: 16, Shards: 8, Concurrent: true, Obs: plane,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ops += res.OpsExecuted
+			if plane != nil {
+				plane.Close()
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sampled", func(b *testing.B) {
+		run(b, func() *obs.Plane { return obs.New(obs.Options{}) })
+	})
+	b.Run("full", func(b *testing.B) {
+		run(b, func() *obs.Plane { return obs.New(obs.Options{Full: true}) })
+	})
 }
 
 // BenchmarkDeterministicRunner keeps the tick driver in the perf gate:

@@ -59,7 +59,7 @@ func runCanceledAtStage(t *testing.T, stage txn.Stage, concurrent bool) {
 		// contention concurrent runs can finish before StageAbort ever
 		// fires three times.
 		Faults: fault.New(7, fault.MustParseSpec("txn.abort:0.2")),
-		Hooks: func(s txn.Stage, _ *engine.Instance) {
+		Hooks: txn.OnStages(func(s txn.Stage, _ *engine.Instance) {
 			if s == txn.StageRecover {
 				unwound.Store(true)
 				return
@@ -67,7 +67,7 @@ func runCanceledAtStage(t *testing.T, stage txn.Stage, concurrent bool) {
 			if s == stage && fired.Add(1) == 3 {
 				cancel()
 			}
-		},
+		}),
 	}
 	var (
 		res    *txn.Result

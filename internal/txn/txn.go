@@ -46,9 +46,14 @@ type (
 	WedgeError = engine.WedgeError
 	// Stage names an engine lifecycle stage (for Config.Hooks).
 	Stage = engine.Stage
-	// Hooks observes lifecycle stage transitions.
+	// Hooks observes lifecycle stage transitions, one optional function
+	// per stage.
 	Hooks = engine.Hooks
 )
+
+// OnStages routes every stage transition through one function (see
+// engine.OnStages).
+var OnStages = engine.OnStages
 
 // Lifecycle stages, re-exported for hook consumers.
 const (

@@ -27,6 +27,7 @@ import (
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/obs"
 	"relser/internal/sched"
 	"relser/internal/storage"
 	"relser/internal/trace"
@@ -72,6 +73,13 @@ type RunOptions struct {
 	Tracer *trace.Tracer
 	// Metrics receives run counters and latency histograms.
 	Metrics *metrics.Registry
+	// Obs attaches a live observability plane (internal/obs): its
+	// flight recorder and span table become the run's tracer (Tracer,
+	// when also set, is teed in downstream with sampling disabled so it
+	// still sees the complete stream), its span-assembly hooks become
+	// the run's stage hooks, and its registry backs the run when
+	// Metrics is nil.
+	Obs *obs.Plane
 	// Faults arms deterministic fault injection across the run's store,
 	// WAL and driver (see internal/fault).
 	Faults *fault.Injector
@@ -124,6 +132,13 @@ func (w *Workload) RunWithContext(ctx context.Context, protocol sched.Protocol, 
 		Faults:    opts.Faults,
 		Deadline:  opts.Deadline,
 		Watchdog:  opts.Watchdog,
+	}
+	if opts.Obs != nil {
+		cfg.Tracer = opts.Obs.Tracer(opts.Tracer)
+		cfg.Hooks = opts.Obs.Hooks(cfg.Hooks)
+		if cfg.Metrics == nil {
+			cfg.Metrics = opts.Obs.Registry()
+		}
 	}
 	var (
 		res *txn.Result

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# Ops-endpoint smoke: run rssim with the live observability plane
+# serving, scrape /metrics, /healthz and /debug/flight while the
+# endpoint lingers after the run, and assert the canonical keys are
+# present. CI runs this in the test job (`make smoke-ops`).
+set -eu
+
+addr="127.0.0.1:${OPS_PORT:-6097}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; kill $pid 2>/dev/null || true' EXIT
+
+go run ./cmd/rssim -workload synthetic -concurrent -shards 4 -scale 8 \
+	-ops "$addr" -linger 30s >"$tmp/rssim.log" 2>&1 &
+pid=$!
+
+# Wait for the endpoint to come up (the run itself may already be done;
+# -linger keeps it scrapable).
+i=0
+until curl -sf "http://$addr/healthz" >"$tmp/healthz.json" 2>/dev/null; do
+	i=$((i + 1))
+	if [ "$i" -ge 100 ]; then
+		echo "ops endpoint never came up; rssim log:" >&2
+		cat "$tmp/rssim.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+fail() {
+	echo "smoke-ops: $1" >&2
+	cat "$tmp/rssim.log" >&2
+	exit 1
+}
+
+curl -sf "http://$addr/metrics" >"$tmp/metrics.txt"
+grep -q '^# TYPE txn_committed counter' "$tmp/metrics.txt" || fail "/metrics lacks txn_committed"
+grep -q '^# TYPE obs_ring_recorded counter' "$tmp/metrics.txt" || fail "/metrics lacks obs_ring_recorded"
+grep -q '^txn_latency{quantile="0.5"}' "$tmp/metrics.txt" || fail "/metrics lacks txn_latency quantiles"
+curl -sf "http://$addr/metrics?format=json" | grep -q '"txn.committed"' || fail "/metrics?format=json lacks txn.committed"
+grep -q '"status"' "$tmp/healthz.json" || fail "/healthz lacks status"
+curl -sf "http://$addr/debug/flight" | head -1 | grep -q '"kind"' || fail "/debug/flight is not event JSONL"
+curl -sf "http://$addr/debug/spans" | head -1 | grep -q '"status"' || fail "/debug/spans is not span JSONL"
+curl -sf -o /dev/null "http://$addr/debug/pprof/" || fail "/debug/pprof/ not mounted"
+
+echo "smoke-ops: all endpoints healthy on $addr"
