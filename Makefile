@@ -6,8 +6,9 @@ GO ?= go
 # rsvet PR: no more @latest drift in required checks).
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
+BENCHSTAT_VERSION ?= v0.0.0-20240604174448-3b48cf0e4604
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine durability-matrix
 
 all: build vet test
 
@@ -93,12 +94,21 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The scheduler/graph hot-path benchmarks the CI perf gate compares
-# with benchstat (see .github/workflows/ci.yml, job: bench).
+# The scheduler/graph/storage hot-path benchmarks the CI perf gate
+# compares with benchstat (see .github/workflows/ci.yml, job: bench;
+# install the pinned tool with
+# `go install golang.org/x/perf/cmd/benchstat@$(BENCHSTAT_VERSION)`).
 bench-hot:
-	$(GO) test -run 'XXX' -bench . -benchmem -count=5 ./internal/txn ./internal/graph
+	$(GO) test -run 'XXX' -bench . -benchmem -count=5 ./internal/txn ./internal/graph ./internal/storage
 
-# Regenerate every experiment report of EXPERIMENTS.md (E1-E17).
+# Durability certification matrix (CI: durability job): shards
+# {1,4,16} x {legacy WAL, segmented group-commit log}, recovery
+# certified with rsrecover -strict plus the deterministic
+# first-failing-shard damage leg. RACE=1 for the race detector.
+durability-matrix:
+	sh scripts/durability_matrix.sh
+
+# Regenerate every experiment report of EXPERIMENTS.md (E1-E18).
 experiments:
 	$(GO) run ./cmd/rsbench
 

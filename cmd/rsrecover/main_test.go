@@ -3,11 +3,13 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"relser/internal/shard"
 	"relser/internal/storage"
 )
 
@@ -115,5 +117,160 @@ func TestCorruptTailWarnsByDefaultAndFailsStrict(t *testing.T) {
 func TestMissingFlagExitsOne(t *testing.T) {
 	if code, _, _ := runRecover(t); code != 1 {
 		t.Fatalf("missing -wal: exit %d, want 1", code)
+	}
+}
+
+// writeSegmentedLog runs transactions through a 4-lane segmented WAL
+// in dir and returns instance ids grouped by the lane they routed to.
+func writeSegmentedLog(t *testing.T, dir string) map[int][]int64 {
+	t.Helper()
+	w, err := storage.OpenShardedWAL(dir, storage.SegmentedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := shard.NewRouter(4)
+	byLane := map[int][]int64{}
+	for id := int64(1); len(byLane[0]) < 3 || len(byLane[1]) < 3 || len(byLane[2]) < 3 || len(byLane[3]) < 3; id++ {
+		lane := r.ShardID(id)
+		if len(byLane[lane]) >= 3 {
+			continue
+		}
+		byLane[lane] = append(byLane[lane], id)
+		recs := []storage.WALRecord{
+			{Kind: storage.WALBegin, Instance: id},
+			{Kind: storage.WALWrite, Instance: id, Object: fmt.Sprintf("o%d", id), Value: storage.Value(id)},
+			{Kind: storage.WALCommit, Instance: id},
+		}
+		for _, rec := range recs[:2] {
+			if err := w.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.AppendSync(recs[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return byLane
+}
+
+// damageShard truncates (torn) or bit-flips (corrupt) the first
+// segment of one lane in a segmented log directory.
+func damageShard(t *testing.T, dir string, lane int, corrupt bool) {
+	t.Helper()
+	path := filepath.Join(dir, fmt.Sprintf("shard-%02d", lane), "seg-000000.wal")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrupt {
+		data[len(data)-2] ^= 0x40 // payload bit of the final record
+	} else {
+		data = data[:len(data)-3] // tear inside the final record
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentedCleanExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	byLane := writeSegmentedLog(t, dir)
+	code, stdout, stderr := runRecover(t, "-wal", dir)
+	if code != 0 {
+		t.Fatalf("clean segmented log: exit %d, stderr %q", code, stderr)
+	}
+	for _, ids := range byLane {
+		for _, id := range ids {
+			if !strings.Contains(stdout, fmt.Sprintf("o%d = %d", id, id)) {
+				t.Fatalf("committed o%d missing from output:\n%s", id, stdout)
+			}
+		}
+	}
+}
+
+// TestSegmentedTornReportsFirstShard: with lanes 3 and 1 both torn,
+// the structured error must name shard 1 on every run — the policy is
+// lowest index, not goroutine finish order.
+func TestSegmentedTornReportsFirstShard(t *testing.T) {
+	dir := t.TempDir()
+	writeSegmentedLog(t, dir)
+	damageShard(t, dir, 3, false)
+	damageShard(t, dir, 1, false)
+	for i := 0; i < 5; i++ {
+		code, _, stderr := runRecover(t, "-wal", dir)
+		if code != 3 {
+			t.Fatalf("run %d: exit %d, want 3 (stderr %q)", i, code, stderr)
+		}
+		var te struct {
+			Error string `json:"error"`
+			Shard int    `json:"shard"`
+		}
+		if err := json.Unmarshal([]byte(strings.TrimSpace(stderr)), &te); err != nil {
+			t.Fatalf("run %d: stderr is not one JSON line: %v\n%q", i, err, stderr)
+		}
+		if te.Error != "torn-tail" || te.Shard != 1 {
+			t.Fatalf("run %d: got %+v, want torn-tail on shard 1", i, te)
+		}
+	}
+}
+
+func TestSegmentedCorruptWarnsThenFailsStrict(t *testing.T) {
+	dir := t.TempDir()
+	writeSegmentedLog(t, dir)
+	damageShard(t, dir, 2, true)
+
+	code, _, stderr := runRecover(t, "-wal", dir)
+	if code != 0 {
+		t.Fatalf("corrupt lane without -strict: exit %d (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stderr, "shard 2") {
+		t.Fatalf("warning does not name shard 2: %q", stderr)
+	}
+
+	code, _, stderr = runRecover(t, "-wal", dir, "-strict")
+	if code != 4 {
+		t.Fatalf("corrupt lane with -strict: exit %d, want 4 (stderr %q)", code, stderr)
+	}
+	var te struct {
+		Error string `json:"error"`
+		Shard int    `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(strings.TrimSpace(stderr)), &te); err != nil || te.Error != "corrupt-tail" || te.Shard != 2 {
+		t.Fatalf("want structured corrupt-tail on shard 2, got %q (err %v)", stderr, err)
+	}
+}
+
+// TestSegmentedShardFilter: -shard restricts recovery to one lane, so
+// damage elsewhere is invisible and damage there still fails.
+func TestSegmentedShardFilter(t *testing.T) {
+	dir := t.TempDir()
+	byLane := writeSegmentedLog(t, dir)
+	damageShard(t, dir, 1, false)
+
+	code, stdout, stderr := runRecover(t, "-wal", dir, "-shard", "0")
+	if code != 0 {
+		t.Fatalf("-shard 0 with damage on shard 1: exit %d (stderr %q)", code, stderr)
+	}
+	id := byLane[0][0]
+	if !strings.Contains(stdout, fmt.Sprintf("o%d = %d", id, id)) {
+		t.Fatalf("lane 0 values missing:\n%s", stdout)
+	}
+
+	code, _, stderr = runRecover(t, "-wal", dir, "-shard", "1")
+	if code != 3 {
+		t.Fatalf("-shard 1 on torn lane: exit %d, want 3 (stderr %q)", code, stderr)
+	}
+	if code, _, _ := runRecover(t, "-wal", dir, "-shard", "9"); code != 1 {
+		t.Fatalf("-shard 9 (absent): exit %d, want 1", code)
+	}
+}
+
+func TestShardFlagRejectedForFiles(t *testing.T) {
+	path := walFile(t, writeLog(t))
+	if code, _, _ := runRecover(t, "-wal", path, "-shard", "0"); code != 1 {
+		t.Fatal("-shard on a file log should be a usage error")
 	}
 }

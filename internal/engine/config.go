@@ -64,9 +64,12 @@ type Config struct {
 	// History, when set, records committed write effects.
 	History *storage.History
 	// WAL, when set, receives begin/write/commit/abort records; a store
-	// recovered from it (storage.Recover) reproduces exactly the
-	// committed effects. WAL append errors fail the run.
-	WAL *storage.WAL
+	// recovered from it (storage.Recover for the single-lane
+	// *storage.WAL, storage.RecoverSegmented for *storage.ShardedWAL)
+	// reproduces exactly the committed effects. Commit records go
+	// through AppendSync — with a segmented log the commit stage parks
+	// on the lane's group commit — and WAL errors fail the run.
+	WAL storage.WALSink
 	// Tracer, when set, receives structured events for every scheduling
 	// decision and instance lifecycle transition; it is also attached to
 	// the protocol, store and WAL so their internal decisions land in
@@ -141,6 +144,19 @@ func (cfg *Config) normalize() error {
 	if cfg.MaxRestarts <= 0 {
 		cfg.MaxRestarts = 1000
 	}
+	// A typed-nil *storage.WAL (or *storage.ShardedWAL) in the WALSink
+	// interface would pass every != nil check below and panic on first
+	// use; flatten it to a plain nil.
+	switch w := cfg.WAL.(type) {
+	case *storage.WAL:
+		if w == nil {
+			cfg.WAL = nil
+		}
+	case *storage.ShardedWAL:
+		if w == nil {
+			cfg.WAL = nil
+		}
+	}
 	if cfg.Tracer != nil {
 		sched.Attach(cfg.Protocol, cfg.Tracer)
 		cfg.Store.SetTracer(cfg.Tracer)
@@ -152,6 +168,11 @@ func (cfg *Config) normalize() error {
 		cfg.Store.SetInjector(cfg.Faults)
 		if cfg.WAL != nil {
 			cfg.WAL.SetInjector(cfg.Faults)
+		}
+	}
+	if cfg.Metrics != nil && cfg.WAL != nil {
+		if m, ok := cfg.WAL.(interface{ SetMetrics(*metrics.Registry) }); ok {
+			m.SetMetrics(cfg.Metrics)
 		}
 	}
 	return nil

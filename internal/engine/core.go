@@ -455,25 +455,61 @@ func (c *Core) Finalize(ticks int, avgConcurrency float64) *Result {
 
 // LogWAL appends a record, parking errors in walErr (surfaced by
 // WALErr at the drivers' fold points) so the hot path never needs a
-// lifecycle lock. The simulator's WAL sinks are in-memory or local
-// files; an append error is fatal to the run.
+// lifecycle lock. Commit records go through AppendSync — the
+// durability point where a segmented log's group commit parks the
+// caller until the lane's fsync — everything else is enqueued async.
+// The sink serializes internally; walMu only guards the error latch.
 func (c *Core) LogWAL(rec storage.WALRecord) {
 	if c.Cfg.WAL == nil {
 		return
 	}
-	c.walMu.Lock()
-	if err := c.Cfg.WAL.Append(rec); err != nil && c.walErr == nil {
-		c.walErr = fmt.Errorf("txn: WAL append failed: %w", err)
+	var err error
+	if rec.Kind == storage.WALCommit {
+		err = c.Cfg.WAL.AppendSync(rec)
+	} else {
+		err = c.Cfg.WAL.Append(rec)
 	}
-	c.walMu.Unlock()
+	if err != nil {
+		c.walMu.Lock()
+		if c.walErr == nil {
+			c.walErr = fmt.Errorf("txn: WAL append failed: %w", err)
+		}
+		c.walMu.Unlock()
+	}
 }
 
-// WALErr returns the parked WAL append error, if any. Safe from any
-// goroutine.
+// WALErr returns the parked WAL append error, if any, folding in the
+// sink's own latched error (async appends can fail after the call
+// that enqueued them returned). Safe from any goroutine.
 func (c *Core) WALErr() error {
 	c.walMu.Lock()
-	defer c.walMu.Unlock()
-	return c.walErr
+	err := c.walErr
+	c.walMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.Cfg.WAL != nil {
+		if werr := c.Cfg.WAL.Err(); werr != nil {
+			return fmt.Errorf("txn: WAL append failed: %w", werr)
+		}
+	}
+	return nil
+}
+
+// FlushWAL drains the sink's group-commit queues (one final fsync per
+// lane) and surfaces any append error; drivers call it once at the end
+// of a run so async appends are durable before the result is final.
+func (c *Core) FlushWAL() error {
+	if c.Cfg.WAL != nil {
+		if err := c.Cfg.WAL.Sync(); err != nil {
+			c.walMu.Lock()
+			if c.walErr == nil {
+				c.walErr = fmt.Errorf("txn: WAL flush failed: %w", err)
+			}
+			c.walMu.Unlock()
+		}
+	}
+	return c.WALErr()
 }
 
 // CountRestart records one program restart (the driver decides where

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"relser/internal/core"
@@ -127,6 +128,14 @@ func runE16(opts Options) (*Report, error) {
 		if lg.name == "abort-storm" {
 			rep.AddClaim(sawInjected, "abort-storm: injected txn.abort faults actually fired")
 			rep.AddClaim(sawShed, "abort-storm: the admission controller shed load (effective MPL degraded below configured MPL)")
+		}
+	}
+
+	// Segmented-WAL legs: the same chaos discipline through the 4-lane
+	// group-commit log, plus its two dedicated fault points.
+	if opts.FaultSpec == "" {
+		if err := chaosSegmented(rep, tb, opts); err != nil {
+			return nil, err
 		}
 	}
 
@@ -369,4 +378,263 @@ func chaosWedge(rep *Report, opts Options) error {
 		"wedge (concurrent): a rate-1 shard wedge is surfaced by the watchdog as *txn.WedgeError in %v, not a hang (err=%v)",
 		time.Since(start).Round(time.Millisecond), err)
 	return nil
+}
+
+// chaosSegmented certifies the per-shard segmented WAL under the same
+// deterministic chaos discipline as the single-lane legs, including
+// the two fault points unique to it: wal.rotate.crash (die between
+// sealing segment k and publishing k+1) and wal.group.partial (a
+// group-commit batch torn mid-frame). Each run is certified
+// completed-or-crashed, swept for per-shard prefix durability (every
+// lane's crash prefixes recover invariant-clean through the
+// cross-shard cut), and replayed byte-identically from its seed.
+func chaosSegmented(rep *Report, tb *metrics.Table, opts Options) error {
+	legs := []struct {
+		name string
+		spec string
+	}{
+		{"seg-wal-chaos", "wal.torn:0.004,wal.corrupt:0.003,wal.crash:0.002"},
+		{"seg-rotate-crash", "wal.rotate.crash:0.08"},
+		{"seg-group-partial", "wal.group.partial:0.01"},
+	}
+	protocols := []string{"s2pl", "rsgt"}
+	seeds := 3
+	if opts.Quick {
+		protocols = []string{"rsgt"}
+		seeds = 2
+	}
+	for _, lg := range legs {
+		spec := fault.MustParseSpec(lg.spec)
+		allCertified, allPrefixes, allReplay := true, true, true
+		for _, proto := range protocols {
+			for s := 0; s < seeds; s++ {
+				seed := opts.Seed + int64(s)
+				first, err := chaosSegmentedRun(proto, seed, spec, opts)
+				if err != nil {
+					return fmt.Errorf("%s/%s seed %d: %v", lg.name, proto, seed, err)
+				}
+				if !first.certified {
+					allCertified = false
+				}
+				if !first.prefixesClean {
+					allPrefixes = false
+				}
+				second, err := chaosSegmentedRun(proto, seed, spec, opts)
+				if err != nil {
+					return fmt.Errorf("%s/%s seed %d replay: %v", lg.name, proto, seed, err)
+				}
+				replayOK := first.fingerprint == second.fingerprint &&
+					bytes.Equal(first.wal, second.wal) &&
+					first.committed == second.committed &&
+					first.outcome == second.outcome
+				if !replayOK {
+					allReplay = false
+				}
+				tb.AddRow(lg.name, proto, seed, first.outcome, first.committed, first.aborts,
+					first.injected, first.sheds, first.deadlineAborts, first.prefixes, boolMark(replayOK))
+			}
+		}
+		rep.AddClaim(allCertified,
+			"%s: every 4-lane segmented run completes RSG-certified with the invariant intact, or crashes cleanly via fault.ErrCrash", lg.name)
+		rep.AddClaim(allPrefixes,
+			"%s: recovery from every per-shard WAL prefix is invariant-clean (cross-shard cut reconciliation)", lg.name)
+		rep.AddClaim(allReplay,
+			"%s: same seed reproduces identical fault schedule, segment bytes on every lane, and outcome", lg.name)
+	}
+	return nil
+}
+
+// chaosSegmentedRun is chaosRun over a 4-lane segmented WAL with
+// 512-byte segments (so rotation and compaction paths are exercised by
+// the banking workload's modest log volume).
+func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) (*chaosOutcome, error) {
+	w, err := workload.Banking(workload.DefaultBankingConfig(), seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := sched.NewProtocol(proto, w.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore()
+	store.Load(w.Initial)
+	mem := storage.NewMemBackend()
+	swal, err := storage.NewShardedWAL(mem, storage.SegmentedOptions{Shards: 4, SegmentBytes: 512})
+	if err != nil {
+		return nil, err
+	}
+	inj := fault.New(seed, spec)
+	r, err := txn.New(withObs(txn.Config{
+		Protocol:    p,
+		Programs:    w.Programs,
+		Oracle:      w.Oracle,
+		Store:       store,
+		Semantics:   w.Semantics,
+		MPL:         8,
+		Seed:        seed,
+		MaxRestarts: 100000,
+		WAL:         swal,
+		Tracer:      opts.Tracer,
+		Metrics:     opts.Metrics,
+		Faults:      inj,
+	}, opts.Obs))
+	if err != nil {
+		return nil, err
+	}
+	out := &chaosOutcome{}
+	res, runErr := r.Run()
+	swal.Close() //nolint:errcheck // a latched crash is the expected terminal state under injection
+	out.fingerprint = inj.Fingerprint()
+	set, err := mem.SegmentSet()
+	if err != nil {
+		return nil, err
+	}
+	out.wal = flattenSegments(set)
+	switch {
+	case runErr == nil:
+		out.outcome = "completed"
+		out.committed = res.Committed
+		out.aborts = res.Aborts
+		out.injected = res.InjectedAborts + res.InjectedDelays
+		out.sheds = res.LoadSheds
+		out.deadlineAborts = res.DeadlineAborts
+		certified := res.Verify() == nil && w.Invariant(store.Snapshot()) == nil
+		// Full recovery of a clean run must reproduce the live store.
+		rst, rrep, rerr := storage.RecoverSegmented(set, w.Initial)
+		if rerr != nil || !rrep.Clean() {
+			certified = false
+		} else {
+			live := store.Snapshot()
+			for obj, v := range rst.Snapshot() {
+				if live[obj] != v {
+					certified = false
+				}
+			}
+		}
+		out.certified = certified
+	case errors.Is(runErr, fault.ErrCrash):
+		out.outcome = "crashed"
+		rst, _, rerr := storage.RecoverSegmented(set, w.Initial)
+		out.certified = rerr == nil && w.Invariant(rst.Snapshot()) == nil
+	default:
+		return nil, runErr
+	}
+	out.prefixes, out.prefixesClean = sweepSegmentPrefixes(set, w, opts.Quick)
+	return out, nil
+}
+
+// flattenSegments serializes a SegmentSet into one deterministic byte
+// string (lanes in index order, segments in chain order) for replay
+// comparison.
+func flattenSegments(set *storage.SegmentSet) []byte {
+	lanes := make([]int, 0, len(set.Shards))
+	for s := range set.Shards {
+		lanes = append(lanes, s)
+	}
+	sort.Ints(lanes)
+	var out []byte
+	for _, s := range lanes {
+		for _, seg := range set.Shards[s] {
+			out = binary.LittleEndian.AppendUint32(out, uint32(s))
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(seg)))
+			out = append(out, seg...)
+		}
+	}
+	return out
+}
+
+// sweepSegmentPrefixes truncates each lane's final segment at every
+// frame boundary and mid-frame tear (sampled in quick mode), recovers
+// the resulting crash image through the cross-shard cut, and checks
+// the workload invariant each time. Whole trailing segments are also
+// dropped one by one, modeling a crash before rotation's publish.
+func sweepSegmentPrefixes(set *storage.SegmentSet, w *workload.Workload, quick bool) (int, bool) {
+	checked, clean := 0, true
+	try := func(mod *storage.SegmentSet, lane int) {
+		checked++
+		st, rep, err := storage.RecoverSegmented(mod, w.Initial)
+		if err != nil {
+			clean = false
+			return
+		}
+		// A truncation at a clean frame boundary (or a cleanly dropped
+		// sealed segment) silently loses fsynced, acked commits — no
+		// physical crash produces that image (ack follows fsync), and
+		// recovery cannot detect it. The invariant is only owed when the
+		// damage is visible, engaging the cross-shard cut.
+		damaged := false
+		for _, sh := range rep.Shards {
+			if sh.Shard == lane && sh.Damaged {
+				damaged = true
+			}
+		}
+		if !damaged {
+			return
+		}
+		if w.Invariant(st.Snapshot()) != nil {
+			clean = false
+		}
+	}
+	for lane, segs := range set.Shards {
+		if len(segs) == 0 {
+			continue
+		}
+		// Crash prefixes of the lane's last segment.
+		last := segs[len(segs)-1]
+		cuts := segmentCuts(last)
+		step := 1
+		if quick && len(cuts) > 24 {
+			step = len(cuts) / 24
+		}
+		for i := 0; i < len(cuts); i += step {
+			mod := cloneSet(set)
+			mod.Shards[lane] = append(append([][]byte(nil), segs[:len(segs)-1]...), last[:cuts[i]])
+			try(mod, lane)
+		}
+		// Lost trailing segments (crash before a later publish).
+		for drop := 1; drop < len(segs) && drop <= 2; drop++ {
+			mod := cloneSet(set)
+			mod.Shards[lane] = append([][]byte(nil), segs[:len(segs)-drop]...)
+			try(mod, lane)
+		}
+	}
+	return checked, clean
+}
+
+// segmentCuts returns truncation offsets for one segment: inside the
+// header, every frame boundary, and a mid-frame tear per record.
+func segmentCuts(seg []byte) []int {
+	cuts := []int{0}
+	if len(seg) < storage.SegmentHeaderSize {
+		cuts = append(cuts, len(seg)/2)
+		return cuts
+	}
+	cuts = append(cuts, storage.SegmentHeaderSize/2, storage.SegmentHeaderSize)
+	off := storage.SegmentHeaderSize
+	for off+8 <= len(seg) {
+		size := int(binary.LittleEndian.Uint32(seg[off : off+4]))
+		if size <= 0 || off+8+size > len(seg) {
+			cuts = append(cuts, off+min(len(seg)-off, (8+size)/2))
+			break
+		}
+		cuts = append(cuts, off+8+size/2)
+		off += 8 + size
+		cuts = append(cuts, off)
+	}
+	return cuts
+}
+
+// cloneSet shallow-copies a SegmentSet with a fresh Shards map (the
+// segment byte slices themselves are shared and never mutated).
+func cloneSet(set *storage.SegmentSet) *storage.SegmentSet {
+	mod := &storage.SegmentSet{
+		Shards:      make(map[int][][]byte, len(set.Shards)),
+		SnapshotGSN: set.SnapshotGSN,
+		Snapshot:    set.Snapshot,
+		Unpublished: set.Unpublished,
+	}
+	for s, segs := range set.Shards {
+		mod.Shards[s] = segs
+	}
+	return mod
 }

@@ -208,6 +208,7 @@ var registry = map[string]struct {
 	"E15": {"Sharded scheduler scaling (shards x goroutines)", runE15},
 	"E16": {"Chaos certification under deterministic fault injection", runE16},
 	"E17": {"Observability plane overhead and live-scrape fidelity", runE17},
+	"E18": {"Segmented WAL durability: group commit, parallel recovery, compaction", runE18},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -74,6 +74,16 @@ const (
 	// WALCrash stops the log cleanly at a record boundary and reports
 	// an injected crash.
 	WALCrash Point = "wal.crash"
+	// WALRotateCrash (segmented log only) crashes a lane during segment
+	// rotation: after the next segment is created and header-synced but
+	// before it is published, leaving an unpublished file recovery must
+	// ignore.
+	WALRotateCrash Point = "wal.rotate.crash"
+	// WALGroupPartial (segmented log only) crashes a lane mid group
+	// commit: the batch's earlier frames reach the device, the firing
+	// frame is cut short at an arbitrary byte — the multi-record
+	// analogue of wal.torn.
+	WALGroupPartial Point = "wal.group.partial"
 	// StoreReadDelay stalls a store read under its stripe latch.
 	StoreReadDelay Point = "store.read.delay"
 	// StoreWriteDelay stalls a store write under its stripe latch.
@@ -98,6 +108,7 @@ const (
 func Points() []Point {
 	pts := []Point{
 		WALTorn, WALCorrupt, WALShort, WALCrash,
+		WALRotateCrash, WALGroupPartial,
 		StoreReadDelay, StoreWriteDelay,
 		ShardStall, ShardWedge,
 		SchedGrantDelay, TxnForcedAbort,

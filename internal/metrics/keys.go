@@ -34,6 +34,14 @@ var canonicalKeys = []string{
 	"txn.cond.broadcast_global",
 	"txn.cond.broadcast_flood",
 
+	// Segmented WAL (internal/storage): group-commit durability lanes.
+	// Per-lane histograms (wal.shardNN.fsync_seconds,
+	// wal.shardNN.batch_records) ride the "wal.shard" dynamic prefix.
+	"wal.appends",
+	"wal.fsyncs",
+	"wal.rotations",
+	"wal.group_commits",
+
 	// Observability plane (internal/obs): flight-recorder ring, span
 	// table, SSE tail and automatic dump triggers.
 	"obs.ring_recorded",
@@ -50,7 +58,7 @@ var canonicalKeys = []string{
 // and the ops endpoint's per-route request counters. The obs prefix is
 // deliberately "obs.http." rather than "obs." so the static obs.* keys
 // above stay under the registrydrift literal check.
-var DynamicKeyPrefixes = []string{"txn.shard", "obs.http."}
+var DynamicKeyPrefixes = []string{"txn.shard", "obs.http.", "wal.shard"}
 
 // Keys returns the canonical metric key set (a copy).
 func Keys() []string {

@@ -1,0 +1,689 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relser/internal/fault"
+	"relser/internal/metrics"
+	"relser/internal/shard"
+	"relser/internal/trace"
+)
+
+// WALSink is the durability interface the engine logs through: the
+// single-lane WAL satisfies it trivially (write-through, no batching),
+// the ShardedWAL implements real group commit behind it.
+type WALSink interface {
+	// Append enqueues one record without waiting for durability.
+	Append(rec WALRecord) error
+	// AppendSync returns once the record is durable — the commit
+	// stage's group-commit wait.
+	AppendSync(rec WALRecord) error
+	// Sync blocks until everything appended before the call is durable
+	// (or failed) and returns the first latched error.
+	Sync() error
+	// Err returns the latched crash/IO error without waiting.
+	Err() error
+	SetTracer(tr *trace.Tracer)
+	SetInjector(in *fault.Injector)
+}
+
+var errWALClosed = errors.New("storage: append on closed WAL")
+
+// SegmentedOptions tunes a per-shard segmented WAL.
+type SegmentedOptions struct {
+	// Shards is the number of durability lanes (normalized to a power
+	// of two in [1, shard.MaxShards], like every other shard count).
+	Shards int
+	// SegmentBytes rotates a lane's segment once its logical size
+	// (header + frames) would exceed it. Default 1 MiB.
+	SegmentBytes int64
+	// QueueDepth bounds each lane's pending-append queue; producers
+	// block when the committer falls this far behind. Default 1024.
+	QueueDepth int
+}
+
+func (o SegmentedOptions) withDefaults() SegmentedOptions {
+	o.Shards = shard.Normalize(o.Shards)
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	return o
+}
+
+// walFrame is one enqueued unit of work for a lane's committer. Fault
+// decisions are made at enqueue time — under the lane mutex, in append
+// order — so the injector's deterministic schedule is independent of
+// committer timing; the committer only executes the instructions.
+type walFrame struct {
+	bytes   []byte
+	done    chan error // non-nil for AppendSync waiters
+	records int        // 0 for rotation barriers
+
+	rotate      bool   // open a new segment before writing this frame
+	rotateBase  uint64 // BaseGSN for the new segment
+	rotateCrash bool   // wal.rotate.crash: die between create and publish
+	crash       bool   // wal.crash: die at the frame boundary
+	tornCut     int    // wal.torn: write bytes[:tornCut+1], then die (-1 off)
+	partialCut  int    // wal.group.partial: write bytes[:partialCut], then die (-1 off)
+}
+
+// walShard is one durability lane: a bounded queue of encoded frames
+// drained by a committer goroutine into the lane's current segment
+// with one fsync per drained batch.
+//
+// mu is a leaf lock: nothing else is acquired under it, and all I/O
+// happens outside it. cur/curIdx are committer-owned (no lock); queue,
+// sequence counters, the error latch and the logical-size rotation
+// accounting live under mu.
+type walShard struct {
+	idx int
+
+	mu       sync.Mutex
+	notEmpty sync.Cond // committer waits: frames queued or closing
+	notFull  sync.Cond // producers wait: queue below depth
+	synced   sync.Cond // Sync waiters: doneSeq caught up
+	queue    []walFrame
+	enqSeq   uint64 // frames ever enqueued
+	doneSeq  uint64 // frames fully processed by the committer
+	err      error  // sticky: injected crash or real I/O failure
+	closed   bool
+	open     map[int64]bool // txns begun but not yet committed/aborted here
+	logBytes int64          // logical size of the current segment
+	sealed   []int          // indices sealed by rotation since last checkpoint
+
+	cur    SegmentFile
+	curIdx int
+
+	batchHist *metrics.Histogram // records per group commit
+	fsyncHist *metrics.Histogram // seconds per fsync
+}
+
+// ShardedWAL is a per-shard segmented write-ahead log with group
+// commit, snapshot compaction and parallel recovery (DESIGN.md §5.4).
+// Records are routed to lanes by transaction instance, so one
+// transaction's records always share a lane and per-lane recovery is
+// the legacy single-log algorithm; a global sequence number (GSN)
+// drawn at enqueue orders commits across lanes for replay.
+type ShardedWAL struct {
+	backend SegmentBackend
+	opt     SegmentedOptions
+	router  shard.Router
+	gsn     atomic.Uint64
+	lanes   []*walShard
+	tr      atomic.Pointer[trace.Tracer]
+	inj     atomic.Pointer[fault.Injector]
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+
+	appends      atomic.Int64
+	fsyncs       atomic.Int64
+	rotations    atomic.Int64
+	groupCommits atomic.Int64
+	compactions  atomic.Int64
+
+	mAppends   *metrics.Counter
+	mFsyncs    *metrics.Counter
+	mRotations *metrics.Counter
+	mGroups    *metrics.Counter
+}
+
+// NewShardedWAL opens a segmented log over the backend: segment 0 of
+// every lane is created, header-written, synced and published before
+// any append, so even an empty run recovers cleanly.
+func NewShardedWAL(backend SegmentBackend, opt SegmentedOptions) (*ShardedWAL, error) {
+	if backend == nil {
+		return nil, errors.New("storage: nil segment backend")
+	}
+	opt = opt.withDefaults()
+	w := &ShardedWAL{backend: backend, opt: opt, router: shard.NewRouter(opt.Shards)}
+	for i := 0; i < opt.Shards; i++ {
+		sh := &walShard{idx: i, open: map[int64]bool{}, logBytes: SegmentHeaderSize}
+		sh.notEmpty.L = &sh.mu
+		sh.notFull.L = &sh.mu
+		sh.synced.L = &sh.mu
+		f, err := openSegment(backend, i, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		sh.cur = f
+		w.lanes = append(w.lanes, sh)
+	}
+	for _, sh := range w.lanes {
+		w.wg.Add(1)
+		go w.committer(sh)
+	}
+	return w, nil
+}
+
+// OpenShardedWAL is NewShardedWAL over a DirBackend rooted at dir,
+// wiping any previous log there first (the way OpenWALFile truncates).
+func OpenShardedWAL(dir string, opt SegmentedOptions) (*ShardedWAL, error) {
+	b := NewDirBackend(dir)
+	if err := b.Reset(); err != nil {
+		return nil, err
+	}
+	return NewShardedWAL(b, opt)
+}
+
+// openSegment creates, header-writes, syncs and publishes a segment.
+func openSegment(b SegmentBackend, shardIdx, index int, baseGSN uint64) (SegmentFile, error) {
+	f, err := b.Create(shardIdx, index)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(encodeSegmentHeader(SegmentHeader{Shard: shardIdx, Index: index, BaseGSN: baseGSN})); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := b.Publish(shardIdx, index); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// SetTracer installs a structured-event sink on every lane.
+func (w *ShardedWAL) SetTracer(tr *trace.Tracer) { w.tr.Store(tr) }
+
+// SetInjector arms the log's fault points (wal.crash, wal.torn,
+// wal.corrupt, wal.rotate.crash, wal.group.partial). Faults are
+// consulted at enqueue time in append order, so the deterministic
+// driver's fault schedule does not depend on committer timing.
+func (w *ShardedWAL) SetInjector(in *fault.Injector) { w.inj.Store(in) }
+
+// SetMetrics wires the log's counters and per-lane histograms
+// (wal.shardNN.fsync_seconds, wal.shardNN.batch_records) into the
+// registry. Call before appending.
+func (w *ShardedWAL) SetMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	w.mAppends = reg.Counter("wal.appends")
+	w.mFsyncs = reg.Counter("wal.fsyncs")
+	w.mRotations = reg.Counter("wal.rotations")
+	w.mGroups = reg.Counter("wal.group_commits")
+	for _, sh := range w.lanes {
+		sh.batchHist = reg.Histogram(fmt.Sprintf("wal.shard%02d.batch_records", sh.idx))
+		sh.fsyncHist = reg.Histogram(fmt.Sprintf("wal.shard%02d.fsync_seconds", sh.idx))
+	}
+}
+
+// Shards returns the number of durability lanes.
+func (w *ShardedWAL) Shards() int { return w.opt.Shards }
+
+// GSN returns the last allocated global sequence number.
+func (w *ShardedWAL) GSN() uint64 { return w.gsn.Load() }
+
+// Append enqueues one record on its instance's lane and returns
+// without waiting for durability; a latched lane error fails fast.
+func (w *ShardedWAL) Append(rec WALRecord) error {
+	_, err := w.enqueue(rec, false)
+	return err
+}
+
+// AppendSync enqueues one record and parks until the lane's committer
+// has flushed and fsynced the batch containing it — the group-commit
+// wait the engine's commit stage sits on.
+func (w *ShardedWAL) AppendSync(rec WALRecord) error {
+	done, err := w.enqueue(rec, true)
+	if done != nil {
+		derr := <-done
+		if err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// enqueue assigns the record a GSN, decides rotation and injected
+// faults under the lane mutex (append order == fault-schedule order),
+// and hands the encoded frame to the committer.
+func (w *ShardedWAL) enqueue(rec WALRecord, wait bool) (chan error, error) {
+	sh := w.lanes[w.router.ShardID(rec.Instance)]
+	sh.mu.Lock()
+	for len(sh.queue) >= w.opt.QueueDepth && sh.err == nil && !sh.closed {
+		sh.notFull.Wait()
+	}
+	if sh.err != nil {
+		err := sh.err
+		sh.mu.Unlock()
+		return nil, err
+	}
+	if sh.closed {
+		sh.mu.Unlock()
+		return nil, errWALClosed
+	}
+	gsn := w.gsn.Add(1)
+	fr := walFrame{records: 1, tornCut: -1, partialCut: -1}
+	fr.bytes = appendSegFrame(nil, gsn, rec)
+	if sh.logBytes+int64(len(fr.bytes)) > w.opt.SegmentBytes && sh.logBytes > SegmentHeaderSize {
+		// This frame opens a new segment. BaseGSN is gsn-1: every
+		// record landing there (this one first) has a larger GSN.
+		fr.rotate = true
+		fr.rotateBase = gsn - 1
+		sh.logBytes = SegmentHeaderSize
+	}
+	sh.logBytes += int64(len(fr.bytes))
+	crash := decideFaults(w.inj.Load(), sh, &fr)
+	if crash {
+		sh.err = fault.ErrCrash
+	}
+	switch rec.Kind {
+	case WALBegin:
+		sh.open[rec.Instance] = true
+	case WALCommit, WALAbort:
+		delete(sh.open, rec.Instance)
+	}
+	if wait {
+		fr.done = make(chan error, 1)
+	}
+	sh.queue = append(sh.queue, fr)
+	sh.enqSeq++
+	if fr.rotate {
+		w.rotations.Add(1)
+		if w.mRotations != nil {
+			w.mRotations.Inc()
+		}
+		if tr := w.tr.Load(); tr.Wants(trace.KindWALRotate) {
+			tr.Emit(trace.Event{Kind: trace.KindWALRotate, Instance: rec.Instance, Value: int64(gsn)})
+		}
+	}
+	w.appends.Add(1)
+	if w.mAppends != nil {
+		w.mAppends.Inc()
+	}
+	if tr := w.tr.Load(); tr.Wants(trace.KindWALAppend) {
+		tr.Emit(trace.Event{
+			Kind: trace.KindWALAppend, Instance: rec.Instance,
+			Object: rec.Object, Op: rec.Kind.String(), Value: int64(rec.Value),
+		})
+	}
+	sh.notEmpty.Signal()
+	sh.mu.Unlock()
+	if crash {
+		return fr.done, fault.ErrCrash
+	}
+	return fr.done, nil
+}
+
+// decideFaults consults the armed fault points for one frame, in a
+// fixed order, attaching the firing instructions to the frame for the
+// committer to execute. Returns whether the lane must latch a crash.
+//
+// Called with sh.mu held — deliberately: determinism requires the
+// injector's call-index order to equal the append order, and the lane
+// mutex is a leaf (no I/O, no other locks beneath it), so the consult
+// cannot deadlock or stall foreign lanes.
+//
+//rsvet:locks sh.mu
+func decideFaults(in *fault.Injector, sh *walShard, fr *walFrame) bool {
+	_ = sh // documents the contract; the lane's queue order is the fault order
+	crash := false
+	//rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+	if in.Fire(fault.WALCrash) {
+		fr.crash = true
+		crash = true
+	}
+	if fr.rotate && !crash {
+		//rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+		if in.Fire(fault.WALRotateCrash) {
+			fr.rotateCrash = true
+			crash = true
+		}
+	}
+	if !crash {
+		//rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+		if fired, cut := in.FireCut(fault.WALTorn, len(fr.bytes)-1); fired {
+			fr.tornCut = cut
+			crash = true
+		}
+	}
+	if !crash {
+		//rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+		if fired, cut := in.FireCut(fault.WALGroupPartial, len(fr.bytes)); fired {
+			fr.partialCut = cut
+			crash = true
+		}
+	}
+	//rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+	if fired, cut := in.FireCut(fault.WALCorrupt, (len(fr.bytes)-segFrameHeaderSize)*8); fired {
+		// Flip one payload bit after the checksum was sealed: a lying
+		// disk the segment scan must catch.
+		fr.bytes[segFrameHeaderSize+cut/8] ^= 1 << (cut % 8)
+	}
+	return crash
+}
+
+// committer drains one lane: swap the queue out under the mutex, do
+// all I/O outside it, then advance doneSeq and wake Sync waiters.
+func (w *ShardedWAL) committer(sh *walShard) {
+	defer w.wg.Done()
+	for {
+		sh.mu.Lock()
+		for len(sh.queue) == 0 && !sh.closed {
+			sh.notEmpty.Wait()
+		}
+		if len(sh.queue) == 0 && sh.closed {
+			sh.mu.Unlock()
+			return
+		}
+		batch := sh.queue
+		sh.queue = nil
+		sh.notFull.Broadcast()
+		sh.mu.Unlock()
+
+		sealed, ioErr := w.flushBatch(sh, batch)
+
+		sh.mu.Lock()
+		sh.doneSeq += uint64(len(batch))
+		if ioErr != nil && sh.err == nil {
+			sh.err = ioErr
+		}
+		sh.sealed = append(sh.sealed, sealed...)
+		sh.synced.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// flushBatch writes a drained batch into the lane's segment chain and
+// issues one fsync for the lot. Injected faults attached to frames are
+// executed here: a torn or partial frame's prefix bytes still reach
+// the device (that is the point), every later frame in the batch fails
+// with the same crash. Returns a real I/O error to latch (injected
+// crashes were latched at enqueue) plus segment indices sealed by
+// rotations in this batch.
+func (w *ShardedWAL) flushBatch(sh *walShard, batch []walFrame) ([]int, error) {
+	var failed error   // first injected crash or I/O error in the batch
+	var ioErr error    // real I/O failure to latch
+	var sealed []int   // segment indices sealed by rotation
+	var pending []byte // frame bytes accumulated for one write
+	var acked []chan error
+	records := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		_, err := sh.cur.Write(pending)
+		pending = pending[:0]
+		return err
+	}
+	fail := func(err error) {
+		failed = err
+		if !errors.Is(err, fault.ErrCrash) && ioErr == nil {
+			ioErr = err
+		}
+	}
+	for i := range batch {
+		fr := &batch[i]
+		if failed != nil {
+			if fr.done != nil {
+				fr.done <- failed
+			}
+			continue
+		}
+		if fr.rotate {
+			if err := flush(); err != nil {
+				fail(err)
+			} else if err := w.rotate(sh, fr, &sealed); err != nil {
+				fail(err)
+			}
+			if failed != nil {
+				if fr.done != nil {
+					fr.done <- failed
+				}
+				continue
+			}
+		}
+		switch {
+		case fr.crash:
+			fail(fault.ErrCrash)
+		case fr.tornCut >= 0:
+			pending = append(pending, fr.bytes[:fr.tornCut+1]...)
+			fail(fault.ErrCrash)
+		case fr.partialCut >= 0:
+			pending = append(pending, fr.bytes[:fr.partialCut]...)
+			fail(fault.ErrCrash)
+		default:
+			pending = append(pending, fr.bytes...)
+			records += fr.records
+			if fr.done != nil {
+				acked = append(acked, fr.done)
+			}
+			continue
+		}
+		if fr.done != nil {
+			fr.done <- failed
+		}
+	}
+	if err := flush(); err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	if err := sh.cur.Sync(); err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	w.fsyncs.Add(1)
+	w.groupCommits.Add(1)
+	if w.mFsyncs != nil {
+		w.mFsyncs.Inc()
+	}
+	if w.mGroups != nil {
+		w.mGroups.Inc()
+	}
+	if sh.fsyncHist != nil {
+		sh.fsyncHist.Observe(elapsed.Seconds())
+	}
+	if sh.batchHist != nil {
+		sh.batchHist.Observe(float64(records))
+	}
+	if tr := w.tr.Load(); tr.Wants(trace.KindWALGroupCommit) {
+		tr.Emit(trace.Event{Kind: trace.KindWALGroupCommit, Instance: int64(sh.idx), Value: int64(records)})
+	}
+	// Frames are durable (or doomed) now: ack the clean waiters with
+	// whatever the write+fsync concluded.
+	for _, done := range acked {
+		done <- ioErr
+	}
+	return sealed, ioErr
+}
+
+// rotate seals the lane's current segment and opens the next one:
+// sync, close, create k+1, write+sync its header, publish, swap. An
+// injected wal.rotate.crash dies after the header sync but before
+// publish, leaving an unpublished segment recovery must ignore.
+func (w *ShardedWAL) rotate(sh *walShard, fr *walFrame, sealed *[]int) error {
+	if err := sh.cur.Sync(); err != nil {
+		return err
+	}
+	if err := sh.cur.Close(); err != nil {
+		return err
+	}
+	w.fsyncs.Add(1)
+	if w.mFsyncs != nil {
+		w.mFsyncs.Inc()
+	}
+	next := sh.curIdx + 1
+	f, err := w.backend.Create(sh.idx, next)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSegmentHeader(SegmentHeader{Shard: sh.idx, Index: next, BaseGSN: fr.rotateBase})); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if fr.rotateCrash {
+		f.Close()
+		return fault.ErrCrash
+	}
+	if err := w.backend.Publish(sh.idx, next); err != nil {
+		f.Close()
+		return err
+	}
+	*sealed = append(*sealed, sh.curIdx)
+	sh.cur = f
+	sh.curIdx = next
+	return nil
+}
+
+// Sync blocks until every record enqueued before the call is durable
+// (or failed), then reports the first latched lane error.
+func (w *ShardedWAL) Sync() error {
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		target := sh.enqSeq
+		for sh.doneSeq < target {
+			sh.synced.Wait()
+		}
+		sh.mu.Unlock()
+	}
+	return w.Err()
+}
+
+// Err returns the first latched lane error without waiting.
+func (w *ShardedWAL) Err() error {
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		err := sh.err
+		sh.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close drains every lane, stops the committers and closes the current
+// segments. Idempotent; returns the first latched error.
+func (w *ShardedWAL) Close() error {
+	if w.closed.Swap(true) {
+		return w.Err()
+	}
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		sh.closed = true
+		sh.notEmpty.Broadcast()
+		sh.notFull.Broadcast()
+		sh.mu.Unlock()
+	}
+	w.wg.Wait()
+	for _, sh := range w.lanes {
+		sh.cur.Sync()  //nolint:errcheck // final best-effort flush
+		sh.cur.Close() //nolint:errcheck
+	}
+	return w.Err()
+}
+
+// Checkpoint compacts the log behind a snapshot. snap must reflect
+// every record logged so far, which requires quiescence: with any
+// transaction still open on a lane the call refuses. The protocol is
+// crash-safe in order: seal the current segments (rotation barriers +
+// full sync), write the snapshot durably, only then drop the sealed
+// segments — a crash anywhere leaves either the old segments or a
+// covering snapshot on disk.
+func (w *ShardedWAL) Checkpoint(snap map[string]Value) error {
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		n := len(sh.open)
+		sh.mu.Unlock()
+		if n > 0 {
+			return fmt.Errorf("storage: checkpoint with %d open transactions on lane %d", n, sh.idx)
+		}
+	}
+	cut := w.gsn.Load()
+	in := w.inj.Load()
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		if sh.err != nil {
+			err := sh.err
+			sh.mu.Unlock()
+			return err
+		}
+		fr := walFrame{rotate: true, rotateBase: cut, tornCut: -1, partialCut: -1}
+		if in.Fire(fault.WALRotateCrash) { //rsvet:allow stripelock -- deterministic fault decision must happen in append order under the lane mutex
+			fr.rotateCrash = true
+			sh.err = fault.ErrCrash
+		}
+		sh.queue = append(sh.queue, fr)
+		sh.enqSeq++
+		sh.logBytes = SegmentHeaderSize
+		sh.notEmpty.Signal()
+		sh.mu.Unlock()
+	}
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	if err := w.backend.WriteSnapshot(cut, EncodeSnapshot(cut, snap)); err != nil {
+		return err
+	}
+	for _, sh := range w.lanes {
+		sh.mu.Lock()
+		sealed := sh.sealed
+		sh.sealed = nil
+		sh.mu.Unlock()
+		for _, idx := range sealed {
+			if err := w.backend.DropSegment(sh.idx, idx); err != nil {
+				return err
+			}
+		}
+	}
+	w.compactions.Add(1)
+	return nil
+}
+
+// ShardedWALStats is a point-in-time counter snapshot.
+type ShardedWALStats struct {
+	Appends      int64
+	Fsyncs       int64
+	Rotations    int64
+	GroupCommits int64
+	Compactions  int64
+}
+
+// Stats snapshots the log's counters.
+func (w *ShardedWAL) Stats() ShardedWALStats {
+	return ShardedWALStats{
+		Appends:      w.appends.Load(),
+		Fsyncs:       w.fsyncs.Load(),
+		Rotations:    w.rotations.Load(),
+		GroupCommits: w.groupCommits.Load(),
+		Compactions:  w.compactions.Load(),
+	}
+}
+
+// Single-lane WAL adapters: the legacy log satisfies WALSink by
+// writing through (its crash model is process-level, so Append already
+// implies "as durable as the log gets").
+
+// AppendSync appends one record; the single-lane WAL has no group
+// commit to wait for.
+func (l *WAL) AppendSync(rec WALRecord) error { return l.Append(rec) }
+
+// Sync reports the latched crash, if any; the single-lane WAL writes
+// through so there is nothing to flush.
+func (l *WAL) Sync() error { return l.Err() }
+
+// Err returns the latched crash error, if any.
+func (l *WAL) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return fault.ErrCrash
+	}
+	return nil
+}

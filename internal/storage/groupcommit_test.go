@@ -1,0 +1,387 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"relser/internal/fault"
+)
+
+// laneInstance returns the first instance id >= from that routes to
+// lane — tests use it to place transactions on chosen shards.
+func laneInstance(w *ShardedWAL, lane int, from int64) int64 {
+	for id := from; ; id++ {
+		if w.router.ShardID(id) == lane {
+			return id
+		}
+	}
+}
+
+// logTxn appends begin, one write per (object, value) pair, and a
+// commit for instance id, waiting for the commit's durability.
+func logTxn(t testing.TB, w *ShardedWAL, id int64, object string, v Value) {
+	t.Helper()
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: id}); err != nil {
+		t.Fatalf("begin %d: %v", id, err)
+	}
+	if err := w.Append(WALRecord{Kind: WALWrite, Instance: id, Object: object, Value: v}); err != nil {
+		t.Fatalf("write %d: %v", id, err)
+	}
+	if err := w.AppendSync(WALRecord{Kind: WALCommit, Instance: id}); err != nil {
+		t.Fatalf("commit %d: %v", id, err)
+	}
+}
+
+// TestShardedWALConcurrentRecoveryEquality drives concurrent producers
+// through a rotating 4-lane log and checks that recovery reproduces
+// exactly the acknowledged commits.
+func TestShardedWALConcurrentRecoveryEquality(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 4, SegmentBytes: 512, QueueDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const producers, txns = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < txns; i++ {
+				id := int64(g*1000 + i + 1)
+				logTxn(t, w, id, fmt.Sprintf("t%d", id), Value(id))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	stats := w.Stats()
+	if stats.Appends != producers*txns*3 {
+		t.Fatalf("appends = %d, want %d", stats.Appends, producers*txns*3)
+	}
+	if stats.Rotations == 0 {
+		t.Fatal("512-byte segments never rotated")
+	}
+	set, err := mem.SegmentSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("recovery not clean: %s", rep)
+	}
+	if rep.Committed != producers*txns {
+		t.Fatalf("recovered %d commits, want %d", rep.Committed, producers*txns)
+	}
+	snap := st.Snapshot()
+	for g := 0; g < producers; g++ {
+		for i := 0; i < txns; i++ {
+			id := int64(g*1000 + i + 1)
+			if got := snap[fmt.Sprintf("t%d", id)]; got != Value(id) {
+				t.Fatalf("t%d = %d after recovery, want %d", id, got, id)
+			}
+		}
+	}
+}
+
+// TestShardedWALGroupCommitBatching holds the committer on a slow
+// fsync while async appends pile up: far fewer group commits than
+// records must result.
+func TestShardedWALGroupCommitBatching(t *testing.T) {
+	mem := NewMemBackend()
+	mem.SyncDelay = 2 * time.Millisecond
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 1, QueueDepth: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 1; i <= n; i++ {
+		logAsync(t, w, int64(i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	stats := w.Stats()
+	if stats.GroupCommits >= n {
+		t.Fatalf("%d group commits for %d transactions: no batching", stats.GroupCommits, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func logAsync(t testing.TB, w *ShardedWAL, id int64) {
+	t.Helper()
+	for _, rec := range []WALRecord{
+		{Kind: WALBegin, Instance: id},
+		{Kind: WALWrite, Instance: id, Object: "o", Value: Value(id)},
+		{Kind: WALCommit, Instance: id},
+	} {
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", id, err)
+		}
+	}
+}
+
+func TestShardedWALAppendAfterClose(t *testing.T) {
+	w, err := NewShardedWAL(NewMemBackend(), SegmentedOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatalf("second close: %v", err)
+	}
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 1}); err == nil {
+		t.Fatal("append on closed WAL succeeded")
+	}
+	if err := w.AppendSync(WALRecord{Kind: WALCommit, Instance: 1}); err == nil {
+		t.Fatal("append-sync on closed WAL succeeded")
+	}
+}
+
+// TestShardedWALInjectedTorn arms wal.torn on the first append: the
+// caller sees the crash, the lane latches it, and recovery finds a
+// torn tail with zero phantom commits.
+func TestShardedWALInjectedTorn(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetInjector(fault.New(1, fault.MustParseSpec("wal.torn:1")))
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 1}); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("torn append returned %v, want ErrCrash", err)
+	}
+	if err := w.Append(WALRecord{Kind: WALWrite, Instance: 1, Object: "x", Value: 1}); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("append after crash returned %v, want latched ErrCrash", err)
+	}
+	if err := w.Err(); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("Err() = %v, want ErrCrash", err)
+	}
+	w.Close() //nolint:errcheck // crash latched, error expected
+	set, err := mem.SegmentSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, ok := rep.FirstDamagedKind(TailTorn)
+	if !ok || sh.Shard != 0 {
+		t.Fatalf("want torn shard 0, got %+v (ok=%v)", sh, ok)
+	}
+	if rep.Committed != 0 || rep.Records != 0 {
+		t.Fatalf("phantom records after torn first append: %s", rep)
+	}
+}
+
+// TestShardedWALGroupPartial arms wal.group.partial after one durable
+// transaction: the second transaction's frame is cut mid-batch, the
+// run crashes, and recovery keeps exactly the first transaction.
+func TestShardedWALGroupPartial(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTxn(t, w, 1, "x", 10)
+	w.SetInjector(fault.New(7, fault.MustParseSpec("wal.group.partial:1")))
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 2}); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("partial append returned %v, want ErrCrash", err)
+	}
+	if err := w.Sync(); !errors.Is(err, fault.ErrCrash) {
+		t.Fatalf("Sync() = %v, want latched ErrCrash", err)
+	}
+	w.Close() //nolint:errcheck // crash latched, error expected
+	set, err := mem.SegmentSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Committed != 1 {
+		t.Fatalf("recovered %d commits, want 1: %s", rep.Committed, rep)
+	}
+	if got := st.Snapshot()["x"]; got != 10 {
+		t.Fatalf("x = %d after recovery, want 10", got)
+	}
+}
+
+// TestShardedWALRotateCrash covers the crash between rotation and
+// publish: the sealed segments survive, the half-created one stays
+// unpublished (a .tmp file on disk), and recovery soundly ignores it —
+// every acknowledged commit is recovered, nothing else.
+func TestShardedWALRotateCrash(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenShardedWAL(dir, SegmentedOptions{Shards: 1, SegmentBytes: 160, QueueDepth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logTxn(t, w, 1, "x", 10)
+	w.SetInjector(fault.New(3, fault.MustParseSpec("wal.rotate.crash:1")))
+	var crashErr error
+	for i := 0; i < 100; i++ {
+		rec := WALRecord{Kind: WALWrite, Instance: 2, Object: fmt.Sprintf("y%d", i), Value: Value(i)}
+		if i == 0 {
+			rec = WALRecord{Kind: WALBegin, Instance: 2}
+		}
+		if crashErr = w.AppendSync(rec); crashErr != nil {
+			break
+		}
+	}
+	if !errors.Is(crashErr, fault.ErrCrash) {
+		t.Fatalf("rotation never crashed (last err %v)", crashErr)
+	}
+	w.Close() //nolint:errcheck // crash latched, error expected
+
+	tmp, err := filepath.Glob(filepath.Join(dir, "shard-00", "*.tmp"))
+	if err != nil || len(tmp) != 1 {
+		t.Fatalf("want exactly one unpublished .tmp segment, got %v (err %v)", tmp, err)
+	}
+	set, err := ReadWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Unpublished != 1 {
+		t.Fatalf("Unpublished = %d, want 1", set.Unpublished)
+	}
+	st, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		// The published chain is intact; only the unpublished segment
+		// (and the unacknowledged suffix) is gone.
+		t.Fatalf("recovery not clean after rotate crash: %s", rep)
+	}
+	if rep.Unpublished != 1 {
+		t.Fatalf("report.Unpublished = %d, want 1", rep.Unpublished)
+	}
+	snap := st.Snapshot()
+	if snap["x"] != 10 {
+		t.Fatalf("acknowledged commit lost: x = %d", snap["x"])
+	}
+	if rep.Committed != 1 {
+		t.Fatalf("recovered %d commits, want 1 (txn 2 never committed): %s", rep.Committed, rep)
+	}
+}
+
+// TestShardedWALCheckpoint: compaction snapshots the store, seals and
+// drops the old segments, and recovery equals the live history.
+func TestShardedWALCheckpoint(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 2, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := map[string]Value{}
+	for i := 1; i <= 20; i++ {
+		obj := fmt.Sprintf("t%d", i)
+		logTxn(t, w, int64(i), obj, Value(i))
+		expected[obj] = Value(i)
+	}
+
+	// Refused while a transaction is open.
+	if err := w.Append(WALRecord{Kind: WALBegin, Instance: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Checkpoint(expected); err == nil {
+		t.Fatal("checkpoint with an open transaction succeeded")
+	}
+	if err := w.AppendSync(WALRecord{Kind: WALAbort, Instance: 100}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := w.Checkpoint(expected); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if got := w.Stats().Compactions; got != 1 {
+		t.Fatalf("compactions = %d, want 1", got)
+	}
+	for i := 21; i <= 30; i++ {
+		obj := fmt.Sprintf("t%d", i)
+		logTxn(t, w, int64(i), obj, Value(i))
+		expected[obj] = Value(i)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	set, err := mem.SegmentSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Snapshot == nil || set.SnapshotGSN == 0 {
+		t.Fatal("no snapshot after checkpoint")
+	}
+	for s, segs := range set.Shards {
+		// Only post-checkpoint segments remain (a handful for 10 txns).
+		if len(segs) > 5 {
+			t.Fatalf("shard %d still holds %d segments after compaction", s, len(segs))
+		}
+	}
+	st, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("recovery not clean: %s", rep)
+	}
+	if rep.Committed != 10 {
+		t.Fatalf("replayed %d commits, want 10 (20 compacted away): %s", rep.Committed, rep)
+	}
+	if rep.InSnapshot != 0 {
+		t.Fatalf("%d snapshot-covered commits still in segments after compaction", rep.InSnapshot)
+	}
+	snap := st.Snapshot()
+	for obj, want := range expected {
+		if snap[obj] != want {
+			t.Fatalf("%s = %d after recovery, want %d", obj, snap[obj], want)
+		}
+	}
+}
+
+// TestShardedWALEmptyLogRecovers: a freshly opened log (headers only)
+// must recover cleanly with zero records.
+func TestShardedWALEmptyLogRecovers(t *testing.T) {
+	mem := NewMemBackend()
+	w, err := NewShardedWAL(mem, SegmentedOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	set, err := mem.SegmentSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Shards) != 4 {
+		t.Fatalf("want 4 published lanes, got %d", len(set.Shards))
+	}
+	st, rep, err := RecoverSegmented(set, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() || rep.Records != 0 {
+		t.Fatalf("empty log: %s", rep)
+	}
+	if got := len(st.Snapshot()); got != 0 {
+		t.Fatalf("empty log recovered %d objects", got)
+	}
+}

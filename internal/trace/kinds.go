@@ -23,6 +23,8 @@ var allKinds = []Kind{
 	KindWedge,
 	KindCancel,
 	KindWALAppend,
+	KindWALRotate,
+	KindWALGroupCommit,
 	KindStoreRead,
 	KindStoreWrite,
 }

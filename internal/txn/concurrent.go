@@ -232,6 +232,11 @@ func (r *ConcurrentRunner) RunContext(parent context.Context) (*Result, error) {
 	}
 	wg.Wait()
 	shutdown() // release the cancellation watcher
+	// Final durability barrier before the verdict: drain the sink's
+	// group-commit queues so async append errors are latched where
+	// foldErrLocked can see them. Deliberately outside the state lock —
+	// the flush parks on lane committers.
+	r.eng.FlushWAL() //nolint:errcheck // latched error folds below
 	r.state.Lock()
 	defer r.state.Unlock()
 	r.foldErrLocked(ctx)

@@ -61,7 +61,7 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 		if ctx.Err() != nil {
 			cause := context.Cause(ctx)
 			r.eng.AbortAll(cause.Error(), int64(r.ticks))
-			if err := r.eng.WALErr(); err != nil {
+			if err := r.eng.FlushWAL(); err != nil {
 				return nil, err
 			}
 			return nil, fmt.Errorf("txn: run canceled: %w", cause)
@@ -95,6 +95,12 @@ func (r *Runner) RunContext(ctx context.Context) (*Result, error) {
 				return nil, err
 			}
 		}
+	}
+	// Final durability barrier: async appends (begin/write/abort) must
+	// be flushed — and any latched lane error surfaced — before the
+	// result is declared final.
+	if err := r.eng.FlushWAL(); err != nil {
+		return nil, err
 	}
 	avg := 0.0
 	if r.ticks > 0 {

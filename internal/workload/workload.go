@@ -60,9 +60,11 @@ func (w *Workload) Run(protocol sched.Protocol, seed int64, mpl int) (*txn.Resul
 // store, observability sinks, and the concurrent (goroutine) execution
 // mode.
 type RunOptions struct {
-	Seed       int64
-	MPL        int
-	WAL        *storage.WAL
+	Seed int64
+	MPL  int
+	// WAL is any durability sink: a single-lane *storage.WAL or a
+	// per-shard segmented *storage.ShardedWAL (group commit).
+	WAL        storage.WALSink
 	Store      *storage.Store
 	Concurrent bool
 	// Shards stripes the concurrent driver's hot path (power of two;
