@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= v0.0.0-20240604174448-3b48cf0e4604
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine durability-matrix
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine durability-matrix smoke-ops replay-regress
 
 all: build vet test
 
@@ -87,6 +87,13 @@ test-engine:
 smoke-ops:
 	sh scripts/smoke_ops.sh
 
+# Replay-regression gate (CI: test job): every committed .rsrec in
+# examples/recordings/ must replay byte-identically, then a fresh
+# record/backfill/corrupt cycle certifies rsreplay's exit-code
+# contract (0 identical, 3 divergence, 4 unreadable).
+replay-regress:
+	sh scripts/replay_regress.sh
+
 cover:
 	$(GO) test -cover ./...
 
@@ -108,7 +115,7 @@ bench-hot:
 durability-matrix:
 	sh scripts/durability_matrix.sh
 
-# Regenerate every experiment report of EXPERIMENTS.md (E1-E18).
+# Regenerate every experiment report of EXPERIMENTS.md (E1-E19).
 experiments:
 	$(GO) run ./cmd/rsbench
 

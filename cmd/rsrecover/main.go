@@ -124,6 +124,9 @@ func runSegmented(dir string, shardSel int, values, strict bool, stdout, stderr 
 		fmt.Fprintln(stderr, "rsrecover:", err)
 		return 1
 	}
+	for _, derr := range set.DamagedSnapshots {
+		fmt.Fprintf(stderr, "rsrecover: warning: skipping damaged snapshot: %v\n", derr)
+	}
 	if shardSel >= 0 {
 		segs, ok := set.Shards[shardSel]
 		if !ok {

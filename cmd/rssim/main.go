@@ -15,9 +15,11 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime/pprof"
@@ -29,9 +31,11 @@ import (
 	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/obs"
+	"relser/internal/record"
 	"relser/internal/sched"
 	"relser/internal/storage"
 	"relser/internal/trace"
+	"relser/internal/txn"
 	"relser/internal/workload"
 )
 
@@ -68,6 +72,7 @@ func main() {
 		flightDir  = flag.String("flightdir", "", "write automatic flight-recorder dumps (watchdog wedge, abort storm, livelock escalation, cancellation) into this directory (requires -ops)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
+		recordPath = flag.String("record", "", "capture the run into a .rsrec recording at this path (replay or backfill it with rsreplay)")
 	)
 	flag.Parse()
 
@@ -83,7 +88,14 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	w, err := buildWorkload(*wname, *seed, *gran, *scale, *crossed)
+	params := workload.BuildParams{
+		Name:        *wname,
+		Seed:        *seed,
+		Scale:       *scale,
+		Granularity: *gran,
+		Crossing:    *crossed,
+	}
+	w, err := workload.Build(params)
 	if err != nil {
 		fatal(err)
 	}
@@ -91,16 +103,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	lanes := *walShards
+	if lanes == 0 {
+		lanes = *shards
+	}
 	var (
-		wal  storage.WALSink
-		swal *storage.ShardedWAL
+		wal    storage.WALSink
+		swal   *storage.ShardedWAL
+		walTee bytes.Buffer
 	)
 	switch {
 	case *walPath != "" && *groupWAL:
-		lanes := *walShards
-		if lanes == 0 {
-			lanes = *shards
-		}
 		swal, err = storage.OpenShardedWAL(*walPath, storage.SegmentedOptions{
 			Shards:       lanes,
 			SegmentBytes: *walSegs,
@@ -110,14 +123,18 @@ func main() {
 		}
 		wal = swal
 	case *walPath != "":
-		var f *os.File
-		var lw *storage.WAL
-		lw, f, err = storage.OpenWALFile(*walPath)
+		f, err := os.Create(*walPath)
 		if err != nil {
 			fatal(err)
 		}
 		defer f.Close()
-		wal = lw
+		// When recording, tee the log bytes so the artifact's WAL hash
+		// matches what landed on disk.
+		var wtr io.Writer = f
+		if *recordPath != "" {
+			wtr = io.MultiWriter(f, &walTee)
+		}
+		wal = storage.NewWAL(wtr)
 	case *groupWAL:
 		fatal(fmt.Errorf("-group-commit requires -wal <directory>"))
 	}
@@ -177,6 +194,45 @@ func main() {
 		}
 		injector = fault.New(*seed, spec)
 		fmt.Fprintf(status, "faults: armed %s (seed %d)\n", spec, *seed)
+		if plane != nil {
+			// Self-describing dumps: the spec, seed and live fingerprint
+			// ride every flight dump's header and /healthz.
+			plane.AnnotateFaults(spec.String(), *seed, injector.Fingerprint)
+		}
+	}
+	var recorder *record.Recorder
+	if *recordPath != "" {
+		m := record.Manifest{
+			Workload:   params,
+			Protocol:   *pname,
+			Seed:       *seed,
+			MPL:        *mpl,
+			Shards:     *shards,
+			Concurrent: *concurrent,
+			Deadline:   *deadline,
+			Watchdog:   *watchdog,
+		}
+		if injector != nil {
+			m.FaultSpec = injector.Spec().String()
+			m.FaultSeed = *seed
+		}
+		switch {
+		case *walPath != "" && *groupWAL:
+			m.WALMode = "segmented"
+			m.WALShards = lanes
+			m.WALSegmentBytes = *walSegs
+		case *walPath != "":
+			m.WALMode = "single"
+		}
+		recorder = record.NewRecorder(m)
+		recorder.SetInitial(w.Initial)
+		if registry != nil {
+			recorder.SetMetrics(registry)
+		}
+		if plane != nil {
+			plane.SetRecording(*recordPath, recorder.StageEvents)
+		}
+		fmt.Fprintf(status, "record: capturing to %s\n", *recordPath)
 	}
 
 	fmt.Fprintf(status, "workload=%s programs=%d protocol=%s seed=%d mpl=%d\n",
@@ -187,7 +243,11 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, _, err := relser.Run(ctx, w, p, relser.RunOptions{
+	var hooks txn.Hooks
+	if recorder != nil {
+		hooks = recorder.Hooks(txn.Hooks{})
+	}
+	res, store, err := relser.Run(ctx, w, p, relser.RunOptions{
 		Seed:       *seed,
 		MPL:        *mpl,
 		WAL:        wal,
@@ -199,6 +259,7 @@ func main() {
 		Faults:     injector,
 		Deadline:   *deadline,
 		Watchdog:   *watchdog,
+		Hooks:      hooks,
 	})
 	if injector != nil {
 		reportFaults(status, injector)
@@ -211,6 +272,31 @@ func main() {
 		ws := swal.Stats()
 		fmt.Fprintf(status, "wal: lanes=%d appends=%d group-commits=%d fsyncs=%d rotations=%d\n",
 			swal.Shards(), ws.Appends, ws.GroupCommits, ws.Fsyncs, ws.Rotations)
+	}
+	if recorder != nil {
+		switch {
+		case swal != nil:
+			if set, serr := storage.ReadWALDir(*walPath); serr == nil {
+				recorder.SetWALBytes(record.FlattenSegmentSet(set))
+			} else {
+				fmt.Fprintln(os.Stderr, "rssim: record: reading wal dir:", serr)
+			}
+		case *walPath != "":
+			recorder.SetWALBytes(walTee.Bytes())
+		}
+		// An invariant violation arrives as (res != nil, err != nil); let
+		// the recorder re-derive verdict and invariant from the result so
+		// replay (which does the same) compares like with like.
+		finishErr := err
+		if res != nil && err != nil {
+			finishErr = nil
+		}
+		recorder.Finish(res, finishErr, injector, store, w)
+		if werr := recorder.WriteFile(*recordPath); werr != nil {
+			fmt.Fprintln(os.Stderr, "rssim: record:", werr)
+		} else {
+			fmt.Fprintf(status, "record: wrote %s (%d stage events)\n", *recordPath, recorder.StageEvents())
+		}
 	}
 	if err != nil {
 		fatal(err)
@@ -379,33 +465,6 @@ func sortStrings(s []string) {
 		for j := i; j > 0 && s[j] < s[j-1]; j-- {
 			s[j], s[j-1] = s[j-1], s[j]
 		}
-	}
-}
-
-func buildWorkload(name string, seed int64, gran, scale int, crossing bool) (*workload.Workload, error) {
-	switch name {
-	case "banking":
-		cfg := workload.DefaultBankingConfig()
-		cfg.Customers *= scale
-		cfg.CreditAudits *= scale
-		cfg.CrossingAudits = crossing
-		return workload.Banking(cfg, seed)
-	case "cadcam":
-		cfg := workload.DefaultCADCAMConfig()
-		cfg.Designers *= scale
-		cfg.Integrators *= scale
-		return workload.CADCAM(cfg, seed)
-	case "longlived":
-		cfg := workload.DefaultLongLivedConfig()
-		cfg.ShortTxns *= scale
-		return workload.LongLived(cfg, seed)
-	case "synthetic":
-		cfg := workload.DefaultSyntheticConfig()
-		cfg.Programs *= scale
-		cfg.Granularity = gran
-		return workload.Synthetic(cfg, seed)
-	default:
-		return nil, fmt.Errorf("unknown workload %q", name)
 	}
 }
 

@@ -2,11 +2,23 @@ package main
 
 import (
 	"testing"
+
+	"relser/internal/workload"
 )
+
+func buildWorkloadForTest(name string, seed int64, granularity, scale int, crossing bool) (*workload.Workload, error) {
+	return workload.Build(workload.BuildParams{
+		Name:        name,
+		Seed:        seed,
+		Granularity: granularity,
+		Scale:       scale,
+		Crossing:    crossing,
+	})
+}
 
 func TestBuildWorkloadNames(t *testing.T) {
 	for _, name := range []string{"banking", "cadcam", "longlived", "synthetic"} {
-		w, err := buildWorkload(name, 1, 2, 1, true)
+		w, err := buildWorkloadForTest(name, 1, 2, 1, true)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -14,13 +26,13 @@ func TestBuildWorkloadNames(t *testing.T) {
 			t.Errorf("%s: empty workload", name)
 		}
 	}
-	if _, err := buildWorkload("nope", 1, 2, 1, false); err == nil {
+	if _, err := buildWorkloadForTest("nope", 1, 2, 1, false); err == nil {
 		t.Error("unknown workload accepted")
 	}
 }
 
 func TestBuildProtocolNames(t *testing.T) {
-	w, err := buildWorkload("banking", 1, 2, 1, true)
+	w, err := buildWorkloadForTest("banking", 1, 2, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +51,11 @@ func TestBuildProtocolNames(t *testing.T) {
 }
 
 func TestScaleMultipliesPrograms(t *testing.T) {
-	w1, err := buildWorkload("synthetic", 1, 2, 1, false)
+	w1, err := buildWorkloadForTest("synthetic", 1, 2, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	w2, err := buildWorkload("synthetic", 1, 2, 2, false)
+	w2, err := buildWorkloadForTest("synthetic", 1, 2, 2, false)
 	if err != nil {
 		t.Fatal(err)
 	}

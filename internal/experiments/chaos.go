@@ -5,13 +5,14 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"sort"
+	"path/filepath"
 	"time"
 
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
 	"relser/internal/obs"
+	"relser/internal/record"
 	"relser/internal/sched"
 	"relser/internal/storage"
 	"relser/internal/txn"
@@ -185,14 +186,13 @@ type chaosOutcome struct {
 // deterministic driver, then certifies the outcome and sweeps WAL
 // prefix recovery.
 func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*chaosOutcome, error) {
-	cfg := workload.DefaultBankingConfig()
+	params := workload.BuildParams{Name: "banking", Seed: seed}
 	if leg == "abort-storm" {
 		// Short transactions only: long audits would spend hundreds of
 		// incarnations surviving a 0.5 per-tick abort rate.
-		cfg.CreditAudits = 0
-		cfg.BankAudits = 0
+		params.Variant = "short"
 	}
-	w, err := workload.Banking(cfg, seed)
+	w, err := workload.Build(params)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +204,7 @@ func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*ch
 	store.Load(w.Initial)
 	var walBuf bytes.Buffer
 	inj := fault.New(seed, spec)
-	r, err := txn.New(withObs(txn.Config{
+	cfg := txn.Config{
 		Protocol:    p,
 		Programs:    w.Programs,
 		Oracle:      w.Oracle,
@@ -217,7 +217,12 @@ func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*ch
 		Tracer:      opts.Tracer,
 		Metrics:     opts.Metrics,
 		Faults:      inj,
-	}, opts.Obs))
+	}
+	recorder := chaosRecorder(proto, params, spec, "single", 0, 0, w, opts)
+	if recorder != nil {
+		cfg.Hooks = recorder.Hooks(cfg.Hooks)
+	}
+	r, err := txn.New(withObs(cfg, opts.Obs))
 	if err != nil {
 		return nil, err
 	}
@@ -242,8 +247,52 @@ func chaosRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*ch
 	default:
 		return nil, runErr
 	}
+	if recorder != nil {
+		if err := chaosSaveRecording(recorder, leg, proto, seed, out.wal, res, runErr, inj, store, w, opts); err != nil {
+			return nil, err
+		}
+	}
 	out.prefixes, out.prefixesClean = sweepWALPrefixes(out.wal, w)
 	return out, nil
+}
+
+// chaosRecorder builds the recording tap for one chaos cell when
+// Options.RecordDir asks for artifacts; nil otherwise. The manifest
+// mirrors the cell's exact driver configuration so rsreplay re-runs it
+// byte-identically.
+func chaosRecorder(proto string, params workload.BuildParams, spec fault.Spec, walMode string, walShards int, walSegBytes int64, w *workload.Workload, opts Options) *record.Recorder {
+	if opts.RecordDir == "" {
+		return nil
+	}
+	rr := record.NewRecorder(record.Manifest{
+		Workload:        params,
+		Protocol:        proto,
+		Seed:            params.Seed,
+		MPL:             8,
+		MaxRestarts:     100000,
+		FaultSpec:       spec.String(),
+		FaultSeed:       params.Seed,
+		WALMode:         walMode,
+		WALShards:       walShards,
+		WALSegmentBytes: walSegBytes,
+	})
+	rr.SetInitial(w.Initial)
+	if opts.Metrics != nil {
+		rr.SetMetrics(opts.Metrics)
+	}
+	return rr
+}
+
+// chaosSaveRecording seals one chaos cell's recording and writes its
+// .rsrec artifact into Options.RecordDir.
+func chaosSaveRecording(rr *record.Recorder, leg, proto string, seed int64, wal []byte, res *txn.Result, runErr error, inj *fault.Injector, store *storage.Store, w *workload.Workload, opts Options) error {
+	rr.SetWALBytes(wal)
+	rr.Finish(res, runErr, inj, store, w)
+	path := filepath.Join(opts.RecordDir, fmt.Sprintf("e16-%s-%s-seed%d.rsrec", leg, proto, seed))
+	if err := rr.WriteFile(path); err != nil {
+		return fmt.Errorf("chaos recording %s: %v", path, err)
+	}
+	return nil
 }
 
 // sweepWALPrefixes recovers the workload's store from every record
@@ -409,7 +458,7 @@ func chaosSegmented(rep *Report, tb *metrics.Table, opts Options) error {
 		for _, proto := range protocols {
 			for s := 0; s < seeds; s++ {
 				seed := opts.Seed + int64(s)
-				first, err := chaosSegmentedRun(proto, seed, spec, opts)
+				first, err := chaosSegmentedRun(lg.name, proto, seed, spec, opts)
 				if err != nil {
 					return fmt.Errorf("%s/%s seed %d: %v", lg.name, proto, seed, err)
 				}
@@ -419,7 +468,7 @@ func chaosSegmented(rep *Report, tb *metrics.Table, opts Options) error {
 				if !first.prefixesClean {
 					allPrefixes = false
 				}
-				second, err := chaosSegmentedRun(proto, seed, spec, opts)
+				second, err := chaosSegmentedRun(lg.name, proto, seed, spec, opts)
 				if err != nil {
 					return fmt.Errorf("%s/%s seed %d replay: %v", lg.name, proto, seed, err)
 				}
@@ -447,8 +496,9 @@ func chaosSegmented(rep *Report, tb *metrics.Table, opts Options) error {
 // chaosSegmentedRun is chaosRun over a 4-lane segmented WAL with
 // 512-byte segments (so rotation and compaction paths are exercised by
 // the banking workload's modest log volume).
-func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) (*chaosOutcome, error) {
-	w, err := workload.Banking(workload.DefaultBankingConfig(), seed)
+func chaosSegmentedRun(leg, proto string, seed int64, spec fault.Spec, opts Options) (*chaosOutcome, error) {
+	params := workload.BuildParams{Name: "banking", Seed: seed}
+	w, err := workload.Build(params)
 	if err != nil {
 		return nil, err
 	}
@@ -464,7 +514,7 @@ func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) 
 		return nil, err
 	}
 	inj := fault.New(seed, spec)
-	r, err := txn.New(withObs(txn.Config{
+	cfg := txn.Config{
 		Protocol:    p,
 		Programs:    w.Programs,
 		Oracle:      w.Oracle,
@@ -477,7 +527,12 @@ func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) 
 		Tracer:      opts.Tracer,
 		Metrics:     opts.Metrics,
 		Faults:      inj,
-	}, opts.Obs))
+	}
+	recorder := chaosRecorder(proto, params, spec, "segmented", 4, 512, w, opts)
+	if recorder != nil {
+		cfg.Hooks = recorder.Hooks(cfg.Hooks)
+	}
+	r, err := txn.New(withObs(cfg, opts.Obs))
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +544,12 @@ func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) 
 	if err != nil {
 		return nil, err
 	}
-	out.wal = flattenSegments(set)
+	out.wal = record.FlattenSegmentSet(set)
+	if recorder != nil && (runErr == nil || errors.Is(runErr, fault.ErrCrash)) {
+		if err := chaosSaveRecording(recorder, leg, proto, seed, out.wal, res, runErr, inj, store, w, opts); err != nil {
+			return nil, err
+		}
+	}
 	switch {
 	case runErr == nil:
 		out.outcome = "completed"
@@ -521,26 +581,6 @@ func chaosSegmentedRun(proto string, seed int64, spec fault.Spec, opts Options) 
 	}
 	out.prefixes, out.prefixesClean = sweepSegmentPrefixes(set, w, opts.Quick)
 	return out, nil
-}
-
-// flattenSegments serializes a SegmentSet into one deterministic byte
-// string (lanes in index order, segments in chain order) for replay
-// comparison.
-func flattenSegments(set *storage.SegmentSet) []byte {
-	lanes := make([]int, 0, len(set.Shards))
-	for s := range set.Shards {
-		lanes = append(lanes, s)
-	}
-	sort.Ints(lanes)
-	var out []byte
-	for _, s := range lanes {
-		for _, seg := range set.Shards[s] {
-			out = binary.LittleEndian.AppendUint32(out, uint32(s))
-			out = binary.LittleEndian.AppendUint32(out, uint32(len(seg)))
-			out = append(out, seg...)
-		}
-	}
-	return out
 }
 
 // sweepSegmentPrefixes truncates each lane's final segment at every

@@ -31,6 +31,13 @@
 //	E17 observability plane: flight-recorder + span overhead on the E15
 //	    hot path, and live /metrics scrape fidelity against the
 //	    end-of-run Result
+//	E18 segmented WAL durability: group commit, parallel recovery,
+//	    compaction
+//	E19 record/replay harness: every deterministic recorded run replays
+//	    byte-identically (verdicts, fault schedules, WAL bytes, final
+//	    state), a recorded watchdog wedge replays as the same incident
+//	    class, backfill under absolute atomicity yields a stable
+//	    divergence report, and the recording tap costs <5%
 //
 // Each experiment produces a Report of tables and checked claims; the
 // rsbench binary renders them, and EXPERIMENTS.md records one full
@@ -139,6 +146,12 @@ type Options struct {
 	// experiment with a context deadline (workload.RunOptions.Timeout);
 	// an expired run surfaces as an experiment error, not a hang.
 	Timeout time.Duration
+	// RecordDir, when non-empty, makes E16 capture every deterministic
+	// chaos run as a .rsrec artifact (internal/record) in that
+	// directory, named e16-<leg>-<protocol>-seed<N>.rsrec. Any failed
+	// leg can then be time-traveled with rsreplay; CI uploads the
+	// directory when the chaos job fails. Other experiments ignore it.
+	RecordDir string
 }
 
 // TableData is a metrics.Table flattened for JSON artifacts.
@@ -209,6 +222,7 @@ var registry = map[string]struct {
 	"E16": {"Chaos certification under deterministic fault injection", runE16},
 	"E17": {"Observability plane overhead and live-scrape fidelity", runE17},
 	"E18": {"Segmented WAL durability: group commit, parallel recovery, compaction", runE18},
+	"E19": {"Record/replay determinism, incident time-travel and backfill", runE19},
 }
 
 // IDs returns the experiment identifiers in order.

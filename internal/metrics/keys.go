@@ -51,6 +51,10 @@ var canonicalKeys = []string{
 	"obs.sse_subscribers",
 	"obs.sse_dropped",
 	"obs.dump_triggers",
+
+	// Recording layer (internal/record): .rsrec artifact emission.
+	"record.frames",
+	"record.bytes",
 }
 
 // DynamicKeyPrefixes lists the prefixes of keys built with fmt.Sprintf

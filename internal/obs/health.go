@@ -38,6 +38,21 @@ type Health struct {
 	Committed int64   `json:"committed"`
 	Aborts    int64   `json:"aborts"`
 	Active    float64 `json:"active"`
+	// FaultSpec / FaultSeed identify the run's armed fault schedule
+	// (Plane.AnnotateFaults); empty when no injector is armed.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
+	// Recording reports an active .rsrec capture (Plane.SetRecording).
+	Recording *RecordingStatus `json:"recording,omitempty"`
+}
+
+// RecordingStatus is the /healthz view of the record layer's capture.
+type RecordingStatus struct {
+	Active bool   `json:"active"`
+	Path   string `json:"path"`
+	// Stages is the number of engine lifecycle crossings captured so
+	// far (record.Recorder.StageEvents).
+	Stages int64 `json:"stages"`
 }
 
 // healthState accumulates degradation evidence from the rare event

@@ -18,6 +18,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -108,6 +109,17 @@ type Plane struct {
 	dumpWG   sync.WaitGroup
 	dumpSeq  int
 	dumpErrs []error
+
+	// Run annotations (AnnotateFaults / SetRecording): stamped into
+	// flight-dump headers and /healthz so dumps and live state are
+	// self-describing — a dump alone identifies the fault schedule that
+	// produced it and the .rsrec artifact that can replay it.
+	annotMu   sync.Mutex
+	faultSpec string
+	faultSeed int64
+	faultFP   func() string
+	recPath   string
+	recStages func() int64
 }
 
 // New constructs a plane.
@@ -147,6 +159,53 @@ func (p *Plane) Registry() *metrics.Registry { return p.reg }
 // Recorder returns the flight recorder.
 func (p *Plane) Recorder() *Recorder { return p.rec }
 
+// AnnotateFaults stamps the run's fault spec and seed into the plane,
+// with an optional live fingerprint source (fault.Injector.Fingerprint)
+// sampled at dump time. Flight dumps gain a header line carrying all
+// three, and /healthz reports the spec and seed — so a dump or scrape
+// is self-describing: the schedule that produced it can be re-armed
+// from the header alone.
+func (p *Plane) AnnotateFaults(spec string, seed int64, fingerprint func() string) {
+	p.annotMu.Lock()
+	p.faultSpec, p.faultSeed, p.faultFP = spec, seed, fingerprint
+	p.annotMu.Unlock()
+}
+
+// SetRecording announces an active .rsrec recording (internal/record):
+// the path lands in flight-dump headers and /healthz, with stages
+// sampled live for the frame count. Pass an empty path to clear.
+func (p *Plane) SetRecording(path string, stages func() int64) {
+	p.annotMu.Lock()
+	p.recPath, p.recStages = path, stages
+	p.annotMu.Unlock()
+}
+
+// dumpHeader is the first line of a flight dump: not a trace event but
+// a run identification block (distinguished by "header":true).
+type dumpHeader struct {
+	Header           bool   `json:"header"`
+	FaultSpec        string `json:"fault_spec,omitempty"`
+	FaultSeed        int64  `json:"fault_seed,omitempty"`
+	FaultFingerprint string `json:"fault_fingerprint,omitempty"`
+	Recording        string `json:"recording,omitempty"`
+}
+
+// header snapshots the current annotations; ok is false when nothing
+// has been annotated (dumps then omit the header line, keeping the
+// pre-annotation format).
+func (p *Plane) header() (dumpHeader, bool) {
+	p.annotMu.Lock()
+	defer p.annotMu.Unlock()
+	h := dumpHeader{Header: true, FaultSpec: p.faultSpec, Recording: p.recPath}
+	if p.faultSpec != "" {
+		h.FaultSeed = p.faultSeed
+		if p.faultFP != nil {
+			h.FaultFingerprint = p.faultFP()
+		}
+	}
+	return h, p.faultSpec != "" || p.recPath != ""
+}
+
 // Flight returns the flight recorder's retained events in order.
 func (p *Plane) Flight() []trace.Event { return p.rec.Snapshot() }
 
@@ -154,7 +213,22 @@ func (p *Plane) Flight() []trace.Event { return p.rec.Snapshot() }
 func (p *Plane) Spans() []Span { return p.spans.Completed() }
 
 // Health returns the current degradation roll-up.
-func (p *Plane) Health() Health { return p.health.snapshot(p.reg) }
+func (p *Plane) Health() Health {
+	h := p.health.snapshot(p.reg)
+	p.annotMu.Lock()
+	h.FaultSpec = p.faultSpec
+	if p.faultSpec != "" {
+		h.FaultSeed = p.faultSeed
+	}
+	if p.recPath != "" {
+		h.Recording = &RecordingStatus{Active: true, Path: p.recPath}
+		if p.recStages != nil {
+			h.Recording.Stages = p.recStages()
+		}
+	}
+	p.annotMu.Unlock()
+	return h
+}
 
 // Tracer returns a tracer that feeds the plane. When downstream is an
 // enabled tracer (a CLI's -trace buffer, a JSONL writer), its sink is
@@ -335,7 +409,8 @@ func (p *Plane) maybeDump(ev trace.Event) {
 	go func() {
 		defer p.dumpWG.Done()
 		path := filepath.Join(p.opts.DumpDir, fmt.Sprintf("flight-%02d-%s.jsonl", seq, trigger))
-		err := writeDump(path, p.rec.Snapshot())
+		hdr, hasHdr := p.header()
+		err := writeDump(path, hdr, hasHdr, p.rec.Snapshot())
 		p.dumpMu.Lock()
 		if err != nil {
 			p.dumpErrs = append(p.dumpErrs, fmt.Errorf("obs: dump %s: %w", path, err))
@@ -346,10 +421,22 @@ func (p *Plane) maybeDump(ev trace.Event) {
 	}()
 }
 
-func writeDump(path string, events []trace.Event) error {
+func writeDump(path string, hdr dumpHeader, hasHdr bool, events []trace.Event) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
+	}
+	if hasHdr {
+		line, merr := json.Marshal(hdr)
+		if merr == nil {
+			_, err = f.Write(append(line, '\n'))
+		} else {
+			err = merr
+		}
+		if err != nil {
+			f.Close()
+			return err
+		}
 	}
 	if err := trace.WriteJSONL(f, events); err != nil {
 		f.Close()

@@ -445,3 +445,75 @@ func jsonlLines(t *testing.T, data []byte) []string {
 	}
 	return lines
 }
+
+// TestDumpHeaderAndHealthAnnotations: once a run's fault schedule and
+// recording are annotated, flight dumps lead with a self-describing
+// header line and /healthz reports both — a dump or scrape alone
+// identifies the spec, seed and .rsrec artifact that reproduce it.
+func TestDumpHeaderAndHealthAnnotations(t *testing.T) {
+	dir := t.TempDir()
+	plane := obs.New(obs.Options{DumpDir: dir})
+	plane.AnnotateFaults("shard.wedge:1", 42, func() string { return "deadbeefdeadbeef" })
+	plane.SetRecording("/tmp/run.rsrec", func() int64 { return 17 })
+
+	tr := plane.Tracer(nil)
+	tr.Emit(trace.Event{Kind: trace.KindWedge, Reason: "stalled"})
+	plane.Close()
+	dumps, errs := plane.Dumps()
+	if len(errs) != 0 || len(dumps) != 1 {
+		t.Fatalf("dumps %v errs %v", dumps, errs)
+	}
+	data, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	var hdr struct {
+		Header           bool   `json:"header"`
+		FaultSpec        string `json:"fault_spec"`
+		FaultSeed        int64  `json:"fault_seed"`
+		FaultFingerprint string `json:"fault_fingerprint"`
+		Recording        string `json:"recording"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil {
+		t.Fatalf("header line does not decode: %v (%q)", err, lines[0])
+	}
+	if !hdr.Header || hdr.FaultSpec != "shard.wedge:1" || hdr.FaultSeed != 42 ||
+		hdr.FaultFingerprint != "deadbeefdeadbeef" || hdr.Recording != "/tmp/run.rsrec" {
+		t.Fatalf("header %+v", hdr)
+	}
+	// The wedge event itself must still follow the header.
+	var ev trace.Event
+	if len(lines) < 2 {
+		t.Fatal("header-only dump: events missing")
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil || ev.Kind != trace.KindWedge {
+		t.Fatalf("second line is not the wedge event: %v %+v", err, ev)
+	}
+
+	h := plane.Health()
+	if h.FaultSpec != "shard.wedge:1" || h.FaultSeed != 42 {
+		t.Fatalf("health fault stamp: %+v", h)
+	}
+	if h.Recording == nil || !h.Recording.Active || h.Recording.Path != "/tmp/run.rsrec" || h.Recording.Stages != 17 {
+		t.Fatalf("health recording status: %+v", h.Recording)
+	}
+
+	// Un-annotated planes keep the legacy headerless format.
+	plain := obs.New(obs.Options{DumpDir: t.TempDir()})
+	ptr := plain.Tracer(nil)
+	ptr.Emit(trace.Event{Kind: trace.KindWedge, Reason: "stalled"})
+	plain.Close()
+	pd, _ := plain.Dumps()
+	if len(pd) != 1 {
+		t.Fatalf("plain dumps %v", pd)
+	}
+	pdata, _ := os.ReadFile(pd[0])
+	first := strings.SplitN(strings.TrimSpace(string(pdata)), "\n", 2)[0]
+	if strings.Contains(first, "\"header\":true") {
+		t.Fatalf("un-annotated dump grew a header: %q", first)
+	}
+	if h := plain.Health(); h.FaultSpec != "" || h.Recording != nil {
+		t.Fatalf("un-annotated health carries annotations: %+v", h)
+	}
+}

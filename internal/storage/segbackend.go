@@ -52,6 +52,10 @@ type SegmentSet struct {
 	// Unpublished counts segment files ignored because a crash hit
 	// between rotation and publish (.tmp leftovers).
 	Unpublished int
+	// DamagedSnapshots lists snapshot files that failed to decode and
+	// were skipped (recovery falls back to an older snapshot or full
+	// replay); each entry is a *SnapshotError naming the file.
+	DamagedSnapshots []error
 }
 
 // Snapshot encoding:
@@ -267,13 +271,13 @@ func ReadWALDir(dir string) (*SegmentSet, error) {
 				set.Shards[shard] = append(set.Shards[shard], b)
 			}
 		case !e.IsDir() && strings.HasPrefix(name, "snapshot-") && strings.HasSuffix(name, ".snap"):
-			b, err := os.ReadFile(filepath.Join(dir, name))
+			gsn, snap, err := ReadSnapshotFile(filepath.Join(dir, name))
 			if err != nil {
-				return nil, err
-			}
-			gsn, snap, err := DecodeSnapshot(b)
-			if err != nil {
-				continue // damaged snapshot: fall back to older one or full replay
+				// Damaged snapshot: fall back to an older one or full
+				// replay, but surface which file was skipped so the
+				// degradation is diagnosable.
+				set.DamagedSnapshots = append(set.DamagedSnapshots, err)
+				continue
 			}
 			if set.Snapshot == nil || gsn > set.SnapshotGSN {
 				set.SnapshotGSN, set.Snapshot = gsn, snap
@@ -281,6 +285,70 @@ func ReadWALDir(dir string) (*SegmentSet, error) {
 		}
 	}
 	return set, nil
+}
+
+// SnapshotError wraps a snapshot read/decode failure with the file it
+// came from (and the lane for shard-scoped callers; -1 means the
+// whole-store snapshot), so callers like rsreplay -from-snapshot can
+// report which artifact broke — matching rsrecover's JSON "shard"
+// convention.
+type SnapshotError struct {
+	Path  string
+	Shard int
+	Err   error
+}
+
+func (e *SnapshotError) Error() string {
+	if e.Shard >= 0 {
+		return fmt.Sprintf("storage: snapshot %s (shard %d): %v", e.Path, e.Shard, e.Err)
+	}
+	return fmt.Sprintf("storage: snapshot %s: %v", e.Path, e.Err)
+}
+
+func (e *SnapshotError) Unwrap() error { return e.Err }
+
+// ReadSnapshotFile reads and decodes one snapshot file. Failures carry
+// the path (with ErrCorrupt still reachable via errors.Is) instead of
+// the bare DecodeSnapshot diagnosis.
+func ReadSnapshotFile(path string) (uint64, map[string]Value, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, nil, &SnapshotError{Path: path, Shard: -1, Err: err}
+	}
+	gsn, snap, err := DecodeSnapshot(b)
+	if err != nil {
+		return 0, nil, &SnapshotError{Path: path, Shard: -1, Err: err}
+	}
+	return gsn, snap, nil
+}
+
+// LatestSnapshot locates the newest decodable snapshot in a segmented
+// WAL directory and returns its path alongside its contents. When the
+// directory holds snapshot files but none decode, the error is the
+// newest candidate's *SnapshotError; a directory with no snapshot
+// files at all returns os.ErrNotExist wrapped with the directory name.
+func LatestSnapshot(dir string) (string, uint64, map[string]Value, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "snapshot-*.snap"))
+	if err != nil {
+		return "", 0, nil, err
+	}
+	// snapshot-%016x names sort by GSN; walk newest-first.
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	var firstErr error
+	for _, p := range paths {
+		gsn, snap, err := ReadSnapshotFile(p)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return p, gsn, snap, nil
+	}
+	if firstErr != nil {
+		return "", 0, nil, firstErr
+	}
+	return "", 0, nil, fmt.Errorf("storage: no snapshot in %s: %w", dir, os.ErrNotExist)
 }
 
 // MemBackend keeps segments in memory: the tests' and experiments'

@@ -2,6 +2,10 @@ package storage
 
 import (
 	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -187,5 +191,75 @@ func TestSegFileNames(t *testing.T) {
 	}
 	if got := snapFileName(255); got != "snapshot-00000000000000ff.snap" {
 		t.Fatalf("snapFileName(255) = %q", got)
+	}
+}
+
+// TestSnapshotErrorsNameTheFile: snapshot read/decode failures carry
+// the path (rsreplay -from-snapshot diagnosability), ErrCorrupt stays
+// reachable through errors.Is, and ReadWALDir records which damaged
+// snapshot files it skipped instead of dropping them silently.
+func TestSnapshotErrorsNameTheFile(t *testing.T) {
+	dir := t.TempDir()
+	good := EncodeSnapshot(7, map[string]Value{"x": 1})
+
+	// Missing file.
+	_, _, err := ReadSnapshotFile(filepath.Join(dir, "missing.snap"))
+	var se *SnapshotError
+	if !errors.As(err, &se) || !strings.Contains(err.Error(), "missing.snap") || se.Shard != -1 {
+		t.Fatalf("missing file: %v", err)
+	}
+
+	// Corrupt file: path in the message, ErrCorrupt underneath.
+	bad := filepath.Join(dir, "snapshot-0000000000000001.snap")
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	if err := os.WriteFile(bad, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadSnapshotFile(bad)
+	if !errors.As(err, &se) || !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("corrupt file: %v", err)
+	}
+
+	// A valid file round-trips.
+	ok := filepath.Join(dir, "snapshot-0000000000000007.snap")
+	if err := os.WriteFile(ok, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gsn, snap, err := ReadSnapshotFile(ok)
+	if err != nil || gsn != 7 || snap["x"] != 1 {
+		t.Fatalf("valid file: gsn=%d snap=%v err=%v", gsn, snap, err)
+	}
+
+	// LatestSnapshot skips the damaged newer-looking candidate... here
+	// the corrupt file has the LOWER gsn, so the valid one wins; then
+	// remove it and the corrupt one's error surfaces.
+	path, gsn, _, err := LatestSnapshot(dir)
+	if err != nil || path != ok || gsn != 7 {
+		t.Fatalf("latest: path=%s gsn=%d err=%v", path, gsn, err)
+	}
+	if err := os.Remove(ok); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := LatestSnapshot(dir); !errors.As(err, &se) || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("all-damaged latest: %v", err)
+	}
+
+	// Empty dir: os.ErrNotExist class.
+	if _, _, _, err := LatestSnapshot(t.TempDir()); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("empty dir: %v", err)
+	}
+
+	// ReadWALDir still falls back past the damaged snapshot but records
+	// it with its path.
+	set, err := ReadWALDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Snapshot != nil {
+		t.Fatal("damaged snapshot decoded")
+	}
+	if len(set.DamagedSnapshots) != 1 || !strings.Contains(set.DamagedSnapshots[0].Error(), bad) {
+		t.Fatalf("damaged snapshots: %v", set.DamagedSnapshots)
 	}
 }

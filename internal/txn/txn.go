@@ -49,6 +49,9 @@ type (
 	// Hooks observes lifecycle stage transitions, one optional function
 	// per stage.
 	Hooks = engine.Hooks
+	// Instance is one in-flight transaction incarnation
+	// (engine.Instance), the argument hook functions receive.
+	Instance = engine.Instance
 )
 
 // OnStages routes every stage transition through one function (see

@@ -1,0 +1,73 @@
+package workload
+
+import "fmt"
+
+// BuildParams names a workload and the knobs its generator takes, in a
+// serializable form. The same params always rebuild the exact same
+// programs, oracle, semantics and initial state (the generators draw
+// from a seeded rand.Source), which is what makes a recorded run
+// (internal/record) replayable: an .rsrec artifact carries BuildParams
+// instead of trying to serialize oracles and invariants.
+type BuildParams struct {
+	// Name selects the generator: banking | cadcam | longlived |
+	// synthetic.
+	Name string `json:"name"`
+	// Seed drives the generator's randomized choices.
+	Seed int64 `json:"seed"`
+	// Scale multiplies the workload's size knobs the way rssim -scale
+	// does (0 is normalized to 1).
+	Scale int `json:"scale,omitempty"`
+	// Granularity is the synthetic workload's atomic-unit length
+	// (ignored by the other generators).
+	Granularity int `json:"granularity,omitempty"`
+	// Crossing makes banking audits scan families in alternating
+	// directions (ignored by the other generators).
+	Crossing bool `json:"crossing,omitempty"`
+	// Variant selects a named sub-shape of a generator. Banking knows
+	// "short": customers only, no audits (the E16 abort-storm mix, where
+	// long audits would spend hundreds of incarnations surviving a high
+	// per-tick abort rate). Empty is the generator's default mix.
+	Variant string `json:"variant,omitempty"`
+}
+
+// Build constructs a workload from its parameters. rssim and rsreplay
+// share this resolver so a recording made by one rebuilds identically
+// in the other.
+func Build(p BuildParams) (*Workload, error) {
+	scale := p.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	switch p.Name {
+	case "banking":
+		cfg := DefaultBankingConfig()
+		cfg.Customers *= scale
+		cfg.CreditAudits *= scale
+		cfg.CrossingAudits = p.Crossing
+		switch p.Variant {
+		case "":
+		case "short":
+			cfg.CreditAudits = 0
+			cfg.BankAudits = 0
+		default:
+			return nil, fmt.Errorf("workload: unknown banking variant %q (have short)", p.Variant)
+		}
+		return Banking(cfg, p.Seed)
+	case "cadcam":
+		cfg := DefaultCADCAMConfig()
+		cfg.Designers *= scale
+		cfg.Integrators *= scale
+		return CADCAM(cfg, p.Seed)
+	case "longlived":
+		cfg := DefaultLongLivedConfig()
+		cfg.ShortTxns *= scale
+		return LongLived(cfg, p.Seed)
+	case "synthetic":
+		cfg := DefaultSyntheticConfig()
+		cfg.Programs *= scale
+		cfg.Granularity = p.Granularity
+		return Synthetic(cfg, p.Seed)
+	default:
+		return nil, fmt.Errorf("workload: unknown workload %q (have banking cadcam longlived synthetic)", p.Name)
+	}
+}

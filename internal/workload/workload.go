@@ -82,6 +82,12 @@ type RunOptions struct {
 	// the run's stage hooks, and its registry backs the run when
 	// Metrics is nil.
 	Obs *obs.Plane
+	// Hooks observes engine lifecycle stage transitions
+	// (txn.Config.Hooks). Observers layered on top of the run — the
+	// recording tap (internal/record), tests cancelling at precise
+	// stages — install themselves here; when Obs is also set, the
+	// plane's span hooks are chained in front.
+	Hooks txn.Hooks
 	// Faults arms deterministic fault injection across the run's store,
 	// WAL and driver (see internal/fault).
 	Faults *fault.Injector
@@ -134,6 +140,7 @@ func (w *Workload) RunWithContext(ctx context.Context, protocol sched.Protocol, 
 		Faults:    opts.Faults,
 		Deadline:  opts.Deadline,
 		Watchdog:  opts.Watchdog,
+		Hooks:     opts.Hooks,
 	}
 	if opts.Obs != nil {
 		cfg.Tracer = opts.Obs.Tracer(opts.Tracer)

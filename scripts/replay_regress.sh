@@ -1,0 +1,76 @@
+#!/usr/bin/env sh
+# Replay-regression gate: every committed .rsrec artifact in
+# examples/recordings/ must replay byte-identically (rsreplay exit 0) —
+# once an incident is captured, the repo never regresses on it — then a
+# fresh record -> replay -> corrupt -> backfill cycle certifies the
+# harness and its exit-code contract end to end (0 identical,
+# 3 divergence, 4 unreadable). CI runs this in the test job
+# (`make replay-regress`).
+set -eu
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+	echo "replay-regress: $1" >&2
+	exit 1
+}
+
+# Real binaries, not `go run`: the exit-code contract is the thing
+# under test, and `go run` collapses every nonzero exit to 1.
+go build -o "$tmp/rsreplay" ./cmd/rsreplay
+go build -o "$tmp/rssim" ./cmd/rssim
+
+# rsreplay's exit code, without tripping set -e.
+replay() {
+	set +e
+	"$tmp/rsreplay" "$@" >"$tmp/report.json" 2>"$tmp/err.json"
+	code=$?
+	set -e
+	return 0
+}
+
+# 1. Committed regression corpus: every artifact replays identically.
+count=0
+for rec in examples/recordings/*.rsrec; do
+	[ -e "$rec" ] || fail "no committed recordings in examples/recordings/"
+	replay -in "$rec"
+	[ "$code" -eq 0 ] || { cat "$tmp/err.json" >&2; fail "$rec: expected exit 0 (identical), got $code"; }
+	grep -q '"identical": *true' "$tmp/report.json" || fail "$rec: report does not say identical"
+	count=$((count + 1))
+	echo "replay-regress: $rec replays byte-identically"
+done
+[ "$count" -ge 2 ] || fail "expected >=2 committed recordings, found $count"
+
+# 2. Fresh capture: record a chaotic banking run, then exercise the
+# whole exit-code contract on the artifact.
+"$tmp/rssim" -workload banking -protocol rsgt -seed 11 \
+	-faults 'wal.torn:0.01,txn.abort:0.2' -wal "$tmp/run.wal" \
+	-record "$tmp/run.rsrec" >"$tmp/rssim.log" 2>&1 || true
+[ -s "$tmp/run.rsrec" ] || { cat "$tmp/rssim.log" >&2; fail "rssim -record produced no artifact"; }
+
+replay -in "$tmp/run.rsrec"
+[ "$code" -eq 0 ] || fail "fresh recording: expected exit 0, got $code"
+
+replay -in "$tmp/run.rsrec" -spec absolute
+[ "$code" -eq 0 ] || [ "$code" -eq 3 ] || fail "backfill: expected exit 0 or 3, got $code"
+grep -q '"mode": *"backfill"' "$tmp/report.json" || fail "backfill: report mode is not backfill"
+
+# 3. Known-divergent backfill: banking seed 7 at MPL 16 under rsgt
+# admits interleavings absolute atomicity rejects, so backfilling with
+# -spec absolute must report divergence (exit 3).
+"$tmp/rssim" -workload banking -protocol rsgt -seed 7 -mpl 16 \
+	-record "$tmp/div.rsrec" >"$tmp/rssim2.log" 2>&1 ||
+	{ cat "$tmp/rssim2.log" >&2; fail "divergence-base rssim run failed"; }
+replay -in "$tmp/div.rsrec" -spec absolute
+[ "$code" -eq 3 ] || fail "known-divergent backfill: expected exit 3, got $code"
+grep -q '"kind"' "$tmp/report.json" || fail "known-divergent backfill: report has no divergences"
+
+# Truncating the artifact mid-frame must be diagnosed as unreadable.
+size=$(wc -c <"$tmp/run.rsrec")
+head -c "$((size - 7))" "$tmp/run.rsrec" >"$tmp/torn.rsrec"
+replay -in "$tmp/torn.rsrec"
+[ "$code" -eq 4 ] || fail "torn artifact: expected exit 4 (unreadable), got $code"
+grep -q '"unreadable-artifact"' "$tmp/err.json" || fail "torn artifact: stderr lacks unreadable-artifact"
+
+echo "replay-regress: $count committed recording(s) + fresh record/backfill/corrupt cycle all pass"
