@@ -8,7 +8,7 @@ STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 BENCHSTAT_VERSION ?= v0.0.0-20240604174448-3b48cf0e4604
 
-.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec test-engine durability-matrix smoke-ops replay-regress
+.PHONY: all build vet test race cover bench experiments fuzz tools clean ci fmt-check lint staticcheck govulncheck vet-tool rsvet rsvet-spec rsvet-infer test-engine durability-matrix smoke-ops replay-regress
 
 all: build vet test
 
@@ -19,7 +19,7 @@ ci: fmt-check lint build race
 # and govulncheck. CI installs the external tools pinned; a local tree
 # without them fails here with instructions rather than silently
 # passing.
-lint: vet rsvet rsvet-spec staticcheck govulncheck
+lint: vet rsvet rsvet-spec rsvet-infer staticcheck govulncheck
 
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -43,7 +43,10 @@ govulncheck:
 vet-tool:
 	$(GO) build -o bin/rsvet ./cmd/rsvet
 
-# Run the custom analyzers over the whole tree (blocking CI gate).
+# Run the custom analyzers over the whole tree — internal/, cmd/ and
+# examples/ alike (blocking CI gate). The four interprocedural
+# contract analyzers (detlint, walsync, ctxflow, hookshape) run here
+# with the registry and lock checks.
 rsvet:
 	$(GO) run ./cmd/rsvet ./...
 
@@ -56,6 +59,12 @@ rsvet-spec:
 		echo "rsvet-spec: degenerate.txt unexpectedly passed"; exit 1; \
 	else echo "rsvet-spec: degenerate.txt rejected as expected"; fi
 	$(GO) run ./cmd/rsvet -spec examples/specs/fig1.txt
+
+# Static spec synthesis smoke: inferring a spec from the partitioned
+# example workload's code must produce a certified full chop (the same
+# spec examples/specs/partitioned.txt declares by hand).
+rsvet-infer:
+	$(GO) run ./cmd/rsvet -infer ./examples/partitioned
 
 # Fail if any file is not gofmt-clean.
 fmt-check:

@@ -32,31 +32,41 @@ import (
 	"relser/internal/analysis"
 	"relser/internal/analysis/checker"
 	"relser/internal/analysis/coreimmut"
+	"relser/internal/analysis/ctxflow"
+	"relser/internal/analysis/detlint"
+	"relser/internal/analysis/hookshape"
+	"relser/internal/analysis/infer"
 	"relser/internal/analysis/load"
 	"relser/internal/analysis/registrydrift"
 	"relser/internal/analysis/specbuild"
 	"relser/internal/analysis/speclint"
 	"relser/internal/analysis/stripelock"
 	"relser/internal/analysis/terminalops"
+	"relser/internal/analysis/walsync"
 	"relser/internal/core"
 )
 
 // all registers every analyzer, in reporting order.
 var all = []*analysis.Analyzer{
 	coreimmut.Analyzer,
+	ctxflow.Analyzer,
+	detlint.Analyzer,
+	hookshape.Analyzer,
 	registrydrift.Analyzer,
 	specbuild.Analyzer,
 	stripelock.Analyzer,
 	terminalops.Analyzer,
+	walsync.Analyzer,
 }
 
 func main() {
 	var (
-		specMode = flag.Bool("spec", false, "check relative-atomicity instance files instead of Go packages")
-		certify  = flag.Bool("certify", false, "with -spec: also fail files that cannot be statically certified safe")
-		run      = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
-		list     = flag.Bool("list", false, "list analyzers and exit")
-		dir      = flag.String("C", ".", "directory to resolve package patterns in")
+		specMode  = flag.Bool("spec", false, "check relative-atomicity instance files instead of Go packages")
+		certify   = flag.Bool("certify", false, "with -spec: also fail files that cannot be statically certified safe")
+		inferMode = flag.Bool("infer", false, "synthesize the finest certifiable spec from a workload package's core.T sites")
+		run       = flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		dir       = flag.String("C", ".", "directory to resolve package patterns in")
 	)
 	flag.Parse()
 
@@ -69,7 +79,57 @@ func main() {
 	if *specMode {
 		os.Exit(specMain(flag.Args(), *certify))
 	}
+	if *inferMode {
+		os.Exit(inferMain(*dir, flag.Args()))
+	}
 	os.Exit(vetMain(*dir, flag.Args(), *run))
+}
+
+// inferMain extracts transaction programs from the given packages and
+// prints the synthesized spec in instance-file notation. Exit status 0
+// means every package's spec earned the static full-chop certificate;
+// 1 means at least one spec needs per-schedule certification (the
+// blocking witnesses print to stderr); 2 means the tool failed.
+func inferMain(dir string, patterns []string) int {
+	if len(patterns) == 0 {
+		fmt.Fprintln(os.Stderr, "rsvet -infer: no package patterns given")
+		return 2
+	}
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsvet:", err)
+		return 2
+	}
+	status := 0
+	synthesized := 0
+	for _, pkg := range pkgs {
+		res, err := infer.Package(pkg)
+		if err != nil {
+			if strings.Contains(err.Error(), "no core.T construction sites") && len(pkgs) > 1 {
+				continue // pattern matched non-workload packages too
+			}
+			fmt.Fprintln(os.Stderr, "rsvet:", err)
+			return 2
+		}
+		synthesized++
+		for _, note := range res.Notes {
+			fmt.Fprintf(os.Stderr, "rsvet -infer: %s\n", note)
+		}
+		fmt.Print(res.InstanceText())
+		if res.Report.Certified {
+			fmt.Printf("# certified: static potential-RSG is acyclic; safe for every execution\n")
+			continue
+		}
+		status = 1
+		for _, f := range res.Report.Findings {
+			fmt.Fprintf(os.Stderr, "rsvet -infer: %s: %s\n", pkg.PkgPath, f)
+		}
+	}
+	if synthesized == 0 {
+		fmt.Fprintln(os.Stderr, "rsvet -infer: no core.T construction sites in the matched packages")
+		return 2
+	}
+	return status
 }
 
 // vetMain loads the requested packages and applies the analyzers.

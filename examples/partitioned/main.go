@@ -1,0 +1,58 @@
+// Partitioned workload: two transfer transactions contend on the
+// account objects while an audit transaction only touches the log, so
+// the conflict graph splits into components {T1, T2} and {T3}. Every
+// operation is declared inline, step by step — the shape rsvet -infer
+// reads access sets from:
+//
+//	go run ./cmd/rsvet -infer ./examples/partitioned
+//
+// emits the finest certifiable spec for this workload, which matches
+// examples/specs/partitioned.txt (allowall between T1 and T2 both
+// ways, absolute atomicity elsewhere).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relser"
+)
+
+func main() {
+	// The same workload examples/specs/partitioned.txt declares in
+	// instance notation.
+	t1 := relser.T(1, relser.R("acct_a"), relser.W("acct_a"), relser.R("acct_b"), relser.W("acct_b"))
+	t2 := relser.T(2, relser.R("acct_a"), relser.W("acct_a"))
+	t3 := relser.T(3, relser.R("log"), relser.W("log"))
+	ts, err := relser.NewTxnSet(t1, t2, t3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The finest chop: every atomicity relation inside the {T1, T2}
+	// component is fully chopped; T3 is in its own component, so its
+	// (absolute) atomicity never constrains certification.
+	spec := relser.NewSpec(ts)
+	check(spec.AllowAll(1, 2))
+	check(spec.AllowAll(2, 1))
+	fmt.Println("Specification:")
+	fmt.Println(spec)
+
+	// The interleaved transfer schedule from the instance file is
+	// relatively serializable under the chopped spec even though the
+	// two transfers overlap on acct_a.
+	s, err := relser.ParseSchedule(ts,
+		"r1[acct_a] r2[acct_a] w1[acct_a] w2[acct_a] r3[log] r1[acct_b] w1[acct_b] w3[log]")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nSchedule:", s)
+	fmt.Println("conflict serializable:", relser.IsConflictSerializable(s))
+	fmt.Println("relatively serializable:", relser.IsRelativelySerializable(s, spec))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -22,6 +22,17 @@
 // in a function's doc comment declares that the function is called
 // with the named stripe mutex held, extending the intraprocedural lock
 // tracking of the stripelock analyzer across that call boundary.
+//
+// Three more doc-comment directives feed the interprocedural contract
+// analyzers (see internal/analysis/callgraph):
+//
+//	//rsvet:deterministic  — the function is a detlint root: no wall
+//	                         clock, unseeded randomness or map-order
+//	                         dependence may be reachable from it;
+//	//rsvet:durable        — the function is a walsync root: success
+//	                         returns require an fsync/group-commit ack;
+//	//rsvet:ack            — the function counts as a durability ack
+//	                         (it blocks until the write is durable).
 package analysis
 
 import (
@@ -30,6 +41,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"relser/internal/analysis/callgraph"
 )
 
 // Analyzer describes one static check.
@@ -52,6 +65,11 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Graph is the interprocedural call graph over every package of
+	// the run (not just this pass's). Program-wide analyzers derive
+	// their facts from it once (callgraph.Memo) and report, per pass,
+	// only the findings positioned in this pass's package.
+	Graph *callgraph.Graph
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)
 }
@@ -67,20 +85,34 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
+// Directive returns the arguments of every "//rsvet:<name>" line in
+// the comment group (an empty-but-present directive yields one empty
+// slice entry's worth of presence: ok is true with no args).
+func Directive(doc *ast.CommentGroup, name string) (args []string, ok bool) {
+	if doc == nil {
+		return nil, false
+	}
+	prefix := "//rsvet:" + name
+	for _, c := range doc.List {
+		text, found := strings.CutPrefix(c.Text, prefix)
+		if !found || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue
+		}
+		ok = true
+		args = append(args, strings.Fields(text)...)
+	}
+	return args, ok
+}
+
 // LocksDirective returns the mutex expressions named by rsvet:locks
 // lines in the function's doc comment: the caller's contract that the
 // function only runs with those stripe mutexes held, which extends the
 // stripelock analyzer's intraprocedural tracking across the call
 // boundary.
 func LocksDirective(fn *ast.FuncDecl) []string {
-	if fn.Doc == nil {
+	if fn == nil {
 		return nil
 	}
-	var out []string
-	for _, c := range fn.Doc.List {
-		if text, ok := strings.CutPrefix(c.Text, "//rsvet:locks"); ok {
-			out = append(out, strings.Fields(text)...)
-		}
-	}
-	return out
+	args, _ := Directive(fn.Doc, "locks")
+	return args
 }

@@ -1,0 +1,112 @@
+package callgraph_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"relser/internal/analysis/callgraph"
+	"relser/internal/analysis/load"
+)
+
+func buildFixture(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	moduleDir, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", moduleDir, err)
+	}
+	pkg, err := load.Dir(moduleDir, "../testdata/src/callgraph")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	return callgraph.Build([]*load.Package{pkg})
+}
+
+func TestEdgesAndLiterals(t *testing.T) {
+	g := buildFixture(t)
+	for _, id := range []callgraph.FuncID{
+		"fixture.a", "fixture.b", "fixture.c", "fixture.d", "fixture.e",
+		"fixture.b$1", "fixture.e$1",
+	} {
+		if g.Nodes[id] == nil {
+			t.Fatalf("missing node %s (have %d nodes)", id, len(g.Nodes))
+		}
+	}
+
+	callees := func(id callgraph.FuncID) map[callgraph.FuncID]bool {
+		out := map[callgraph.FuncID]bool{}
+		for _, e := range g.Nodes[id].Calls {
+			out[e.Callee] = true
+		}
+		return out
+	}
+	if got := callees("fixture.a"); !got["fixture.b"] {
+		t.Errorf("a should call b, got %v", got)
+	}
+	// The deferred literal is part of b's synchronous behavior.
+	if got := callees("fixture.b"); !got["fixture.c"] || !got["fixture.b$1"] {
+		t.Errorf("b should reach c and its literal, got %v", got)
+	}
+	if got := callees("fixture.b$1"); !got["fixture.d"] {
+		t.Errorf("b$1 should call d, got %v", got)
+	}
+	// A goroutine body is a node but not a synchronous edge.
+	if got := callees("fixture.e"); got["fixture.e$1"] {
+		t.Errorf("go-spawned literal must not be an edge of e, got %v", got)
+	}
+}
+
+func TestCallersAndTransitive(t *testing.T) {
+	g := buildFixture(t)
+	callers := g.Callers("fixture.c")
+	want := map[callgraph.FuncID]bool{"fixture.b": true, "fixture.e$1": true}
+	for _, id := range callers {
+		if !want[id] {
+			t.Errorf("unexpected caller of c: %s", id)
+		}
+		delete(want, id)
+	}
+	for id := range want {
+		t.Errorf("missing caller of c: %s", id)
+	}
+
+	reachesD := g.Transitive(func(n *callgraph.Node) bool { return n.ID == "fixture.d" })
+	for _, id := range []callgraph.FuncID{"fixture.d", "fixture.b$1", "fixture.b", "fixture.a"} {
+		if !reachesD[id] {
+			t.Errorf("%s should transitively reach d", id)
+		}
+	}
+	if reachesD["fixture.e"] {
+		t.Error("e must not reach d (goroutine boundary)")
+	}
+}
+
+func TestReachableFromChains(t *testing.T) {
+	g := buildFixture(t)
+	reach := g.ReachableFrom(map[callgraph.FuncID]bool{"fixture.a": true})
+	if _, ok := reach["fixture.e"]; ok {
+		t.Error("e is not reachable from a")
+	}
+	chain, ok := reach["fixture.d"]
+	if !ok {
+		t.Fatal("d should be reachable from a through b's literal")
+	}
+	if got := chain.String(); got != "fixture.a → fixture.b → fixture.b$1 → fixture.d" {
+		t.Errorf("unexpected chain to d: %s", got)
+	}
+}
+
+func TestMemo(t *testing.T) {
+	g := buildFixture(t)
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	if v := callgraph.Memo(g, "test.key", compute); v != 42 {
+		t.Fatalf("memo value = %d", v)
+	}
+	if v := callgraph.Memo(g, "test.key", compute); v != 42 || calls != 1 {
+		t.Fatalf("memo recomputed: v=%d calls=%d", v, calls)
+	}
+}

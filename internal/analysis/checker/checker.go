@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"relser/internal/analysis"
+	"relser/internal/analysis/callgraph"
 	"relser/internal/analysis/load"
 )
 
@@ -30,6 +31,10 @@ func (f Finding) String() string {
 // analyzer are dropped. The error return reports analyzer failures,
 // not findings.
 func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	// One call graph spans the whole run: the interprocedural analyzers
+	// follow calls across package boundaries and memoize their derived
+	// facts on it (callgraph.Memo), so per-package passes stay cheap.
+	graph := callgraph.Build(pkgs)
 	var findings []Finding
 	for _, pkg := range pkgs {
 		allowed := allowDirectives(pkg)
@@ -40,6 +45,7 @@ func Run(pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Finding, error
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Graph:     graph,
 			}
 			name := a.Name
 			pass.Report = func(d analysis.Diagnostic) {

@@ -1,0 +1,209 @@
+// Package ctxflow checks context propagation: the engine's
+// cancellation story (watchdogs, deadline aborts, fault wedges that
+// park on ctx) only works if the run context actually threads through
+// every layer. Three rules:
+//
+//  1. A function that receives a context.Context must not manufacture
+//     a fresh root with context.Background()/context.TODO() — doing so
+//     detaches everything below it from the run's cancellation.
+//  2. A function that receives a ctx must not call a callee's
+//     ctx-less variant when a ctx-capable sibling exists: calling
+//     Query when QueryContext is in the same scope (or DoCtx for Do,
+//     method sets included) silently drops the ctx.
+//  3. In internal packages (import path containing "internal"),
+//     context.Background()/TODO() is forbidden outside the documented
+//     allowlist: roots belong to process entry points (cmd/, tests,
+//     experiment mains). Deliberate roots — servers with their own
+//     lifecycle, detached recovery paths — carry //rsvet:allow ctxflow
+//     with the reason.
+//
+// The check is local to each function body; function literals are
+// scanned as part of their enclosing function (a closure sees the
+// enclosing ctx). A ctx parameter named _ opts a function out of
+// rules 1–2 (it cannot propagate what it cannot name).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"relser/internal/analysis"
+)
+
+// Analyzer is the context-propagation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check that context.Context threads through ctx-capable call chains and no fresh roots are minted in internal packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	internal := strings.Contains(pass.Pkg.Path(), "internal")
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasNamedCtxParam(pass, fn) {
+				checkCtxHolder(pass, fn, reported)
+			}
+		}
+	}
+	if internal {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(node ast.Node) bool {
+				call, ok := node.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name, isRoot := ctxRootCall(pass, call); isRoot && !reported[call.Pos()] {
+					reported[call.Pos()] = true
+					pass.Reportf(call.Pos(), "context.%s() in internal package %s: fresh context roots belong to process entry points; thread the run ctx here, or document the detached lifecycle with //rsvet:allow ctxflow", name, pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkCtxHolder applies rules 1 and 2 inside one ctx-receiving
+// function.
+func checkCtxHolder(pass *analysis.Pass, fn *ast.FuncDecl, reported map[token.Pos]bool) {
+	ast.Inspect(fn.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule 1: minting a fresh root while holding a ctx.
+		if name, isRoot := ctxRootCall(pass, call); isRoot && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "%s receives a context but calls context.%s(): the fresh root detaches this path from the run's cancellation; pass the ctx parameter", fn.Name.Name, name)
+			return true
+		}
+		// Rule 2: calling the ctx-less variant of a ctx-capable callee.
+		callee := calledFunc(pass, call)
+		if callee == nil || takesCtx(callee) {
+			return true
+		}
+		if variant := ctxVariant(callee); variant != nil && !reported[call.Pos()] {
+			reported[call.Pos()] = true
+			pass.Reportf(call.Pos(), "%s receives a context but calls %s, dropping it; use %s", fn.Name.Name, callee.Name(), variant.Name())
+		}
+		return true
+	})
+}
+
+// hasNamedCtxParam reports whether fn declares a context.Context
+// parameter it could propagate (named, not _).
+func hasNamedCtxParam(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Type.Params == nil {
+		return false
+	}
+	for _, field := range fn.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok || !isContextType(tv.Type) {
+			continue
+		}
+		if len(field.Names) == 0 {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxRootCall matches context.Background() / context.TODO().
+func ctxRootCall(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := calledFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// calledFunc resolves the call's static callee, if any.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// takesCtx reports whether the function signature accepts a
+// context.Context anywhere.
+func takesCtx(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxVariant finds a ctx-capable sibling of a ctx-less callee:
+// Name+"Context" or Name+"Ctx" in the same package scope (package
+// functions) or on the same receiver type (methods).
+func ctxVariant(fn *types.Func) *types.Func {
+	sig, _ := fn.Type().(*types.Signature)
+	names := []string{fn.Name() + "Context", fn.Name() + "Ctx"}
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			m := named.Method(i)
+			for _, want := range names {
+				if m.Name() == want && takesCtx(m) {
+					return m
+				}
+			}
+		}
+		return nil
+	}
+	if fn.Pkg() == nil {
+		return nil
+	}
+	for _, want := range names {
+		if obj, ok := fn.Pkg().Scope().Lookup(want).(*types.Func); ok && takesCtx(obj) {
+			return obj
+		}
+	}
+	return nil
+}

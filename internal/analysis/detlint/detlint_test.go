@@ -1,0 +1,12 @@
+package detlint_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/detlint"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, detlint.Analyzer, "../testdata/src/detlint")
+}

@@ -1,0 +1,12 @@
+package hookshape_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/hookshape"
+)
+
+func TestHookshape(t *testing.T) {
+	analysistest.Run(t, hookshape.Analyzer, "../testdata/src/hookshape")
+}

@@ -8,7 +8,11 @@
 //     (trace.Kinds());
 //   - metric keys passed literally to Registry.Counter / Gauge /
 //     Histogram must be canonical (metrics.Keys()) or carry a
-//     registered dynamic prefix.
+//     registered dynamic prefix;
+//   - record.Stage literals must name a registered recording stage
+//     (record.Stages());
+//   - obs.SpanStatus literals must name a registered terminal status
+//     (obs.SpanStatuses()).
 //
 // A typo in any of these strings is silent at run time — the injector
 // never fires, the trace filter matches nothing, the time series stays
@@ -28,13 +32,15 @@ import (
 	"relser/internal/analysis"
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/obs"
+	"relser/internal/record"
 	"relser/internal/trace"
 )
 
 // Analyzer is the registry-drift check.
 var Analyzer = &analysis.Analyzer{
 	Name: "registrydrift",
-	Doc:  "check fault.Point, trace.Kind and metrics-key string literals against their registries",
+	Doc:  "check fault.Point, trace.Kind, record.Stage, obs.SpanStatus and metrics-key string literals against their registries",
 	Run:  run,
 }
 
@@ -42,6 +48,8 @@ const (
 	faultPath   = "relser/internal/fault"
 	tracePath   = "relser/internal/trace"
 	metricsPath = "relser/internal/metrics"
+	recordPath  = "relser/internal/record"
+	obsPath     = "relser/internal/obs"
 )
 
 var (
@@ -56,6 +64,20 @@ var (
 		m := map[string]bool{}
 		for _, k := range trace.Kinds() {
 			m[string(k)] = true
+		}
+		return m
+	}()
+	knownStages = func() map[string]bool {
+		m := map[string]bool{}
+		for _, s := range record.Stages() {
+			m[string(s)] = true
+		}
+		return m
+	}()
+	knownStatuses = func() map[string]bool {
+		m := map[string]bool{}
+		for _, s := range obs.SpanStatuses() {
+			m[string(s)] = true
 		}
 		return m
 	}()
@@ -101,6 +123,14 @@ func checkTypedLiteral(pass *analysis.Pass, lit *ast.BasicLit) {
 	case named.Obj().Pkg().Path() == tracePath && named.Obj().Name() == "Kind":
 		if !knownKinds[val] {
 			pass.Reportf(lit.Pos(), "trace kind %q is not a registered event kind", val)
+		}
+	case named.Obj().Pkg().Path() == recordPath && named.Obj().Name() == "Stage":
+		if !knownStages[val] {
+			pass.Reportf(lit.Pos(), "recording stage %q is not a registered stage (record.Stages)", val)
+		}
+	case named.Obj().Pkg().Path() == obsPath && named.Obj().Name() == "SpanStatus":
+		if !knownStatuses[val] {
+			pass.Reportf(lit.Pos(), "span status %q is not a registered terminal status (obs.SpanStatuses)", val)
 		}
 	}
 }

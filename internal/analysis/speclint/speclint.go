@@ -238,6 +238,13 @@ func cycleWitness(sp *core.Spec, ti, tj *core.Transaction) (u, v, w core.Op, fou
 	return core.Op{}, core.Op{}, core.Op{}, false
 }
 
+// ConflictComponents exposes the conflict-connectivity partition for
+// spec synthesis (rsvet -infer): cross-component pairs never acquire
+// D-arcs, so a synthesizer only needs to chop within components.
+func ConflictComponents(ts *core.TxnSet) map[core.TxnID]core.TxnID {
+	return conflictComponents(ts)
+}
+
 // conflictComponents computes the connected components of the
 // transaction conflict graph with a union-find keyed by TxnID: for
 // every object written by at least one transaction, all transactions

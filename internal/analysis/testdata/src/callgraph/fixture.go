@@ -1,0 +1,17 @@
+// Package fixture is a small call web for the callgraph tests.
+package fixture
+
+func a() { b() }
+
+func b() {
+	c()
+	defer func() { d() }()
+}
+
+func c() {}
+
+func d() {}
+
+func e() {
+	go func() { c() }()
+}

@@ -1,0 +1,59 @@
+// Package internalfix exercises the ctxflow analyzer; the package
+// name contains "internal" so the fresh-root rule applies.
+package internalfix
+
+import "context"
+
+func helper(ctx context.Context) error { _ = ctx; return nil }
+
+// fetch has a ctx-capable sibling below.
+func fetch(url string) error { _ = url; return nil }
+
+func fetchContext(ctx context.Context, url string) error { _ = ctx; _ = url; return nil }
+
+type client struct{}
+
+func (c *client) Do() error { return nil }
+
+func (c *client) DoContext(ctx context.Context) error { _ = ctx; return nil }
+
+// detached receives a ctx but mints a fresh root for the call below.
+func detached(ctx context.Context) error {
+	return helper(context.Background()) // want `receives a context but calls context.Background`
+}
+
+// dropped receives a ctx but calls the ctx-less variants.
+func dropped(ctx context.Context, c *client) error {
+	if err := fetch("x"); err != nil { // want `dropping it; use fetchContext`
+		return err
+	}
+	return c.Do() // want `dropping it; use DoContext`
+}
+
+// threaded propagates properly: no findings.
+func threaded(ctx context.Context, c *client) error {
+	if err := fetchContext(ctx, "x"); err != nil {
+		return err
+	}
+	return c.DoContext(ctx)
+}
+
+// rootless has no ctx to thread, but the package is internal: fresh
+// roots still need a documented reason.
+func rootless() error {
+	ctx := context.Background() // want `fresh context roots belong to process entry points`
+	return helper(ctx)
+}
+
+// server owns its lifecycle; the root is deliberate and documented.
+func server() error {
+	//rsvet:allow ctxflow -- server owns its lifecycle; canceled by Close, not by a run
+	ctx := context.Background()
+	return helper(ctx)
+}
+
+// blind opts out of propagation rules with an unnamed ctx parameter;
+// calling the ctx-less variant is then not a finding.
+func blind(_ context.Context) error {
+	return fetch("y")
+}

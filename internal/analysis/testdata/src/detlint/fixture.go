@@ -1,0 +1,57 @@
+// Package fixture exercises the detlint analyzer.
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// decide is a deterministic root; its transitive call tree must stay
+// pinned by the run seed.
+//
+//rsvet:deterministic
+func decide(scores map[string]int) int {
+	best := 0
+	for _, s := range scores { // want `map iteration in deterministic root`
+		if s > best {
+			best = s
+		}
+	}
+	return best + backoff(3)
+}
+
+// backoff is reached from decide: its wall-clock read and global rand
+// draw are flagged even though backoff itself carries no directive —
+// the interprocedural half of the check.
+func backoff(n int) int {
+	if time.Now().Unix()%2 == 0 { // want `time.Now in deterministic section`
+		return n
+	}
+	return rand.Intn(n) // want `rand.Intn in deterministic section`
+}
+
+// jitterOK draws from a seeded instance: rand.New/NewSource construct
+// the seeded sources the engine is supposed to use, and methods on a
+// *rand.Rand are exempt.
+//
+//rsvet:deterministic
+func jitterOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// audit is not a root: the same sources are fine outside the
+// deterministic sections.
+func audit() int64 { return time.Now().Unix() }
+
+// folded documents a deliberate order-insensitive map fold.
+//
+//rsvet:deterministic
+func folded(m map[string]int) int {
+	total := 0
+	//rsvet:allow detlint -- order-insensitive sum
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,24 @@
+// Package fixture is a workload whose helper-bundled transfer step
+// blocks static certification: rsvet -infer must report the concrete
+// cycle witness instead of a certificate.
+package fixture
+
+import "relser/internal/core"
+
+// debitCredit packages the whole transfer as one step, so the
+// synthesized Atomicity(T1, T2) keeps all four operations in a single
+// atomic unit.
+func debitCredit(from, to string) []core.Op {
+	return []core.Op{core.R(from), core.W(from), core.R(to), core.W(to)}
+}
+
+// touch returns one op through a helper: still an inline step.
+func touch(obj string) core.Op { return core.R(obj) }
+
+func workload() []*core.Transaction {
+	return []*core.Transaction{
+		core.T(1, debitCredit("acct_a", "acct_b")...),
+		core.T(2, core.R("acct_a"), core.W("acct_a")),
+		core.T(3, touch("log"), core.W("log")),
+	}
+}

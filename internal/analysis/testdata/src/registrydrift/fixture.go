@@ -4,6 +4,8 @@ package fixture
 import (
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/obs"
+	"relser/internal/record"
 	"relser/internal/trace"
 )
 
@@ -27,6 +29,24 @@ func kinds() {
 	_ = trace.Kind("comitted")    // want `not a registered event kind`
 	var k trace.Kind = "beginnng" // want `not a registered event kind`
 	_ = k
+}
+
+func stages() {
+	_ = record.StageCommit           // fine: registry constant
+	_ = record.Stage("commit")       // fine: literal in registry
+	_ = record.Stage("comit")        // want `not a registered stage`
+	var s record.Stage = "recovered" // want `not a registered stage`
+	_ = record.StageEvent{Stage: "abort"}
+	_ = record.StageEvent{Stage: "abrt"} // want `not a registered stage`
+	_ = s
+}
+
+func statuses() {
+	_ = obs.StatusAborted               // fine: registry constant
+	_ = obs.SpanStatus("committed")     // fine: literal in registry
+	_ = obs.SpanStatus("commited")      // want `not a registered terminal status`
+	var st obs.SpanStatus = "in-flight" // want `not a registered terminal status`
+	_ = st
 }
 
 func keys(reg *metrics.Registry) {

@@ -1,0 +1,133 @@
+// Package fixture exercises the walsync analyzer.
+package fixture
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+type record struct{ payload []byte }
+
+// badSink has the WAL-sink shape (Append + AppendSync) but its sync
+// paths never reach a barrier.
+type badSink struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (s *badSink) Append(rec record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.buf = append(s.buf, rec.payload...)
+	return nil
+}
+
+func (s *badSink) AppendSync(rec record) error {
+	return s.Append(rec) // want `delegates its success path`
+}
+
+func (s *badSink) Sync() error {
+	return nil // want `returns success with no durability barrier`
+}
+
+// goodSink acks through the group-commit done channel and an fsync.
+type goodSink struct {
+	f    *os.File
+	done chan error
+}
+
+func (s *goodSink) Append(rec record) error {
+	_, err := s.f.Write(rec.payload)
+	return err
+}
+
+func (s *goodSink) AppendSync(rec record) error {
+	if err := s.Append(rec); err != nil {
+		return err
+	}
+	if err := <-s.done; err != nil {
+		return err
+	}
+	return nil
+}
+
+func (s *goodSink) Sync() error {
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// flushed is ack-transitive: calling it counts as a barrier.
+func flushed(f *os.File) error { return f.Sync() }
+
+// viaHelper delegates to an ack-transitive helper: fine.
+//
+//rsvet:durable
+func viaHelper(f *os.File) error {
+	return flushed(f)
+}
+
+// failurePath returns a constructed error: a failure, not an unacked
+// success.
+//
+//rsvet:durable
+func failurePath() error {
+	return errors.New("wal closed")
+}
+
+// unacked claims durability but never flushes.
+//
+//rsvet:durable
+func unacked(f *os.File, rec record) error {
+	if _, err := f.Write(rec.payload); err != nil {
+		return err
+	}
+	return nil // want `returns success with no durability barrier`
+}
+
+// writeThrough documents a deliberately weaker crash model.
+type writeThrough struct{ buf []byte }
+
+func (s *writeThrough) Append(rec record) error {
+	s.buf = append(s.buf, rec.payload...)
+	return nil
+}
+
+func (s *writeThrough) AppendSync(rec record) error {
+	//rsvet:allow walsync -- process-level crash model: Append is as durable as this sink gets
+	return s.Append(rec)
+}
+
+// --- clause 2: //rsvet:locks callees ---
+
+type shard struct {
+	mu    sync.Mutex
+	dirty int
+}
+
+// bump must run with the shard mutex held.
+//
+//rsvet:locks sh.mu
+func bump(sh *shard) { sh.dirty++ }
+
+// lockedCaller acquires the matching mutex first.
+func lockedCaller(sh *shard) {
+	sh.mu.Lock()
+	bump(sh)
+	sh.mu.Unlock()
+}
+
+// contractCaller propagates the obligation instead of locking.
+//
+//rsvet:locks sh.mu
+func contractCaller(sh *shard) {
+	bump(sh)
+	bump(sh)
+}
+
+// bareCaller calls the annotated helper with no lock in sight.
+func bareCaller(sh *shard) {
+	bump(sh) // want `requires sh.mu held`
+}

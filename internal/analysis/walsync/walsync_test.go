@@ -1,0 +1,12 @@
+package walsync_test
+
+import (
+	"testing"
+
+	"relser/internal/analysis/analysistest"
+	"relser/internal/analysis/walsync"
+)
+
+func TestWalsync(t *testing.T) {
+	analysistest.Run(t, walsync.Analyzer, "../testdata/src/walsync")
+}

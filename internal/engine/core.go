@@ -286,9 +286,11 @@ func (c *Core) TryCommit(st *Instance, clock int64) bool {
 	c.Cfg.Protocol.Commit(st.ID)
 	c.LogWAL(storage.WALRecord{Kind: storage.WALCommit, Instance: st.ID})
 	st.Undo.Discard()
+	//rsvet:allow detlint -- order-insensitive: each object's dirty entry is removed independently
 	for obj := range st.Writes {
 		c.removeDirty(obj, st.ID)
 	}
+	//rsvet:allow detlint -- order-insensitive: commutative per-dependent map deletions
 	for dep := range c.dependents[st.ID] {
 		if d, ok := c.Active[dep]; ok {
 			delete(d.DepsOn, st.ID)
@@ -346,6 +348,7 @@ func (c *Core) AbortCascade(id int64, reason string, clock int64, onVictim func(
 		return nil
 	}
 	ordered := make([]int64, 0, len(victims))
+	//rsvet:allow detlint -- order-insensitive: victims are collected then sorted before any effect
 	for v := range victims {
 		ordered = append(ordered, v)
 	}
@@ -360,15 +363,18 @@ func (c *Core) AbortCascade(id int64, reason string, clock int64, onVictim func(
 		c.Cfg.Protocol.Abort(v)
 		c.LogWAL(storage.WALRecord{Kind: storage.WALAbort, Instance: v})
 		c.rep.txnAbort(st, reason, clock)
+		//rsvet:allow detlint -- order-insensitive: each object's dirty entry is removed independently
 		for obj := range st.Writes {
 			c.removeDirty(obj, v)
 		}
+		//rsvet:allow detlint -- order-insensitive: commutative per-dependent map deletions
 		for dep := range c.dependents[v] {
 			if d, ok := c.Active[dep]; ok {
 				delete(d.DepsOn, v)
 			}
 		}
 		delete(c.dependents, v)
+		//rsvet:allow detlint -- order-insensitive: commutative reverse-edge deletions
 		for on := range st.DepsOn {
 			if deps := c.dependents[on]; deps != nil {
 				delete(deps, v)

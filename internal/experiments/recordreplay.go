@@ -33,6 +33,7 @@ import (
 //     encode) costs <5% wall time over the identical untapped run.
 func runE19(opts Options) (*Report, error) {
 	rep := &Report{}
+	//rsvet:allow ctxflow -- experiment entry point: runE19 is the lifecycle root for this run
 	ctx := context.Background()
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
@@ -256,7 +257,7 @@ func replayOverhead(ctx context.Context, rep *Report, opts Options) error {
 		if err != nil {
 			return err
 		}
-		res, err := r.Run()
+		res, err := r.RunContext(ctx)
 		if err != nil {
 			return err
 		}

@@ -47,6 +47,7 @@ func SleepCtx(ctx context.Context, d time.Duration) {
 		time.Sleep(d)
 		return
 	}
+	//rsvet:allow detlint -- realizes injector-scheduled latency; the duration is decided deterministically and the elapsed time feeds no decision
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

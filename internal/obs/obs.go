@@ -259,8 +259,8 @@ func (p *Plane) Tracer(downstream *trace.Tracer) *trace.Tracer {
 func (p *Plane) Hooks(next engine.Hooks) engine.Hooks {
 	h := next
 	h.Admit = chainHook(p.spans.admit, next.Admit)
-	h.Commit = chainHook(func(st *engine.Instance) { p.spans.finish(st, "committed") }, next.Commit)
-	h.Abort = chainHook(func(st *engine.Instance) { p.spans.finish(st, "aborted") }, next.Abort)
+	h.Commit = chainHook(func(st *engine.Instance) { p.spans.finish(st, StatusCommitted) }, next.Commit)
+	h.Abort = chainHook(func(st *engine.Instance) { p.spans.finish(st, StatusAborted) }, next.Abort)
 	return h
 }
 

@@ -161,6 +161,7 @@ func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 // Close shuts the endpoint down, allowing in-flight scrapes a short
 // grace period, and waits for the plane's pending dumps.
 func (s *Server) Close() error {
+	//rsvet:allow ctxflow -- shutdown-grace root: Close has no caller context and bounds the drain itself
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	err := s.srv.Shutdown(ctx)

@@ -23,8 +23,8 @@ type Span struct {
 	// Start and End are nanoseconds since the plane's epoch.
 	Start int64 `json:"start"`
 	End   int64 `json:"end"`
-	// Status is "committed" or "aborted".
-	Status string `json:"status"`
+	// Status is StatusCommitted or StatusAborted.
+	Status SpanStatus `json:"status"`
 	// Reason qualifies aborts (the driver's abort reason).
 	Reason string `json:"reason,omitempty"`
 	// Ops is the number of operations the instance executed.
@@ -34,6 +34,23 @@ type Span struct {
 	// Links are the causal explanations observed against this instance
 	// while it ran: RSG cycle rejections, conflict cycles, deadlocks.
 	Links []SpanLink `json:"links,omitempty"`
+}
+
+// SpanStatus is a span's terminal status. The statuses form a closed
+// registry (SpanStatuses); the registrydrift analyzer validates
+// SpanStatus-typed string literals against it, so a typo cannot
+// silently produce spans no dashboard filter matches.
+type SpanStatus string
+
+// The registered terminal span statuses.
+const (
+	StatusCommitted SpanStatus = "committed"
+	StatusAborted   SpanStatus = "aborted"
+)
+
+// SpanStatuses returns the registered terminal span statuses.
+func SpanStatuses() []SpanStatus {
+	return []SpanStatus{StatusCommitted, StatusAborted}
 }
 
 // SpanLink ties a span to one piece of scheduling evidence.
@@ -108,7 +125,7 @@ func (t *spanTable) admit(st *engine.Instance) {
 // trace event (which carries the driver's reason) before firing the
 // abort hook, so by the time finish runs the span's Reason is already
 // enriched via observe.
-func (t *spanTable) finish(st *engine.Instance, status string) {
+func (t *spanTable) finish(st *engine.Instance, status SpanStatus) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	sp, ok := t.live[st.ID]

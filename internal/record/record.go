@@ -108,15 +108,34 @@ type Manifest struct {
 	WALSegmentBytes int64  `json:"wal_segment_bytes,omitempty"`
 }
 
+// Stage names one recorded engine lifecycle crossing. The recorded
+// stages form a closed registry (Stages); the registrydrift analyzer
+// validates Stage-typed string literals against it, so a typo cannot
+// silently produce a stage name replay will never match.
+type Stage string
+
+// The registered recording stages.
+const (
+	StageAdmit   Stage = "admit"
+	StageCommit  Stage = "commit"
+	StageAbort   Stage = "abort"
+	StageRecover Stage = "recover"
+)
+
+// Stages returns the registered recording stages.
+func Stages() []Stage {
+	return []Stage{StageAdmit, StageCommit, StageAbort, StageRecover}
+}
+
 // StageEvent is one engine lifecycle crossing captured by the
 // recording tap. Only the rare stages are recorded (admit, commit,
 // abort, recover) — the tap leaves the per-operation stages as nil
 // hook fields, one nil check each.
 type StageEvent struct {
-	Stage    string `json:"stage"`
-	Instance int64  `json:"instance,omitempty"`
-	Txn      int    `json:"txn,omitempty"`
-	Restarts int    `json:"restarts,omitempty"`
+	Stage    Stage `json:"stage"`
+	Instance int64 `json:"instance,omitempty"`
+	Txn      int   `json:"txn,omitempty"`
+	Restarts int   `json:"restarts,omitempty"`
 }
 
 // Outcome is the recorded end state of the run, the baseline replay
@@ -212,6 +231,7 @@ func (r *Recorder) Manifest() Manifest {
 // longer history.
 func (r *Recorder) SetInitial(snap map[string]storage.Value) {
 	cp := make(map[string]storage.Value, len(snap))
+	//rsvet:allow detlint -- order-insensitive: map copy; the codec sorts keys when encoding
 	for k, v := range snap {
 		cp[k] = v
 	}
@@ -234,13 +254,13 @@ func (r *Recorder) SetWALBytes(b []byte) {
 // stages keep costing the engine one nil check.
 func (r *Recorder) Hooks(next txn.Hooks) txn.Hooks {
 	h := next
-	h.Admit = chainHook(func(st *engine.Instance) { r.stage("admit", st) }, next.Admit)
-	h.Commit = chainHook(func(st *engine.Instance) { r.stage("commit", st) }, next.Commit)
-	h.Abort = chainHook(func(st *engine.Instance) { r.stage("abort", st) }, next.Abort)
+	h.Admit = chainHook(func(st *engine.Instance) { r.stage(StageAdmit, st) }, next.Admit)
+	h.Commit = chainHook(func(st *engine.Instance) { r.stage(StageCommit, st) }, next.Commit)
+	h.Abort = chainHook(func(st *engine.Instance) { r.stage(StageAbort, st) }, next.Abort)
 	prevRecover := next.Recover
 	h.Recover = func() {
 		r.mu.Lock()
-		r.stages = append(r.stages, StageEvent{Stage: "recover"})
+		r.stages = append(r.stages, StageEvent{Stage: StageRecover})
 		r.mu.Unlock()
 		if prevRecover != nil {
 			prevRecover()
@@ -259,7 +279,7 @@ func chainHook(first, then func(*engine.Instance)) func(*engine.Instance) {
 	}
 }
 
-func (r *Recorder) stage(name string, st *engine.Instance) {
+func (r *Recorder) stage(name Stage, st *engine.Instance) {
 	ev := StageEvent{Stage: name, Instance: st.ID, Restarts: st.Restarts}
 	if st.Program != nil {
 		ev.Txn = int(st.Program.ID)
@@ -408,6 +428,7 @@ func FlattenSegmentSet(set *storage.SegmentSet) []byte {
 		return nil
 	}
 	lanes := make([]int, 0, len(set.Shards))
+	//rsvet:allow detlint -- order-insensitive: lane ids are collected then sorted below
 	for s := range set.Shards {
 		lanes = append(lanes, s)
 	}

@@ -334,13 +334,16 @@ func compare(rec, rep Outcome, deterministic bool) []Divergence {
 // object order so reports are stable across runs.
 func diffState(rec, rep map[string]storage.Value) []Divergence {
 	objs := make(map[string]bool, len(rec)+len(rep))
+	//rsvet:allow detlint -- order-insensitive: set union
 	for k := range rec {
 		objs[k] = true
 	}
+	//rsvet:allow detlint -- order-insensitive: set union
 	for k := range rep {
 		objs[k] = true
 	}
 	names := make([]string, 0, len(objs))
+	//rsvet:allow detlint -- order-insensitive: keys are collected then sorted below
 	for k := range objs {
 		names = append(names, k)
 	}

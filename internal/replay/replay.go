@@ -69,6 +69,7 @@ func FinalState(s *core.Schedule, sem txn.Semantics, initial map[string]storage.
 // and used as map keys.
 func StateKey(snapshot map[string]storage.Value) string {
 	names := make([]string, 0, len(snapshot))
+	//rsvet:allow detlint -- order-insensitive: keys are collected then sorted below
 	for name := range snapshot {
 		names = append(names, name)
 	}

@@ -122,6 +122,7 @@ func (st *Store) Load(values map[string]Value) {
 // missing object implicitly creates it with the zero value, matching
 // the abstract model where every object always exists.
 func (st *Store) Read(name string) Versioned {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: ReadCtx is the context-aware form
 	return st.ReadCtx(context.Background(), name)
 }
 
@@ -145,6 +146,7 @@ func (st *Store) ReadCtx(ctx context.Context, name string) Versioned {
 // Write replaces the object's value, bumping its version, and returns
 // the previous state (which undo logs capture).
 func (st *Store) Write(name string, v Value) Versioned {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: writeSeq is the context-aware form
 	prev, _ := st.writeSeq(context.Background(), name, v)
 	return prev
 }
@@ -238,6 +240,7 @@ type undoEntry struct {
 // WriteLogged performs a write through the log, capturing the
 // before-image first.
 func (log *UndoLog) WriteLogged(st *Store, name string, v Value) {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: WriteLoggedCtx is the context-aware form
 	log.WriteLoggedCtx(context.Background(), st, name, v)
 }
 

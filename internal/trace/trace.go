@@ -276,6 +276,7 @@ func (t *Tracer) Emit(ev Event) {
 		return
 	}
 	if ev.TS == 0 {
+		//rsvet:allow detlint -- observational timestamp on trace events; replay compares decisions, never TS
 		ev.TS = time.Since(t.epoch).Nanoseconds()
 	}
 	if !t.serialize {

@@ -144,6 +144,7 @@ func NewConcurrent(cfg Config) (*ConcurrentRunner, error) {
 // Run executes all programs to commit, running up to MPL transaction
 // workers concurrently, and returns the aggregated result.
 func (r *ConcurrentRunner) Run() (*Result, error) {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: RunContext is the context-aware form
 	return r.RunContext(context.Background())
 }
 

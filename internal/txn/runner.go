@@ -47,6 +47,7 @@ func New(cfg Config) (*Runner, error) {
 
 // Run executes all programs to commit and returns the result.
 func (r *Runner) Run() (*Result, error) {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: RunContext is the context-aware form
 	return r.RunContext(context.Background())
 }
 

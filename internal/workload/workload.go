@@ -107,6 +107,7 @@ type RunOptions struct {
 // RunWith executes the workload with full options and returns the
 // result together with the store it ran against.
 func (w *Workload) RunWith(protocol sched.Protocol, opts RunOptions) (*txn.Result, *storage.Store, error) {
+	//rsvet:allow ctxflow -- ctx-less convenience wrapper: RunWithContext is the context-aware form
 	return w.RunWithContext(context.Background(), protocol, opts)
 }
 
