@@ -73,6 +73,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file (alias kept for old scripts; -ops also serves live profiles at /debug/pprof)")
 		recordPath = flag.String("record", "", "capture the run into a .rsrec recording at this path (replay or backfill it with rsreplay)")
+		rsgRetire  = flag.Bool("rsg-retire", true, "bounded-memory certification: retire finished transactions' graph state in epochs and certify with the vector-clock fast path (disable for history-proportional memory, e.g. to compare)")
 	)
 	flag.Parse()
 
@@ -211,6 +212,10 @@ func main() {
 			Concurrent: *concurrent,
 			Deadline:   *deadline,
 			Watchdog:   *watchdog,
+			RSGRetire:  "off",
+		}
+		if *rsgRetire {
+			m.RSGRetire = "on"
 		}
 		if injector != nil {
 			m.FaultSpec = injector.Spec().String()
@@ -260,6 +265,8 @@ func main() {
 		Deadline:   *deadline,
 		Watchdog:   *watchdog,
 		Hooks:      hooks,
+
+		DisableRSGRetire: !*rsgRetire,
 	})
 	if injector != nil {
 		reportFaults(status, injector)
@@ -302,6 +309,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(status, res)
+	if rs := res.Retire; rs.Enabled {
+		fmt.Fprintf(status, "rsg-retire: live=%d retired=%d epochs=%d rebases=%d fastpath=%.1f%% (%d/%d)\n",
+			rs.LiveVertices, rs.RetiredVertices, rs.GraphEpochs, rs.Rebases,
+			100*rs.HitRate(), rs.FastPathHits, rs.FastPathHits+rs.FastPathMisses)
+	}
 	if w.Invariant != nil {
 		fmt.Fprintln(status, "data invariant: ok")
 	}

@@ -128,6 +128,14 @@ type Core struct {
 	latencies metrics.Stats
 	rep       reporter
 
+	// ret is the protocol's bounded-memory interface, resolved once
+	// (nil when the protocol keeps no retirable state). The Admit and
+	// TryCommit stages feed it the low-water mark, AbortAll unwinds
+	// retirement-pending state, Finalize folds its stats into the
+	// Result. All call sites are lifecycle-locked, so the retirement
+	// calls never race Request.
+	ret sched.Retirer
+
 	res Result
 }
 
@@ -150,9 +158,31 @@ func NewCore(cfg Config) (*Core, error) {
 		c.dirty[i] = make(map[string][]int64)
 	}
 	c.rep = newReporter(&cfg)
+	c.ret, _ = cfg.Protocol.(sched.Retirer)
 	c.res.Protocol = cfg.Protocol.Name()
 	c.res.oracle = cfg.Oracle
 	return c, nil
+}
+
+// feedLowWater tells the protocol the lowest instance ID that could
+// still receive a lifecycle call: all IDs below the minimum live ID
+// (or below the next ID to be issued, when nothing is in flight) have
+// finished for good. This is the pacemaker for the protocol's
+// count-based retirement epochs. Lifecycle-locked.
+//
+//rsvet:deterministic
+func (c *Core) feedLowWater() {
+	if c.ret == nil {
+		return
+	}
+	low := c.nextInstance + 1
+	//rsvet:allow detlint -- order-insensitive: commutative min over the live IDs
+	for id := range c.Active {
+		if id < low {
+			low = id
+		}
+	}
+	c.ret.SetLowWater(low)
 }
 
 // Clock returns the execution-sequence clock (the concurrent driver's
@@ -195,6 +225,7 @@ func (c *Core) Admit(pp *Pending, clock int64) *Instance {
 	}
 	c.Active[st.ID] = st
 	c.Cfg.Protocol.Begin(st.ID, st.Program)
+	c.feedLowWater()
 	c.LogWAL(storage.WALRecord{Kind: storage.WALBegin, Instance: st.ID})
 	c.rep.begin(st, clock)
 	if h := c.Cfg.Hooks.Admit; h != nil {
@@ -298,6 +329,10 @@ func (c *Core) TryCommit(st *Instance, clock int64) bool {
 	}
 	delete(c.dependents, st.ID)
 	delete(c.Active, st.ID)
+	c.feedLowWater()
+	if c.ret != nil {
+		c.rep.retire(c.ret.RetireStats())
+	}
 	c.res.Committed++
 	c.lv.noteCommit()
 	prevLim := c.shed.limit()
@@ -416,6 +451,9 @@ func (c *Core) AbortAll(cause string, clock int64) int {
 	}
 	ids := c.ActiveIDs()
 	if len(ids) == 0 {
+		if c.ret != nil {
+			c.ret.FlushRetirement()
+		}
 		return 0
 	}
 	c.rep.cancel(cause, clock)
@@ -431,6 +469,12 @@ func (c *Core) AbortAll(cause string, clock int64) int {
 			c.rep.cancelAbort()
 			return nil
 		})
+	}
+	// The unwind leaves no retirement-pending state behind: queued
+	// vertices and the overdue rebase drain now, while the Recover
+	// stage still holds the lifecycle lock.
+	if c.ret != nil {
+		c.ret.FlushRetirement()
 	}
 	return n
 }
@@ -455,6 +499,11 @@ func (c *Core) Finalize(ticks int, avgConcurrency float64) *Result {
 	c.res.LivelockEscalations = c.lv.escalations
 	c.res.LatencyMean = c.latencies.Mean()
 	c.res.LatencyP95 = c.latencies.Percentile(95)
+	if c.ret != nil {
+		c.ret.FlushRetirement()
+		c.res.Retire = c.ret.RetireStats()
+		c.rep.retire(c.res.Retire)
+	}
 	sort.Slice(c.res.Trace, func(i, j int) bool { return c.res.Trace[i].Order < c.res.Trace[j].Order })
 	return &c.res
 }

@@ -6,6 +6,7 @@ import (
 	"relser/internal/core"
 	"relser/internal/fault"
 	"relser/internal/metrics"
+	"relser/internal/sched"
 	"relser/internal/trace"
 )
 
@@ -52,6 +53,14 @@ type reporter struct {
 	bcastFlood  *metrics.Counter
 	shardBlocks []*metrics.Counter
 	shardWait   []*metrics.Histogram
+
+	// Bounded-memory certification gauges, refreshed from the
+	// protocol's RetireStats at each commit (cheap struct copy).
+	rsgLive    *metrics.Gauge
+	rsgRetired *metrics.Gauge
+	rsgEpochs  *metrics.Gauge
+	rsgHits    *metrics.Gauge
+	rsgMisses  *metrics.Gauge
 }
 
 func newReporter(cfg *Config) reporter {
@@ -77,8 +86,28 @@ func newReporter(cfg *Config) reporter {
 		o.degraded = reg.Gauge("txn.degraded")
 		o.effMPL = reg.Gauge("txn.effective_mpl")
 		o.effMPL.Set(float64(cfg.MPL))
+		if _, ok := cfg.Protocol.(sched.Retirer); ok {
+			o.rsgLive = reg.Gauge("sched.rsg.live_vertices")
+			o.rsgRetired = reg.Gauge("sched.rsg.retired_total")
+			o.rsgEpochs = reg.Gauge("sched.rsg.retire_epochs")
+			o.rsgHits = reg.Gauge("sched.rsg.fastpath_hits")
+			o.rsgMisses = reg.Gauge("sched.rsg.fastpath_misses")
+		}
 	}
 	return o
+}
+
+// retire refreshes the bounded-memory gauges from the protocol's
+// current retirement state.
+func (o *reporter) retire(st sched.RetireStats) {
+	if o.rsgLive == nil {
+		return
+	}
+	o.rsgLive.Set(float64(st.LiveVertices))
+	o.rsgRetired.Set(float64(st.RetiredVertices))
+	o.rsgEpochs.Set(float64(st.GraphEpochs))
+	o.rsgHits.Set(float64(st.FastPathHits))
+	o.rsgMisses.Set(float64(st.FastPathMisses))
 }
 
 // begin records an instance's admission.

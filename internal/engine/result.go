@@ -74,6 +74,9 @@ type Result struct {
 	// from admission to commit.
 	LatencyMean float64
 	LatencyP95  float64
+	// Retire reports the protocol's bounded-memory state at run end
+	// (zero when the protocol keeps no retirable state).
+	Retire sched.RetireStats
 	// Trace is the committed-instance execution trace, in order.
 	Trace []Event
 	// Spans records committed instances' lifetimes for Timeline.

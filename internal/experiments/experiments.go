@@ -38,6 +38,11 @@
 //	    state), a recorded watchdog wedge replays as the same incident
 //	    class, backfill under absolute atomicity yields a stable
 //	    divergence report, and the recording tap costs <5%
+//	E20 bounded-memory certification: epoch-based RSG retirement keeps
+//	    graph size and throughput flat over a long soak (vs monotone
+//	    growth with retirement off), the vector-clock fast path certifies
+//	    >=90% of requests without a cycle sweep, and retired online
+//	    verdicts stay equivalent to the offline Theorem 1 oracle
 //
 // Each experiment produces a Report of tables and checked claims; the
 // rsbench binary renders them, and EXPERIMENTS.md records one full
@@ -146,6 +151,12 @@ type Options struct {
 	// experiment with a context deadline (workload.RunOptions.Timeout);
 	// an expired run surfaces as an experiment error, not a hang.
 	Timeout time.Duration
+	// DisableRSGRetire forces bounded-memory certification (graph
+	// retirement + the vector-clock fast path) off in every experiment
+	// that runs the online drivers; the zero value keeps it on, matching
+	// the runtime default. E20 ignores it — that experiment sweeps both
+	// sides of the comparison itself.
+	DisableRSGRetire bool
 	// RecordDir, when non-empty, makes E16 capture every deterministic
 	// chaos run as a .rsrec artifact (internal/record) in that
 	// directory, named e16-<leg>-<protocol>-seed<N>.rsrec. Any failed
@@ -223,6 +234,7 @@ var registry = map[string]struct {
 	"E17": {"Observability plane overhead and live-scrape fidelity", runE17},
 	"E18": {"Segmented WAL durability: group commit, parallel recovery, compaction", runE18},
 	"E19": {"Record/replay determinism, incident time-travel and backfill", runE19},
+	"E20": {"Bounded-memory certification: retirement soak, fast-path hit rate, verdict equivalence", runE20},
 }
 
 // IDs returns the experiment identifiers in order.

@@ -167,6 +167,8 @@ func runE13(opts Options) (*Report, error) {
 					Semantics: w.Semantics,
 					MPL:       6,
 					Shards:    opts.Shards,
+
+					DisableRSGRetire: opts.DisableRSGRetire,
 				})
 				if err != nil {
 					return nil, err

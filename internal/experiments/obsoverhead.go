@@ -66,13 +66,14 @@ func runE17(opts Options) (*Report, error) {
 			}
 			start := time.Now()
 			res, _, err := w.RunWith(sched.NewS2PLSharded(shards), workload.RunOptions{
-				Seed:       opts.Seed,
-				MPL:        mpl,
-				Shards:     shards,
-				Concurrent: true,
-				Metrics:    reg,
-				Obs:        plane,
-				Timeout:    opts.Timeout,
+				Seed:             opts.Seed,
+				MPL:              mpl,
+				Shards:           shards,
+				Concurrent:       true,
+				Metrics:          reg,
+				Obs:              plane,
+				Timeout:          opts.Timeout,
+				DisableRSGRetire: opts.DisableRSGRetire,
 			})
 			wall := time.Since(start)
 			if err != nil {

@@ -81,11 +81,12 @@ func runE15(opts Options) (*Report, error) {
 			return err
 		}
 		res, _, err := w.RunWith(mkProto(), workload.RunOptions{
-			Seed:       opts.Seed,
-			MPL:        mpl,
-			Shards:     shards,
-			Concurrent: true,
-			Timeout:    opts.Timeout,
+			Seed:             opts.Seed,
+			MPL:              mpl,
+			Shards:           shards,
+			Concurrent:       true,
+			Timeout:          opts.Timeout,
+			DisableRSGRetire: opts.DisableRSGRetire,
 		})
 		if err != nil {
 			return fmt.Errorf("shards=%d mpl=%d: %v", shards, mpl, err)
@@ -109,12 +110,13 @@ func runE15(opts Options) (*Report, error) {
 			reg := metrics.NewRegistry()
 			start := time.Now()
 			res, _, err := w.RunWith(mkProto(), workload.RunOptions{
-				Seed:       opts.Seed,
-				MPL:        mpl,
-				Shards:     shards,
-				Concurrent: true,
-				Metrics:    reg,
-				Timeout:    opts.Timeout,
+				Seed:             opts.Seed,
+				MPL:              mpl,
+				Shards:           shards,
+				Concurrent:       true,
+				Metrics:          reg,
+				Timeout:          opts.Timeout,
+				DisableRSGRetire: opts.DisableRSGRetire,
 			})
 			wall := time.Since(start)
 			if err != nil {

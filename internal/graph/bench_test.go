@@ -107,6 +107,81 @@ func BenchmarkIncrementalVsBatchRecheck(b *testing.B) {
 	}
 }
 
+func BenchmarkIncrementalAppendArcs(b *testing.B) {
+	// The two insertion paths the certifier chooses between per request:
+	// arcs the vector clocks already proved acyclic are appended with
+	// the settle deferred (fast-path hit), while suspected batches go
+	// through the per-batch cycle sweep. The gate watches both.
+	const n = 512
+	rng := rand.New(rand.NewSource(2))
+	arcs := randomDAGArcs(rng, n, 0.05)
+	b.Run("appendarcs", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inc := NewIncremental(n)
+			for lo := 0; lo < len(arcs); lo += 4 {
+				hi := lo + 4
+				if hi > len(arcs) {
+					hi = len(arcs)
+				}
+				inc.AppendArcs(arcs[lo:hi])
+			}
+			if err := inc.Settle(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("addarcbatch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inc := NewIncremental(n)
+			for lo := 0; lo < len(arcs); lo += 4 {
+				hi := lo + 4
+				if hi > len(arcs) {
+					hi = len(arcs)
+				}
+				if err := inc.AddArcBatch(arcs[lo:hi]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkIncrementalRetireStream(b *testing.B) {
+	// Steady-state bounded-memory certification: a forward chain of
+	// vertices streams through the graph with a sliding live window,
+	// retiring in epoch batches once the pending set outnumbers the live
+	// half — the schedulers' production retirement schedule. Cost is per
+	// streamed vertex, amortizing the epoch compactions.
+	for _, epoch := range []int{64, 256} {
+		b.Run(fmt.Sprintf("epoch=%d", epoch), func(b *testing.B) {
+			const window = 8
+			inc := NewIncremental(0)
+			var live, retireQ []int
+			prev := -1
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := inc.AddVertex()
+				if prev >= 0 {
+					inc.AppendArcs([][2]int{{prev, v}})
+				}
+				prev = v
+				live = append(live, v)
+				if len(live) > window {
+					retireQ = append(retireQ, live[0])
+					live = live[1:]
+				}
+				if len(retireQ) >= epoch && 2*len(retireQ) >= inc.Len() {
+					inc.Retire(retireQ)
+					retireQ = retireQ[:0]
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkDenseTransitiveClosure(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	g := NewDense(512)

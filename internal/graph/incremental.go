@@ -2,6 +2,7 @@ package graph
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -14,62 +15,169 @@ var ErrCycle = errors.New("graph: arc would create a cycle")
 // Directed Acyclic Graphs", 2006). AddArc rejects — rather than
 // inserts — arcs that would close a cycle, which is exactly the test an
 // online serialization-graph scheduler needs on its hot path.
+//
+// Vertices are addressed by stable external IDs: AddVertex hands out
+// consecutive integers that remain valid for the vertex's whole life,
+// across any number of Retire compactions. Internally the order,
+// bitset and sparse adjacency are kept dense over the live vertices
+// only, so memory tracks live transactions rather than history; the
+// external-ID indirection is what keeps scheduler and trace evidence
+// links valid across the internal remap.
+//
+// Two insertion disciplines are offered:
+//
+//   - AddArc / AddArcBatch check for cycles and maintain the order
+//     eagerly (rejecting with ErrCycle);
+//   - AppendArcs inserts arcs the caller has already proven acyclic
+//     (e.g. via a conservative vector-clock test) without any cycle
+//     sweep, deferring order maintenance to the next Settle — the
+//     O(1)-amortized fast path.
 type Incremental struct {
 	g    *Sparse
 	ord  []int // ord[v] = position of v in the topological order
 	pos  []int // pos[i] = vertex at position i (inverse of ord)
 	mark Bitset
+
+	// External-ID indirection. ext[v] is the stable ID of internal
+	// vertex v; intIdx[x-base] is the internal vertex of external ID x
+	// (-1 once retired). base advances over the retired prefix so
+	// intIdx, too, stays proportional to the live set.
+	ext     []int
+	base    int
+	intIdx  []int
+	retired int
+
+	// Deferred-settle window: positions [dirtyLb, dirtyUb] may hold
+	// order-violating arcs appended by AppendArcs; -1 when settled.
+	dirtyLb, dirtyUb int
 }
 
 // NewIncremental returns an incremental DAG with n vertices and no
 // arcs, topologically ordered by vertex number.
 func NewIncremental(n int) *Incremental {
-	inc := &Incremental{g: NewSparse(n)}
+	inc := &Incremental{g: NewSparse(n), dirtyLb: -1, dirtyUb: -1}
 	inc.ord = make([]int, n)
 	inc.pos = make([]int, n)
+	inc.ext = make([]int, n)
+	inc.intIdx = make([]int, n)
 	for i := 0; i < n; i++ {
 		inc.ord[i] = i
 		inc.pos[i] = i
+		inc.ext[i] = i
+		inc.intIdx[i] = i
 	}
 	inc.mark = NewBitset(n)
 	return inc
 }
 
-// Len returns the number of vertices.
+// Len returns the number of live (non-retired) vertices.
 func (inc *Incremental) Len() int { return inc.g.Len() }
 
-// AddVertex appends a fresh vertex (last in the current order) and
-// returns its index.
-func (inc *Incremental) AddVertex() int {
-	v := inc.g.AddVertex()
-	inc.ord = append(inc.ord, v)
-	inc.pos = append(inc.pos, v)
-	if v >= len(inc.mark)*wordBits {
-		inc.mark = append(inc.mark, 0)
+// RetiredCount returns the number of vertices removed by Retire over
+// the structure's lifetime.
+func (inc *Incremental) RetiredCount() int { return inc.retired }
+
+// Retired reports whether the external vertex ID has been retired.
+// IDs never handed out by AddVertex panic.
+func (inc *Incremental) Retired(x int) bool {
+	_, live := inc.intOf(x)
+	return !live
+}
+
+// intOf translates an external ID to its internal vertex; the second
+// result is false when the vertex has been retired.
+func (inc *Incremental) intOf(x int) (int, bool) {
+	i := x - inc.base
+	if i < 0 {
+		if x < 0 {
+			panic(fmt.Sprintf("graph: negative vertex ID %d", x))
+		}
+		return -1, false // below the retired prefix
+	}
+	if i >= len(inc.intIdx) {
+		panic(fmt.Sprintf("graph: unknown vertex ID %d (max %d)", x, inc.base+len(inc.intIdx)-1))
+	}
+	v := inc.intIdx[i]
+	if v < 0 {
+		return -1, false
+	}
+	return v, true
+}
+
+// mustInt translates an external ID, panicking on retired IDs: arcs
+// may only touch live vertices, so a retired operand is a caller bug.
+func (inc *Incremental) mustInt(x int) int {
+	v, live := inc.intOf(x)
+	if !live {
+		panic(fmt.Sprintf("graph: vertex ID %d is retired", x))
 	}
 	return v
 }
 
-// HasArc reports whether the arc u -> v is present.
-func (inc *Incremental) HasArc(u, v int) bool { return inc.g.HasArc(u, v) }
+// AddVertex appends a fresh vertex (last in the current order) and
+// returns its stable external ID.
+func (inc *Incremental) AddVertex() int {
+	v := inc.g.AddVertex()
+	inc.ord = append(inc.ord, v)
+	inc.pos = append(inc.pos, v)
+	// Grow the mark bitset to the exact required length. A single-word
+	// append is not enough here: after a retirement compaction rebuilds
+	// mark over the live set, the internal index can sit more than one
+	// word beyond the current capacity, and under-allocating makes a
+	// later mark.Set index out of range.
+	for v >= len(inc.mark)*wordBits {
+		inc.mark = append(inc.mark, 0)
+	}
+	x := inc.base + len(inc.intIdx)
+	inc.intIdx = append(inc.intIdx, v)
+	inc.ext = append(inc.ext, x)
+	return x
+}
+
+// HasArc reports whether the arc u -> v is present. Retired endpoints
+// have no arcs.
+func (inc *Incremental) HasArc(u, v int) bool {
+	iu, okU := inc.intOf(u)
+	iv, okV := inc.intOf(v)
+	if !okU || !okV {
+		return false
+	}
+	return inc.g.HasArc(iu, iv)
+}
 
 // ArcCount returns the number of distinct arcs.
 func (inc *Incremental) ArcCount() int { return inc.g.ArcCount() }
 
-// Order returns the current topological position of v; if u precedes v
-// in every linear extension seen so far then Order(u) < Order(v).
-func (inc *Incremental) Order(v int) int { return inc.ord[v] }
+// Order returns the current topological position of v among the live
+// vertices; if u precedes v in every linear extension seen so far then
+// Order(u) < Order(v). Retired vertices return -1. Positions are
+// recomputed by retirement compaction, so they are only comparable
+// between calls with no intervening Retire.
+func (inc *Incremental) Order(v int) int {
+	iv, ok := inc.intOf(v)
+	if !ok {
+		return -1
+	}
+	inc.mustSettle()
+	return inc.ord[iv]
+}
 
 // WouldCycle reports whether inserting u -> v would create a cycle,
-// without inserting it.
+// without inserting it. Retired endpoints cannot cycle.
 func (inc *Incremental) WouldCycle(u, v int) bool {
 	if u == v {
 		return true
 	}
-	if inc.ord[u] < inc.ord[v] || inc.g.HasArc(u, v) {
+	iu, okU := inc.intOf(u)
+	iv, okV := inc.intOf(v)
+	if !okU || !okV {
 		return false
 	}
-	found, _ := inc.forwardSearch(v, inc.ord[u], u)
+	inc.mustSettle()
+	if inc.ord[iu] < inc.ord[iv] || inc.g.HasArc(iu, iv) {
+		return false
+	}
+	found, _ := inc.forwardSearch(iv, inc.ord[iu], iu)
 	inc.clearMarks()
 	return found
 }
@@ -82,47 +190,104 @@ func (inc *Incremental) AddArc(u, v int) error {
 	if u == v {
 		return ErrCycle
 	}
-	if inc.g.HasArc(u, v) || inc.ord[u] < inc.ord[v] {
-		inc.g.AddArc(u, v)
+	iu := inc.mustInt(u)
+	iv := inc.mustInt(v)
+	// While a dirty window is pending, ord is still the order from
+	// before the appended arcs, which is exactly the state the window
+	// bounds were computed against: a forward arc can be inserted
+	// directly (settling later covers it), anything else settles first.
+	if inc.g.HasArc(iu, iv) || inc.ord[iu] < inc.ord[iv] {
+		inc.g.AddArc(iu, iv)
+		return nil
+	}
+	inc.mustSettle()
+	if inc.ord[iu] < inc.ord[iv] {
+		inc.g.AddArc(iu, iv)
 		return nil
 	}
 	// Affected region: positions (ord[v] .. ord[u]).
-	lb, ub := inc.ord[v], inc.ord[u]
-	found, deltaF := inc.forwardSearch(v, ub, u)
+	lb, ub := inc.ord[iv], inc.ord[iu]
+	found, deltaF := inc.forwardSearch(iv, ub, iu)
 	if found {
 		inc.clearMarks()
 		return ErrCycle
 	}
-	deltaB := inc.backwardSearch(u, lb)
+	deltaB := inc.backwardSearch(iu, lb)
 	inc.reorder(deltaF, deltaB)
 	inc.clearMarks()
-	inc.g.AddArc(u, v)
+	inc.g.AddArc(iu, iv)
 	return nil
 }
 
 // RemoveArc removes one multiplicity of u -> v. The topological order
 // remains valid (removal can only relax constraints).
-func (inc *Incremental) RemoveArc(u, v int) { inc.g.RemoveArc(u, v) }
+func (inc *Incremental) RemoveArc(u, v int) {
+	inc.g.RemoveArc(inc.mustInt(u), inc.mustInt(v))
+}
 
 // IsolateVertex removes all arcs incident to v. The vertex keeps its
-// position; the order remains valid.
-func (inc *Incremental) IsolateVertex(v int) { inc.g.IsolateVertex(v) }
+// position; the order remains valid. Retired vertices are already
+// isolated, so the call is a no-op for them.
+func (inc *Incremental) IsolateVertex(v int) {
+	if iv, ok := inc.intOf(v); ok {
+		inc.g.IsolateVertex(iv)
+	}
+}
 
-// Successors returns the successors of u in ascending vertex order.
-func (inc *Incremental) Successors(u int) []int { return inc.g.Successors(u) }
+// Successors returns the successors of u in ascending external-ID
+// order; nil for retired vertices.
+func (inc *Incremental) Successors(u int) []int {
+	iu, ok := inc.intOf(u)
+	if !ok {
+		return nil
+	}
+	return inc.toExt(inc.g.Successors(iu))
+}
 
-// InDegree returns the number of distinct predecessors of u.
-func (inc *Incremental) InDegree(u int) int { return inc.g.InDegree(u) }
+// InDegree returns the number of distinct predecessors of u (zero once
+// retired).
+func (inc *Incremental) InDegree(u int) int {
+	iu, ok := inc.intOf(u)
+	if !ok {
+		return 0
+	}
+	return inc.g.InDegree(iu)
+}
 
-// OutDegree returns the number of distinct successors of u.
-func (inc *Incremental) OutDegree(u int) int { return inc.g.OutDegree(u) }
+// OutDegree returns the number of distinct successors of u (zero once
+// retired).
+func (inc *Incremental) OutDegree(u int) int {
+	iu, ok := inc.intOf(u)
+	if !ok {
+		return 0
+	}
+	return inc.g.OutDegree(iu)
+}
 
-// Predecessors returns the predecessors of u in ascending vertex order.
-func (inc *Incremental) Predecessors(u int) []int { return inc.g.Predecessors(u) }
+// Predecessors returns the predecessors of u in ascending external-ID
+// order; nil for retired vertices.
+func (inc *Incremental) Predecessors(u int) []int {
+	iu, ok := inc.intOf(u)
+	if !ok {
+		return nil
+	}
+	return inc.toExt(inc.g.Predecessors(iu))
+}
+
+// toExt maps internal vertices to external IDs in place. ext is
+// monotone in the internal index (compaction preserves relative
+// order), so ascending input order is preserved.
+func (inc *Incremental) toExt(vs []int) []int {
+	for i, v := range vs {
+		vs[i] = inc.ext[v]
+	}
+	return vs
+}
 
 // forwardSearch explores forward from start over vertices with order
 // <= ub, marking visited vertices. It reports whether target was
-// reached and returns the visited set (excluding target).
+// reached and returns the visited set (excluding target). Operates on
+// internal indices.
 func (inc *Incremental) forwardSearch(start, ub, target int) (bool, []int) {
 	var visited []int
 	stack := []int{start}
@@ -146,7 +311,7 @@ func (inc *Incremental) forwardSearch(start, ub, target int) (bool, []int) {
 }
 
 // backwardSearch explores backward from start over vertices with order
-// >= lb, marking and returning visited vertices.
+// >= lb, marking and returning visited vertices. Internal indices.
 func (inc *Incremental) backwardSearch(start, lb int) []int {
 	var visited []int
 	stack := []int{start}
@@ -168,7 +333,7 @@ func (inc *Incremental) backwardSearch(start, lb int) []int {
 
 // reorder reassigns the positions occupied by deltaB ∪ deltaF so that
 // every vertex of deltaB precedes every vertex of deltaF, preserving
-// the relative order within each set.
+// the relative order within each set. Internal indices.
 func (inc *Incremental) reorder(deltaF, deltaB []int) {
 	sort.Slice(deltaF, func(i, j int) bool { return inc.ord[deltaF[i]] < inc.ord[deltaF[j]] })
 	sort.Slice(deltaB, func(i, j int) bool { return inc.ord[deltaB[i]] < inc.ord[deltaB[j]] })
@@ -215,6 +380,7 @@ func (inc *Incremental) clearMarks() { inc.mark.Reset() }
 // boundary were forward before the batch and remain forward, since
 // region vertices keep positions inside [lb, ub]).
 func (inc *Incremental) AddArcBatch(arcs [][2]int) error {
+	inc.mustSettle()
 	for _, a := range arcs {
 		if a[0] == a[1] {
 			return ErrCycle
@@ -222,8 +388,9 @@ func (inc *Incremental) AddArcBatch(arcs [][2]int) error {
 	}
 	lb, ub := -1, -1
 	for _, a := range arcs {
-		inc.g.AddArc(a[0], a[1])
-		ou, ov := inc.ord[a[0]], inc.ord[a[1]]
+		iu, iv := inc.mustInt(a[0]), inc.mustInt(a[1])
+		inc.g.AddArc(iu, iv)
+		ou, ov := inc.ord[iu], inc.ord[iv]
 		if ou > ov {
 			if lb < 0 || ov < lb {
 				lb = ov
@@ -238,11 +405,156 @@ func (inc *Incremental) AddArcBatch(arcs [][2]int) error {
 	}
 	if err := inc.resortRegion(lb, ub); err != nil {
 		for _, a := range arcs {
-			inc.g.RemoveArc(a[0], a[1])
+			inc.g.RemoveArc(inc.mustInt(a[0]), inc.mustInt(a[1]))
 		}
 		return err
 	}
 	return nil
+}
+
+// AppendArcs inserts arcs the caller has already certified acyclic —
+// the vector-clock fast path — without any cycle sweep. Only the
+// deferred-settle window is extended; the maintained order is restored
+// lazily by the next Settle (every order-consuming operation settles
+// automatically first). Appending an arc that would close a cycle
+// violates the contract and makes the next Settle panic.
+func (inc *Incremental) AppendArcs(arcs [][2]int) {
+	for _, a := range arcs {
+		iu, iv := inc.mustInt(a[0]), inc.mustInt(a[1])
+		inc.g.AddArc(iu, iv)
+		ou, ov := inc.ord[iu], inc.ord[iv]
+		if ou > ov {
+			if inc.dirtyLb < 0 || ov < inc.dirtyLb {
+				inc.dirtyLb = ov
+			}
+			if ou > inc.dirtyUb {
+				inc.dirtyUb = ou
+			}
+		}
+	}
+}
+
+// NeedsSettle reports whether appended arcs are awaiting order
+// maintenance.
+func (inc *Incremental) NeedsSettle() bool { return inc.dirtyLb >= 0 }
+
+// Settle restores the maintained topological order over the deferred
+// window accumulated by AppendArcs. The window argument to the region
+// resort is exactly the violating-arc bound AddArcBatch would have
+// computed for the union of all appended arcs (ord is untouched while
+// the window is dirty), so the single Kahn pass is sound here for the
+// same reason it is there. It returns ErrCycle only if an AppendArcs
+// caller broke its acyclicity contract; the arcs stay in place in that
+// case, so callers treat the error as a certification bug, not a
+// recoverable rejection.
+func (inc *Incremental) Settle() error {
+	if inc.dirtyLb < 0 {
+		return nil
+	}
+	lb, ub := inc.dirtyLb, inc.dirtyUb
+	inc.dirtyLb, inc.dirtyUb = -1, -1
+	return inc.resortRegion(lb, ub)
+}
+
+// mustSettle settles before an order-consuming operation; a cycle here
+// means an AppendArcs caller certified a cyclic batch, which is always
+// a scheduler bug.
+func (inc *Incremental) mustSettle() {
+	if err := inc.Settle(); err != nil {
+		panic("graph: Settle found a cycle — an AppendArcs caller broke its acyclicity contract")
+	}
+}
+
+// RetireResult reports what a retirement epoch removed.
+type RetireResult struct {
+	// Retired counts vertices removed by this call.
+	Retired int
+	// Live counts vertices remaining after compaction.
+	Live int
+}
+
+// Retire removes the given external vertex IDs from the structure in
+// one epoch batch: any remaining incident arcs are dropped, and the
+// Pearce–Kelly order, bitset and sparse adjacency are compacted over
+// the surviving vertices. External IDs of survivors are unchanged
+// (they are stable handles); retired IDs answer Retired(id) == true,
+// degree/successor queries return empty, and FindPath treats them as
+// unreachable. Already-retired IDs are skipped, so the call is
+// idempotent.
+//
+// Soundness (why the scheduler may retire a committed transaction's
+// vertices): new arcs always terminate at a live requester's vertices,
+// so a committed transaction none of whose vertices can acquire an
+// incoming arc — no live conflicting peer — can never rejoin a cycle;
+// its vertices are permanently cycle-free and only occupy memory.
+func (inc *Incremental) Retire(vs []int) RetireResult {
+	inc.mustSettle()
+	n := inc.g.Len()
+	cnt := 0
+	drop := make([]bool, n)
+	for _, x := range vs {
+		v, live := inc.intOf(x)
+		if !live {
+			continue
+		}
+		inc.g.IsolateVertex(v)
+		if !drop[v] {
+			drop[v] = true
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return RetireResult{Live: n}
+	}
+	m := n - cnt
+	remap := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if drop[v] {
+			remap[v] = -1
+		} else {
+			remap[v] = next
+			next++
+		}
+	}
+	// Compact the order: survivors keep their relative positions.
+	newPos := make([]int, 0, m)
+	for i := 0; i < n; i++ {
+		if v := inc.pos[i]; !drop[v] {
+			newPos = append(newPos, remap[v])
+		}
+	}
+	newOrd := make([]int, m)
+	for i, v := range newPos {
+		newOrd[v] = i
+	}
+	newExt := make([]int, 0, m)
+	for v := 0; v < n; v++ {
+		if !drop[v] {
+			newExt = append(newExt, inc.ext[v])
+		}
+	}
+	inc.g.Compact(remap, m)
+	inc.ord, inc.pos, inc.ext = newOrd, newPos, newExt
+	inc.mark = NewBitset(m)
+	for i := range inc.intIdx {
+		inc.intIdx[i] = -1
+	}
+	for v, x := range newExt {
+		inc.intIdx[x-inc.base] = v
+	}
+	// Advance the base over the retired prefix so the indirection
+	// table, too, shrinks with the live set.
+	trim := 0
+	for trim < len(inc.intIdx) && inc.intIdx[trim] == -1 {
+		trim++
+	}
+	if trim > 0 {
+		inc.base += trim
+		inc.intIdx = append(inc.intIdx[:0], inc.intIdx[trim:]...)
+	}
+	inc.retired += cnt
+	return RetireResult{Retired: cnt, Live: m}
 }
 
 // resortRegion recomputes the order of the vertices occupying
@@ -250,7 +562,7 @@ func (inc *Incremental) AddArcBatch(arcs [][2]int) error {
 // region. On success ord/pos are updated in place; on a cycle they are
 // left untouched and ErrCycle is returned. Ties break toward the
 // vertex with the smallest previous position, keeping the result
-// deterministic and close to the old order.
+// deterministic and close to the old order. Internal indices.
 func (inc *Incremental) resortRegion(lb, ub int) error {
 	n := ub - lb + 1
 	verts := make([]int, n)
@@ -336,39 +648,50 @@ func (inc *Incremental) resortRegion(lb, ub int) error {
 // plus the refused arc is a concrete cycle witness. The search prunes
 // by the maintained topological order (any path stays within
 // [Order(from), Order(to)]), so it touches only the affected region.
+// Retired endpoints are unreachable by construction (their arcs are
+// gone), so the path is nil rather than a panic on a remapped ID.
 func (inc *Incremental) FindPath(from, to int) []int {
 	if from == to {
+		if _, ok := inc.intOf(from); !ok {
+			return nil
+		}
 		return []int{from}
 	}
-	if inc.ord[from] > inc.ord[to] {
+	iFrom, okFrom := inc.intOf(from)
+	iTo, okTo := inc.intOf(to)
+	if !okFrom || !okTo {
+		return nil
+	}
+	inc.mustSettle()
+	if inc.ord[iFrom] > inc.ord[iTo] {
 		return nil
 	}
 	parent := make(map[int]int, 16)
-	parent[from] = from
-	stack := []int{from}
+	parent[iFrom] = iFrom
+	stack := []int{iFrom}
 	for len(stack) > 0 {
 		w := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		for _, s := range inc.g.Successors(w) {
-			if inc.ord[s] > inc.ord[to] {
+			if inc.ord[s] > inc.ord[iTo] {
 				continue
 			}
 			if _, seen := parent[s]; seen {
 				continue
 			}
 			parent[s] = w
-			if s == to {
+			if s == iTo {
 				var rev []int
-				for v := to; ; v = parent[v] {
+				for v := iTo; ; v = parent[v] {
 					rev = append(rev, v)
-					if v == from {
+					if v == iFrom {
 						break
 					}
 				}
 				for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 					rev[i], rev[j] = rev[j], rev[i]
 				}
-				return rev
+				return inc.toExt(rev)
 			}
 			stack = append(stack, s)
 		}
@@ -376,17 +699,20 @@ func (inc *Incremental) FindPath(from, to int) []int {
 	return nil
 }
 
-// TopoOrder returns the maintained topological order as a vertex slice.
+// TopoOrder returns the maintained topological order of the live
+// vertices as a slice of external IDs.
 func (inc *Incremental) TopoOrder() []int {
+	inc.mustSettle()
 	out := make([]int, len(inc.pos))
 	copy(out, inc.pos)
-	return out
+	return inc.toExt(out)
 }
 
 // Verify checks the internal invariants (ord/pos inverse bijection,
-// every arc forward in the order). It is used by tests and is cheap
-// enough to call in debug builds.
+// every arc forward in the order, external-ID indirection consistent).
+// It is used by tests and is cheap enough to call in debug builds.
 func (inc *Incremental) Verify() error {
+	inc.mustSettle()
 	for v, o := range inc.ord {
 		if inc.pos[o] != v {
 			return errors.New("graph: ord/pos bijection broken")
@@ -399,6 +725,25 @@ func (inc *Incremental) Verify() error {
 				return errors.New("graph: arc violates maintained topological order")
 			}
 		}
+	}
+	if len(inc.ext) != n {
+		return errors.New("graph: ext length diverged from vertex count")
+	}
+	live := 0
+	for i, v := range inc.intIdx {
+		if v < 0 {
+			continue
+		}
+		live++
+		if v >= n || inc.ext[v] != inc.base+i {
+			return errors.New("graph: external-ID indirection broken")
+		}
+	}
+	if live != n {
+		return errors.New("graph: intIdx live count diverged from vertex count")
+	}
+	if n > len(inc.mark)*wordBits {
+		return errors.New("graph: mark bitset under-allocated")
 	}
 	return nil
 }

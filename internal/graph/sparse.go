@@ -96,6 +96,46 @@ func (g *Sparse) IsolateVertex(u int) {
 	g.pred[u] = nil
 }
 
+// Compact renumbers the vertex set according to remap (remap[old] =
+// new index, or -1 for a dropped vertex), shrinking it to m vertices.
+// Dropped vertices must already be isolated: a dangling arc touching
+// one always indicates a bookkeeping bug in the caller, so Compact
+// panics rather than silently dropping it. Retirement epochs use this
+// to reclaim the adjacency slots of pruned transactions.
+func (g *Sparse) Compact(remap []int, m int) {
+	if len(remap) != len(g.succ) {
+		panic(fmt.Sprintf("graph: Compact remap has %d entries for %d vertices", len(remap), len(g.succ)))
+	}
+	g.succ = compactAdj(g.succ, remap, m)
+	g.pred = compactAdj(g.pred, remap, m)
+}
+
+func compactAdj(adj []map[int]int, remap []int, m int) []map[int]int {
+	out := make([]map[int]int, m)
+	for u, row := range adj {
+		nu := remap[u]
+		if nu < 0 {
+			if len(row) > 0 {
+				panic(fmt.Sprintf("graph: Compact dropping vertex %d with %d arcs", u, len(row)))
+			}
+			continue
+		}
+		if len(row) == 0 {
+			continue
+		}
+		nr := make(map[int]int, len(row))
+		for v, mult := range row {
+			nv := remap[v]
+			if nv < 0 {
+				panic(fmt.Sprintf("graph: Compact dropped vertex %d still has an arc with %d", v, u))
+			}
+			nr[nv] = mult
+		}
+		out[nu] = nr
+	}
+	return out
+}
+
 // Successors returns the successors of u in ascending order.
 func (g *Sparse) Successors(u int) []int { return sortedKeys(g.succ[u]) }
 

@@ -55,6 +55,14 @@ var canonicalKeys = []string{
 	// Recording layer (internal/record): .rsrec artifact emission.
 	"record.frames",
 	"record.bytes",
+
+	// Bounded-memory certification (internal/sched): RSG retirement
+	// epochs and the vector-clock fast path.
+	"sched.rsg.live_vertices",
+	"sched.rsg.retired_total",
+	"sched.rsg.retire_epochs",
+	"sched.rsg.fastpath_hits",
+	"sched.rsg.fastpath_misses",
 }
 
 // DynamicKeyPrefixes lists the prefixes of keys built with fmt.Sprintf

@@ -236,6 +236,10 @@ func execute(ctx context.Context, m Manifest, initial map[string]storage.Value, 
 		Deadline:    m.Deadline,
 		Watchdog:    watchdog,
 		Hooks:       rr.Hooks(txn.Hooks{}),
+		// Keyed off the field, not the format version: pre-retirement
+		// recordings (and backfilled manifests without the field)
+		// replay with retirement forced off.
+		DisableRSGRetire: m.RSGRetire != "on",
 	}
 
 	var (

@@ -75,6 +75,19 @@ func (p *RAL) SetTracer(tr *trace.Tracer) {
 	p.rsgt.SetTracer(tr)
 }
 
+// SetRetirement implements Retirer: the embedded certifier owns all
+// graph state, so retirement delegates wholesale (like SetTracer).
+func (p *RAL) SetRetirement(enabled bool) { p.rsgt.SetRetirement(enabled) }
+
+// SetLowWater implements Retirer.
+func (p *RAL) SetLowWater(instance int64) { p.rsgt.SetLowWater(instance) }
+
+// FlushRetirement implements Retirer.
+func (p *RAL) FlushRetirement() { p.rsgt.FlushRetirement() }
+
+// RetireStats implements Retirer.
+func (p *RAL) RetireStats() RetireStats { return p.rsgt.RetireStats() }
+
 // Begin implements Protocol.
 func (p *RAL) Begin(instance int64, program *core.Transaction) {
 	p.base.Begin(instance, program)

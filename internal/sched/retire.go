@@ -1,0 +1,247 @@
+package sched
+
+// Bounded-memory certification: the graph-based protocols (RSGT, SGT,
+// and RAL via its embedded certifier) retire the vertices of finished
+// transactions in count-based epoch batches and certify the common
+// no-suspected-cycle case with a conservative vector-clock test, so
+// scheduler memory tracks the live transaction set instead of history.
+//
+// Epoch pacing is strictly count-based (pending work vs. live size);
+// wall-clock epochs would make replays nondeterministic, which detlint
+// enforces on every decision site below.
+
+const (
+	// retireEpochMinVerts is the minimum number of pending retired
+	// vertices before a graph compaction epoch runs; combined with the
+	// pending >= live/2 rule the compaction cost is O(1) amortized per
+	// retired vertex.
+	retireEpochMinVerts = 64
+	// rebaseMinEntries is the minimum execution-history length before a
+	// dependency-index rebase epoch runs; combined with the
+	// total >= 2*retained rule the rebase cost is O(1) amortized per
+	// executed operation.
+	rebaseMinEntries = 1024
+	// strandedSweepMinInsts is the minimum number of committed
+	// instances still resident in the graph before a stranded-cluster
+	// reachability sweep runs (RSGT); combined with the
+	// resident >= 2*last-sweep-survivors rule the sweep cost is O(1)
+	// amortized per committed transaction.
+	strandedSweepMinInsts = 64
+)
+
+// RetireStats reports a protocol's bounded-memory state: graph size,
+// retirement progress, and vector-clock fast-path effectiveness.
+type RetireStats struct {
+	// Enabled reports whether retirement is active on the protocol.
+	Enabled bool
+	// GraphEpochs counts graph compaction epochs run.
+	GraphEpochs int64
+	// RetiredVertices counts vertices removed from the graph.
+	RetiredVertices int64
+	// LiveVertices is the graph's current vertex count.
+	LiveVertices int
+	// PendingRetire counts vertices queued for the next epoch.
+	PendingRetire int
+	// Rebases counts dependency-index rebase epochs (RSGT) or history
+	// sweeps (SGT).
+	Rebases int64
+	// ExecEntries is the current dependency-tracking history length.
+	ExecEntries int
+	// FastPathHits counts requests certified by the vector-clock test
+	// alone (no cycle sweep).
+	FastPathHits int64
+	// FastPathMisses counts requests where the clocks suspected a cycle
+	// and the full RSG insert ran.
+	FastPathMisses int64
+}
+
+// HitRate returns the fast-path hit fraction, or 0 when no request
+// took either path.
+func (s RetireStats) HitRate() float64 {
+	total := s.FastPathHits + s.FastPathMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.FastPathHits) / float64(total)
+}
+
+// Add accumulates other into s (for aggregating sharded or embedded
+// protocols).
+func (s *RetireStats) Add(other RetireStats) {
+	s.Enabled = s.Enabled || other.Enabled
+	s.GraphEpochs += other.GraphEpochs
+	s.RetiredVertices += other.RetiredVertices
+	s.LiveVertices += other.LiveVertices
+	s.PendingRetire += other.PendingRetire
+	s.Rebases += other.Rebases
+	s.ExecEntries += other.ExecEntries
+	s.FastPathHits += other.FastPathHits
+	s.FastPathMisses += other.FastPathMisses
+}
+
+// Retirer is implemented by protocols that bound their memory by
+// retiring finished transactions' certification state. The engine
+// drives it: SetRetirement at configuration, SetLowWater from the
+// Admit/Commit stages (the pacemaker for epoch work), FlushRetirement
+// from Recover/Finalize so pending state unwinds deterministically.
+//
+// Lifecycle discipline: every method is a lifecycle call in the sense
+// of the Protocol contract — the driver never invokes them
+// concurrently with Request.
+type Retirer interface {
+	// SetRetirement enables or disables retirement. It must be called
+	// before the first Begin; flipping it mid-run is unsupported (the
+	// vector-clock tables must observe every arc from graph birth).
+	SetRetirement(enabled bool)
+	// SetLowWater feeds the engine's low-water mark: every instance ID
+	// below it has finished (committed or aborted) and can never receive
+	// another lifecycle call. Monotone; lower values are ignored.
+	SetLowWater(instance int64)
+	// FlushRetirement drains pending retirement work (queued vertices,
+	// overdue rebase) immediately.
+	FlushRetirement()
+	// RetireStats reports the current bounded-memory state.
+	RetireStats() RetireStats
+}
+
+// SetRetirement configures retirement on p if the protocol supports
+// it; protocols without graph state are left alone. The Attach analog
+// for the retirement lifecycle.
+func SetRetirement(p Protocol, enabled bool) {
+	if r, ok := p.(Retirer); ok {
+		r.SetRetirement(enabled)
+	}
+}
+
+// slotMask is a fixed-width bitmask over live transaction slots. All
+// masks in one reachTable share the same word length, growing together.
+type slotMask []uint64
+
+func (m slotMask) has(i int) bool { return m[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (m slotMask) set(i int)      { m[i>>6] |= 1 << (uint(i) & 63) }
+func (m slotMask) clear(i int)    { m[i>>6] &^= 1 << (uint(i) & 63) }
+
+func (m slotMask) reset() {
+	for i := range m {
+		m[i] = 0
+	}
+}
+
+// orWith unions other into m, reporting whether m changed.
+func (m slotMask) orWith(other slotMask) bool {
+	changed := false
+	for i, w := range other {
+		if m[i]|w != m[i] {
+			m[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (m slotMask) intersects(other slotMask) bool {
+	for i, w := range other {
+		if m[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// reachTable maintains, per live transaction slot, the set of slots
+// reachable from it in the certification graph at transaction
+// granularity — the "one clock per lane" half of the vector-clock fast
+// path. Arcs only ever run from a source transaction to the live
+// requester, so the instance-level closure is restored after each
+// request by one pass over the live slots (any slot that already
+// reached a changed source absorbs the requester's clock; transitivity
+// held before the call, so no other slot needs updating).
+//
+// The table is conservative by construction: released slots leave
+// stale bits in other clocks (extra suspicion, never a missed one),
+// and a freshly allocated slot starts with an empty clock, which is
+// exact (a new transaction's vertices have no outgoing arcs).
+type reachTable struct {
+	slotOf map[int64]int
+	instAt []int64 // slot -> instance, -1 when free
+	free   []int
+	reach  []slotMask
+	words  int
+	// scratch masks reused across calls (same width as reach rows).
+	delta slotMask
+	cmask slotMask
+	seen  slotMask
+}
+
+func newReachTable() *reachTable {
+	return &reachTable{slotOf: make(map[int64]int), words: 1, delta: make(slotMask, 1), cmask: make(slotMask, 1), seen: make(slotMask, 1)}
+}
+
+// alloc assigns a slot to the instance, reusing freed slots.
+func (rt *reachTable) alloc(inst int64) int {
+	if n := len(rt.free); n > 0 {
+		s := rt.free[n-1]
+		rt.free = rt.free[:n-1]
+		rt.instAt[s] = inst
+		rt.reach[s].reset()
+		rt.slotOf[inst] = s
+		return s
+	}
+	s := len(rt.instAt)
+	rt.instAt = append(rt.instAt, inst)
+	if (s >> 6) >= rt.words {
+		rt.words++
+		for i := range rt.reach {
+			rt.reach[i] = append(rt.reach[i], 0)
+		}
+		rt.delta = append(rt.delta, 0)
+		rt.cmask = append(rt.cmask, 0)
+		rt.seen = append(rt.seen, 0)
+	}
+	rt.reach = append(rt.reach, make(slotMask, rt.words))
+	rt.slotOf[inst] = s
+	return s
+}
+
+// release frees the instance's slot. Stale bits referring to it stay
+// in other clocks until overwritten — conservative, see type comment.
+func (rt *reachTable) release(inst int64) {
+	s, ok := rt.slotOf[inst]
+	if !ok {
+		return
+	}
+	delete(rt.slotOf, inst)
+	rt.instAt[s] = -1
+	rt.free = append(rt.free, s)
+}
+
+// reaches reports whether the clock of slot from contains slot to.
+func (rt *reachTable) reaches(from, to int) bool { return rt.reach[from].has(to) }
+
+// recordArcs folds a request's admitted arcs (every source slot ->
+// req) into the clocks, restoring the transaction-level transitive
+// closure in one pass.
+func (rt *reachTable) recordArcs(srcs []int, req int) {
+	if len(srcs) == 0 {
+		return
+	}
+	copy(rt.delta, rt.reach[req])
+	rt.delta.set(req)
+	rt.cmask.reset()
+	any := false
+	for _, s := range srcs {
+		if rt.reach[s].orWith(rt.delta) {
+			rt.cmask.set(s)
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	for s, m := range rt.reach {
+		if rt.instAt[s] < 0 || !m.intersects(rt.cmask) {
+			continue
+		}
+		m.orWith(rt.delta)
+	}
+}

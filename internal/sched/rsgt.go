@@ -2,6 +2,7 @@ package sched
 
 import (
 	"fmt"
+	"math"
 
 	"relser/internal/core"
 	"relser/internal/graph"
@@ -56,6 +57,29 @@ type RSGT struct {
 	// Entries for isolated vertices go stale harmlessly (vertices are
 	// never reused, so explanation paths cannot reach them).
 	arcKinds map[[2]int]core.ArcKind
+
+	// Bounded-memory state (see Retirer): finished instances' vertices
+	// queue here until a count-based epoch compacts the graph, and the
+	// dependency index is periodically rebased onto the reachable
+	// suffix. rt is the vector-clock table backing the fast path; it is
+	// only maintained (and only consulted) on the untraced hot path,
+	// which is fixed per run because tracer attachment precedes Begin.
+	retireOn       bool
+	lowWater       int64
+	rt             *reachTable
+	retireQ        []int
+	lastRebaseLive int
+	// residentCommitted counts committed instances whose vertices are
+	// still in the graph; lastSweepResident is its value after the last
+	// stranded-cluster sweep (the doubling base for the next one).
+	residentCommitted int
+	lastSweepResident int
+
+	graphEpochs int64
+	retiredVert int64
+	rebases     int64
+	fastHits    int64
+	fastMisses  int64
 }
 
 type rsgtInst struct {
@@ -63,6 +87,15 @@ type rsgtInst struct {
 	vertices []int // seq -> graph vertex
 	lastExec int   // exec index of the instance's most recent op, -1 if none
 	executed int   // number of executed ops
+
+	// Fast-path clock state: the instance's reachTable slot (-1 when the
+	// fast path is inactive) and the minimum sequence of any arc head
+	// ever added into the instance (math.MaxInt until the first one). A
+	// path entering this instance from outside can only reach sequences
+	// >= minEntry, because within an instance only I-arcs (sequence-
+	// forward) connect vertices.
+	slot     int
+	minEntry int
 }
 
 type execOp struct {
@@ -94,7 +127,13 @@ func (p *RSGT) Begin(instance int64, program *core.Transaction) {
 	if _, ok := p.insts[instance]; ok {
 		return
 	}
-	inst := &rsgtInst{program: program, lastExec: -1}
+	inst := &rsgtInst{program: program, lastExec: -1, slot: -1, minEntry: math.MaxInt}
+	if p.retireOn && !p.tr.Enabled() {
+		if p.rt == nil {
+			p.rt = newReachTable()
+		}
+		inst.slot = p.rt.alloc(instance)
+	}
 	inst.vertices = make([]int, program.Len())
 	for seq := range inst.vertices {
 		inst.vertices[seq] = p.g.AddVertex()
@@ -161,12 +200,23 @@ func (p *RSGT) Request(req OpRequest) Decision {
 	// dependency.
 	v := inst.vertices[req.Seq]
 	if !p.tr.Enabled() {
-		// Hot path: collect the request's D/F/B delta as one epoch batch
-		// and merge it with a single cycle sweep. Accept/reject agrees
-		// with the per-arc insertion below (see graph.AddArcBatch); the
-		// batch rolls itself back atomically on a cycle, so rejection
-		// leaves the graph exactly as before the request.
+		// Hot path: collect the request's D/F/B delta as one epoch batch.
+		// With the vector-clock fast path active, the unsuspected case
+		// appends the batch without any cycle sweep (O(1) amortized per
+		// arc); every new arc runs from a source instance into this
+		// requester, so a cycle needs an existing path back from the
+		// requester into a source A reaching a sequence <= the arc's
+		// source sequence. The clocks over-approximate exactly that: the
+		// path exists only if reach[requester] contains A (instance-level
+		// closure) and the arc's source sequence is >= minEntry[A] (the
+		// lowest sequence any outside path can reach in A). Suspected or
+		// slow requests use AddArcBatch, which agrees with the per-arc
+		// insertion below and rolls itself back atomically on a cycle.
+		fast := p.retireOn && p.rt != nil && inst.slot >= 0
 		var arcs [][2]int
+		var srcSlots []int
+		suspect := false
+		minHead := req.Seq
 		depSet.ForEach(func(e int) bool {
 			info := p.execInfo[e]
 			if info.instance == req.Instance {
@@ -180,20 +230,63 @@ func (p *RSGT) Request(req OpRequest) Decision {
 			if u != v {
 				arcs = append(arcs, [2]int{u, v}) // D-arc
 			}
-			fu := src.vertices[p.pushForward(info.instance, src, req.Instance, info.seq)]
-			if fu != v {
+			fuSeq := p.pushForward(info.instance, src, req.Instance, info.seq)
+			if fu := src.vertices[fuSeq]; fu != v {
 				arcs = append(arcs, [2]int{fu, v}) // F-arc
 			}
-			bv := inst.vertices[p.pullBackward(req.Instance, inst, info.instance, req.Seq)]
-			if u != bv {
+			bvSeq := p.pullBackward(req.Instance, inst, info.instance, req.Seq)
+			if bv := inst.vertices[bvSeq]; u != bv {
 				arcs = append(arcs, [2]int{u, bv}) // B-arc
+			}
+			if bvSeq < minHead {
+				minHead = bvSeq
+			}
+			if fast {
+				if src.slot < 0 {
+					// Unreachable while tracer attachment stays fixed per
+					// run; treated as a suspected cycle for safety.
+					suspect = true
+					return true
+				}
+				if p.rt.reaches(inst.slot, src.slot) && fuSeq >= src.minEntry {
+					suspect = true
+				}
+				if !p.rt.seen.has(src.slot) {
+					p.rt.seen.set(src.slot)
+					srcSlots = append(srcSlots, src.slot)
+				}
 			}
 			return true
 		})
+		admit := true
 		if len(arcs) > 0 {
-			if err := p.g.AddArcBatch(arcs); err != nil {
-				return Abort
+			if fast && !suspect {
+				p.g.AppendArcs(arcs)
+			} else {
+				if fast {
+					p.fastMisses++
+				}
+				if err := p.g.AddArcBatch(arcs); err != nil {
+					admit = false
+				}
 			}
+		}
+		if fast {
+			if !suspect {
+				p.fastHits++
+			}
+			for _, s := range srcSlots {
+				p.rt.seen.clear(s)
+			}
+			if admit && len(arcs) > 0 {
+				if minHead < inst.minEntry {
+					inst.minEntry = minHead
+				}
+				p.rt.recordArcs(srcSlots, inst.slot)
+			}
+		}
+		if !admit {
+			return Abort
 		}
 		e := len(p.execInfo)
 		p.execInfo = append(p.execInfo, execOp{instance: req.Instance, seq: req.Seq, op: req.Op, vertex: v})
@@ -201,6 +294,7 @@ func (p *RSGT) Request(req OpRequest) Decision {
 		p.objHist[req.Op.Object] = append(hist, e)
 		inst.lastExec = e
 		inst.executed++
+		p.maybeRebase()
 		return Grant
 	}
 	var added [][2]int
@@ -354,6 +448,11 @@ func (p *RSGT) explainReject(req OpRequest, u, v int, kind core.ArcKind) {
 func (p *RSGT) DotSnapshot() string {
 	var d graph.DotGraph
 	d.Name = "rsgt"
+	if n := p.g.RetiredCount(); n > 0 {
+		// Retired vertices collapse into one stable-prefix node instead
+		// of rendering (or panicking on) remapped IDs.
+		d.AddNode(-1, fmt.Sprintf("stable prefix (%d retired)", n), map[string]string{"shape": "box", "style": "dashed"})
+	}
 	ids := sortedInstances(p.insts)
 	for _, id := range ids {
 		in := p.insts[id]
@@ -418,8 +517,14 @@ func (p *RSGT) Commit(instance int64) {
 	if _, ok := p.insts[instance]; !ok {
 		return
 	}
+	if p.committedStatus[instance] {
+		return
+	}
 	p.committedStatus[instance] = true
+	p.residentCommitted++
 	p.prune()
+	p.maybeRetire()
+	p.maybeSweep()
 }
 
 // Abort implements Protocol: drop the instance's vertices from the
@@ -434,8 +539,26 @@ func (p *RSGT) Abort(instance int64) {
 	for _, v := range inst.vertices {
 		p.g.IsolateVertex(v)
 	}
+	p.release(instance, inst)
 	delete(p.insts, instance)
+	if p.committedStatus[instance] {
+		p.residentCommitted--
+	}
 	p.prune()
+	p.maybeRetire()
+}
+
+// release hands a finished instance's resources to the retirement
+// machinery: its (already isolated) vertices join the next graph
+// epoch, and its clock slot returns to the free list.
+func (p *RSGT) release(instance int64, inst *rsgtInst) {
+	if !p.retireOn {
+		return
+	}
+	p.retireQ = append(p.retireQ, inst.vertices...)
+	if p.rt != nil {
+		p.rt.release(instance)
+	}
 }
 
 // prune removes committed instances none of whose vertices has an
@@ -466,7 +589,9 @@ func (p *RSGT) prune() {
 				for _, v := range inst.vertices {
 					p.g.IsolateVertex(v)
 				}
+				p.release(instID, inst)
 				delete(p.insts, instID)
+				p.residentCommitted--
 				removed = true
 			}
 		}
@@ -474,6 +599,290 @@ func (p *RSGT) prune() {
 			return
 		}
 	}
+}
+
+// SetRetirement implements Retirer. Must precede the first Begin: the
+// clock table has to observe every arc from graph birth.
+func (p *RSGT) SetRetirement(enabled bool) { p.retireOn = enabled }
+
+// SetLowWater implements Retirer: the engine's pacemaker for epoch
+// work, and the safety belt for the committed-status sweep. Epoch
+// decisions are purely count-based so replays stay deterministic.
+//
+//rsvet:deterministic
+func (p *RSGT) SetLowWater(instance int64) {
+	if instance <= p.lowWater {
+		return
+	}
+	p.lowWater = instance
+	p.maybeRetire()
+	p.maybeRebase()
+}
+
+// FlushRetirement implements Retirer: drains the vertex queue and
+// rebases unconditionally, so Recover and Finalize leave no
+// retirement-pending state behind.
+func (p *RSGT) FlushRetirement() {
+	if !p.retireOn {
+		return
+	}
+	p.sweepStranded()
+	p.flushRetire()
+	p.rebase()
+}
+
+// RetireStats implements Retirer.
+func (p *RSGT) RetireStats() RetireStats {
+	return RetireStats{
+		Enabled:         p.retireOn,
+		GraphEpochs:     p.graphEpochs,
+		RetiredVertices: p.retiredVert,
+		LiveVertices:    p.g.Len(),
+		PendingRetire:   len(p.retireQ),
+		Rebases:         p.rebases,
+		ExecEntries:     len(p.execInfo),
+		FastPathHits:    p.fastHits,
+		FastPathMisses:  p.fastMisses,
+	}
+}
+
+// maybeRetire runs a graph compaction epoch when the pending queue is
+// both big enough in absolute terms and at least half the graph, which
+// makes each epoch O(1) amortized per retired vertex.
+//
+//rsvet:deterministic
+func (p *RSGT) maybeRetire() {
+	if !p.retireOn || len(p.retireQ) < retireEpochMinVerts || 2*len(p.retireQ) < p.g.Len() {
+		return
+	}
+	p.flushRetire()
+}
+
+func (p *RSGT) flushRetire() {
+	if len(p.retireQ) == 0 {
+		return
+	}
+	res := p.g.Retire(p.retireQ)
+	p.retiredVert += int64(res.Retired)
+	p.graphEpochs++
+	p.retireQ = p.retireQ[:0]
+}
+
+// maybeSweep runs a stranded-cluster sweep when enough committed
+// instances sit in the graph and their count has at least doubled
+// since the last sweep, amortizing the O(live graph) reachability walk
+// to O(1) per committed transaction.
+//
+//rsvet:deterministic
+func (p *RSGT) maybeSweep() {
+	if !p.retireOn || p.residentCommitted < strandedSweepMinInsts || p.residentCommitted < 2*p.lastSweepResident {
+		return
+	}
+	p.sweepStranded()
+	p.maybeRetire()
+}
+
+// sweepStranded releases committed instances none of whose vertices is
+// reachable from a live instance's vertex. prune handles the common
+// case — a committed instance with no foreign in-arc — but relative
+// atomicity admits instance-level interleavings (A depends on B and B
+// on A through different atomic units) that keep whole clusters of
+// committed transactions mutually dirty forever, even though the
+// vertex graph stays acyclic. Such a cluster is still permanently
+// cycle-free once no live vertex reaches it: arcs into a finished
+// instance all predate its finish, so a path from any later
+// transaction into the cluster would have to run through a vertex that
+// is live right now — and none reaches it. Skipping future arcs out of
+// swept sources (the src == nil branch in Request) is sound for the
+// same reason: a cycle through such an arc u -> v needs a path v -> u,
+// and v is always a live requester's vertex.
+func (p *RSGT) sweepStranded() {
+	if !p.retireOn || p.residentCommitted == 0 {
+		return
+	}
+	reached := make(map[int]bool)
+	var stack []int
+	visit := func(v int) {
+		if !reached[v] {
+			reached[v] = true
+			stack = append(stack, v)
+		}
+	}
+	for _, id := range sortedInstances(p.insts) {
+		if p.committedStatus[id] {
+			continue
+		}
+		for _, v := range p.insts[id].vertices {
+			visit(v)
+		}
+	}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range p.g.Successors(v) {
+			visit(w)
+		}
+	}
+	for _, id := range sortedInstances(p.insts) {
+		if !p.committedStatus[id] {
+			continue
+		}
+		inst := p.insts[id]
+		stranded := true
+		for _, v := range inst.vertices {
+			if reached[v] {
+				stranded = false
+				break
+			}
+		}
+		if !stranded {
+			continue
+		}
+		for _, v := range inst.vertices {
+			p.g.IsolateVertex(v)
+		}
+		p.release(id, inst)
+		delete(p.insts, id)
+		p.residentCommitted--
+	}
+	p.lastSweepResident = p.residentCommitted
+}
+
+// maybeRebase rebases the dependency index when the history has at
+// least doubled since the last rebase, amortizing to O(1) per
+// executed operation.
+//
+//rsvet:deterministic
+func (p *RSGT) maybeRebase() {
+	if !p.retireOn || len(p.execInfo) < rebaseMinEntries || len(p.execInfo) < 2*p.lastRebaseLive {
+		return
+	}
+	p.rebase()
+}
+
+// rebase drops the unreachable prefix of the dependency index. An exec
+// entry survives iff its instance is still resident, or it sits in the
+// reachable suffix of some object history: per object, the backward
+// source scan stops at the last non-aborted write (the anchor), so
+// entries strictly before the anchor — and aborted entries anywhere —
+// can never be absorbed again. Dependency bitsets are transitively
+// closed when built (absorb unions full closures), so rewriting them
+// with only the surviving bits loses no arc generation: dropped
+// entries are aborted or pruned-committed, and neither ever generates
+// an arc (pruned instances cannot re-enter insts).
+//
+//rsvet:deterministic
+func (p *RSGT) rebase() {
+	if !p.retireOn || len(p.execInfo) == 0 {
+		return
+	}
+	n := len(p.execInfo)
+	keep := make([]bool, n)
+	for e := 0; e < n; e++ {
+		if p.insts[p.execInfo[e].instance] != nil {
+			keep[e] = true
+		}
+	}
+	alive := func(e int) bool {
+		id := p.execInfo[e].instance
+		return p.insts[id] != nil || p.committedStatus[id]
+	}
+	newHist := make(map[string][]int, len(p.objHist))
+	//rsvet:allow detlint -- order-insensitive: each object's suffix is computed independently
+	for obj, hist := range p.objHist {
+		anchor := 0
+		for i := len(hist) - 1; i >= 0; i-- {
+			e := hist[i]
+			if alive(e) && p.execInfo[e].op.Kind == core.WriteOp {
+				anchor = i
+				break
+			}
+		}
+		var kept []int
+		for _, e := range hist[anchor:] {
+			if alive(e) {
+				keep[e] = true
+				kept = append(kept, e)
+			}
+		}
+		if kept != nil {
+			newHist[obj] = kept
+		}
+	}
+	remap := make([]int, n)
+	m := 0
+	for e := 0; e < n; e++ {
+		if keep[e] {
+			remap[e] = m
+			m++
+		} else {
+			remap[e] = -1
+		}
+	}
+	if m == n {
+		p.lastRebaseLive = m
+		p.rebases++
+		return
+	}
+	newInfo := make([]execOp, m)
+	newDeps := make([]graph.Bitset, m)
+	for e := 0; e < n; e++ {
+		ne := remap[e]
+		if ne < 0 {
+			continue
+		}
+		newInfo[ne] = p.execInfo[e]
+		nd := graph.NewBitset(m)
+		p.deps[e].ForEach(func(d int) bool {
+			if remap[d] >= 0 {
+				nd.Set(remap[d])
+			}
+			return true
+		})
+		newDeps[ne] = nd
+	}
+	//rsvet:allow detlint -- order-insensitive: rewrites each object's indices in place
+	for _, hist := range newHist {
+		for i, e := range hist {
+			hist[i] = remap[e]
+		}
+	}
+	//rsvet:allow detlint -- order-insensitive: remaps each resident instance's cursor independently
+	for _, inst := range p.insts {
+		if inst.lastExec >= 0 {
+			inst.lastExec = remap[inst.lastExec]
+		}
+	}
+	p.execInfo = newInfo
+	p.deps = newDeps
+	p.objHist = newHist
+	// Sweep committed-status entries no longer referenced by anything:
+	// resident instances, surviving exec entries, and (belt) instances
+	// at or above the engine's low-water mark all stay.
+	referenced := make(map[int64]bool, len(p.insts)+m)
+	for e := range newInfo {
+		referenced[newInfo[e].instance] = true
+	}
+	newStatus := make(map[int64]bool, len(p.insts))
+	//rsvet:allow detlint -- order-insensitive: per-key membership test into a fresh map
+	for id := range p.committedStatus {
+		if p.insts[id] != nil || referenced[id] || id >= p.lowWater {
+			newStatus[id] = true
+		}
+	}
+	p.committedStatus = newStatus
+	// Oracle memos for pairs with a finished side can never be asked
+	// for again (cuts is only consulted for resident instances).
+	newCuts := make(map[[2]int64][]int, len(p.pairCuts))
+	//rsvet:allow detlint -- order-insensitive: per-key residency filter into a fresh map
+	for key, c := range p.pairCuts {
+		if p.insts[key[0]] != nil && p.insts[key[1]] != nil {
+			newCuts[key] = c
+		}
+	}
+	p.pairCuts = newCuts
+	p.lastRebaseLive = m
+	p.rebases++
 }
 
 func containsVertex(vs []int, v int) bool {

@@ -26,6 +26,26 @@ type SGT struct {
 	// progs retains programs for explanation events; populated only
 	// while tracing.
 	progs map[int64]*core.Transaction
+
+	// Bounded-memory state (see Retirer). SGT's clocks are exact
+	// transaction-granularity reachability (one vertex per instance), so
+	// the suspicion test is the reach bit alone — no sequence
+	// refinement. The history sweep is the rebase analog: per object,
+	// entries before the last non-aborted write are unreachable by the
+	// conflict-source scan and can be dropped, after which the
+	// committed-status map is swept down to referenced instances.
+	retireOn      bool
+	lowWater      int64
+	rt            *reachTable
+	retireQ       []int
+	entryCount    int
+	lastSweepLive int
+
+	graphEpochs int64
+	retiredVert int64
+	sweeps      int64
+	fastHits    int64
+	fastMisses  int64
 }
 
 const (
@@ -61,6 +81,12 @@ func (p *SGT) Begin(instance int64, program *core.Transaction) {
 	if _, ok := p.nodeOf[instance]; !ok {
 		p.nodeOf[instance] = p.g.AddVertex()
 		p.status[instance] = instLive
+		if p.retireOn && !p.tr.Enabled() {
+			if p.rt == nil {
+				p.rt = newReachTable()
+			}
+			p.rt.alloc(instance)
+		}
 		if p.tr.Enabled() {
 			p.progs[instance] = program
 		}
@@ -95,27 +121,81 @@ func (p *SGT) Request(req OpRequest) Decision {
 			added = append(added, [2]int{n, me})
 		}
 	} else {
-		// Hot path: the request's conflict arcs form one epoch batch,
-		// merged with a single cycle sweep (and rolled back atomically on
-		// rejection). Accept/reject agrees with the per-arc path; see
-		// graph.AddArcBatch.
+		// Hot path: the request's conflict arcs form one epoch batch.
+		// With the fast path active, an arc src -> me can only close a
+		// cycle if me already reaches src, which is exactly the clock
+		// bit (conservative only through stale bits of released slots);
+		// the unsuspected case appends without any cycle sweep.
+		// Suspected or slow requests use AddArcBatch, merged with a
+		// single sweep and rolled back atomically on rejection.
+		fast := p.retireOn && p.rt != nil
+		mySlot := -1
+		if fast {
+			if s, ok := p.rt.slotOf[req.Instance]; ok {
+				mySlot = s
+			} else {
+				fast = false
+			}
+		}
 		var arcs [][2]int
+		var srcSlots []int
+		suspect := false
 		for _, src := range sources {
 			n, ok := p.nodeOf[src]
 			if !ok || n == me {
 				continue
 			}
 			arcs = append(arcs, [2]int{n, me})
-		}
-		if len(arcs) > 0 {
-			if err := p.g.AddArcBatch(arcs); err != nil {
-				return Abort
+			if fast {
+				s, ok := p.rt.slotOf[src]
+				if !ok {
+					// Unreachable while tracer attachment stays fixed per
+					// run; treated as a suspected cycle for safety.
+					suspect = true
+					continue
+				}
+				if p.rt.reaches(mySlot, s) {
+					suspect = true
+				}
+				if !p.rt.seen.has(s) {
+					p.rt.seen.set(s)
+					srcSlots = append(srcSlots, s)
+				}
 			}
+		}
+		admit := true
+		if len(arcs) > 0 {
+			if fast && !suspect {
+				p.g.AppendArcs(arcs)
+			} else {
+				if fast {
+					p.fastMisses++
+				}
+				if err := p.g.AddArcBatch(arcs); err != nil {
+					admit = false
+				}
+			}
+		}
+		if fast {
+			if !suspect {
+				p.fastHits++
+			}
+			for _, s := range srcSlots {
+				p.rt.seen.clear(s)
+			}
+			if admit && len(arcs) > 0 {
+				p.rt.recordArcs(srcSlots, mySlot)
+			}
+		}
+		if !admit {
+			return Abort
 		}
 	}
 	// Record the access only after admission.
 	h := p.history(req.Op.Object)
 	h.entries = append(h.entries, objAccess{instance: req.Instance, kind: req.Op.Kind})
+	p.entryCount++
+	p.maybeSweep()
 	return Grant
 }
 
@@ -195,17 +275,32 @@ func (p *SGT) CanCommit(int64) bool { return true }
 func (p *SGT) Commit(instance int64) {
 	p.status[instance] = instCommitted
 	p.prune()
+	p.maybeRetire()
 }
 
 // Abort implements Protocol.
 func (p *SGT) Abort(instance int64) {
 	if v, ok := p.nodeOf[instance]; ok {
 		p.g.IsolateVertex(v)
+		p.release(instance, v)
 	}
 	delete(p.nodeOf, instance)
 	delete(p.status, instance)
 	delete(p.progs, instance)
 	p.prune()
+	p.maybeRetire()
+}
+
+// release hands a finished instance's resources to the retirement
+// machinery (see RSGT.release).
+func (p *SGT) release(instance int64, vertex int) {
+	if !p.retireOn {
+		return
+	}
+	p.retireQ = append(p.retireQ, vertex)
+	if p.rt != nil {
+		p.rt.release(instance)
+	}
 }
 
 // prune removes committed instances with no incoming arcs; such
@@ -221,11 +316,13 @@ func (p *SGT) prune() {
 			v := p.nodeOf[inst]
 			if p.g.InDegree(v) == 0 {
 				p.g.IsolateVertex(v)
+				p.release(inst, v)
 				delete(p.nodeOf, inst)
 				delete(p.progs, inst)
 				// Keep the committed status so history entries still
 				// count as valid conflict sources (they are skipped as
-				// "pruned" in Request via the nodeOf check).
+				// "pruned" in Request via the nodeOf check); the history
+				// sweep reclaims it once nothing references the entry.
 				removed = true
 			}
 		}
@@ -233,6 +330,132 @@ func (p *SGT) prune() {
 			return
 		}
 	}
+}
+
+// SetRetirement implements Retirer. Must precede the first Begin.
+func (p *SGT) SetRetirement(enabled bool) { p.retireOn = enabled }
+
+// SetLowWater implements Retirer; see RSGT.SetLowWater.
+//
+//rsvet:deterministic
+func (p *SGT) SetLowWater(instance int64) {
+	if instance <= p.lowWater {
+		return
+	}
+	p.lowWater = instance
+	p.maybeRetire()
+	p.maybeSweep()
+}
+
+// FlushRetirement implements Retirer.
+func (p *SGT) FlushRetirement() {
+	if !p.retireOn {
+		return
+	}
+	p.flushRetire()
+	p.sweep()
+}
+
+// RetireStats implements Retirer.
+func (p *SGT) RetireStats() RetireStats {
+	return RetireStats{
+		Enabled:         p.retireOn,
+		GraphEpochs:     p.graphEpochs,
+		RetiredVertices: p.retiredVert,
+		LiveVertices:    p.g.Len(),
+		PendingRetire:   len(p.retireQ),
+		Rebases:         p.sweeps,
+		ExecEntries:     p.entryCount,
+		FastPathHits:    p.fastHits,
+		FastPathMisses:  p.fastMisses,
+	}
+}
+
+// maybeRetire runs a graph compaction epoch once the pending queue is
+// big both absolutely and relative to the graph; see RSGT.maybeRetire.
+//
+//rsvet:deterministic
+func (p *SGT) maybeRetire() {
+	if !p.retireOn || len(p.retireQ) < retireEpochMinVerts || 2*len(p.retireQ) < p.g.Len() {
+		return
+	}
+	p.flushRetire()
+}
+
+func (p *SGT) flushRetire() {
+	if len(p.retireQ) == 0 {
+		return
+	}
+	res := p.g.Retire(p.retireQ)
+	p.retiredVert += int64(res.Retired)
+	p.graphEpochs++
+	p.retireQ = p.retireQ[:0]
+}
+
+// maybeSweep sweeps the access histories when they have at least
+// doubled since the last sweep, amortizing to O(1) per access.
+//
+//rsvet:deterministic
+func (p *SGT) maybeSweep() {
+	if !p.retireOn || p.entryCount < rebaseMinEntries || p.entryCount < 2*p.lastSweepLive {
+		return
+	}
+	p.sweep()
+}
+
+// sweep drops unreachable history: per object, the conflict-source
+// scan stops at the last non-aborted write, so entries strictly before
+// it — and aborted entries anywhere — can never be consulted again.
+// Committed statuses survive only while a resident instance or a
+// retained entry references them (or, as a safety belt, while the
+// instance is above the engine's low-water mark).
+//
+//rsvet:deterministic
+func (p *SGT) sweep() {
+	if !p.retireOn {
+		return
+	}
+	alive := func(id int64) bool {
+		_, res := p.nodeOf[id]
+		return res || p.status[id] == instCommitted
+	}
+	referenced := make(map[int64]bool, len(p.nodeOf))
+	total := 0
+	//rsvet:allow detlint -- order-insensitive: each object's suffix is computed independently
+	for obj, h := range p.objs {
+		anchor := 0
+		for i := len(h.entries) - 1; i >= 0; i-- {
+			e := h.entries[i]
+			if e.kind == core.WriteOp && alive(e.instance) {
+				anchor = i
+				break
+			}
+		}
+		var kept []objAccess
+		for _, e := range h.entries[anchor:] {
+			if alive(e.instance) {
+				kept = append(kept, e)
+				referenced[e.instance] = true
+			}
+		}
+		if len(kept) == 0 {
+			delete(p.objs, obj)
+			continue
+		}
+		h.entries = kept
+		total += len(kept)
+	}
+	newStatus := make(map[int64]byte, len(p.nodeOf))
+	//rsvet:allow detlint -- order-insensitive: per-key membership test into a fresh map
+	for id, st := range p.status {
+		if _, res := p.nodeOf[id]; res || referenced[id] || id >= p.lowWater {
+			newStatus[id] = st
+		}
+	}
+	p.status = newStatus
+	p.entryCount = total
+	p.lastSweepLive = total
+	p.sweeps++
 }
 
 func (p *SGT) history(object string) *objHistory {

@@ -102,6 +102,10 @@ type RunOptions struct {
 	// in-flight instances through the engine's Recover stage and fails
 	// with context.DeadlineExceeded as the cause.
 	Timeout time.Duration
+	// DisableRSGRetire turns off bounded-memory certification (graph
+	// retirement + vector-clock fast path) for protocols that support
+	// it; the zero value keeps it on (see txn.Config.DisableRSGRetire).
+	DisableRSGRetire bool
 }
 
 // RunWith executes the workload with full options and returns the
@@ -142,6 +146,8 @@ func (w *Workload) RunWithContext(ctx context.Context, protocol sched.Protocol, 
 		Deadline:  opts.Deadline,
 		Watchdog:  opts.Watchdog,
 		Hooks:     opts.Hooks,
+
+		DisableRSGRetire: opts.DisableRSGRetire,
 	}
 	if opts.Obs != nil {
 		cfg.Tracer = opts.Obs.Tracer(opts.Tracer)
